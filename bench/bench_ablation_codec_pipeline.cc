@@ -1,0 +1,54 @@
+// Ablation: storage-layer codec choice inside the full SPATE pipeline.
+//
+// Section IV-C picks GZIP (here: deflate) for the storage layer. This
+// ablation re-runs ingestion + a range-scan query with each codec to show
+// the end-to-end trade: ingest time (compression CPU + replicated store),
+// space, and query response (read + decompress + parse).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/tasks.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+void Run() {
+  TraceConfig config = BenchTrace();
+  config.days = 2;  // two days are enough for the per-codec comparison
+  TraceGenerator generator(config);
+  const auto epochs = generator.EpochStarts();
+
+  PrintSeriesHeader("ABLATION: storage codec in the full SPATE pipeline",
+                    "codec", "ingest (s/snapshot), space (MB), T2 query (s)");
+  printf("%-12s %16s %12s %14s\n", "Codec", "Ingest (s/snap)", "Space (MB)",
+         "T2 range (s)");
+  for (const char* codec : {"null", "fast-lz", "tans", "deflate",
+                            "lzma-lite"}) {
+    SpateOptions options;
+    options.codec = codec;
+    SpateFramework spate(options, generator.cells());
+    const double ingest = IngestAll(spate, generator, epochs);
+    const double space = spate.StorageBytes() / (1024.0 * 1024.0);
+    const double query = MeasureResponse(spate, [&] {
+      TaskRange(spate, config.start + 6 * 3600, config.start + 30 * 3600)
+          .ok();
+    });
+    printf("%-12s %16.4f %12.2f %14.3f\n", codec, ingest, space, query);
+  }
+  printf("\nExpected: deflate balances all three; lzma-lite trades ingest "
+         "CPU for the best space;\n");
+  printf("fast-lz trades space for speed; null (= RAW storage) shows what "
+         "compression buys.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main() {
+  spate::bench::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: the highlight frequency threshold theta (Section V-B).
+//
+// The paper uses a separate theta per resolution level ("lower thresholds
+// for higher resolution levels"). This bench sweeps theta over a day-level
+// and a week-level summary and reports how many categorical and peaking
+// highlights are extracted, showing how theta tunes the signal/noise of
+// the exploration UI.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+void Run() {
+  TraceConfig config = BenchTrace();
+  TraceGenerator generator(config);
+
+  SpateOptions options;
+  SpateFramework spate(options, generator.cells());
+  for (Timestamp epoch : generator.EpochStarts()) {
+    spate.Ingest(generator.GenerateSnapshot(epoch)).ok();
+  }
+
+  auto day = spate.AggregateWindow(config.start, config.start + 86400);
+  auto week =
+      spate.AggregateWindow(config.start, config.start + 7 * 86400);
+  if (!day.ok() || !week.ok()) return;
+
+  PrintSeriesHeader("ABLATION: highlight threshold theta",
+                    "theta", "highlights extracted");
+  printf("%-8s %18s %18s\n", "theta", "day summary", "week summary");
+  printf("%-8s %9s %8s %9s %8s\n", "", "categor.", "peaking", "categor.",
+         "peaking");
+  for (double theta : {0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+    int day_cat = 0, day_peak = 0, week_cat = 0, week_peak = 0;
+    for (const Highlight& h : day->ExtractHighlights(theta)) {
+      (h.cell_id.empty() ? day_cat : day_peak)++;
+    }
+    for (const Highlight& h : week->ExtractHighlights(theta)) {
+      (h.cell_id.empty() ? week_cat : week_peak)++;
+    }
+    printf("%-8.3f %9d %8d %9d %8d\n", theta, day_cat, day_peak, week_cat,
+           week_peak);
+  }
+  printf("\nExpected: categorical highlights grow with theta (more values "
+         "fall below the threshold);\n");
+  printf("peaking-cell highlights are theta-independent (z-score based); "
+         "coarser nodes see the same\n");
+  printf("rare values with tighter frequencies, so smaller thetas suffice "
+         "(the paper's per-level theta_i).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main() {
+  spate::bench::Run();
+  return 0;
+}

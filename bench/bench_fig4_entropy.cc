@@ -1,0 +1,76 @@
+// Fig. 4 reproduction: Shannon entropy of each attribute in CDR (left,
+// ~200 attributes), NMS (center, 8 attributes) and CELL (right, 10
+// attributes). The paper uses this to argue that high compression ratios
+// are achievable (most CDR attributes sit below 1 bit; several at 0).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "telco/entropy.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+void PrintEntropySeries(const char* table, const TableSchema& schema,
+                        const std::vector<double>& entropies) {
+  PrintSeriesHeader((std::string("FIG 4: entropy of ") + table +
+                     " attributes")
+                        .c_str(),
+                    "attribute index", "entropy (bits)");
+  for (size_t a = 0; a < entropies.size(); ++a) {
+    printf("%3zu  %-16s %7.3f\n", a + 1, schema.attributes()[a].name.c_str(),
+           entropies[a]);
+  }
+}
+
+void Run() {
+  TraceConfig config = BenchTrace();
+  TraceGenerator generator(config);
+
+  // Sample one full day of records.
+  std::vector<Record> cdr, nms;
+  const auto epochs = generator.EpochStarts();
+  for (int e = 0; e < kEpochsPerDay; ++e) {
+    const Snapshot snapshot = generator.GenerateSnapshot(epochs[e]);
+    cdr.insert(cdr.end(), snapshot.cdr.begin(), snapshot.cdr.end());
+    nms.insert(nms.end(), snapshot.nms.begin(), snapshot.nms.end());
+  }
+  printf("Sample: %zu CDR rows, %zu NMS rows, %zu cells\n", cdr.size(),
+         nms.size(), generator.cells().size());
+
+  const auto cdr_entropy = ColumnEntropies(cdr, CdrSchema().num_attributes());
+  const auto nms_entropy = ColumnEntropies(nms, NmsSchema().num_attributes());
+  const auto cell_entropy =
+      ColumnEntropies(generator.cells(), CellSchema().num_attributes());
+
+  PrintEntropySeries("CDR", CdrSchema(), cdr_entropy);
+  PrintEntropySeries("NMS", NmsSchema(), nms_entropy);
+  PrintEntropySeries("CELL", CellSchema(), cell_entropy);
+
+  // Summary statistics (the shape the paper highlights).
+  int zero = 0, below_one = 0;
+  double max_entropy = 0;
+  for (double h : cdr_entropy) {
+    zero += (h == 0.0);
+    below_one += (h < 1.0);
+    max_entropy = std::max(max_entropy, h);
+  }
+  printf("\nCDR shape: %d of %zu attributes at 0 bits, %d below 1 bit, "
+         "max %.2f bits\n",
+         zero, cdr_entropy.size(), below_one, max_entropy);
+  printf("Paper (Fig. 4): most CDR attributes < 1 bit, several exactly 0, "
+         "identifiers up to ~5 bits;\n");
+  printf("NMS attributes up to ~10 bits; CELL attributes up to ~3.5 bits.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main() {
+  spate::bench::Run();
+  return 0;
+}

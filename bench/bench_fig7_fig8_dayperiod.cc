@@ -1,0 +1,97 @@
+// Fig. 7 + Fig. 8 reproduction: ingestion time per snapshot and total disk
+// space for RAW / SHAHED / SPATE on the real (here: synthetic) dataset
+// partitioned by day period (Morning / Afternoon / Evening / Night).
+//
+// Paper shapes to reproduce:
+//  - Fig. 7: SPATE slowest to ingest but within ~1.25x; load variation
+//    across periods barely moves ingestion time.
+//  - Fig. 8: SPATE needs about an order of magnitude less disk space,
+//    stable across periods.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "telco/partition.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+void Run() {
+  TraceConfig config = BenchTrace();
+  TraceGenerator generator(config);
+  const auto all_epochs = generator.EpochStarts();
+
+  struct Cell {
+    double ingest_seconds = 0;
+    uint64_t space_bytes = 0;
+  };
+  std::map<std::string, std::map<DayPeriod, Cell>> results;
+
+  for (const std::string& name : FrameworkNames()) {
+    for (DayPeriod period : kAllDayPeriods) {
+      const auto epochs = EpochsInPeriod(all_epochs, period);
+      auto framework = MakeFramework(name, generator);
+      Cell& cell = results[name][period];
+      cell.ingest_seconds = IngestAll(*framework, generator, epochs);
+      cell.space_bytes = framework->StorageBytes();
+    }
+  }
+
+  PrintSeriesHeader(
+      "FIG 7: ingestion time per snapshot (arrival rate = 30 mins)",
+      "day period", "ingestion time (sec)");
+  printf("%-12s", "Period");
+  for (const auto& name : FrameworkNames()) printf("%12s", name.c_str());
+  printf("\n");
+  for (DayPeriod period : kAllDayPeriods) {
+    printf("%-12s", std::string(DayPeriodName(period)).c_str());
+    for (const auto& name : FrameworkNames()) {
+      printf("%12.4f", results[name][period].ingest_seconds);
+    }
+    printf("\n");
+  }
+
+  PrintSeriesHeader("FIG 8: disk space for the whole real dataset",
+                    "day period", "space (MB)");
+  printf("%-12s", "Period");
+  for (const auto& name : FrameworkNames()) printf("%12s", name.c_str());
+  printf("\n");
+  for (DayPeriod period : kAllDayPeriods) {
+    printf("%-12s", std::string(DayPeriodName(period)).c_str());
+    for (const auto& name : FrameworkNames()) {
+      printf("%12.2f", results[name][period].space_bytes / (1024.0 * 1024.0));
+    }
+    printf("\n");
+  }
+
+  // Shape checks against the paper.
+  double worst_slowdown = 0;
+  double worst_space_ratio = 1e9;
+  for (DayPeriod period : kAllDayPeriods) {
+    const Cell& raw = results["RAW"][period];
+    const Cell& spate = results["SPATE"][period];
+    const Cell& shahed = results["SHAHED"][period];
+    worst_slowdown = std::max(
+        worst_slowdown, spate.ingest_seconds /
+                            std::min(raw.ingest_seconds,
+                                     shahed.ingest_seconds));
+    worst_space_ratio = std::min(
+        worst_space_ratio, static_cast<double>(raw.space_bytes) /
+                               static_cast<double>(spate.space_bytes));
+  }
+  printf("\nShape: SPATE ingest slowdown vs fastest <= %.2fx "
+         "(paper: <= 1.25x);\n", worst_slowdown);
+  printf("       RAW/SPATE space ratio >= %.1fx (paper: ~an order of "
+         "magnitude)\n", worst_space_ratio);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main() {
+  spate::bench::Run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 9 + Fig. 10 reproduction: ingestion time per snapshot and total
+// disk space for RAW / SHAHED / SPATE, partitioned by day of week
+// (Mon..Sun).
+//
+// Paper shapes: SPATE slowest ingest but within ~1.2x; SPATE an order of
+// magnitude smaller; both stable across weekdays.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "telco/partition.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+void Run() {
+  TraceConfig config = BenchTrace();
+  TraceGenerator generator(config);
+  const auto all_epochs = generator.EpochStarts();
+
+  struct Cell {
+    double ingest_seconds = 0;
+    uint64_t space_bytes = 0;
+  };
+  std::map<std::string, std::map<int, Cell>> results;
+
+  for (const std::string& name : FrameworkNames()) {
+    for (int weekday = 0; weekday < 7; ++weekday) {
+      const auto epochs = EpochsOnWeekday(all_epochs, weekday);
+      auto framework = MakeFramework(name, generator);
+      Cell& cell = results[name][weekday];
+      cell.ingest_seconds = IngestAll(*framework, generator, epochs);
+      cell.space_bytes = framework->StorageBytes();
+    }
+  }
+
+  PrintSeriesHeader(
+      "FIG 9: ingestion time per snapshot (arrival rate = 30 mins)",
+      "day of week", "ingestion time (sec)");
+  printf("%-6s", "Day");
+  for (const auto& name : FrameworkNames()) printf("%12s", name.c_str());
+  printf("\n");
+  for (int weekday = 0; weekday < 7; ++weekday) {
+    printf("%-6s", std::string(kWeekdayNames[weekday]).c_str());
+    for (const auto& name : FrameworkNames()) {
+      printf("%12.4f", results[name][weekday].ingest_seconds);
+    }
+    printf("\n");
+  }
+
+  PrintSeriesHeader("FIG 10: disk space for the whole real dataset",
+                    "day of week", "space (MB)");
+  printf("%-6s", "Day");
+  for (const auto& name : FrameworkNames()) printf("%12s", name.c_str());
+  printf("\n");
+  for (int weekday = 0; weekday < 7; ++weekday) {
+    printf("%-6s", std::string(kWeekdayNames[weekday]).c_str());
+    for (const auto& name : FrameworkNames()) {
+      printf("%12.2f", results[name][weekday].space_bytes / (1024.0 * 1024.0));
+    }
+    printf("\n");
+  }
+
+  double worst_slowdown = 0;
+  double worst_space_ratio = 1e9;
+  for (int weekday = 0; weekday < 7; ++weekday) {
+    const Cell& raw = results["RAW"][weekday];
+    const Cell& spate = results["SPATE"][weekday];
+    const Cell& shahed = results["SHAHED"][weekday];
+    worst_slowdown = std::max(
+        worst_slowdown,
+        spate.ingest_seconds /
+            std::min(raw.ingest_seconds, shahed.ingest_seconds));
+    worst_space_ratio =
+        std::min(worst_space_ratio, static_cast<double>(raw.space_bytes) /
+                                        static_cast<double>(spate.space_bytes));
+  }
+  printf("\nShape: SPATE ingest slowdown vs fastest <= %.2fx "
+         "(paper: <= 1.2x);\n", worst_slowdown);
+  printf("       RAW/SPATE space ratio >= %.1fx (paper: ~an order of "
+         "magnitude)\n", worst_space_ratio);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main() {
+  spate::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: generate a day of telco traffic, ingest it into SPATE, and
+// run a spatiotemporal exploration query Q(a, b, w).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+using namespace spate;  // NOLINT — example brevity
+
+int main() {
+  // 1. A synthetic telco trace: one Monday of 30-minute snapshots.
+  TraceConfig trace;
+  trace.days = 1;
+  TraceGenerator generator(trace);
+
+  // 2. SPATE with the default storage codec (deflate, the GZIP design
+  //    point) and a one-year full-resolution decay window.
+  SpateOptions options;
+  SpateFramework spate(options, generator.cells());
+
+  printf("Ingesting %d snapshots...\n", kEpochsPerDay);
+  for (Timestamp epoch : generator.EpochStarts()) {
+    const Snapshot snapshot = generator.GenerateSnapshot(epoch);
+    Status status = spate.Ingest(snapshot);
+    if (!status.ok()) {
+      fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  printf("Storage used: %s (logical, incl. index)\n",
+         HumanBytes(spate.StorageBytes()).c_str());
+
+  // 3. Explore: attribute selection a, bounding box b, time window w.
+  ExplorationQuery query;
+  query.attributes = {"upflux", "downflux"};
+  const BoundingBox extent = spate.cells().extent();
+  query.has_box = true;
+  query.box = BoundingBox{extent.min_x, extent.min_y,
+                          (extent.min_x + extent.max_x) / 2,
+                          (extent.min_y + extent.max_y) / 2};
+  query.window_begin = trace.start + 8 * 3600;   // 08:00
+  query.window_end = trace.start + 12 * 3600;    // 12:00
+
+  auto result = spate.Execute(query);
+  if (!result.ok()) {
+    fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  printf("\nQ(a={upflux,downflux}, b=SW-quadrant, w=08:00-12:00)\n");
+  printf("  exact=%s, served from %s level\n",
+         result->exact ? "yes" : "no",
+         std::string(IndexLevelName(result->served_from)).c_str());
+  printf("  matching CDR rows: %zu, NMS rows: %zu\n",
+         result->cdr_rows.size(), result->nms_rows.size());
+
+  // 4. The highlights the index materialized for this window.
+  printf("\nHighlights (rare events + peaking cells):\n");
+  for (const Highlight& h : result->highlights) {
+    if (h.cell_id.empty()) {
+      printf("  [%s] rare value '%s' (%.2f%% of rows)\n", h.attribute.c_str(),
+             h.value.c_str(), 100 * h.frequency);
+    } else {
+      printf("  [%s] cell %s peaks at %s (z-score %.1f)\n",
+             h.attribute.c_str(), h.cell_id.c_str(), h.value.c_str(),
+             h.frequency);
+    }
+  }
+
+  // 5. Aggregate drill-down without touching raw data: the whole day from
+  //    the index's materialized summaries.
+  auto day = spate.AggregateWindow(trace.start, trace.start + 86400);
+  if (day.ok()) {
+    const MetricAggregate drops = day->TotalMetric(Metric::kDropCalls);
+    printf("\nWhole-day aggregate (from index, no decompression):\n");
+    printf("  CDR rows: %llu, NMS rows: %llu, drop calls: %.0f\n",
+           static_cast<unsigned long long>(day->cdr_rows()),
+           static_cast<unsigned long long>(day->nms_rows()), drops.sum);
+  }
+  return 0;
+}

@@ -1,0 +1,257 @@
+// spate_cli: an interactive shell over a SPATE instance — the stand-in for
+// the paper's SPATE-SQL (Apache Hue) interface.
+//
+// Loads a configurable synthetic trace, then reads commands from stdin:
+//
+//   sql <statement>        run a SPATE-SQL statement (tables CDR/NMS/CELL)
+//   explore <from> <to>    exploration query Q(a,b,w) with compact
+//                          timestamps, e.g. `explore 20160118 20160119`
+//   highlights <from> <to> only the highlight list for the window
+//   stats                  storage/index statistics
+//   decay <days>           run the decaying module, keeping <days> days
+//   help / quit
+//
+// Non-interactive use:  echo "sql SELECT COUNT(*) FROM CDR" | spate_cli
+//
+// Flags: --days N (default 2), --cells N (default 120).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analytics/heavy_hitters.h"
+#include "analytics/histogram.h"
+#include "common/strings.h"
+#include "core/spate_framework.h"
+#include "query/result_cache.h"
+#include "sql/executor.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+using namespace spate;  // NOLINT — example brevity
+
+namespace {
+
+void PrintSqlResult(const SqlResult& result) {
+  for (const std::string& column : result.columns) {
+    printf("%-16s", column.c_str());
+  }
+  printf("\n");
+  size_t shown = 0;
+  for (const auto& row : result.rows) {
+    for (const std::string& value : row) printf("%-16s", value.c_str());
+    printf("\n");
+    if (++shown >= 25 && result.rows.size() > 30) {
+      printf("... (%zu more rows)\n", result.rows.size() - shown);
+      break;
+    }
+  }
+  printf("(%zu row%s)\n", result.rows.size(),
+         result.rows.size() == 1 ? "" : "s");
+}
+
+bool ParseWindow(std::istringstream& in, Timestamp* begin, Timestamp* end) {
+  std::string from, to;
+  if (!(in >> from >> to)) return false;
+  *begin = ParseCompact(from);
+  *end = ParseCompact(to);
+  return *begin >= 0 && *end >= 0 && *begin < *end;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TraceConfig trace;
+  trace.days = 2;
+  trace.num_cells = 120;
+  trace.num_antennas = 40;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    int64_t v = 0;
+    if (strcmp(argv[i], "--days") == 0 && ParseInt64(argv[i + 1], &v)) {
+      trace.days = static_cast<int>(v);
+    } else if (strcmp(argv[i], "--cells") == 0 && ParseInt64(argv[i + 1], &v)) {
+      trace.num_cells = static_cast<int>(v);
+    }
+  }
+
+  TraceGenerator generator(trace);
+  SpateOptions options;
+  SpateFramework spate(options, generator.cells());
+  fprintf(stderr, "Loading %d day(s) of synthetic telco traffic... ",
+          trace.days);
+  for (Timestamp epoch : generator.EpochStarts()) {
+    if (!spate.Ingest(generator.GenerateSnapshot(epoch)).ok()) return 1;
+  }
+  fprintf(stderr, "done. Storage: %s. Type 'help'.\n",
+          HumanBytes(spate.StorageBytes()).c_str());
+
+  CachedExplorer explorer(&spate);
+  std::string line;
+  while (true) {
+    fprintf(stderr, "spate> ");
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      printf("commands:\n"
+             "  sql <statement>         e.g. sql SELECT COUNT(*) FROM CDR\n"
+             "  explore <from> <to>     e.g. explore 201601181200 20160119\n"
+             "  highlights <from> <to>\n"
+             "  top callers|cells|devices <from> <to> [k]\n"
+             "  hist rssi|throughput|duration <from> <to>\n"
+             "  stats | decay <days> | quit\n");
+      continue;
+    }
+    if (command == "top") {
+      std::string what;
+      ExplorationQuery window;
+      if (!(in >> what) ||
+          !ParseWindow(in, &window.window_begin, &window.window_end)) {
+        printf("usage: top callers|cells|devices <from> <to> [k]\n");
+        continue;
+      }
+      int64_t k = 10;
+      std::string k_text;
+      if (in >> k_text) ParseInt64(k_text, &k);
+      HeavyHitters hh(256);
+      Status scan = spate.ScanWindow(
+          window.window_begin, window.window_end, [&](const Snapshot& s) {
+            for (const Record& row : s.cdr) {
+              if (what == "callers") {
+                hh.Add(FieldAsString(row, kCdrCaller));
+              } else if (what == "devices") {
+                hh.Add(FieldAsString(row, kCdrImei));
+              } else {
+                hh.Add(FieldAsString(row, kCdrCellId));
+              }
+            }
+          });
+      if (!scan.ok()) {
+        printf("error: %s\n", scan.ToString().c_str());
+        continue;
+      }
+      for (const auto& entry : hh.Top(static_cast<size_t>(k))) {
+        printf("  %-20s %8llu calls (+/- %llu)\n", entry.key.c_str(),
+               static_cast<unsigned long long>(entry.count),
+               static_cast<unsigned long long>(entry.error));
+      }
+      continue;
+    }
+    if (command == "hist") {
+      std::string what;
+      ExplorationQuery window;
+      if (!(in >> what) ||
+          !ParseWindow(in, &window.window_begin, &window.window_end)) {
+        printf("usage: hist rssi|throughput|duration <from> <to>\n");
+        continue;
+      }
+      Histogram hist(what == "rssi" ? -110 : 0,
+                     what == "rssi" ? -60 : (what == "throughput" ? 50 : 600),
+                     20);
+      Status scan = spate.ScanWindow(
+          window.window_begin, window.window_end, [&](const Snapshot& s) {
+            if (what == "duration") {
+              for (const Record& row : s.cdr) {
+                hist.Add(static_cast<double>(FieldAsInt(row, kCdrDuration)));
+              }
+            } else {
+              const int col = what == "rssi" ? kNmsRssi : kNmsThroughput;
+              for (const Record& row : s.nms) {
+                hist.Add(FieldAsDouble(row, col));
+              }
+            }
+          });
+      if (!scan.ok()) {
+        printf("error: %s\n", scan.ToString().c_str());
+        continue;
+      }
+      printf("%s", hist.ToAscii().c_str());
+      printf("p50=%.1f p95=%.1f mean=%.1f (n=%llu, %llu outside range)\n",
+             hist.Quantile(0.5), hist.Quantile(0.95), hist.ApproxMean(),
+             static_cast<unsigned long long>(hist.total()),
+             static_cast<unsigned long long>(hist.underflow() +
+                                             hist.overflow()));
+      continue;
+    }
+    if (command == "sql") {
+      std::string statement;
+      std::getline(in, statement);
+      auto result = ExecuteSql(spate, statement);
+      if (!result.ok()) {
+        printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintSqlResult(*result);
+      }
+      continue;
+    }
+    if (command == "explore" || command == "highlights") {
+      ExplorationQuery query;
+      if (!ParseWindow(in, &query.window_begin, &query.window_end)) {
+        printf("usage: %s <from> <to>  (compact timestamps)\n",
+               command.c_str());
+        continue;
+      }
+      auto result = explorer.Execute(query);
+      if (!result.ok()) {
+        printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      if (command == "explore") {
+        printf("exact=%s served_from=%s cdr_rows=%zu nms_rows=%zu "
+               "(cache: %llu hits / %llu misses)\n",
+               result->exact ? "yes" : "no",
+               std::string(IndexLevelName(result->served_from)).c_str(),
+               result->cdr_rows.size(), result->nms_rows.size(),
+               static_cast<unsigned long long>(explorer.cache().hits()),
+               static_cast<unsigned long long>(explorer.cache().misses()));
+        printf("calls=%llu nms_reports=%llu drop_calls=%.0f\n",
+               static_cast<unsigned long long>(result->summary.cdr_rows()),
+               static_cast<unsigned long long>(result->summary.nms_rows()),
+               result->summary.TotalMetric(Metric::kDropCalls).sum);
+      }
+      for (const Highlight& h : result->highlights) {
+        if (h.cell_id.empty()) {
+          printf("  highlight [%s=%s] freq=%.3f%%\n", h.attribute.c_str(),
+                 h.value.c_str(), 100 * h.frequency);
+        } else {
+          printf("  highlight [%s] cell=%s peak=%s z=%.1f\n",
+                 h.attribute.c_str(), h.cell_id.c_str(), h.value.c_str(),
+                 h.frequency);
+        }
+      }
+      continue;
+    }
+    if (command == "stats") {
+      printf("storage: %s logical (%s physical, replication %d)\n",
+             HumanBytes(spate.dfs().TotalLogicalBytes()).c_str(),
+             HumanBytes(spate.dfs().TotalPhysicalBytes()).c_str(),
+             spate.dfs().options().replication);
+      printf("index: %zu leaves (%zu decayed), newest epoch %s\n",
+             spate.index().num_leaves(), spate.index().num_decayed(),
+             FormatIso(spate.index().newest_epoch()).c_str());
+      continue;
+    }
+    if (command == "decay") {
+      int64_t days = 0;
+      std::string days_text;
+      if (!(in >> days_text) || !ParseInt64(days_text, &days) || days < 0) {
+        printf("usage: decay <days-to-keep>\n");
+        continue;
+      }
+      DecayPolicy policy;
+      policy.full_resolution_seconds = days * 86400;
+      const Timestamp now = spate.index().newest_epoch() + kEpochSeconds;
+      const size_t evicted = spate.RunDecay(policy, now);
+      printf("evicted %zu leaves; storage now %s\n", evicted,
+             HumanBytes(spate.StorageBytes()).c_str());
+      continue;
+    }
+    printf("unknown command '%s' (try 'help')\n", command.c_str());
+  }
+  return 0;
+}

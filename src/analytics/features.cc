@@ -1,0 +1,58 @@
+#include "analytics/features.h"
+
+#include "common/clock.h"
+#include "telco/schema.h"
+
+namespace spate {
+
+std::vector<double> CdrFeatures(const Record& row) {
+  const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+  const double hour = ts >= 0 ? ToCivil(ts).hour : 0;
+  return {
+      static_cast<double>(FieldAsInt(row, kCdrDuration)),
+      static_cast<double>(FieldAsInt(row, kCdrUpflux)),
+      static_cast<double>(FieldAsInt(row, kCdrDownflux)),
+      hour,
+      FieldAsString(row, kCdrCallType) == "VOICE" ? 1.0 : 0.0,
+  };
+}
+
+const std::vector<std::string>& CdrFeatureNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "duration", "upflux", "downflux", "hour", "is_voice"};
+  return names;
+}
+
+std::vector<double> NmsFeatures(const Record& row) {
+  return {
+      static_cast<double>(FieldAsInt(row, kNmsDropCalls)),
+      static_cast<double>(FieldAsInt(row, kNmsCallAttempts)),
+      FieldAsDouble(row, kNmsAvgDuration),
+      FieldAsDouble(row, kNmsThroughput),
+      FieldAsDouble(row, kNmsRssi),
+      static_cast<double>(FieldAsInt(row, kNmsHandoverFails)),
+  };
+}
+
+const std::vector<std::string>& NmsFeatureNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "drop_calls", "call_attempts", "avg_duration",
+      "throughput", "rssi",          "handover_fails"};
+  return names;
+}
+
+void AppendSnapshotFeatures(const Snapshot& snapshot, Matrix* cdr_out,
+                            Matrix* nms_out) {
+  if (cdr_out != nullptr) {
+    for (const Record& row : snapshot.cdr) {
+      cdr_out->push_back(CdrFeatures(row));
+    }
+  }
+  if (nms_out != nullptr) {
+    for (const Record& row : snapshot.nms) {
+      nms_out->push_back(NmsFeatures(row));
+    }
+  }
+}
+
+}  // namespace spate

@@ -1,0 +1,32 @@
+#ifndef SPATE_ANALYTICS_FEATURES_H_
+#define SPATE_ANALYTICS_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "analytics/stats.h"
+#include "telco/snapshot.h"
+
+namespace spate {
+
+/// Numeric feature extraction from raw telco records — the bridge between
+/// the storage/scan layer and the ML kernels (T6-T8 operate on CDR and NMS
+/// numeric columns).
+
+/// CDR features: [duration, upflux, downflux, hour-of-day, is_voice].
+std::vector<double> CdrFeatures(const Record& row);
+const std::vector<std::string>& CdrFeatureNames();
+
+/// NMS features: [drop_calls, call_attempts, avg_duration, throughput,
+/// rssi, handover_fails].
+std::vector<double> NmsFeatures(const Record& row);
+const std::vector<std::string>& NmsFeatureNames();
+
+/// Appends the feature rows of every record in `snapshot` to `*cdr_out` /
+/// `*nms_out` (either may be null to skip that table).
+void AppendSnapshotFeatures(const Snapshot& snapshot, Matrix* cdr_out,
+                            Matrix* nms_out);
+
+}  // namespace spate
+
+#endif  // SPATE_ANALYTICS_FEATURES_H_

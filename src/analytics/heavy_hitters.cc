@@ -1,0 +1,49 @@
+#include "analytics/heavy_hitters.h"
+
+#include <algorithm>
+
+namespace spate {
+
+HeavyHitters::HeavyHitters(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void HeavyHitters::Add(const std::string& key, uint64_t weight) {
+  stream_weight_ += weight;
+  auto it = counters_.find(key);
+  if (it != counters_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(key, Entry{key, weight, 0});
+    return;
+  }
+  // Space-Saving eviction: replace the minimum counter; the newcomer
+  // inherits its count as the over-count bound.
+  auto min_it = counters_.begin();
+  for (auto cur = counters_.begin(); cur != counters_.end(); ++cur) {
+    if (cur->second.count < min_it->second.count) min_it = cur;
+  }
+  const uint64_t floor = min_it->second.count;
+  counters_.erase(min_it);
+  counters_.emplace(key, Entry{key, floor + weight, floor});
+}
+
+std::vector<HeavyHitters::Entry> HeavyHitters::Top(size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+uint64_t HeavyHitters::Estimate(const std::string& key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second.count;
+}
+
+}  // namespace spate

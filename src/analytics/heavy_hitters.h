@@ -1,0 +1,53 @@
+#ifndef SPATE_ANALYTICS_HEAVY_HITTERS_H_
+#define SPATE_ANALYTICS_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spate {
+
+/// Space-Saving heavy-hitters sketch (Metwally et al.): tracks the top-k
+/// most frequent string keys of a stream in O(capacity) memory with
+/// deterministic over-count bounds.
+///
+/// SPATE uses it for the interactive "top" views the paper's introduction
+/// motivates (precise marketing, user-experience evaluation): top callers,
+/// busiest cells, chattiest devices — computed in one pass over a scanned
+/// window without materializing per-key counters for the whole key space.
+class HeavyHitters {
+ public:
+  /// `capacity` is the number of tracked counters (>= 1). Any key whose
+  /// true frequency exceeds stream_length / capacity is guaranteed to be
+  /// present in the sketch.
+  explicit HeavyHitters(size_t capacity);
+
+  /// Feeds one occurrence of `key` (optionally weighted).
+  void Add(const std::string& key, uint64_t weight = 1);
+
+  struct Entry {
+    std::string key;
+    uint64_t count = 0;  // estimated frequency (upper bound)
+    uint64_t error = 0;  // max over-count of `count`
+  };
+
+  /// The tracked entries, most frequent first, at most `k` of them.
+  std::vector<Entry> Top(size_t k) const;
+
+  /// Estimated frequency of `key` (0 if not tracked).
+  uint64_t Estimate(const std::string& key) const;
+
+  /// Total weight fed so far.
+  uint64_t stream_weight() const { return stream_weight_; }
+  size_t tracked() const { return counters_.size(); }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<std::string, Entry> counters_;
+  uint64_t stream_weight_ = 0;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_ANALYTICS_HEAVY_HITTERS_H_

@@ -1,0 +1,90 @@
+#include "analytics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace spate {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi) {
+  if (buckets == 0) buckets = 1;
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+  width_ = (hi_ - lo_) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double value, uint64_t weight) {
+  total_ += weight;
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  size_t bucket = static_cast<size_t>((value - lo_) / width_);
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;  // fp edge
+  counts_[bucket] += weight;
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  return true;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - seen) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+double Histogram::ApproxMean() const {
+  if (total_ == 0) return 0.0;
+  double sum = static_cast<double>(underflow_) * lo_ +
+               static_cast<double>(overflow_) * hi_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    sum += static_cast<double>(counts_[i]) * (bucket_lo(i) + width_ / 2);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(int max_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const int bars = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        max_width);
+    snprintf(line, sizeof(line), "[%10.2f) %-*.*s %llu\n", bucket_lo(i),
+             max_width, bars,
+             "##################################################"
+             "##################################################",
+             static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace spate

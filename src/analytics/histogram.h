@@ -1,0 +1,57 @@
+#ifndef SPATE_ANALYTICS_HISTOGRAM_H_
+#define SPATE_ANALYTICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spate {
+
+/// Fixed-range equi-width histogram with saturating under/overflow buckets.
+///
+/// Backs the SPATE-UI's distribution charts (e.g. the RSSi heatmap
+/// statistics of Section VI-B): cheap to update per record, mergeable
+/// across windows, and able to answer approximate quantiles with bucket
+/// resolution.
+class Histogram {
+ public:
+  /// Buckets of width (hi - lo) / buckets over [lo, hi); values below `lo`
+  /// land in the underflow bucket, values >= `hi` in the overflow bucket.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value, uint64_t weight = 1);
+
+  /// Merges another histogram with identical geometry (checked).
+  /// Returns false (and does nothing) on geometry mismatch.
+  bool Merge(const Histogram& other);
+
+  uint64_t total() const { return total_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  double bucket_lo(size_t i) const { return lo_ + i * width_; }
+
+  /// Approximate q-quantile (0 <= q <= 1) by linear interpolation inside
+  /// the bucket containing the target rank. Returns lo/hi bounds for
+  /// mass in the saturating buckets.
+  double Quantile(double q) const;
+
+  /// Mean of the recorded values, approximated at bucket-center
+  /// resolution (under/overflow contribute their boundary values).
+  double ApproxMean() const;
+
+  /// Renders a compact ASCII bar chart (one line per bucket), for the CLI.
+  std::string ToAscii(int max_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_ANALYTICS_HISTOGRAM_H_

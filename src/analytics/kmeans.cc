@@ -1,0 +1,146 @@
+#include "analytics/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+Matrix SeedCentroids(const Matrix& points, int k, Rng& rng) {
+  Matrix centroids;
+  centroids.push_back(points[rng.Uniform(points.size())]);
+  std::vector<double> dist2(points.size(),
+                            std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i],
+                          SquaredDistance(points[i], centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng.Uniform(points.size())]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Matrix& points,
+                            const KMeansOptions& options, ThreadPool* pool) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (points.size() < static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  const size_t dims = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dims) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, options.k, rng);
+  result.assignments.assign(points.size(), 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step (parallel).
+    struct Accum {
+      Matrix sums;
+      std::vector<uint64_t> counts;
+      double inertia = 0;
+    };
+    Accum total{Matrix(options.k, std::vector<double>(dims, 0)),
+                std::vector<uint64_t>(options.k, 0), 0};
+    auto assign_range = [&](size_t begin, size_t end, Accum* acc) {
+      for (size_t i = begin; i < end; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_c = 0;
+        for (int c = 0; c < options.k; ++c) {
+          const double d = SquaredDistance(points[i], result.centroids[c]);
+          if (d < best) {
+            best = d;
+            best_c = c;
+          }
+        }
+        result.assignments[i] = best_c;
+        acc->inertia += best;
+        acc->counts[best_c]++;
+        for (size_t d = 0; d < dims; ++d) {
+          acc->sums[best_c][d] += points[i][d];
+        }
+      }
+    };
+    if (pool != nullptr && points.size() > 2048) {
+      std::mutex mu;
+      pool->ParallelFor(points.size(), [&](size_t begin, size_t end) {
+        Accum local{Matrix(options.k, std::vector<double>(dims, 0)),
+                    std::vector<uint64_t>(options.k, 0), 0};
+        assign_range(begin, end, &local);
+        std::lock_guard<std::mutex> lock(mu);
+        total.inertia += local.inertia;
+        for (int c = 0; c < options.k; ++c) {
+          total.counts[c] += local.counts[c];
+          for (size_t d = 0; d < dims; ++d) {
+            total.sums[c][d] += local.sums[c][d];
+          }
+        }
+      });
+    } else {
+      assign_range(0, points.size(), &total);
+    }
+    result.inertia = total.inertia;
+
+    // Update step.
+    for (int c = 0; c < options.k; ++c) {
+      if (total.counts[c] == 0) continue;  // keep empty cluster's centroid
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = total.sums[c][d] / total.counts[c];
+      }
+    }
+
+    if (prev_inertia - result.inertia <=
+        options.tolerance * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = result.inertia;
+  }
+  return result;
+}
+
+}  // namespace spate

@@ -1,0 +1,37 @@
+#ifndef SPATE_ANALYTICS_KMEANS_H_
+#define SPATE_ANALYTICS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "analytics/stats.h"
+
+namespace spate {
+
+/// k-means configuration (task T7's Spark KMeans stand-in).
+struct KMeansOptions {
+  int k = 4;
+  int max_iterations = 20;
+  /// Relative inertia improvement below which iteration stops early.
+  double tolerance = 1e-4;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  Matrix centroids;                   // k x dims
+  std::vector<int> assignments;       // one per input point
+  double inertia = 0;                 // sum of squared distances
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Deterministic for a fixed
+/// seed; assignment steps run chunk-parallel on `pool` when provided.
+/// Fails with InvalidArgument when there are fewer points than clusters.
+Result<KMeansResult> KMeans(const Matrix& points, const KMeansOptions& options,
+                            ThreadPool* pool = nullptr);
+
+}  // namespace spate
+
+#endif  // SPATE_ANALYTICS_KMEANS_H_

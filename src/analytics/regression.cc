@@ -1,0 +1,119 @@
+#include "analytics/regression.h"
+
+#include <cmath>
+#include <mutex>
+
+namespace spate {
+namespace {
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Gaussian elimination with partial pivoting. Returns false if singular.
+bool SolveLinearSystem(Matrix& a, std::vector<double>& b) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate.
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col-- > 0;) {
+    for (size_t c = col + 1; c < n; ++c) b[col] -= a[col][c] * b[c];
+    b[col] /= a[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<RegressionResult> LinearRegression(const Matrix& features,
+                                          const std::vector<double>& targets,
+                                          const RegressionOptions& options,
+                                          ThreadPool* pool) {
+  if (features.empty() || features.size() != targets.size()) {
+    return Status::InvalidArgument("features/targets size mismatch");
+  }
+  const size_t dims = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != dims) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  // Augmented design: [x, 1] so the intercept falls out of the same solve.
+  const size_t n = dims + 1;
+  Matrix gram(n, std::vector<double>(n, 0));
+  std::vector<double> xty(n, 0);
+
+  auto accumulate = [&](size_t begin, size_t end, Matrix* g,
+                        std::vector<double>* v) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto& x = features[i];
+      const double y = targets[i];
+      for (size_t r = 0; r < dims; ++r) {
+        for (size_t c = r; c < dims; ++c) (*g)[r][c] += x[r] * x[c];
+        (*g)[r][dims] += x[r];
+        (*v)[r] += x[r] * y;
+      }
+      (*g)[dims][dims] += 1;
+      (*v)[dims] += y;
+    }
+  };
+  if (pool != nullptr && features.size() > 2048) {
+    std::mutex mu;
+    pool->ParallelFor(features.size(), [&](size_t begin, size_t end) {
+      Matrix g(n, std::vector<double>(n, 0));
+      std::vector<double> v(n, 0);
+      accumulate(begin, end, &g, &v);
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c) gram[r][c] += g[r][c];
+        xty[r] += v[r];
+      }
+    });
+  } else {
+    accumulate(0, features.size(), &gram, &xty);
+  }
+  // Mirror the upper triangle and add the ridge term (not on intercept).
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r + 1; c < n; ++c) gram[c][r] = gram[r][c];
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    gram[d][d] += options.l2 * features.size();
+  }
+
+  std::vector<double> solution = xty;
+  if (!SolveLinearSystem(gram, solution)) {
+    return Status::InvalidArgument("singular design matrix");
+  }
+
+  RegressionResult result;
+  result.weights.assign(solution.begin(), solution.begin() + dims);
+  result.intercept = solution[dims];
+
+  // Training error metrics.
+  double y_mean = 0;
+  for (double y : targets) y_mean += y;
+  y_mean /= targets.size();
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double err = targets[i] - result.Predict(features[i]);
+    ss_res += err * err;
+    ss_tot += (targets[i] - y_mean) * (targets[i] - y_mean);
+  }
+  result.mse = ss_res / features.size();
+  result.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return result;
+}
+
+}  // namespace spate

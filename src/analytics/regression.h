@@ -1,0 +1,42 @@
+#ifndef SPATE_ANALYTICS_REGRESSION_H_
+#define SPATE_ANALYTICS_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "analytics/stats.h"
+
+namespace spate {
+
+/// Linear regression configuration (task T8's Spark LinearRegression
+/// stand-in). Solved in closed form via ridge-regularized normal equations.
+struct RegressionOptions {
+  /// L2 (ridge) regularization strength; keeps the Gram matrix invertible.
+  double l2 = 1e-8;
+};
+
+struct RegressionResult {
+  std::vector<double> weights;  // one per feature
+  double intercept = 0;
+  double mse = 0;  // training mean squared error
+  double r2 = 0;   // coefficient of determination on training data
+
+  double Predict(const std::vector<double>& features) const {
+    double y = intercept;
+    const size_t n = std::min(features.size(), weights.size());
+    for (size_t i = 0; i < n; ++i) y += weights[i] * features[i];
+    return y;
+  }
+};
+
+/// Fits y ~ X. Gram-matrix accumulation runs chunk-parallel on `pool`.
+/// Fails with InvalidArgument on empty/ragged input or |X| != |y|.
+Result<RegressionResult> LinearRegression(const Matrix& features,
+                                          const std::vector<double>& targets,
+                                          const RegressionOptions& options,
+                                          ThreadPool* pool = nullptr);
+
+}  // namespace spate
+
+#endif  // SPATE_ANALYTICS_REGRESSION_H_

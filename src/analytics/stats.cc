@@ -1,0 +1,87 @@
+#include "analytics/stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+namespace spate {
+namespace {
+
+struct Partial {
+  uint64_t count = 0;
+  std::vector<uint64_t> nnz;
+  std::vector<double> sum, sum_sq;
+  std::vector<double> min, max;
+
+  explicit Partial(size_t cols)
+      : nnz(cols, 0),
+        sum(cols, 0),
+        sum_sq(cols, 0),
+        min(cols, std::numeric_limits<double>::infinity()),
+        max(cols, -std::numeric_limits<double>::infinity()) {}
+
+  void Add(const std::vector<double>& row) {
+    ++count;
+    for (size_t c = 0; c < nnz.size(); ++c) {
+      const double v = c < row.size() ? row[c] : 0.0;
+      if (v != 0.0) ++nnz[c];
+      sum[c] += v;
+      sum_sq[c] += v * v;
+      min[c] = std::min(min[c], v);
+      max[c] = std::max(max[c], v);
+    }
+  }
+
+  void Merge(const Partial& other) {
+    count += other.count;
+    for (size_t c = 0; c < nnz.size(); ++c) {
+      nnz[c] += other.nnz[c];
+      sum[c] += other.sum[c];
+      sum_sq[c] += other.sum_sq[c];
+      min[c] = std::min(min[c], other.min[c]);
+      max[c] = std::max(max[c], other.max[c]);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<ColumnStat> ComputeColumnStats(
+    const Matrix& rows, const std::vector<std::string>& names,
+    ThreadPool* pool) {
+  const size_t cols = names.size();
+  Partial total(cols);
+
+  if (pool != nullptr && rows.size() > 1024) {
+    std::mutex mu;
+    pool->ParallelFor(rows.size(), [&](size_t begin, size_t end) {
+      Partial local(cols);
+      for (size_t i = begin; i < end; ++i) local.Add(rows[i]);
+      std::lock_guard<std::mutex> lock(mu);
+      total.Merge(local);
+    });
+  } else {
+    for (const auto& row : rows) total.Add(row);
+  }
+
+  std::vector<ColumnStat> out(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    ColumnStat& s = out[c];
+    s.name = names[c];
+    s.count = total.count;
+    s.num_nonzeros = total.nnz[c];
+    if (total.count == 0) continue;
+    s.min = total.min[c];
+    s.max = total.max[c];
+    s.mean = total.sum[c] / total.count;
+    // Sample variance (n-1 denominator), matching Spark's colStats.
+    if (total.count > 1) {
+      const double num =
+          total.sum_sq[c] - total.count * s.mean * s.mean;
+      s.variance = std::max(0.0, num / (total.count - 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace spate

@@ -1,0 +1,37 @@
+#ifndef SPATE_ANALYTICS_STATS_H_
+#define SPATE_ANALYTICS_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace spate {
+
+/// Dense row-major numeric dataset handed to the analytics kernels
+/// (extracted from CDR/NMS records by `ExtractFeatures` in features.h).
+using Matrix = std::vector<std::vector<double>>;
+
+/// Per-column multivariate statistics: the output of task T6, mirroring
+/// Spark's Statistics.colStats (max, min, mean, variance, number of
+/// non-zeros and total count).
+struct ColumnStat {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t num_nonzeros = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double variance = 0;
+};
+
+/// Computes column-wise statistics over `rows`. Ragged rows are rejected
+/// implicitly: columns beyond a row's size read as 0. Runs chunk-parallel
+/// on `pool` when provided.
+std::vector<ColumnStat> ComputeColumnStats(
+    const Matrix& rows, const std::vector<std::string>& names,
+    ThreadPool* pool = nullptr);
+
+}  // namespace spate
+
+#endif  // SPATE_ANALYTICS_STATS_H_

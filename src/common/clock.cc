@@ -1,0 +1,149 @@
+#include "common/clock.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spate {
+namespace {
+
+// Howard Hinnant's days-from-civil / civil-from-days algorithms.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                   // [1, 31]
+  const unsigned month = mp + (mp < 10 ? 3 : -9);                      // [1, 12]
+  *y = static_cast<int>(year + (month <= 2));
+  *m = static_cast<int>(month);
+  *d = static_cast<int>(day);
+}
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+CivilTime ToCivil(Timestamp ts) {
+  CivilTime ct;
+  const int64_t days = FloorDiv(ts, 86400);
+  int64_t secs = FloorMod(ts, 86400);
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int>(secs / 3600);
+  secs %= 3600;
+  ct.minute = static_cast<int>(secs / 60);
+  ct.second = static_cast<int>(secs % 60);
+  return ct;
+}
+
+Timestamp FromCivil(const CivilTime& ct) {
+  // Normalize month into [1, 12] by rolling years.
+  int year = ct.year;
+  int month = ct.month;
+  year += (month - 1) / 12;
+  month = (month - 1) % 12 + 1;
+  if (month < 1) {
+    month += 12;
+    --year;
+  }
+  return DaysFromCivil(year, month, ct.day) * 86400 + ct.hour * 3600 +
+         ct.minute * 60 + ct.second;
+}
+
+int64_t DaysSinceEpoch(Timestamp ts) { return FloorDiv(ts, 86400); }
+
+int Weekday(Timestamp ts) {
+  // 1970-01-01 was a Thursday (ISO index 3).
+  return static_cast<int>(FloorMod(DaysSinceEpoch(ts) + 3, 7));
+}
+
+Timestamp TruncateToEpoch(Timestamp ts) {
+  return FloorDiv(ts, kEpochSeconds) * kEpochSeconds;
+}
+
+Timestamp TruncateToDay(Timestamp ts) { return FloorDiv(ts, 86400) * 86400; }
+
+Timestamp TruncateToMonth(Timestamp ts) {
+  CivilTime ct = ToCivil(ts);
+  ct.day = 1;
+  ct.hour = ct.minute = ct.second = 0;
+  return FromCivil(ct);
+}
+
+Timestamp TruncateToYear(Timestamp ts) {
+  CivilTime ct = ToCivil(ts);
+  ct.month = 1;
+  ct.day = 1;
+  ct.hour = ct.minute = ct.second = 0;
+  return FromCivil(ct);
+}
+
+std::string FormatCompact(Timestamp ts) {
+  CivilTime ct = ToCivil(ts);
+  char buf[16];
+  snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d", ct.year, ct.month, ct.day,
+           ct.hour, ct.minute);
+  return buf;
+}
+
+std::string FormatIso(Timestamp ts) {
+  CivilTime ct = ToCivil(ts);
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+           ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+Timestamp ParseCompact(const std::string& s) {
+  auto digits = [&](size_t pos, size_t len) -> int {
+    int v = 0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      if (i >= s.size() || s[i] < '0' || s[i] > '9') return -1;
+      v = v * 10 + (s[i] - '0');
+    }
+    return v;
+  };
+  const size_t n = s.size();
+  if (n != 4 && n != 6 && n != 8 && n != 10 && n != 12) return -1;
+  CivilTime ct;
+  ct.year = digits(0, 4);
+  if (ct.year < 0) return -1;
+  ct.month = 1;
+  ct.day = 1;
+  if (n >= 6) {
+    ct.month = digits(4, 2);
+    if (ct.month < 1 || ct.month > 12) return -1;
+  }
+  if (n >= 8) {
+    ct.day = digits(6, 2);
+    if (ct.day < 1 || ct.day > 31) return -1;
+  }
+  if (n >= 10) {
+    ct.hour = digits(8, 2);
+    if (ct.hour < 0 || ct.hour > 23) return -1;
+  }
+  if (n >= 12) {
+    ct.minute = digits(10, 2);
+    if (ct.minute < 0 || ct.minute > 59) return -1;
+  }
+  return FromCivil(ct);
+}
+
+}  // namespace spate

@@ -1,0 +1,63 @@
+#ifndef SPATE_COMMON_CLOCK_H_
+#define SPATE_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spate {
+
+/// Seconds since the Unix epoch (UTC). All SPATE timestamps are carried in
+/// this type; calendar decomposition goes through `CivilTime`.
+using Timestamp = int64_t;
+
+/// Length of one ingestion cycle ("epoch" in the paper): snapshots arrive
+/// every 30 minutes.
+constexpr int64_t kEpochSeconds = 30 * 60;
+/// Snapshots (leaf nodes) per day: 48.
+constexpr int kEpochsPerDay = 24 * 3600 / kEpochSeconds;
+
+/// Proleptic-Gregorian calendar date-time, decomposed from a `Timestamp`.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;   // 0..23
+  int minute = 0;
+  int second = 0;
+};
+
+/// Converts a timestamp to its UTC calendar decomposition.
+CivilTime ToCivil(Timestamp ts);
+
+/// Converts a calendar decomposition back to a timestamp. Fields outside
+/// their natural range are normalized (e.g. month 13 rolls into next year).
+Timestamp FromCivil(const CivilTime& ct);
+
+/// Days since the epoch for a timestamp (floor).
+int64_t DaysSinceEpoch(Timestamp ts);
+
+/// ISO weekday: 0 = Monday ... 6 = Sunday.
+int Weekday(Timestamp ts);
+
+/// Truncates `ts` down to the enclosing ingestion-cycle / day / month / year
+/// boundary.
+Timestamp TruncateToEpoch(Timestamp ts);
+Timestamp TruncateToDay(Timestamp ts);
+Timestamp TruncateToMonth(Timestamp ts);
+Timestamp TruncateToYear(Timestamp ts);
+
+/// Renders "YYYYMMDDhhmm" (the timestamp key format used in the paper's
+/// example queries, e.g. ts="201601221530").
+std::string FormatCompact(Timestamp ts);
+
+/// Renders "YYYY-MM-DD hh:mm:ss".
+std::string FormatIso(Timestamp ts);
+
+/// Parses a compact timestamp prefix: "YYYY", "YYYYMM", "YYYYMMDD",
+/// "YYYYMMDDhh" or "YYYYMMDDhhmm". Returns -1 on malformed input. A prefix
+/// denotes the *start* of the period (e.g. "2015" -> 2015-01-01 00:00).
+Timestamp ParseCompact(const std::string& s);
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_CLOCK_H_

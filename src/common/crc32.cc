@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace spate {
+namespace {
+
+constexpr uint32_t kPoly = 0xedb88320u;  // reflected IEEE polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32(Slice data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(data[i])) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace spate

@@ -1,0 +1,16 @@
+#ifndef SPATE_COMMON_CRC32_H_
+#define SPATE_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace spate {
+
+/// Computes the CRC-32 (IEEE 802.3 polynomial, as used by gzip/zlib) of
+/// `data`, continuing from `seed` (pass 0 for a fresh checksum).
+uint32_t Crc32(Slice data, uint32_t seed = 0);
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_CRC32_H_

@@ -1,0 +1,120 @@
+#ifndef SPATE_COMMON_RANDOM_H_
+#define SPATE_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace spate {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in SPATE (trace generation, k-means seeding,
+/// sampling) draws from an explicitly seeded `Rng` so that tests and
+/// benchmark workloads are bit-reproducible across runs and machines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+/// Precomputed Zipf(s) sampler over {0, ..., n-1}: rank-frequency skew used
+/// to model telco value distributions (popular cells, frequent call types).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Draws a rank in [0, n), rank 0 being the most frequent.
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_RANDOM_H_

@@ -1,0 +1,76 @@
+#ifndef SPATE_COMMON_SLICE_H_
+#define SPATE_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace spate {
+
+/// Non-owning view over a contiguous byte range (the RocksDB idiom).
+///
+/// Used throughout the storage and compression layers where data may be
+/// binary (so `std::string_view` semantics, but with byte-oriented helpers).
+/// The viewed memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s)  // NOLINT(google-explicit-constructor)
+      : data_(s), size_(strlen(s)) {}
+  Slice(std::string_view sv)  // NOLINT(google-explicit-constructor)
+      : data_(sv.data()), size_(sv.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first `n` bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return +1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_SLICE_H_

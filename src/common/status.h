@@ -1,0 +1,141 @@
+#ifndef SPATE_COMMON_STATUS_H_
+#define SPATE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace spate {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kNotSupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Corruption").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lightweight error carrier used by every fallible SPATE API.
+///
+/// SPATE is compiled without exception-based error handling: functions that
+/// can fail return a `Status` (or a `Result<T>`), and callers are expected to
+/// check it. The class is cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// Renders "<code>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or the `Status` explaining its absence.
+///
+/// A default-constructed `Result` is an internal error; construct from either
+/// a value or a non-OK `Status`. Accessing `value()` on an error result is
+/// undefined behaviour, so callers must check `ok()` first (the
+/// `SPATE_ASSIGN_OR_RETURN` macro does this).
+template <typename T>
+class Result {
+ public:
+  /// Error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Value result.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace spate
+
+/// Propagates a non-OK `Status` to the caller.
+#define SPATE_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::spate::Status _spate_status = (expr);        \
+    if (!_spate_status.ok()) return _spate_status; \
+  } while (0)
+
+#define SPATE_CONCAT_IMPL(a, b) a##b
+#define SPATE_CONCAT(a, b) SPATE_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a `Result<T>`), propagating failure, else binds `lhs`.
+#define SPATE_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto SPATE_CONCAT(_spate_result_, __LINE__) = (rexpr);          \
+  if (!SPATE_CONCAT(_spate_result_, __LINE__).ok())               \
+    return SPATE_CONCAT(_spate_result_, __LINE__).status();       \
+  lhs = std::move(SPATE_CONCAT(_spate_result_, __LINE__)).value()
+
+#endif  // SPATE_COMMON_STATUS_H_

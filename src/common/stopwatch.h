@@ -1,0 +1,31 @@
+#ifndef SPATE_COMMON_STOPWATCH_H_
+#define SPATE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace spate {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses to measure
+/// real CPU-side elapsed time. Simulated disk time is tracked separately by
+/// `dfs::IoStats`; benches report the sum when modelling the paper's testbed.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_STOPWATCH_H_

@@ -1,0 +1,55 @@
+#ifndef SPATE_COMMON_THREAD_POOL_H_
+#define SPATE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spate {
+
+/// Fixed-size worker pool used as the parallel execution substrate for the
+/// heavy analytics tasks (the stand-in for Spark parallelization in the
+/// paper's T6-T8). Tasks are plain callables; `WaitIdle()` barriers until the
+/// queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
+  /// pool, blocking until every chunk completes.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_THREAD_POOL_H_

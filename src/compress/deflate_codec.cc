@@ -1,0 +1,288 @@
+#include "compress/deflate_codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_stream.h"
+#include "compress/huffman.h"
+#include "compress/lz_slots.h"
+
+namespace spate {
+namespace {
+
+using compress_internal::GetEnvelope;
+using compress_internal::PutEnvelope;
+using compress_internal::VerifyDecoded;
+
+// Alphabet: 0..255 literals, 256 end-of-block, 257.. length slots.
+constexpr int kEob = 256;
+constexpr int kLitLenSymbols = 257 + kNumLengthSlots;  // 286
+// Re-histogram and emit fresh Huffman tables every this many input bytes.
+constexpr size_t kBlockInputBytes = 1u << 20;
+
+Lz77Options DeflateOptions() {
+  Lz77Options o;
+  o.window_size = 1u << 15;  // match the 30-slot distance table
+  o.min_match = 4;
+  o.max_match = 258;
+  o.max_chain = 64;
+  return o;
+}
+
+struct Block {
+  size_t first_token = 0;
+  size_t num_tokens = 0;
+};
+
+/// `buffer` is dictionary + payload; `in_pos` indexes into it.
+/// `ext_dist` selects the extended distance alphabet (dictionary mode).
+void EncodeBlock(const std::vector<LzToken>& tokens, const Block& block,
+                 Slice buffer, size_t* in_pos, bool final_block,
+                 bool ext_dist, BitWriter* writer) {
+  // Histogram the block.
+  std::vector<uint64_t> lit_freq(kLitLenSymbols, 0);
+  std::vector<uint64_t> dist_freq(ext_dist ? kNumExtDistSlots : kNumDistSlots,
+                                  0);
+  size_t scan_pos = *in_pos;
+  for (size_t i = 0; i < block.num_tokens; ++i) {
+    const LzToken& t = tokens[block.first_token + i];
+    for (uint32_t j = 0; j < t.literal_len; ++j) {
+      ++lit_freq[static_cast<unsigned char>(buffer[scan_pos + j])];
+    }
+    scan_pos += t.literal_len + t.match_len;
+    if (t.match_len > 0) {
+      ++lit_freq[257 + LengthSlot(t.match_len)];
+      ++dist_freq[ext_dist ? ExtDistSlot(t.distance)
+                           : static_cast<uint32_t>(DistSlot(t.distance))];
+    }
+  }
+  ++lit_freq[kEob];
+
+  const std::vector<uint8_t> lit_lengths = BuildHuffmanCodeLengths(lit_freq);
+  std::vector<uint8_t> dist_lengths = BuildHuffmanCodeLengths(dist_freq);
+
+  writer->WriteBit(final_block);
+  WriteCodeLengths(writer, lit_lengths);
+  WriteCodeLengths(writer, dist_lengths);
+
+  const HuffmanEncoder lit_enc(lit_lengths);
+  const HuffmanEncoder dist_enc(dist_lengths);
+
+  for (size_t i = 0; i < block.num_tokens; ++i) {
+    const LzToken& t = tokens[block.first_token + i];
+    for (uint32_t j = 0; j < t.literal_len; ++j) {
+      lit_enc.Encode(writer, static_cast<unsigned char>(buffer[*in_pos + j]));
+    }
+    *in_pos += t.literal_len + t.match_len;
+    if (t.match_len > 0) {
+      const int lslot = LengthSlot(t.match_len);
+      lit_enc.Encode(writer, 257 + lslot);
+      writer->WriteBits(t.match_len - kLengthBase[lslot],
+                        kLengthExtraBits[lslot]);
+      if (ext_dist) {
+        const uint32_t dslot = ExtDistSlot(t.distance);
+        dist_enc.Encode(writer, dslot);
+        writer->WriteBits(t.distance - ExtDistBase(dslot),
+                          ExtDistDirectBits(dslot));
+      } else {
+        const int dslot = DistSlot(t.distance);
+        dist_enc.Encode(writer, dslot);
+        writer->WriteBits(t.distance - kDistBase[dslot],
+                          kDistExtraBits[dslot]);
+      }
+    }
+  }
+  lit_enc.Encode(writer, kEob);
+}
+
+/// Shared compressor; `dictionary` may be empty.
+Status CompressImpl(uint8_t codec_id, Slice dictionary, Slice input,
+                    std::string* output) {
+  PutEnvelope(codec_id, input, output);
+  if (input.empty()) return Status::OK();
+
+  // Concatenate only when there is a dictionary (the common path stays
+  // copy-free).
+  std::string owned;
+  Slice buffer = input;
+  size_t dict_size = 0;
+  if (!dictionary.empty()) {
+    owned.reserve(dictionary.size() + input.size());
+    owned.append(dictionary.data(), dictionary.size());
+    owned.append(input.data(), input.size());
+    buffer = owned;
+    dict_size = dictionary.size();
+  }
+
+  // Dictionary mode widens the window to the whole buffer (matches must be
+  // able to reach the corresponding rows of the previous snapshot) and uses
+  // the extended distance alphabet.
+  Lz77Options lz_options = DeflateOptions();
+  const bool ext_dist = dict_size > 0;
+  if (ext_dist) {
+    lz_options.window_size = static_cast<uint32_t>(
+        std::min<size_t>(buffer.size(), 0xffffffffu));
+    // Far-away dictionary matches hide behind many closer hash-chain
+    // candidates; search deeper (delta ingest tolerates the extra CPU).
+    lz_options.max_chain = 256;
+  }
+  Lz77Matcher matcher(lz_options);
+  const std::vector<LzToken> tokens =
+      matcher.ParseWithDictionary(buffer, dict_size);
+
+  // Chunk tokens into blocks of ~kBlockInputBytes payload coverage.
+  std::vector<Block> blocks;
+  {
+    Block current{0, 0};
+    size_t covered = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      covered += tokens[i].literal_len + tokens[i].match_len;
+      ++current.num_tokens;
+      if (covered >= kBlockInputBytes) {
+        blocks.push_back(current);
+        current = Block{i + 1, 0};
+        covered = 0;
+      }
+    }
+    if (current.num_tokens > 0) blocks.push_back(current);
+  }
+  if (blocks.empty()) blocks.push_back(Block{0, 0});
+
+  BitWriter writer(output);
+  size_t in_pos = dict_size;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    EncodeBlock(tokens, blocks[b], buffer, &in_pos, b + 1 == blocks.size(),
+                ext_dist, &writer);
+  }
+  writer.Finish();
+  return Status::OK();
+}
+
+Status DecompressImpl(uint8_t codec_id, Slice dictionary, Slice input,
+                      std::string* output) {
+  const bool ext_dist = !dictionary.empty();
+  const int num_dist_slots = ext_dist ? kNumExtDistSlots : kNumDistSlots;
+  Slice payload;
+  uint64_t original_size = 0;
+  uint32_t crc = 0;
+  SPATE_RETURN_IF_ERROR(
+      GetEnvelope(codec_id, input, &payload, &original_size, &crc));
+  const size_t offset = output->size();
+  // original_size is untrusted until the CRC verifies: cap the upfront
+  // allocation (the decode loops still enforce the exact size).
+  output->reserve(offset +
+                  static_cast<size_t>(std::min<uint64_t>(
+                      original_size, kMaxUntrustedReserve)));
+  if (original_size == 0) {
+    return VerifyDecoded(*output, offset, original_size, crc);
+  }
+
+  BitReader reader(payload);
+  bool final_block = false;
+  while (!final_block) {
+    final_block = reader.ReadBit();
+    std::vector<uint8_t> lit_lengths, dist_lengths;
+    SPATE_RETURN_IF_ERROR(
+        ReadCodeLengths(&reader, kLitLenSymbols, &lit_lengths));
+    SPATE_RETURN_IF_ERROR(
+        ReadCodeLengths(&reader, num_dist_slots, &dist_lengths));
+    HuffmanDecoder lit_dec;
+    SPATE_RETURN_IF_ERROR(lit_dec.Init(lit_lengths));
+    HuffmanDecoder dist_dec;
+    // A block with no matches has an empty distance alphabet.
+    bool has_dists = false;
+    for (uint8_t l : dist_lengths) has_dists |= (l != 0);
+    if (has_dists) SPATE_RETURN_IF_ERROR(dist_dec.Init(dist_lengths));
+
+    for (;;) {
+      const int32_t sym = lit_dec.Decode(&reader);
+      if (sym < 0 || reader.overflowed()) {
+        return Status::Corruption("deflate: malformed symbol stream");
+      }
+      if (sym < 256) {
+        output->push_back(static_cast<char>(sym));
+        continue;
+      }
+      if (sym == kEob) break;
+      const int lslot = sym - 257;
+      if (lslot >= kNumLengthSlots) {
+        return Status::Corruption("deflate: bad length slot");
+      }
+      const uint32_t length =
+          kLengthBase[lslot] +
+          static_cast<uint32_t>(reader.ReadBits(kLengthExtraBits[lslot]));
+      if (!has_dists) {
+        return Status::Corruption("deflate: match without distance table");
+      }
+      const int32_t dslot = dist_dec.Decode(&reader);
+      if (dslot < 0 || dslot >= num_dist_slots) {
+        return Status::Corruption("deflate: bad distance slot");
+      }
+      uint32_t distance;
+      if (ext_dist) {
+        distance = ExtDistBase(dslot) +
+                   static_cast<uint32_t>(
+                       reader.ReadBits(ExtDistDirectBits(dslot)));
+      } else {
+        distance =
+            kDistBase[dslot] +
+            static_cast<uint32_t>(reader.ReadBits(kDistExtraBits[dslot]));
+      }
+      const size_t produced = output->size() - offset;
+      if (distance > produced + dictionary.size()) {
+        return Status::Corruption("deflate: distance before stream start");
+      }
+      if (produced + length > original_size) {
+        return Status::Corruption("deflate: output overruns recorded size");
+      }
+      if (distance <= produced) {
+        // Fast path: entirely within already-produced output.
+        size_t from = output->size() - distance;
+        for (uint32_t i = 0; i < length; ++i) {
+          output->push_back((*output)[from + i]);
+        }
+      } else {
+        // Reaches into the dictionary; may cross into produced output.
+        for (uint32_t i = 0; i < length; ++i) {
+          const size_t now = output->size() - offset;
+          char byte;
+          if (distance > now) {
+            byte = dictionary[dictionary.size() - (distance - now)];
+          } else {
+            byte = (*output)[output->size() - distance];
+          }
+          output->push_back(byte);
+        }
+      }
+    }
+    if (output->size() - offset > original_size) {
+      return Status::Corruption("deflate: output overruns recorded size");
+    }
+  }
+  if (reader.overflowed()) {
+    return Status::Corruption("deflate: truncated payload");
+  }
+  return VerifyDecoded(*output, offset, original_size, crc);
+}
+
+}  // namespace
+
+Status DeflateCodec::Compress(Slice input, std::string* output) const {
+  return CompressImpl(Id(), Slice(), input, output);
+}
+
+Status DeflateCodec::Decompress(Slice input, std::string* output) const {
+  return DecompressImpl(Id(), Slice(), input, output);
+}
+
+Status DeflateCodec::CompressWithDictionary(Slice dictionary, Slice input,
+                                            std::string* output) const {
+  return CompressImpl(Id(), dictionary, input, output);
+}
+
+Status DeflateCodec::DecompressWithDictionary(Slice dictionary, Slice input,
+                                              std::string* output) const {
+  return DecompressImpl(Id(), dictionary, input, output);
+}
+
+}  // namespace spate

@@ -1,0 +1,140 @@
+#include "compress/fast_lz_codec.h"
+
+#include <algorithm>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/lz77.h"
+
+namespace spate {
+namespace {
+
+using compress_internal::GetEnvelope;
+using compress_internal::PutEnvelope;
+using compress_internal::VerifyDecoded;
+
+constexpr uint32_t kMinMatch = 4;
+
+Lz77Options FastOptions() {
+  Lz77Options o;
+  o.window_size = 65535;  // offsets fit in 2 bytes; 0 marks literal-only
+  o.min_match = kMinMatch;
+  o.max_match = 1u << 16;    // long matches are cheap here
+  o.max_chain = 8;           // speed-oriented shallow search
+  return o;
+}
+
+void PutRun(std::string* out, uint32_t value) {
+  // Extension bytes for nibble value 15: add 255-run bytes, ending with a
+  // byte < 255 (LZ4 convention).
+  while (value >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    value -= 255;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetRun(Slice* in, uint32_t* value) {
+  for (;;) {
+    if (in->empty()) return false;
+    const uint8_t b = static_cast<uint8_t>((*in)[0]);
+    in->RemovePrefix(1);
+    *value += b;
+    if (b != 255) return true;
+  }
+}
+
+}  // namespace
+
+Status FastLzCodec::Compress(Slice input, std::string* output) const {
+  PutEnvelope(Id(), input, output);
+  if (input.empty()) return Status::OK();
+
+  Lz77Matcher matcher(FastOptions());
+  const std::vector<LzToken> tokens = matcher.Parse(input);
+
+  size_t in_pos = 0;
+  for (const LzToken& t : tokens) {
+    const uint32_t lit = t.literal_len;
+    const uint32_t match = t.match_len;
+    const uint8_t lit_nibble = static_cast<uint8_t>(lit < 15 ? lit : 15);
+    uint8_t match_nibble = 0;
+    if (match > 0) {
+      const uint32_t mcode = match - kMinMatch;
+      match_nibble = static_cast<uint8_t>(mcode < 15 ? mcode : 15);
+    }
+    output->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) PutRun(output, lit - 15);
+    output->append(input.data() + in_pos, lit);
+    in_pos += lit + match;
+    if (match > 0) {
+      output->push_back(static_cast<char>(t.distance & 0xff));
+      output->push_back(static_cast<char>((t.distance >> 8) & 0xff));
+      if (match_nibble == 15) PutRun(output, match - kMinMatch - 15);
+    } else {
+      // Trailing literal-only token: marked by a zero offset.
+      output->push_back(0);
+      output->push_back(0);
+    }
+  }
+  return Status::OK();
+}
+
+Status FastLzCodec::Decompress(Slice input, std::string* output) const {
+  Slice payload;
+  uint64_t original_size = 0;
+  uint32_t crc = 0;
+  SPATE_RETURN_IF_ERROR(
+      GetEnvelope(Id(), input, &payload, &original_size, &crc));
+  const size_t offset = output->size();
+  // original_size is untrusted until the CRC verifies: cap the upfront
+  // allocation (the decode loops still enforce the exact size).
+  output->reserve(offset +
+                  static_cast<size_t>(std::min<uint64_t>(
+                      original_size, kMaxUntrustedReserve)));
+
+  while (output->size() - offset < original_size) {
+    if (payload.empty()) {
+      return Status::Corruption("fast-lz: truncated payload");
+    }
+    const uint8_t token = static_cast<uint8_t>(payload[0]);
+    payload.RemovePrefix(1);
+    uint32_t lit = token >> 4;
+    if (lit == 15 && !GetRun(&payload, &lit)) {
+      return Status::Corruption("fast-lz: truncated literal run");
+    }
+    if (payload.size() < lit + 2) {
+      return Status::Corruption("fast-lz: truncated literals");
+    }
+    output->append(payload.data(), lit);
+    payload.RemovePrefix(lit);
+
+    const uint32_t distance = static_cast<uint8_t>(payload[0]) |
+                              (static_cast<uint8_t>(payload[1]) << 8);
+    payload.RemovePrefix(2);
+    if (distance == 0) continue;  // literal-only token
+
+    uint32_t match = kMinMatch + (token & 0x0f);
+    if ((token & 0x0f) == 15) {
+      uint32_t ext = 0;
+      if (!GetRun(&payload, &ext)) {
+        return Status::Corruption("fast-lz: truncated match run");
+      }
+      match += ext;
+    }
+    if (distance > output->size() - offset) {
+      return Status::Corruption("fast-lz: distance before stream start");
+    }
+    if (output->size() - offset + match > original_size) {
+      return Status::Corruption("fast-lz: output overruns recorded size");
+    }
+    size_t from = output->size() - distance;
+    for (uint32_t i = 0; i < match; ++i) {
+      output->push_back((*output)[from + i]);
+    }
+  }
+  return VerifyDecoded(*output, offset, original_size, crc);
+}
+
+}  // namespace spate

@@ -1,0 +1,25 @@
+#ifndef SPATE_COMPRESS_FAST_LZ_CODEC_H_
+#define SPATE_COMPRESS_FAST_LZ_CODEC_H_
+
+#include "compress/codec.h"
+
+namespace spate {
+
+/// The Snappy design point: byte-oriented LZ with no entropy-coding stage.
+///
+/// Sequences are encoded LZ4-style — a token byte holding a literal-count
+/// nibble and a match-length nibble (15 = "extended with 255-run bytes"),
+/// the literal bytes, then a 2-byte little-endian match offset. Trades
+/// roughly half the compression ratio of the entropy-coded codecs for much
+/// higher compression/decompression speed (Table I's SNAPPY row).
+class FastLzCodec : public Codec {
+ public:
+  std::string_view Name() const override { return "fast-lz"; }
+  uint8_t Id() const override { return 3; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_FAST_LZ_CODEC_H_

@@ -1,0 +1,74 @@
+#ifndef SPATE_COMPRESS_HUFFMAN_H_
+#define SPATE_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_stream.h"
+#include "common/status.h"
+
+namespace spate {
+
+/// Maximum Huffman code length supported (fits in 4 bits in block headers).
+constexpr int kMaxHuffmanBits = 15;
+
+/// Computes length-limited (<= kMaxHuffmanBits) canonical Huffman code
+/// lengths for the given symbol frequencies. Symbols with zero frequency get
+/// length 0 (absent). If exactly one symbol is present it gets length 1.
+std::vector<uint8_t> BuildHuffmanCodeLengths(
+    const std::vector<uint64_t>& freqs);
+
+/// Canonical Huffman encoder: assigns codes from lengths and writes symbols
+/// to a BitWriter (codes are emitted bit-reversed so an LSB-first reader can
+/// decode with a prefix table, as in DEFLATE).
+class HuffmanEncoder {
+ public:
+  /// `lengths[s]` is the code length of symbol `s` (0 = absent).
+  explicit HuffmanEncoder(const std::vector<uint8_t>& lengths);
+
+  void Encode(BitWriter* writer, uint32_t symbol) const {
+    writer->WriteBits(codes_[symbol], lengths_[symbol]);
+  }
+
+  uint8_t length(uint32_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<uint32_t> codes_;  // bit-reversed canonical codes
+  std::vector<uint8_t> lengths_;
+};
+
+/// Canonical Huffman decoder using a flat 2^max_len prefix lookup table.
+class HuffmanDecoder {
+ public:
+  /// Builds the decode table; returns Corruption if the lengths do not form
+  /// a valid (complete or single-symbol) prefix code.
+  Status Init(const std::vector<uint8_t>& lengths);
+
+  /// Decodes one symbol; returns a negative value on malformed input.
+  int32_t Decode(BitReader* reader) const {
+    const uint32_t window =
+        static_cast<uint32_t>(reader->PeekBits(max_bits_));
+    const Entry e = table_[window];
+    if (e.length == 0) return -1;
+    reader->Consume(e.length);
+    return e.symbol;
+  }
+
+ private:
+  struct Entry {
+    uint16_t symbol = 0;
+    uint8_t length = 0;  // 0 = invalid prefix
+  };
+  std::vector<Entry> table_;
+  int max_bits_ = 1;
+};
+
+/// Writes/reads a code-length array as fixed 4-bit entries preceded by a
+/// 16-bit symbol count. Small relative to SPATE block sizes.
+void WriteCodeLengths(BitWriter* writer, const std::vector<uint8_t>& lengths);
+Status ReadCodeLengths(BitReader* reader, size_t max_symbols,
+                       std::vector<uint8_t>* lengths);
+
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_HUFFMAN_H_

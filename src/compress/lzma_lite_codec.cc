@@ -1,0 +1,134 @@
+#include "compress/lzma_lite_codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "compress/lz77.h"
+#include "compress/lz_slots.h"
+#include "compress/range_coder.h"
+
+namespace spate {
+namespace {
+
+using compress_internal::GetEnvelope;
+using compress_internal::PutEnvelope;
+using compress_internal::VerifyDecoded;
+
+constexpr uint32_t kWindow = 1u << 17;
+constexpr uint32_t kMinMatch = 4;
+constexpr uint32_t kMaxMatch = kMinMatch + 255;  // length fits one bit-tree
+constexpr int kNumLitContexts = 8;               // prev byte >> 5
+constexpr int kDistSlotBits = 6;
+
+Lz77Options LzmaOptions() {
+  Lz77Options o;
+  o.window_size = kWindow;
+  o.min_match = kMinMatch;
+  o.max_match = kMaxMatch;
+  o.max_chain = 128;  // ratio-oriented deep search
+  return o;
+}
+
+/// Adaptive model shared by encoder and decoder.
+struct Models {
+  BitProb is_match;
+  std::vector<BitTree> literal;
+  BitTree length{8};
+  BitTree dist_slot{kDistSlotBits};
+
+  Models() {
+    literal.reserve(kNumLitContexts);
+    for (int i = 0; i < kNumLitContexts; ++i) literal.emplace_back(8);
+  }
+
+  static int LitContext(uint8_t prev_byte) { return prev_byte >> 5; }
+};
+
+}  // namespace
+
+Status LzmaLiteCodec::Compress(Slice input, std::string* output) const {
+  PutEnvelope(Id(), input, output);
+  if (input.empty()) return Status::OK();
+
+  Lz77Matcher matcher(LzmaOptions());
+  const std::vector<LzToken> tokens = matcher.Parse(input);
+
+  Models m;
+  RangeEncoder enc(output);
+  size_t pos = 0;
+  uint8_t prev = 0;
+  for (const LzToken& t : tokens) {
+    for (uint32_t i = 0; i < t.literal_len; ++i) {
+      const uint8_t byte = static_cast<uint8_t>(input[pos + i]);
+      enc.EncodeBit(&m.is_match, 0);
+      m.literal[Models::LitContext(prev)].Encode(&enc, byte);
+      prev = byte;
+    }
+    pos += t.literal_len + t.match_len;
+    if (t.match_len > 0) {
+      enc.EncodeBit(&m.is_match, 1);
+      m.length.Encode(&enc, t.match_len - kMinMatch);
+      const uint32_t slot = ExtDistSlot(t.distance);
+      m.dist_slot.Encode(&enc, slot);
+      const int direct = ExtDistDirectBits(slot);
+      if (direct > 0) {
+        enc.EncodeDirect(t.distance - ExtDistBase(slot), direct);
+      }
+      prev = static_cast<uint8_t>(input[pos - 1]);
+    }
+  }
+  enc.Flush();
+  return Status::OK();
+}
+
+Status LzmaLiteCodec::Decompress(Slice input, std::string* output) const {
+  Slice payload;
+  uint64_t original_size = 0;
+  uint32_t crc = 0;
+  SPATE_RETURN_IF_ERROR(
+      GetEnvelope(Id(), input, &payload, &original_size, &crc));
+  const size_t offset = output->size();
+  // original_size is untrusted until the CRC verifies: cap the upfront
+  // allocation (the decode loops still enforce the exact size).
+  output->reserve(offset +
+                  static_cast<size_t>(std::min<uint64_t>(
+                      original_size, kMaxUntrustedReserve)));
+  if (original_size == 0) {
+    return VerifyDecoded(*output, offset, original_size, crc);
+  }
+
+  Models m;
+  RangeDecoder dec(payload);
+  uint8_t prev = 0;
+  while (output->size() - offset < original_size) {
+    if (dec.overflowed()) {
+      return Status::Corruption("lzma-lite: truncated payload");
+    }
+    if (dec.DecodeBit(&m.is_match) == 0) {
+      const uint8_t byte = static_cast<uint8_t>(
+          m.literal[Models::LitContext(prev)].Decode(&dec));
+      output->push_back(static_cast<char>(byte));
+      prev = byte;
+    } else {
+      const uint32_t length = kMinMatch + m.length.Decode(&dec);
+      const uint32_t slot = m.dist_slot.Decode(&dec);
+      const int direct = ExtDistDirectBits(slot);
+      uint32_t distance = ExtDistBase(slot);
+      if (direct > 0) distance += dec.DecodeDirect(direct);
+      if (distance > output->size() - offset) {
+        return Status::Corruption("lzma-lite: distance before stream start");
+      }
+      if (output->size() - offset + length > original_size) {
+        return Status::Corruption("lzma-lite: output overruns recorded size");
+      }
+      size_t from = output->size() - distance;
+      for (uint32_t i = 0; i < length; ++i) {
+        output->push_back((*output)[from + i]);
+      }
+      prev = static_cast<uint8_t>(output->back());
+    }
+  }
+  return VerifyDecoded(*output, offset, original_size, crc);
+}
+
+}  // namespace spate

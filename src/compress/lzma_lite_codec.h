@@ -1,0 +1,25 @@
+#ifndef SPATE_COMPRESS_LZMA_LITE_CODEC_H_
+#define SPATE_COMPRESS_LZMA_LITE_CODEC_H_
+
+#include "compress/codec.h"
+
+namespace spate {
+
+/// The 7z design point: LZ77 over a 128 KiB window with all parse decisions
+/// entropy-coded by an adaptive binary range coder (a simplified LZMA).
+///
+/// Literals go through per-context bit-trees (context = high bits of the
+/// previous byte), match lengths through an 8-bit bit-tree, and distances
+/// through a slot bit-tree plus direct bits. Highest ratio of the SPATE
+/// codecs and the slowest — matching Table I's 7z row.
+class LzmaLiteCodec : public Codec {
+ public:
+  std::string_view Name() const override { return "lzma-lite"; }
+  uint8_t Id() const override { return 2; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_LZMA_LITE_CODEC_H_

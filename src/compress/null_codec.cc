@@ -1,0 +1,26 @@
+#include "compress/null_codec.h"
+
+namespace spate {
+
+using compress_internal::GetEnvelope;
+using compress_internal::PutEnvelope;
+using compress_internal::VerifyDecoded;
+
+Status NullCodec::Compress(Slice input, std::string* output) const {
+  PutEnvelope(Id(), input, output);
+  output->append(input.data(), input.size());
+  return Status::OK();
+}
+
+Status NullCodec::Decompress(Slice input, std::string* output) const {
+  Slice payload;
+  uint64_t original_size = 0;
+  uint32_t crc = 0;
+  SPATE_RETURN_IF_ERROR(
+      GetEnvelope(Id(), input, &payload, &original_size, &crc));
+  const size_t offset = output->size();
+  output->append(payload.data(), payload.size());
+  return VerifyDecoded(*output, offset, original_size, crc);
+}
+
+}  // namespace spate

@@ -1,0 +1,21 @@
+#ifndef SPATE_COMPRESS_NULL_CODEC_H_
+#define SPATE_COMPRESS_NULL_CODEC_H_
+
+#include "compress/codec.h"
+
+namespace spate {
+
+/// Identity codec: stores bytes verbatim (plus the integrity envelope).
+/// Used by the RAW baseline framework so every framework shares one storage
+/// path.
+class NullCodec : public Codec {
+ public:
+  std::string_view Name() const override { return "null"; }
+  uint8_t Id() const override { return 0; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_NULL_CODEC_H_

@@ -1,0 +1,195 @@
+#ifndef SPATE_COMPRESS_RANGE_CODER_H_
+#define SPATE_COMPRESS_RANGE_CODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace spate {
+
+/// Adaptive binary probability model: 11-bit probability of bit==0,
+/// exponentially adapted with shift 5 (the LZMA parameterization).
+struct BitProb {
+  static constexpr int kBits = 11;
+  static constexpr uint16_t kInitial = 1u << (kBits - 1);
+  static constexpr int kAdaptShift = 5;
+
+  uint16_t prob = kInitial;
+};
+
+/// LZMA-style binary range encoder with carry propagation.
+///
+/// Encodes one bit at a time against an adaptive `BitProb`, or raw
+/// ("direct") bits at probability 1/2. Output is appended to a caller
+/// provided string by `Flush()`-terminated `Encode*` calls.
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::string* out) : out_(out) {}
+
+  /// Encodes `bit` against the adaptive model `p`, updating it.
+  void EncodeBit(BitProb* p, int bit) {
+    const uint32_t bound = (range_ >> BitProb::kBits) * p->prob;
+    if (bit == 0) {
+      range_ = bound;
+      p->prob += (static_cast<uint16_t>((1u << BitProb::kBits)) - p->prob) >>
+                 BitProb::kAdaptShift;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      p->prob -= p->prob >> BitProb::kAdaptShift;
+    }
+    Normalize();
+  }
+
+  /// Encodes `count` raw bits of `value` (MSB first) at probability 1/2.
+  void EncodeDirect(uint32_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((value >> i) & 1) low_ += range_;
+      Normalize();
+    }
+  }
+
+  /// Terminates the stream; must be called exactly once.
+  void Flush() {
+    for (int i = 0; i < 5; ++i) ShiftLow();
+  }
+
+ private:
+  void Normalize() {
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  // Classic LZMA carry-propagating byte emitter: the first emitted byte is a
+  // dummy (0 or 1 after carry) that the decoder absorbs during priming.
+  void ShiftLow() {
+    if (static_cast<uint32_t>(low_) < 0xff000000u || (low_ >> 32) != 0) {
+      uint8_t temp = cache_;
+      do {
+        out_->push_back(
+            static_cast<char>(temp + static_cast<uint8_t>(low_ >> 32)));
+        temp = 0xff;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xffffffffull;
+  }
+
+  std::string* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xffffffffu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+/// Decoder matching `RangeEncoder`.
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(Slice input) : input_(input) {
+    // Prime with 5 bytes (the first is the encoder's dummy byte), mirroring
+    // the encoder's flush.
+    for (int i = 0; i < 5; ++i) code_ = (code_ << 8) | NextByte();
+  }
+
+  int DecodeBit(BitProb* p) {
+    const uint32_t bound = (range_ >> BitProb::kBits) * p->prob;
+    int bit;
+    if (code_ < bound) {
+      range_ = bound;
+      p->prob += (static_cast<uint16_t>((1u << BitProb::kBits)) - p->prob) >>
+                 BitProb::kAdaptShift;
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      p->prob -= p->prob >> BitProb::kAdaptShift;
+      bit = 1;
+    }
+    Normalize();
+    return bit;
+  }
+
+  uint32_t DecodeDirect(int count) {
+    uint32_t value = 0;
+    for (int i = 0; i < count; ++i) {
+      range_ >>= 1;
+      uint32_t bit = 0;
+      if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      value = (value << 1) | bit;
+      Normalize();
+    }
+    return value;
+  }
+
+  /// True if the decoder consumed bytes past the end of input (the input was
+  /// truncated; trailing reads returned zeros).
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  uint8_t NextByte() {
+    if (pos_ < input_.size()) {
+      return static_cast<uint8_t>(input_[pos_++]);
+    }
+    // The final Normalize() calls after the last symbol legitimately read a
+    // few bytes past the flushed tail, so allow a small grace margin before
+    // declaring truncation.
+    if (++past_end_ > 8) overflowed_ = true;
+    return 0;
+  }
+
+  void Normalize() {
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | NextByte();
+    }
+  }
+
+  Slice input_;
+  size_t pos_ = 0;
+  uint32_t code_ = 0;  // 32-bit, wrapping shifts absorb the dummy byte
+  uint32_t range_ = 0xffffffffu;
+  int past_end_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Bit-tree coder: encodes an n-bit value MSB-first through a tree of
+/// adaptive contexts (LZMA's building block for literals, lengths, slots).
+class BitTree {
+ public:
+  explicit BitTree(int num_bits)
+      : num_bits_(num_bits), probs_(1u << num_bits) {}
+
+  void Encode(RangeEncoder* enc, uint32_t value) {
+    uint32_t ctx = 1;
+    for (int i = num_bits_ - 1; i >= 0; --i) {
+      const int bit = (value >> i) & 1;
+      enc->EncodeBit(&probs_[ctx], bit);
+      ctx = (ctx << 1) | bit;
+    }
+  }
+
+  uint32_t Decode(RangeDecoder* dec) {
+    uint32_t ctx = 1;
+    for (int i = 0; i < num_bits_; ++i) {
+      ctx = (ctx << 1) | dec->DecodeBit(&probs_[ctx]);
+    }
+    return ctx - (1u << num_bits_);
+  }
+
+ private:
+  int num_bits_;
+  std::vector<BitProb> probs_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_RANGE_CODER_H_

@@ -1,0 +1,277 @@
+#include "compress/tans.h"
+
+#include <algorithm>
+
+#include "common/bit_stream.h"
+#include "common/coding.h"
+
+namespace spate {
+namespace tans_internal {
+
+std::vector<uint32_t> NormalizeCounts(const std::vector<uint64_t>& counts) {
+  std::vector<uint32_t> norm(256, 0);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return norm;
+
+  // First pass: proportional share, with a floor of 1 for present symbols.
+  int64_t assigned = 0;
+  int largest = -1;
+  uint64_t largest_count = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (counts[s] == 0) continue;
+    uint64_t share = (counts[s] * kTableSize) / total;
+    if (share == 0) share = 1;
+    norm[s] = static_cast<uint32_t>(share);
+    assigned += share;
+    if (counts[s] > largest_count) {
+      largest_count = counts[s];
+      largest = s;
+    }
+  }
+  // Fix the drift on the most frequent symbol; if that would drive it to
+  // zero (many rare symbols), shave other symbols instead.
+  int64_t drift = static_cast<int64_t>(kTableSize) - assigned;
+  if (drift != 0 && largest >= 0) {
+    int64_t adjusted = static_cast<int64_t>(norm[largest]) + drift;
+    if (adjusted >= 1) {
+      norm[largest] = static_cast<uint32_t>(adjusted);
+    } else {
+      norm[largest] = 1;
+      int64_t deficit = 1 - adjusted;  // still need to remove this much
+      for (int s = 0; s < 256 && deficit > 0; ++s) {
+        while (norm[s] > 1 && deficit > 0) {
+          --norm[s];
+          --deficit;
+        }
+      }
+    }
+  }
+  return norm;
+}
+
+namespace {
+
+/// Shared spread/transition tables built from a normalized histogram.
+struct TansTables {
+  // Decode side: per state in [0, kTableSize).
+  std::vector<uint8_t> symbol;   // symbol at this state
+  std::vector<uint32_t> x_val;   // occurrence value in [freq, 2*freq)
+  // Encode side: next_state[s] maps x - freq[s] -> state + kTableSize.
+  std::vector<std::vector<uint32_t>> next_state;
+  std::vector<uint32_t> freq;
+
+  explicit TansTables(const std::vector<uint32_t>& norm) : freq(256) {
+    symbol.resize(kTableSize);
+    x_val.resize(kTableSize);
+    next_state.resize(256);
+    for (int s = 0; s < 256; ++s) {
+      freq[s] = norm[s];
+      if (norm[s]) next_state[s].resize(norm[s]);
+    }
+    // ZSTD-style spread: step co-prime with the table size scatters each
+    // symbol's slots quasi-uniformly.
+    const uint32_t step = (kTableSize >> 1) + (kTableSize >> 3) + 3;
+    const uint32_t mask = kTableSize - 1;
+    uint32_t pos = 0;
+    for (int s = 0; s < 256; ++s) {
+      for (uint32_t i = 0; i < norm[s]; ++i) {
+        symbol[pos] = static_cast<uint8_t>(s);
+        pos = (pos + step) & mask;
+      }
+    }
+    // Second pass in state order assigns ascending occurrence values so the
+    // encode mapping is monotone per symbol.
+    std::vector<uint32_t> seen(256, 0);
+    for (uint32_t state = 0; state < kTableSize; ++state) {
+      const uint8_t s = symbol[state];
+      const uint32_t x = freq[s] + seen[s]++;
+      x_val[state] = x;
+      next_state[s][x - freq[s]] = kTableSize + state;
+    }
+  }
+};
+
+}  // namespace
+}  // namespace tans_internal
+
+namespace {
+
+using tans_internal::kTableLog;
+using tans_internal::kTableSize;
+using tans_internal::NormalizeCounts;
+using tans_internal::TansTables;
+
+constexpr uint8_t kModeRaw = 0;
+constexpr uint8_t kModeRle = 1;
+constexpr uint8_t kModeTans = 2;
+constexpr size_t kRawThreshold = 64;
+
+}  // namespace
+
+void TansEncodeBlock(Slice input, std::string* output) {
+  PutVarint64(output, input.size());
+  if (input.empty()) {
+    output->push_back(static_cast<char>(kModeRaw));
+    PutVarint64(output, 0);
+    return;
+  }
+
+  std::vector<uint64_t> counts(256, 0);
+  for (size_t i = 0; i < input.size(); ++i) {
+    ++counts[static_cast<unsigned char>(input[i])];
+  }
+  int distinct = 0;
+  int only = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (counts[s]) {
+      ++distinct;
+      only = s;
+    }
+  }
+
+  if (distinct == 1) {
+    output->push_back(static_cast<char>(kModeRle));
+    output->push_back(static_cast<char>(only));
+    return;
+  }
+  if (input.size() < kRawThreshold) {
+    output->push_back(static_cast<char>(kModeRaw));
+    PutVarint64(output, input.size());
+    output->append(input.data(), input.size());
+    return;
+  }
+
+  output->push_back(static_cast<char>(kModeTans));
+  const std::vector<uint32_t> norm = NormalizeCounts(counts);
+  // Header: present-symbol count, then (symbol, normalized count) pairs.
+  uint32_t present = 0;
+  for (int s = 0; s < 256; ++s) present += (norm[s] != 0);
+  PutVarint32(output, present);
+  for (int s = 0; s < 256; ++s) {
+    if (norm[s]) {
+      output->push_back(static_cast<char>(s));
+      PutVarint32(output, norm[s]);
+    }
+  }
+
+  TansTables tables(norm);
+
+  // Encode symbols in reverse; collect (bits, count) groups, then emit them
+  // reversed so the decoder can read forward.
+  std::vector<std::pair<uint32_t, uint8_t>> groups;
+  groups.reserve(input.size());
+  uint32_t state = kTableSize;  // any state in [kTableSize, 2*kTableSize)
+  for (size_t i = input.size(); i-- > 0;) {
+    const uint8_t s = static_cast<uint8_t>(input[i]);
+    const uint32_t f = tables.freq[s];
+    int nb = 0;
+    while ((state >> nb) >= 2 * f) ++nb;
+    groups.emplace_back(state & ((1u << nb) - 1), static_cast<uint8_t>(nb));
+    state = tables.next_state[s][(state >> nb) - f];
+  }
+
+  // Final encoder state (decoder's starting state), then the bit payload.
+  PutVarint32(output, state - kTableSize);
+  std::string bits;
+  {
+    BitWriter writer(&bits);
+    for (size_t i = groups.size(); i-- > 0;) {
+      writer.WriteBits(groups[i].first, groups[i].second);
+    }
+    writer.Finish();
+  }
+  PutVarint64(output, bits.size());
+  output->append(bits);
+}
+
+Status TansDecodeBlock(Slice* input, std::string* output,
+                       uint64_t max_symbols) {
+  uint64_t num_symbols = 0;
+  if (!GetVarint64(input, &num_symbols)) {
+    return Status::Corruption("tans: missing symbol count");
+  }
+  if (num_symbols > max_symbols) {
+    return Status::Corruption("tans: declared symbol count exceeds limit");
+  }
+  if (input->empty()) return Status::Corruption("tans: missing mode byte");
+  const uint8_t mode = static_cast<uint8_t>((*input)[0]);
+  input->RemovePrefix(1);
+
+  if (mode == kModeRle) {
+    if (input->empty()) return Status::Corruption("tans: truncated rle");
+    const char symbol = (*input)[0];
+    input->RemovePrefix(1);
+    output->append(static_cast<size_t>(num_symbols), symbol);
+    return Status::OK();
+  }
+  if (mode == kModeRaw) {
+    uint64_t len = 0;
+    if (!GetVarint64(input, &len) || len != num_symbols ||
+        input->size() < len) {
+      return Status::Corruption("tans: truncated raw block");
+    }
+    output->append(input->data(), static_cast<size_t>(len));
+    input->RemovePrefix(static_cast<size_t>(len));
+    return Status::OK();
+  }
+  if (mode != kModeTans) return Status::Corruption("tans: unknown mode");
+
+  uint32_t present = 0;
+  if (!GetVarint32(input, &present) || present == 0 || present > 256) {
+    return Status::Corruption("tans: bad histogram size");
+  }
+  std::vector<uint32_t> norm(256, 0);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < present; ++i) {
+    if (input->empty()) return Status::Corruption("tans: truncated histogram");
+    const uint8_t symbol = static_cast<uint8_t>((*input)[0]);
+    input->RemovePrefix(1);
+    uint32_t count = 0;
+    if (!GetVarint32(input, &count) || count == 0) {
+      return Status::Corruption("tans: bad histogram entry");
+    }
+    if (norm[symbol] != 0) {
+      return Status::Corruption("tans: duplicate histogram symbol");
+    }
+    norm[symbol] = count;
+    total += count;
+  }
+  if (total != kTableSize) {
+    return Status::Corruption("tans: histogram does not sum to table size");
+  }
+
+  uint32_t state_offset = 0;
+  if (!GetVarint32(input, &state_offset) || state_offset >= kTableSize) {
+    return Status::Corruption("tans: bad final state");
+  }
+  uint64_t bits_len = 0;
+  if (!GetVarint64(input, &bits_len) || input->size() < bits_len) {
+    return Status::Corruption("tans: truncated bit payload");
+  }
+  Slice bits(input->data(), static_cast<size_t>(bits_len));
+  input->RemovePrefix(static_cast<size_t>(bits_len));
+
+  TansTables tables(norm);
+  BitReader reader(bits);
+  uint32_t state = kTableSize + state_offset;
+  for (uint64_t k = 0; k < num_symbols; ++k) {
+    const uint32_t idx = state - kTableSize;
+    const uint8_t s = tables.symbol[idx];
+    output->push_back(static_cast<char>(s));
+    const uint32_t x = tables.x_val[idx];
+    int nb = 0;
+    while ((x << nb) < kTableSize) ++nb;
+    state = (x << nb) |
+            static_cast<uint32_t>(reader.ReadBits(nb));
+  }
+  if (reader.overflowed()) {
+    return Status::Corruption("tans: bit payload underrun");
+  }
+  if (state != kTableSize) {
+    return Status::Corruption("tans: final state mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace spate

@@ -1,0 +1,48 @@
+#ifndef SPATE_COMPRESS_TANS_H_
+#define SPATE_COMPRESS_TANS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace spate {
+
+/// Tabled Asymmetric Numeral System (tANS / FSE) coder over the byte
+/// alphabet — the entropy engine of the ZSTD-point codec.
+///
+/// `TansEncodeBlock` compresses a byte stream into a self-contained block:
+///
+///   varint  symbol count
+///   u8      mode (0 = raw, 1 = RLE, 2 = tANS)
+///   mode-specific header (normalized histogram for tANS)
+///   payload bits
+///
+/// Raw mode is used for tiny streams where table headers would dominate;
+/// RLE mode for single-symbol streams (zero-entropy attributes are common in
+/// telco data, per Fig. 4 of the paper).
+void TansEncodeBlock(Slice input, std::string* output);
+
+/// Decodes a block produced by `TansEncodeBlock`, appending to `*output`.
+/// Consumes the block's bytes from the front of `*input`. `max_symbols`
+/// bounds the declared symbol count (untrusted input must not be able to
+/// demand unbounded output — RLE mode would otherwise expand freely).
+Status TansDecodeBlock(Slice* input, std::string* output,
+                       uint64_t max_symbols = 1ull << 30);
+
+namespace tans_internal {
+
+/// log2 of the coding-table size (4096 states).
+constexpr int kTableLog = 12;
+constexpr uint32_t kTableSize = 1u << kTableLog;
+
+/// Normalizes a 256-entry histogram so that present symbols get >= 1 and the
+/// counts sum exactly to kTableSize. Exposed for tests.
+std::vector<uint32_t> NormalizeCounts(const std::vector<uint64_t>& counts);
+
+}  // namespace tans_internal
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_TANS_H_

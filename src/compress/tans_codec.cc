@@ -1,0 +1,117 @@
+#include "compress/tans_codec.h"
+
+#include <algorithm>
+
+#include <vector>
+
+#include "common/coding.h"
+#include "compress/lz77.h"
+#include "compress/tans.h"
+
+namespace spate {
+namespace {
+
+using compress_internal::GetEnvelope;
+using compress_internal::PutEnvelope;
+using compress_internal::VerifyDecoded;
+
+Lz77Options TansLzOptions() {
+  Lz77Options o;
+  o.window_size = 1u << 17;
+  o.min_match = 4;
+  o.max_match = 1u << 16;  // long matches are varint-cheap
+  o.max_chain = 96;
+  return o;
+}
+
+}  // namespace
+
+Status TansCodec::Compress(Slice input, std::string* output) const {
+  PutEnvelope(Id(), input, output);
+  if (input.empty()) return Status::OK();
+
+  Lz77Matcher matcher(TansLzOptions());
+  const std::vector<LzToken> tokens = matcher.Parse(input);
+
+  // Serialize tokens to a byte stream (varints), gather literal bytes, then
+  // entropy-code both streams with tANS.
+  std::string token_bytes;
+  std::string literal_bytes;
+  size_t pos = 0;
+  for (const LzToken& t : tokens) {
+    PutVarint32(&token_bytes, t.literal_len);
+    PutVarint32(&token_bytes, t.match_len);
+    if (t.match_len > 0) PutVarint32(&token_bytes, t.distance);
+    literal_bytes.append(input.data() + pos, t.literal_len);
+    pos += t.literal_len + t.match_len;
+  }
+
+  PutVarint64(output, tokens.size());
+  TansEncodeBlock(token_bytes, output);
+  TansEncodeBlock(literal_bytes, output);
+  return Status::OK();
+}
+
+Status TansCodec::Decompress(Slice input, std::string* output) const {
+  Slice payload;
+  uint64_t original_size = 0;
+  uint32_t crc = 0;
+  SPATE_RETURN_IF_ERROR(
+      GetEnvelope(Id(), input, &payload, &original_size, &crc));
+  const size_t offset = output->size();
+  // original_size is untrusted until the CRC verifies: cap the upfront
+  // allocation (the decode loops still enforce the exact size).
+  output->reserve(offset +
+                  static_cast<size_t>(std::min<uint64_t>(
+                      original_size, kMaxUntrustedReserve)));
+  if (original_size == 0) {
+    return VerifyDecoded(*output, offset, original_size, crc);
+  }
+
+  uint64_t num_tokens = 0;
+  if (!GetVarint64(&payload, &num_tokens)) {
+    return Status::Corruption("tans codec: missing token count");
+  }
+  // Each token covers >= 1 output byte and serializes to >= 2 varint
+  // bytes, so both streams are bounded by small multiples of the recorded
+  // original size.
+  std::string token_bytes;
+  SPATE_RETURN_IF_ERROR(
+      TansDecodeBlock(&payload, &token_bytes, 15 * original_size + 64));
+  std::string literal_bytes;
+  SPATE_RETURN_IF_ERROR(
+      TansDecodeBlock(&payload, &literal_bytes, original_size));
+
+  Slice tokens(token_bytes);
+  size_t lit_pos = 0;
+  for (uint64_t k = 0; k < num_tokens; ++k) {
+    uint32_t literal_len = 0, match_len = 0, distance = 0;
+    if (!GetVarint32(&tokens, &literal_len) ||
+        !GetVarint32(&tokens, &match_len)) {
+      return Status::Corruption("tans codec: truncated token stream");
+    }
+    if (match_len > 0 && !GetVarint32(&tokens, &distance)) {
+      return Status::Corruption("tans codec: truncated token distance");
+    }
+    if (lit_pos + literal_len > literal_bytes.size()) {
+      return Status::Corruption("tans codec: literal stream underrun");
+    }
+    if (output->size() - offset + literal_len + match_len > original_size) {
+      return Status::Corruption("tans codec: output overruns recorded size");
+    }
+    output->append(literal_bytes, lit_pos, literal_len);
+    lit_pos += literal_len;
+    if (match_len > 0) {
+      if (distance == 0 || distance > output->size() - offset) {
+        return Status::Corruption("tans codec: bad match distance");
+      }
+      size_t from = output->size() - distance;
+      for (uint32_t i = 0; i < match_len; ++i) {
+        output->push_back((*output)[from + i]);
+      }
+    }
+  }
+  return VerifyDecoded(*output, offset, original_size, crc);
+}
+
+}  // namespace spate

@@ -1,0 +1,25 @@
+#ifndef SPATE_COMPRESS_TANS_CODEC_H_
+#define SPATE_COMPRESS_TANS_CODEC_H_
+
+#include "compress/codec.h"
+
+namespace spate {
+
+/// The ZSTD design point: LZ77 over a 128 KiB window, with literals and the
+/// serialized token stream each entropy-coded by a tabled asymmetric numeral
+/// system (tANS/FSE) stage — the new-generation entropy coder family the
+/// paper highlights for ZSTD.
+///
+/// Ratio comparable to deflate with faster decode (table-driven, no
+/// bit-by-bit tree walks).
+class TansCodec : public Codec {
+ public:
+  std::string_view Name() const override { return "tans"; }
+  uint8_t Id() const override { return 4; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_TANS_CODEC_H_

@@ -1,0 +1,47 @@
+#include "core/framework.h"
+
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+/// True if the record's cell is inside the query box (or there is no box).
+bool CellInBox(const std::string& cell_id, const ExplorationQuery& query,
+               const CellDirectory& cells) {
+  if (!query.has_box) return true;
+  const CellInfo* info = cells.Find(cell_id);
+  return info != nullptr && query.box.Contains(info->x, info->y);
+}
+
+}  // namespace
+
+void FilterSnapshotRows(const Snapshot& snapshot,
+                        const ExplorationQuery& query,
+                        const CellDirectory& cells,
+                        std::vector<Record>* cdr_out,
+                        std::vector<Record>* nms_out) {
+  for (const Record& row : snapshot.cdr) {
+    const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+    if (ts < query.window_begin || ts >= query.window_end) continue;
+    if (!CellInBox(FieldAsString(row, kCdrCellId), query, cells)) continue;
+    cdr_out->push_back(row);
+  }
+  for (const Record& row : snapshot.nms) {
+    const Timestamp ts = ParseCompact(FieldAsString(row, kNmsTs));
+    if (ts < query.window_begin || ts >= query.window_end) continue;
+    if (!CellInBox(FieldAsString(row, kNmsCellId), query, cells)) continue;
+    nms_out->push_back(row);
+  }
+}
+
+NodeSummary RestrictSummaryToBox(const NodeSummary& summary,
+                                 const ExplorationQuery& query,
+                                 const CellDirectory& cells) {
+  if (!query.has_box) return summary;
+  return summary.FilterCells([&](const std::string& cell_id) {
+    const CellInfo* info = cells.Find(cell_id);
+    return info != nullptr && query.box.Contains(info->x, info->y);
+  });
+}
+
+}  // namespace spate

@@ -1,0 +1,117 @@
+#ifndef SPATE_CORE_FRAMEWORK_H_
+#define SPATE_CORE_FRAMEWORK_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "dfs/dfs.h"
+#include "index/highlights.h"
+#include "index/spatial.h"
+#include "index/temporal_index.h"
+#include "telco/snapshot.h"
+
+namespace spate {
+
+/// A data exploration query Q(a, b, w): attribute selection `a`, spatial
+/// bounding box `b` and temporal window `w` (Section VI-A).
+struct ExplorationQuery {
+  /// Selected attributes (`a`). Empty = all.
+  std::vector<std::string> attributes;
+  /// Spatial bounding box (`b`); ignored unless `has_box`.
+  BoundingBox box;
+  bool has_box = false;
+  /// Temporal window [begin, end) (`w`).
+  Timestamp window_begin = 0;
+  Timestamp window_end = 0;
+};
+
+/// Answer to an exploration query. When the window is still at full
+/// resolution the result is exact (filtered raw rows); when parts of it have
+/// decayed, the result degrades gracefully to the covering node's highlight
+/// summary — SPATE's core trade (Section V-C).
+struct QueryResult {
+  bool exact = false;
+  /// The index level that served the query (epoch = raw leaves).
+  IndexLevel served_from = IndexLevel::kEpoch;
+  std::vector<Record> cdr_rows;
+  std::vector<Record> nms_rows;
+  /// Aggregate summary of the served period restricted to `b`'s cells.
+  NodeSummary summary;
+  std::vector<Highlight> highlights;
+};
+
+/// Ingestion cost breakdown for one snapshot (Fig. 7/9's metric).
+struct IngestStats {
+  double compress_seconds = 0;  // serialization + compression CPU
+  double store_seconds = 0;     // simulated DFS write time
+  double index_seconds = 0;     // incremence + highlights CPU
+  uint64_t stored_bytes = 0;    // bytes written for the snapshot
+
+  double total_seconds() const {
+    return compress_seconds + store_seconds + index_seconds;
+  }
+};
+
+/// Common surface of the three compared frameworks (RAW / SHAHED / SPATE),
+/// so every task and benchmark runs unchanged against each.
+class Framework {
+ public:
+  virtual ~Framework() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  /// Ingests one arriving snapshot (storage + any indexing).
+  virtual Status Ingest(const Snapshot& snapshot) = 0;
+
+  /// Cost breakdown of the most recent `Ingest`.
+  virtual const IngestStats& last_ingest_stats() const = 0;
+
+  /// Evaluates a data exploration query.
+  virtual Result<QueryResult> Execute(const ExplorationQuery& query) = 0;
+
+  /// Streams every stored snapshot intersecting [begin, end) through `fn`,
+  /// in time order (decompressing as needed). The workhorse of the task
+  /// suite (T1-T8) and the SQL layer.
+  virtual Status ScanWindow(
+      Timestamp begin, Timestamp end,
+      const std::function<void(const Snapshot&)>& fn) = 0;
+
+  /// Aggregate summary of [begin, end): index-backed frameworks merge
+  /// materialized node summaries; RAW scans and re-aggregates.
+  virtual Result<NodeSummary> AggregateWindow(Timestamp begin,
+                                              Timestamp end) = 0;
+
+  /// Total logical bytes this framework occupies on its DFS (data + index):
+  /// the S' = Sc + Si of the paper's Space metric.
+  virtual uint64_t StorageBytes() const = 0;
+
+  /// The framework's file system (for I/O accounting).
+  virtual DistributedFileSystem& dfs() = 0;
+
+  /// The static cell inventory shared by all frameworks.
+  virtual const CellDirectory& cells() const = 0;
+
+  /// The raw CELL table rows (for SQL over the CELL table).
+  virtual const std::vector<Record>& cell_rows() const = 0;
+};
+
+/// Filters `snapshot` rows to those inside the window and (optionally) the
+/// box's cells, appending to the result vectors. Shared by implementations.
+void FilterSnapshotRows(const Snapshot& snapshot,
+                        const ExplorationQuery& query,
+                        const CellDirectory& cells,
+                        std::vector<Record>* cdr_out,
+                        std::vector<Record>* nms_out);
+
+/// Restricts `summary` to the cells inside `query.box` (all cells if the
+/// query has no box).
+NodeSummary RestrictSummaryToBox(const NodeSummary& summary,
+                                 const ExplorationQuery& query,
+                                 const CellDirectory& cells);
+
+}  // namespace spate
+
+#endif  // SPATE_CORE_FRAMEWORK_H_

@@ -1,0 +1,421 @@
+#include "core/spate_framework.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "index/leaf_spatial.h"
+#include "telco/schema.h"
+
+namespace spate {
+
+SpateFramework::SpateFramework(SpateOptions options,
+                               const std::vector<Record>& cell_rows)
+    : SpateFramework(options,
+                     std::make_shared<DistributedFileSystem>(options.dfs),
+                     cell_rows, /*write_meta=*/true) {}
+
+SpateFramework::SpateFramework(SpateOptions options,
+                               std::shared_ptr<DistributedFileSystem> dfs,
+                               const std::vector<Record>& cell_rows,
+                               bool write_meta)
+    : options_(std::move(options)),
+      codec_(CodecRegistry::Get(options_.codec)),
+      dfs_(std::move(dfs)),
+      cells_(cell_rows),
+      cell_rows_(cell_rows) {
+  if (codec_ == nullptr) codec_ = CodecRegistry::Get("deflate");
+  if (options_.differential) {
+    // Deltas must never outlive the chain they decode against: decay only
+    // at keyframe-group boundaries.
+    options_.decay.horizon_alignment_seconds =
+        std::max(1, options_.keyframe_interval) * kEpochSeconds;
+  }
+  if (write_meta) {
+    // Persist the static cell inventory alongside the data.
+    std::string cell_text = SerializeCells(cell_rows);
+    std::string compressed;
+    if (codec_->Compress(cell_text, &compressed).ok()) {
+      dfs_->WriteFile("/spate/meta/cells", compressed);
+    }
+  }
+}
+
+std::string SpateFramework::LeafPath(Timestamp epoch_start) {
+  const std::string key = FormatCompact(epoch_start);
+  // /spate/data/YYYY/MM/DD/YYYYMMDDhhmm
+  return "/spate/data/" + key.substr(0, 4) + "/" + key.substr(4, 2) + "/" +
+         key.substr(6, 2) + "/" + key;
+}
+
+Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
+    SpateOptions options, std::shared_ptr<DistributedFileSystem> dfs) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("recover: null dfs");
+  }
+  // 1. Cell inventory from /spate/meta/cells (codec taken from the blob's
+  // envelope, in case the restart changed the configured codec).
+  SPATE_ASSIGN_OR_RETURN(std::string cells_blob,
+                         dfs->ReadFile("/spate/meta/cells"));
+  if (cells_blob.empty()) {
+    return Status::Corruption("recover: empty cell inventory");
+  }
+  const Codec* meta_codec =
+      CodecRegistry::GetById(static_cast<uint8_t>(cells_blob[0]));
+  if (meta_codec == nullptr) {
+    return Status::Corruption("recover: unknown cell inventory codec");
+  }
+  std::string cells_text;
+  SPATE_RETURN_IF_ERROR(meta_codec->Decompress(cells_blob, &cells_text));
+  std::vector<Record> cell_rows;
+  SPATE_RETURN_IF_ERROR(ParseCells(cells_text, &cell_rows));
+
+  std::unique_ptr<SpateFramework> framework(new SpateFramework(
+      std::move(options), std::move(dfs), cell_rows, /*write_meta=*/false));
+
+  // 2. Persisted day summaries (cover fully-decayed days).
+  std::map<Timestamp, NodeSummary> day_summaries;
+  for (const std::string& path :
+       framework->dfs_->ListFiles("/spate/index/day/")) {
+    const Timestamp day = ParseCompact(path.substr(path.rfind('/') + 1));
+    if (day < 0) continue;
+    SPATE_ASSIGN_OR_RETURN(std::string blob, framework->dfs_->ReadFile(path));
+    std::string serialized;
+    SPATE_RETURN_IF_ERROR(framework->codec_->Decompress(blob, &serialized));
+    NodeSummary summary;
+    SPATE_RETURN_IF_ERROR(NodeSummary::Parse(serialized, &summary));
+    day_summaries.emplace(day, std::move(summary));
+  }
+
+  // 3. Resident leaves, in time order (paths sort chronologically). Delta
+  // blobs (".d" suffix) replay against the previous epoch's text.
+  const std::vector<std::string> leaf_paths =
+      framework->dfs_->ListFiles("/spate/data/");
+  std::string prev_text;
+  Timestamp prev_epoch = -1;
+  for (const std::string& path : leaf_paths) {
+    std::string name = path.substr(path.rfind('/') + 1);
+    const bool delta = name.size() > 2 && name.ends_with(".d");
+    if (delta) name.resize(name.size() - 2);
+    const Timestamp epoch = ParseCompact(name);
+    if (epoch < 0) {
+      return Status::Corruption("recover: unparsable leaf path " + path);
+    }
+
+    // Sealed (fully decayed) days strictly before this leaf go in first.
+    while (!day_summaries.empty() &&
+           day_summaries.begin()->first + 86400 <= epoch) {
+      auto it = day_summaries.begin();
+      if (it->first > framework->index_.newest_epoch()) {
+        SPATE_RETURN_IF_ERROR(
+            framework->index_.AddSealedDay(it->first, std::move(it->second)));
+      }
+      day_summaries.erase(it);
+    }
+
+    SPATE_ASSIGN_OR_RETURN(std::string blob, framework->dfs_->ReadFile(path));
+    std::string text;
+    if (delta) {
+      if (prev_epoch != epoch - kEpochSeconds) {
+        return Status::Corruption("recover: delta chain broken at " + path);
+      }
+      SPATE_RETURN_IF_ERROR(framework->codec_->DecompressWithDictionary(
+          prev_text, blob, &text));
+    } else {
+      SPATE_RETURN_IF_ERROR(framework->codec_->Decompress(blob, &text));
+    }
+    Snapshot snapshot;
+    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &snapshot));
+
+    LeafNode leaf;
+    leaf.epoch_start = epoch;
+    leaf.dfs_path = path;
+    leaf.stored_bytes = blob.size();
+    leaf.delta = delta;
+    leaf.summary.AddSnapshot(snapshot);
+    SPATE_RETURN_IF_ERROR(framework->index_.AddLeaf(std::move(leaf)));
+    framework->last_day_persisted_ = TruncateToDay(epoch);
+    prev_text = std::move(text);
+    prev_epoch = epoch;
+    if (framework->options_.differential) {
+      framework->last_ingest_text_ = prev_text;
+      framework->last_ingest_epoch_ = epoch;
+    }
+  }
+  // Any remaining sealed days newer than every resident leaf.
+  for (auto& [day, summary] : day_summaries) {
+    if (day > framework->index_.newest_epoch()) {
+      SPATE_RETURN_IF_ERROR(
+          framework->index_.AddSealedDay(day, std::move(summary)));
+    }
+  }
+  return framework;
+}
+
+bool SpateFramework::IsKeyframe(Timestamp epoch_start) const {
+  const int64_t interval = std::max(1, options_.keyframe_interval);
+  return (epoch_start / kEpochSeconds) % interval == 0;
+}
+
+Status SpateFramework::Ingest(const Snapshot& snapshot) {
+  last_ingest_ = IngestStats();
+
+  // Storage layer: serialize + lossless compression (CPU). In differential
+  // mode, non-keyframe snapshots compress against the previous epoch's
+  // text; a gap in the stream forces a keyframe (the chain must be
+  // contiguous).
+  Stopwatch compress_timer;
+  const std::string text = SerializeSnapshot(snapshot);
+  const bool try_delta = options_.differential &&
+                         codec_->SupportsDictionary() &&
+                         !IsKeyframe(snapshot.epoch_start) &&
+                         last_ingest_epoch_ ==
+                             snapshot.epoch_start - kEpochSeconds;
+  std::string compressed;
+  SPATE_RETURN_IF_ERROR(codec_->Compress(text, &compressed));
+  bool delta = false;
+  if (try_delta) {
+    // Deltas only pay off when cross-snapshot redundancy beats the
+    // within-snapshot redundancy the plain codec already captures; keep
+    // whichever encoding is smaller (the leaf records which one won).
+    std::string delta_blob;
+    SPATE_RETURN_IF_ERROR(
+        codec_->CompressWithDictionary(last_ingest_text_, text, &delta_blob));
+    if (delta_blob.size() < compressed.size()) {
+      compressed = std::move(delta_blob);
+      delta = true;
+    }
+  }
+  last_ingest_.compress_seconds = compress_timer.ElapsedSeconds();
+
+  // Replicated store (simulated disk time). Delta blobs get a ".d" path
+  // suffix so recovery can tell the encodings apart.
+  const double io_before = dfs_->stats().simulated_write_seconds;
+  const std::string path =
+      LeafPath(snapshot.epoch_start) + (delta ? ".d" : "");
+  SPATE_RETURN_IF_ERROR(dfs_->WriteFile(path, compressed));
+  // Optional per-leaf spatial sidecar.
+  if (options_.leaf_spatial_index) {
+    std::string sidecar;
+    SPATE_RETURN_IF_ERROR(codec_->Compress(
+        LeafSpatialIndex::Build(snapshot).Serialize(), &sidecar));
+    SPATE_RETURN_IF_ERROR(dfs_->WriteFile(
+        "/spate/spidx/" + FormatCompact(snapshot.epoch_start), sidecar));
+  }
+  last_ingest_.store_seconds =
+      dfs_->stats().simulated_write_seconds - io_before;
+  last_ingest_.stored_bytes = compressed.size();
+
+  // Indexing layer: incremence + highlights (CPU).
+  Stopwatch index_timer;
+  LeafNode leaf;
+  leaf.epoch_start = snapshot.epoch_start;
+  leaf.dfs_path = path;
+  leaf.stored_bytes = compressed.size();
+  leaf.delta = delta;
+  leaf.summary.AddSnapshot(snapshot);
+
+  // Day rollover: persist the completed day's summary (the index bytes S_i).
+  const Timestamp day = TruncateToDay(snapshot.epoch_start);
+  if (options_.persist_summaries && last_day_persisted_ >= 0 &&
+      day != last_day_persisted_) {
+    const CoveringNode covering =
+        index_.FindCovering(last_day_persisted_, last_day_persisted_ + 86400);
+    if (covering.level == IndexLevel::kDay && covering.summary != nullptr) {
+      const std::string key = FormatCompact(last_day_persisted_);
+      // Index blobs go through the storage codec too (they are part of the
+      // S_i share of S' and the paper minimizes the total).
+      std::string blob;
+      if (codec_->Compress(covering.summary->Serialize(), &blob).ok()) {
+        dfs_->WriteFile("/spate/index/day/" + key.substr(0, 8), blob);
+      }
+    }
+  }
+  last_day_persisted_ = day;
+
+  Status add = index_.AddLeaf(std::move(leaf));
+  last_ingest_.index_seconds = index_timer.ElapsedSeconds();
+  SPATE_RETURN_IF_ERROR(add);
+
+  if (options_.differential) {
+    last_ingest_text_ = text;
+    last_ingest_epoch_ = snapshot.epoch_start;
+  }
+  if (options_.auto_decay) RunDecay(snapshot.epoch_start + kEpochSeconds);
+  return Status::OK();
+}
+
+Result<std::string> SpateFramework::MaterializeLeaf(const LeafNode& leaf) {
+  if (leaf.decayed) {
+    return Status::NotFound("leaf decayed: " + leaf.dfs_path);
+  }
+  if (materialize_cache_epoch_ == leaf.epoch_start) {
+    return materialize_cache_text_;
+  }
+  SPATE_ASSIGN_OR_RETURN(std::string blob, dfs_->ReadFile(leaf.dfs_path));
+  std::string text;
+  if (!leaf.delta) {
+    SPATE_RETURN_IF_ERROR(codec_->Decompress(blob, &text));
+  } else {
+    // Resolve the chain: the delta decodes against the previous epoch's
+    // text (cached when scanning sequentially; otherwise at most
+    // keyframe_interval - 1 recursive steps back to the keyframe).
+    const Timestamp prev_epoch = leaf.epoch_start - kEpochSeconds;
+    const LeafNode* prev = index_.FindLeaf(prev_epoch);
+    if (prev == nullptr) {
+      return Status::Corruption("delta leaf without predecessor: " +
+                                leaf.dfs_path);
+    }
+    SPATE_ASSIGN_OR_RETURN(std::string prev_text, MaterializeLeaf(*prev));
+    SPATE_RETURN_IF_ERROR(
+        codec_->DecompressWithDictionary(prev_text, blob, &text));
+  }
+  materialize_cache_epoch_ = leaf.epoch_start;
+  materialize_cache_text_ = text;
+  return text;
+}
+
+size_t SpateFramework::RunDecay(Timestamp now) {
+  return RunDecay(options_.decay, now);
+}
+
+size_t SpateFramework::RunDecay(const DecayPolicy& policy, Timestamp now) {
+  DecayPolicy effective = policy;
+  // Never break delta chains, whatever policy the operator hands in.
+  effective.horizon_alignment_seconds = std::max(
+      effective.horizon_alignment_seconds,
+      options_.decay.horizon_alignment_seconds);
+  return index_.Decay(
+      effective, now,
+      [this](const LeafNode& leaf) {
+        dfs_->DeleteFile(leaf.dfs_path);
+        if (options_.leaf_spatial_index) {
+          dfs_->DeleteFile("/spate/spidx/" + FormatCompact(leaf.epoch_start));
+        }
+      },
+      [this](const DayNode& day) {
+        // Second decay stage: the persisted day summary goes too.
+        dfs_->DeleteFile("/spate/index/day/" +
+                         FormatCompact(day.day_start).substr(0, 8));
+      });
+}
+
+double SpateFramework::ThetaFor(IndexLevel level) const {
+  switch (level) {
+    case IndexLevel::kEpoch:
+    case IndexLevel::kDay:
+      return options_.theta_day;
+    case IndexLevel::kMonth:
+      return options_.theta_month;
+    case IndexLevel::kYear:
+    case IndexLevel::kRoot:
+      return options_.theta_year;
+  }
+  return options_.theta_day;
+}
+
+Result<QueryResult> SpateFramework::Execute(const ExplorationQuery& query) {
+  QueryResult result;
+  if (query.window_begin >= query.window_end) {
+    return Status::InvalidArgument("query window is empty");
+  }
+
+  if (index_.WindowFullyResolved(query.window_begin, query.window_end)) {
+    // Exact path: decompress the covered leaves and filter.
+    result.exact = true;
+    result.served_from = IndexLevel::kEpoch;
+    Status scan;
+    if (options_.leaf_spatial_index && query.has_box) {
+      scan = ExecuteExactWithLeafIndex(query, &result);
+    } else {
+      scan = ScanWindow(
+          query.window_begin, query.window_end,
+          [&](const Snapshot& snapshot) {
+            FilterSnapshotRows(snapshot, query, cells_, &result.cdr_rows,
+                               &result.nms_rows);
+          });
+    }
+    if (!scan.ok()) return scan;
+    result.summary = RestrictSummaryToBox(
+        index_.SummarizeWindow(query.window_begin, query.window_end), query,
+        cells_);
+    result.highlights =
+        result.summary.ExtractHighlights(ThetaFor(IndexLevel::kDay));
+    return result;
+  }
+
+  // Decayed path: serve from the smallest covering node's highlights.
+  const CoveringNode covering =
+      index_.FindCovering(query.window_begin, query.window_end);
+  result.exact = false;
+  result.served_from = covering.level;
+  result.summary = RestrictSummaryToBox(*covering.summary, query, cells_);
+  result.highlights =
+      result.summary.ExtractHighlights(ThetaFor(covering.level));
+  return result;
+}
+
+Status SpateFramework::ExecuteExactWithLeafIndex(
+    const ExplorationQuery& query, QueryResult* result) {
+  // Resolve the box to cell ids once, then use each leaf's sidecar to jump
+  // straight to the matching rows.
+  const std::vector<std::string> in_box = cells_.CellsInBox(query.box);
+  const std::unordered_set<std::string> wanted(in_box.begin(), in_box.end());
+  for (const LeafNode* leaf : index_.LeavesInWindow(query.window_begin,
+                                                    query.window_end)) {
+    SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeaf(*leaf));
+    Snapshot snapshot;
+    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &snapshot));
+
+    SPATE_ASSIGN_OR_RETURN(
+        std::string sidecar_blob,
+        dfs_->ReadFile("/spate/spidx/" + FormatCompact(leaf->epoch_start)));
+    std::string serialized;
+    SPATE_RETURN_IF_ERROR(codec_->Decompress(sidecar_blob, &serialized));
+    LeafSpatialIndex sidecar;
+    SPATE_RETURN_IF_ERROR(LeafSpatialIndex::Parse(serialized, &sidecar));
+
+    auto take = [&](const std::vector<Record>& rows,
+                    const std::vector<uint32_t>* positions, int ts_column,
+                    std::vector<Record>* out) {
+      if (positions == nullptr) return;
+      for (uint32_t row : *positions) {
+        if (row >= rows.size()) continue;
+        const Timestamp ts = ParseCompact(FieldAsString(rows[row], ts_column));
+        if (ts < query.window_begin || ts >= query.window_end) continue;
+        out->push_back(rows[row]);
+      }
+    };
+    for (const std::string& cell_id : in_box) {
+      if (!wanted.count(cell_id)) continue;
+      take(snapshot.cdr, sidecar.CdrRows(cell_id), kCdrTs, &result->cdr_rows);
+      take(snapshot.nms, sidecar.NmsRows(cell_id), kNmsTs, &result->nms_rows);
+    }
+  }
+  return Status::OK();
+}
+
+Status SpateFramework::ScanWindow(
+    Timestamp begin, Timestamp end,
+    const std::function<void(const Snapshot&)>& fn) {
+  for (const LeafNode* leaf : index_.LeavesInWindow(begin, end)) {
+    SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeaf(*leaf));
+    Snapshot snapshot;
+    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &snapshot));
+    fn(snapshot);
+  }
+  return Status::OK();
+}
+
+Result<NodeSummary> SpateFramework::AggregateWindow(Timestamp begin,
+                                                    Timestamp end) {
+  return index_.SummarizeWindow(begin, end);
+}
+
+uint64_t SpateFramework::StorageBytes() const {
+  return dfs_->TotalLogicalBytes();
+}
+
+}  // namespace spate

@@ -1,0 +1,138 @@
+#ifndef SPATE_CORE_SPATE_FRAMEWORK_H_
+#define SPATE_CORE_SPATE_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "core/framework.h"
+
+namespace spate {
+
+/// Configuration of the SPATE framework.
+struct SpateOptions {
+  /// Storage-layer codec name ("deflate" is the paper's pick, Section IV-C).
+  std::string codec = "deflate";
+  DfsOptions dfs;
+  DecayPolicy decay;
+  /// Run the decaying module after every ingest (stream-time driven).
+  bool auto_decay = true;
+  /// Persist day-node summaries to the DFS (the index share S_i of S').
+  bool persist_summaries = true;
+  /// Highlight frequency thresholds theta per resolution level
+  /// (Section V-B: lower thresholds for higher resolution levels).
+  double theta_day = 0.05;
+  double theta_month = 0.02;
+  double theta_year = 0.01;
+
+  /// Differential storage (the paper's Section IX-B future work): store
+  /// most snapshots as deltas against the previous epoch's text, with a
+  /// full keyframe every `keyframe_interval` epochs. Requires a codec with
+  /// dictionary support (deflate); decay then evicts whole keyframe groups.
+  bool differential = false;
+  int keyframe_interval = 8;
+
+  /// Optional per-leaf spatial index (Section V-A's discussed-and-rejected
+  /// design): writes a per-snapshot cell->rows sidecar so bounding-box
+  /// queries skip non-matching rows, at the price of extra storage.
+  bool leaf_spatial_index = false;
+};
+
+/// The SPATE framework (the paper's contribution): lossless compression of
+/// arriving snapshots on a replicated DFS, a multi-resolution spatiotemporal
+/// index with materialized highlights, and decaying of aged raw data.
+class SpateFramework : public Framework {
+ public:
+  /// `cell_rows` is the static CELL inventory (also persisted to the DFS).
+  SpateFramework(SpateOptions options, const std::vector<Record>& cell_rows);
+
+  /// Recovery: rebuilds a framework from an existing DFS (e.g. after a
+  /// process restart). The cell inventory is read back from
+  /// /spate/meta/cells; resident leaves are decompressed in time order
+  /// (delta chains replay from their keyframes) and their summaries
+  /// recomputed; fully-decayed days are restored from their persisted day
+  /// summaries. Days that were only partially decayed keep the stats of
+  /// their resident leaves (the evicted leaves'' raw data is gone by
+  /// design).
+  static Result<std::unique_ptr<SpateFramework>> Recover(
+      SpateOptions options, std::shared_ptr<DistributedFileSystem> dfs);
+
+  /// Shared handle to the underlying DFS (pass to `Recover` to simulate a
+  /// restart over surviving storage).
+  std::shared_ptr<DistributedFileSystem> shared_dfs() { return dfs_; }
+
+  std::string_view Name() const override { return "SPATE"; }
+  Status Ingest(const Snapshot& snapshot) override;
+  const IngestStats& last_ingest_stats() const override {
+    return last_ingest_;
+  }
+  Result<QueryResult> Execute(const ExplorationQuery& query) override;
+  Status ScanWindow(
+      Timestamp begin, Timestamp end,
+      const std::function<void(const Snapshot&)>& fn) override;
+  Result<NodeSummary> AggregateWindow(Timestamp begin,
+                                      Timestamp end) override;
+  uint64_t StorageBytes() const override;
+  DistributedFileSystem& dfs() override { return *dfs_; }
+  const CellDirectory& cells() const override { return cells_; }
+  const std::vector<Record>& cell_rows() const override {
+    return cell_rows_;
+  }
+
+  /// The underlying temporal index (inspection / advanced exploration).
+  const TemporalIndex& index() const { return index_; }
+
+  /// Manually triggers the decaying module at stream time `now`; returns
+  /// the number of leaves evicted.
+  size_t RunDecay(Timestamp now);
+
+  /// Same, with an explicit policy (operator-driven decay, Section V-C:
+  /// "operators chose the rate at which the temporal decaying policy
+  /// becomes effective").
+  size_t RunDecay(const DecayPolicy& policy, Timestamp now);
+
+  const SpateOptions& options() const { return options_; }
+
+  /// Highlight threshold for a level (theta_i, Section V-B).
+  double ThetaFor(IndexLevel level) const;
+
+ private:
+  /// DFS path of the raw (compressed) snapshot for an epoch.
+  static std::string LeafPath(Timestamp epoch_start);
+
+  /// Reads + decodes the raw text of one leaf, resolving delta chains back
+  /// to their keyframe. Maintains a one-entry materialization cache so
+  /// sequential scans pay O(1) extra work per leaf.
+  Result<std::string> MaterializeLeaf(const LeafNode& leaf);
+
+  /// True if the snapshot at `epoch_start` starts a keyframe group.
+  bool IsKeyframe(Timestamp epoch_start) const;
+
+  /// Exact-path evaluation using the per-leaf spatial sidecars.
+  Status ExecuteExactWithLeafIndex(const ExplorationQuery& query,
+                                   QueryResult* result);
+
+  /// Shared construction guts for the public ctor and `Recover`.
+  SpateFramework(SpateOptions options,
+                 std::shared_ptr<DistributedFileSystem> dfs,
+                 const std::vector<Record>& cell_rows, bool write_meta);
+
+  SpateOptions options_;
+  const Codec* codec_;  // owned by the registry
+  std::shared_ptr<DistributedFileSystem> dfs_;
+  CellDirectory cells_;
+  std::vector<Record> cell_rows_;
+  TemporalIndex index_;
+  IngestStats last_ingest_;
+  Timestamp last_day_persisted_ = -1;
+  // Differential-mode state.
+  std::string last_ingest_text_;
+  Timestamp last_ingest_epoch_ = -1;
+  std::string materialize_cache_text_;
+  Timestamp materialize_cache_epoch_ = -1;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_CORE_SPATE_FRAMEWORK_H_

@@ -1,0 +1,166 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+
+namespace spate {
+
+DistributedFileSystem::DistributedFileSystem(DfsOptions options)
+    : options_(options) {
+  if (options_.num_datanodes < 1) options_.num_datanodes = 1;
+  if (options_.replication < 1) options_.replication = 1;
+  if (options_.replication > options_.num_datanodes) {
+    options_.replication = options_.num_datanodes;
+  }
+  if (options_.block_size == 0) options_.block_size = 64ull << 20;
+  datanode_bytes_.assign(options_.num_datanodes, 0);
+}
+
+std::vector<int> DistributedFileSystem::PlaceReplicas() {
+  // Least-loaded placement, HDFS-balancer style.
+  std::vector<int> nodes(options_.num_datanodes);
+  for (int i = 0; i < options_.num_datanodes; ++i) nodes[i] = i;
+  std::sort(nodes.begin(), nodes.end(), [this](int a, int b) {
+    return datanode_bytes_[a] < datanode_bytes_[b];
+  });
+  nodes.resize(options_.replication);
+  return nodes;
+}
+
+Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path)) {
+    return Status::AlreadyExists("dfs file exists: " + path);
+  }
+  FileEntry entry;
+  entry.size = data.size();
+  size_t offset = 0;
+  do {
+    const size_t len = std::min<size_t>(options_.block_size,
+                                        data.size() - offset);
+    Block block;
+    block.data.assign(data.data() + offset, len);
+    block.crc = Crc32(Slice(block.data));
+    block.replicas = PlaceReplicas();
+    for (int node : block.replicas) {
+      datanode_bytes_[node] += len;
+      ++stats_.blocks_written;
+      stats_.bytes_written += len;
+      stats_.simulated_write_seconds += options_.disk.WriteSeconds(len);
+    }
+    const uint64_t id = next_block_id_++;
+    blocks_.emplace(id, std::move(block));
+    entry.block_ids.push_back(id);
+    offset += len;
+  } while (offset < data.size());
+  files_.emplace(path, std::move(entry));
+  return Status::OK();
+}
+
+Result<std::string> DistributedFileSystem::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  std::string out;
+  out.reserve(it->second.size);
+  for (uint64_t id : it->second.block_ids) {
+    auto bit = blocks_.find(id);
+    if (bit == blocks_.end()) {
+      return Status::Corruption("dfs: missing block for " + path);
+    }
+    const Block& block = bit->second;
+    if (Crc32(Slice(block.data)) != block.crc) {
+      return Status::Corruption("dfs: block checksum mismatch for " + path);
+    }
+    ++stats_.blocks_read;
+    stats_.bytes_read += block.data.size();
+    stats_.simulated_read_seconds +=
+        options_.disk.ReadSeconds(block.data.size());
+    out += block.data;
+  }
+  return out;
+}
+
+Status DistributedFileSystem::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  for (uint64_t id : it->second.block_ids) {
+    auto bit = blocks_.find(id);
+    if (bit != blocks_.end()) {
+      for (int node : bit->second.replicas) {
+        datanode_bytes_[node] -= bit->second.data.size();
+      }
+      blocks_.erase(bit);
+    }
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool DistributedFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Result<uint64_t> DistributedFileSystem::FileSize(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return it->second.size;
+}
+
+std::vector<std::string> DistributedFileSystem::ListFiles(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+uint64_t DistributedFileSystem::TotalLogicalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, entry] : files_) total += entry.size;
+  return total;
+}
+
+uint64_t DistributedFileSystem::TotalPhysicalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t b : datanode_bytes_) total += b;
+  return total;
+}
+
+uint64_t DistributedFileSystem::TotalBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+std::vector<uint64_t> DistributedFileSystem::DatanodeUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datanode_bytes_;
+}
+
+IoStats DistributedFileSystem::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DistributedFileSystem::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Reset();
+}
+
+}  // namespace spate

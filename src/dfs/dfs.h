@@ -1,0 +1,102 @@
+#ifndef SPATE_DFS_DFS_H_
+#define SPATE_DFS_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "dfs/disk_model.h"
+
+namespace spate {
+
+/// Configuration of the in-process replicated block file system (the HDFS
+/// v2.5.2 stand-in: 64 MB blocks, replication 3, 4 datanodes — the paper's
+/// testbed parameters).
+struct DfsOptions {
+  uint64_t block_size = 64ull << 20;
+  int replication = 3;
+  int num_datanodes = 4;
+  DiskModel disk;
+};
+
+/// In-process replicated block file system.
+///
+/// Files are immutable once written (HDFS semantics): split into fixed-size
+/// blocks, each placed on `replication` distinct datanodes (logical copies;
+/// bytes are stored once and replication is accounted, not duplicated, in
+/// memory). Every block carries a CRC-32 that is verified on read. All
+/// operations also charge deterministic *simulated* disk time to `stats()`
+/// per the `DiskModel`.
+///
+/// Thread-safe.
+class DistributedFileSystem {
+ public:
+  explicit DistributedFileSystem(DfsOptions options = DfsOptions());
+
+  DistributedFileSystem(const DistributedFileSystem&) = delete;
+  DistributedFileSystem& operator=(const DistributedFileSystem&) = delete;
+
+  /// Writes an immutable file. Returns AlreadyExists if `path` is taken.
+  Status WriteFile(const std::string& path, Slice data);
+
+  /// Reads a whole file; verifies every block checksum.
+  Result<std::string> ReadFile(const std::string& path);
+
+  /// Removes a file and frees its blocks. NotFound if absent.
+  Status DeleteFile(const std::string& path);
+
+  bool Exists(const std::string& path) const;
+
+  /// Logical size of one file. NotFound if absent.
+  Result<uint64_t> FileSize(const std::string& path) const;
+
+  /// Paths with the given prefix, lexicographically sorted.
+  std::vector<std::string> ListFiles(const std::string& prefix) const;
+
+  /// Sum of logical file sizes (what `du` on the namenode would report,
+  /// pre-replication). This is the "Space" metric of Figs. 8/10.
+  uint64_t TotalLogicalBytes() const;
+
+  /// Bytes on disk across all datanodes (logical x replication).
+  uint64_t TotalPhysicalBytes() const;
+
+  /// Number of stored blocks (pre-replication).
+  uint64_t TotalBlocks() const;
+
+  /// Physical bytes per datanode, for placement-balance inspection.
+  std::vector<uint64_t> DatanodeUsage() const;
+
+  const DfsOptions& options() const { return options_; }
+  IoStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Block {
+    std::string data;
+    uint32_t crc = 0;
+    std::vector<int> replicas;  // datanode ids
+  };
+  struct FileEntry {
+    std::vector<uint64_t> block_ids;
+    uint64_t size = 0;
+  };
+
+  /// Picks `replication` distinct datanodes, least-loaded first.
+  std::vector<int> PlaceReplicas();
+
+  DfsOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileEntry> files_;
+  std::map<uint64_t, Block> blocks_;
+  std::vector<uint64_t> datanode_bytes_;
+  uint64_t next_block_id_ = 1;
+  IoStats stats_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_DFS_DFS_H_

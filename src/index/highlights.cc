@@ -1,0 +1,282 @@
+#include "index/highlights.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+void PutDouble(std::string* out, double v) {
+  PutFixed64(out, std::bit_cast<uint64_t>(v));
+}
+
+bool GetDouble(Slice* in, double* v) {
+  uint64_t bits = 0;
+  if (!GetFixed64(in, &bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+void PutAggregate(std::string* out, const MetricAggregate& agg) {
+  PutVarint64(out, agg.count);
+  PutDouble(out, agg.sum);
+  PutDouble(out, agg.sum_sq);
+  PutDouble(out, agg.min);
+  PutDouble(out, agg.max);
+}
+
+bool GetAggregate(Slice* in, MetricAggregate* agg) {
+  return GetVarint64(in, &agg->count) && GetDouble(in, &agg->sum) &&
+         GetDouble(in, &agg->sum_sq) && GetDouble(in, &agg->min) &&
+         GetDouble(in, &agg->max);
+}
+
+void PutCounts(std::string* out, const std::map<std::string, uint64_t>& m) {
+  PutVarint64(out, m.size());
+  for (const auto& [key, count] : m) {
+    PutLengthPrefixed(out, key);
+    PutVarint64(out, count);
+  }
+}
+
+bool GetCounts(Slice* in, std::map<std::string, uint64_t>* m) {
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    Slice key;
+    uint64_t count = 0;
+    if (!GetLengthPrefixed(in, &key) || !GetVarint64(in, &count)) {
+      return false;
+    }
+    (*m)[key.ToString()] = count;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kDropCalls:
+      return "drop_calls";
+    case Metric::kCallAttempts:
+      return "call_attempts";
+    case Metric::kThroughput:
+      return "throughput";
+    case Metric::kRssi:
+      return "rssi";
+    case Metric::kHandoverFails:
+      return "handover_fails";
+    case Metric::kUpflux:
+      return "upflux";
+    case Metric::kDownflux:
+      return "downflux";
+    case Metric::kDuration:
+      return "duration";
+  }
+  return "?";
+}
+
+void CellStats::Merge(const CellStats& other) {
+  cdr_rows += other.cdr_rows;
+  nms_rows += other.nms_rows;
+  dropped_calls += other.dropped_calls;
+  for (int m = 0; m < kNumMetrics; ++m) metrics[m].Merge(other.metrics[m]);
+}
+
+void NodeSummary::AddSnapshot(const Snapshot& snapshot) {
+  for (const Record& row : snapshot.cdr) {
+    ++cdr_rows_;
+    CellStats& cell = per_cell_[FieldAsString(row, kCdrCellId)];
+    ++cell.cdr_rows;
+    const std::string& result = FieldAsString(row, kCdrResult);
+    if (result == "DROP") ++cell.dropped_calls;
+    ++call_type_counts_[FieldAsString(row, kCdrCallType)];
+    ++result_counts_[result];
+    cell.metrics[static_cast<int>(Metric::kUpflux)].Add(
+        static_cast<double>(FieldAsInt(row, kCdrUpflux)));
+    cell.metrics[static_cast<int>(Metric::kDownflux)].Add(
+        static_cast<double>(FieldAsInt(row, kCdrDownflux)));
+    cell.metrics[static_cast<int>(Metric::kDuration)].Add(
+        static_cast<double>(FieldAsInt(row, kCdrDuration)));
+  }
+  for (const Record& row : snapshot.nms) {
+    ++nms_rows_;
+    CellStats& cell = per_cell_[FieldAsString(row, kNmsCellId)];
+    ++cell.nms_rows;
+    cell.metrics[static_cast<int>(Metric::kDropCalls)].Add(
+        static_cast<double>(FieldAsInt(row, kNmsDropCalls)));
+    cell.metrics[static_cast<int>(Metric::kCallAttempts)].Add(
+        static_cast<double>(FieldAsInt(row, kNmsCallAttempts)));
+    cell.metrics[static_cast<int>(Metric::kThroughput)].Add(
+        FieldAsDouble(row, kNmsThroughput));
+    cell.metrics[static_cast<int>(Metric::kRssi)].Add(
+        FieldAsDouble(row, kNmsRssi));
+    cell.metrics[static_cast<int>(Metric::kHandoverFails)].Add(
+        static_cast<double>(FieldAsInt(row, kNmsHandoverFails)));
+  }
+}
+
+void NodeSummary::Merge(const NodeSummary& other) {
+  cdr_rows_ += other.cdr_rows_;
+  nms_rows_ += other.nms_rows_;
+  for (const auto& [cell_id, stats] : other.per_cell_) {
+    per_cell_[cell_id].Merge(stats);
+  }
+  for (const auto& [key, count] : other.call_type_counts_) {
+    call_type_counts_[key] += count;
+  }
+  for (const auto& [key, count] : other.result_counts_) {
+    result_counts_[key] += count;
+  }
+}
+
+MetricAggregate NodeSummary::TotalMetric(Metric metric) const {
+  MetricAggregate total;
+  for (const auto& [cell_id, stats] : per_cell_) {
+    total.Merge(stats.metrics[static_cast<int>(metric)]);
+  }
+  return total;
+}
+
+std::vector<Highlight> NodeSummary::ExtractHighlights(double theta) const {
+  std::vector<Highlight> highlights;
+
+  // Categorical highlights: rare values of the monitored attributes.
+  auto scan = [&](const char* attribute,
+                  const std::map<std::string, uint64_t>& counts) {
+    uint64_t total = 0;
+    for (const auto& [value, count] : counts) total += count;
+    if (total == 0) return;
+    for (const auto& [value, count] : counts) {
+      const double freq = static_cast<double>(count) / total;
+      if (freq < theta) {
+        highlights.push_back(Highlight{attribute, value, "", freq});
+      }
+    }
+  };
+  scan("call_type", call_type_counts_);
+  scan("result", result_counts_);
+
+  // Numeric highlights: cells whose drop-call totals peak well above the
+  // cross-cell distribution (mean + 2 sigma).
+  MetricAggregate cross;
+  std::vector<std::pair<const std::string*, double>> totals;
+  for (const auto& [cell_id, stats] : per_cell_) {
+    const double drops =
+        stats.metrics[static_cast<int>(Metric::kDropCalls)].sum +
+        static_cast<double>(stats.dropped_calls);
+    cross.Add(drops);
+    totals.emplace_back(&cell_id, drops);
+  }
+  if (cross.count >= 4) {
+    const double mean = cross.mean();
+    const double sigma = std::sqrt(cross.variance());
+    if (sigma > 0) {
+      for (const auto& [cell_id, drops] : totals) {
+        const double z = (drops - mean) / sigma;
+        if (z > 2.0) {
+          char buf[32];
+          snprintf(buf, sizeof(buf), "%.0f", drops);
+          highlights.push_back(Highlight{"drop_calls", buf, *cell_id, z});
+        }
+      }
+    }
+  }
+  return highlights;
+}
+
+NodeSummary NodeSummary::FilterCells(
+    const std::function<bool(const std::string&)>& keep) const {
+  NodeSummary out;
+  out.call_type_counts_ = call_type_counts_;
+  out.result_counts_ = result_counts_;
+  for (const auto& [cell_id, stats] : per_cell_) {
+    if (!keep(cell_id)) continue;
+    out.per_cell_.emplace(cell_id, stats);
+    out.cdr_rows_ += stats.cdr_rows;
+    out.nms_rows_ += stats.nms_rows;
+  }
+  return out;
+}
+
+std::string NodeSummary::Serialize() const {
+  std::string out;
+  PutVarint64(&out, cdr_rows_);
+  PutVarint64(&out, nms_rows_);
+  PutCounts(&out, call_type_counts_);
+  PutCounts(&out, result_counts_);
+  PutVarint64(&out, per_cell_.size());
+  for (const auto& [cell_id, stats] : per_cell_) {
+    PutLengthPrefixed(&out, cell_id);
+    PutVarint64(&out, stats.cdr_rows);
+    PutVarint64(&out, stats.nms_rows);
+    PutVarint64(&out, stats.dropped_calls);
+    // Presence bitmap: empty aggregates (a CDR-only cell has no NMS
+    // metrics and vice versa) cost one bit instead of 33 bytes.
+    uint8_t present = 0;
+    for (int m = 0; m < kNumMetrics; ++m) {
+      if (stats.metrics[m].count > 0) present |= (1u << m);
+    }
+    out.push_back(static_cast<char>(present));
+    for (int m = 0; m < kNumMetrics; ++m) {
+      if (stats.metrics[m].count > 0) PutAggregate(&out, stats.metrics[m]);
+    }
+  }
+  return out;
+}
+
+Status NodeSummary::Parse(Slice data, NodeSummary* summary) {
+  *summary = NodeSummary();
+  if (!GetVarint64(&data, &summary->cdr_rows_) ||
+      !GetVarint64(&data, &summary->nms_rows_) ||
+      !GetCounts(&data, &summary->call_type_counts_) ||
+      !GetCounts(&data, &summary->result_counts_)) {
+    return Status::Corruption("node summary: truncated header");
+  }
+  uint64_t num_cells = 0;
+  if (!GetVarint64(&data, &num_cells)) {
+    return Status::Corruption("node summary: missing cell count");
+  }
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    Slice cell_id;
+    if (!GetLengthPrefixed(&data, &cell_id)) {
+      return Status::Corruption("node summary: truncated cell id");
+    }
+    CellStats stats;
+    if (!GetVarint64(&data, &stats.cdr_rows) ||
+        !GetVarint64(&data, &stats.nms_rows) ||
+        !GetVarint64(&data, &stats.dropped_calls)) {
+      return Status::Corruption("node summary: truncated cell stats");
+    }
+    if (data.empty()) {
+      return Status::Corruption("node summary: missing metric bitmap");
+    }
+    const uint8_t present = static_cast<uint8_t>(data[0]);
+    data.RemovePrefix(1);
+    for (int m = 0; m < kNumMetrics; ++m) {
+      if ((present & (1u << m)) == 0) continue;
+      if (!GetAggregate(&data, &stats.metrics[m])) {
+        return Status::Corruption("node summary: truncated metric");
+      }
+      if (stats.metrics[m].count == 0) {
+        return Status::Corruption("node summary: empty metric marked present");
+      }
+    }
+    summary->per_cell_.emplace(cell_id.ToString(), stats);
+  }
+  if (!data.empty()) {
+    return Status::Corruption("node summary: trailing bytes");
+  }
+  return Status::OK();
+}
+
+bool NodeSummary::operator==(const NodeSummary& other) const {
+  return Serialize() == other.Serialize();
+}
+
+}  // namespace spate

@@ -1,0 +1,146 @@
+#ifndef SPATE_INDEX_HIGHLIGHTS_H_
+#define SPATE_INDEX_HIGHLIGHTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "telco/snapshot.h"
+
+namespace spate {
+
+/// Streaming aggregate of one numeric metric: count/sum/min/max (+ sum of
+/// squares for variance). Mergeable, so summaries roll up day -> month ->
+/// year exactly as the paper's highlights module does.
+struct MetricAggregate {
+  uint64_t count = 0;
+  double sum = 0;
+  double sum_sq = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    ++count;
+    sum += v;
+    sum_sq += v * v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  void Merge(const MetricAggregate& other) {
+    count += other.count;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  double mean() const { return count ? sum / count : 0.0; }
+  double variance() const {
+    if (count == 0) return 0.0;
+    const double m = mean();
+    const double v = sum_sq / count - m * m;
+    return v > 0 ? v : 0.0;
+  }
+};
+
+/// The numeric metrics materialized per cell in every index node — the
+/// "long-standing queries of users (e.g., the drop-call counters, bandwidth
+/// statistics)" of Section V-B.
+enum class Metric : int {
+  kDropCalls = 0,
+  kCallAttempts,
+  kThroughput,
+  kRssi,
+  kHandoverFails,
+  kUpflux,
+  kDownflux,
+  kDuration,
+};
+inline constexpr int kNumMetrics = 8;
+std::string_view MetricName(Metric metric);
+
+/// Per-cell slice of a node summary.
+struct CellStats {
+  uint64_t cdr_rows = 0;
+  uint64_t nms_rows = 0;
+  uint64_t dropped_calls = 0;  // CDR rows with result == DROP
+  MetricAggregate metrics[kNumMetrics];
+
+  void Merge(const CellStats& other);
+};
+
+/// One extracted "highlight": an interesting event summary attached to an
+/// index node (Section V-B). Categorical highlights carry the rare value;
+/// numeric highlights carry the peaking point.
+struct Highlight {
+  std::string attribute;  // e.g. "result" or "drop_calls"
+  std::string value;      // rare categorical value, or formatted peak
+  std::string cell_id;    // empty for global (non-spatial) highlights
+  double frequency = 0;   // relative occurrence (categorical) or z-score
+};
+
+/// Materialized aggregate cube for one temporal index node (epoch, day,
+/// month or year): per-cell metric aggregates plus categorical histograms.
+/// Mergeable bottom-up; serializable so non-leaf nodes can live on the DFS
+/// and survive leaf decay.
+class NodeSummary {
+ public:
+  NodeSummary() = default;
+
+  /// Folds one raw snapshot into the summary (used at the leaf level).
+  void AddSnapshot(const Snapshot& snapshot);
+
+  /// Merges a child summary (used when rolling up day/month/year).
+  void Merge(const NodeSummary& other);
+
+  uint64_t cdr_rows() const { return cdr_rows_; }
+  uint64_t nms_rows() const { return nms_rows_; }
+  const std::map<std::string, CellStats>& per_cell() const {
+    return per_cell_;
+  }
+  const std::map<std::string, uint64_t>& call_type_counts() const {
+    return call_type_counts_;
+  }
+  const std::map<std::string, uint64_t>& result_counts() const {
+    return result_counts_;
+  }
+
+  /// Aggregate of `metric` across all cells.
+  MetricAggregate TotalMetric(Metric metric) const;
+
+  /// Extracts highlights with frequency threshold `theta`: categorical
+  /// values whose relative frequency is below `theta` are highlights, and
+  /// cells whose drop-call count peaks more than 2 standard deviations
+  /// above the cross-cell mean are numeric highlights (Section V-B).
+  std::vector<Highlight> ExtractHighlights(double theta) const;
+
+  /// Returns a copy keeping only the cells for which `keep` is true (the
+  /// spatial restriction of a query box). Row counts are recomputed from
+  /// the surviving cells; the categorical histograms are not cell-resolved
+  /// and are kept whole.
+  NodeSummary FilterCells(
+      const std::function<bool(const std::string&)>& keep) const;
+
+  /// Compact binary serialization (stored on the DFS for non-leaf nodes).
+  std::string Serialize() const;
+  static Status Parse(Slice data, NodeSummary* summary);
+
+  bool operator==(const NodeSummary& other) const;
+
+ private:
+  uint64_t cdr_rows_ = 0;
+  uint64_t nms_rows_ = 0;
+  std::map<std::string, CellStats> per_cell_;
+  std::map<std::string, uint64_t> call_type_counts_;
+  std::map<std::string, uint64_t> result_counts_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_INDEX_HIGHLIGHTS_H_

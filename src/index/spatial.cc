@@ -1,0 +1,89 @@
+#include "index/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telco/schema.h"
+
+namespace spate {
+
+CellDirectory::CellDirectory(const std::vector<Record>& cell_rows,
+                             int grid_dim)
+    : grid_dim_(std::max(1, grid_dim)) {
+  cells_.reserve(cell_rows.size());
+  bool first = true;
+  for (const Record& row : cell_rows) {
+    double x = 0, y = 0;
+    if (!ParseDouble(FieldAsString(row, kCellX), &x) ||
+        !ParseDouble(FieldAsString(row, kCellY), &y)) {
+      continue;
+    }
+    CellInfo info;
+    info.id = FieldAsString(row, kCellId);
+    info.x = x;
+    info.y = y;
+    info.tech = FieldAsString(row, kCellTech);
+    info.region = FieldAsString(row, kCellRegion);
+    info.antenna_id = FieldAsString(row, kCellAntennaId);
+    if (first) {
+      extent_ = BoundingBox{x, y, x, y};
+      first = false;
+    } else {
+      extent_.min_x = std::min(extent_.min_x, x);
+      extent_.min_y = std::min(extent_.min_y, y);
+      extent_.max_x = std::max(extent_.max_x, x);
+      extent_.max_y = std::max(extent_.max_y, y);
+    }
+    by_id_.emplace(info.id, cells_.size());
+    cells_.push_back(std::move(info));
+  }
+
+  grid_.assign(static_cast<size_t>(grid_dim_) * grid_dim_, {});
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    grid_[GridIndex(cells_[i].x, cells_[i].y)].push_back(i);
+  }
+}
+
+int CellDirectory::GridIndex(double x, double y) const {
+  const double w = std::max(1e-9, extent_.width());
+  const double h = std::max(1e-9, extent_.height());
+  int gx = static_cast<int>((x - extent_.min_x) / w * grid_dim_);
+  int gy = static_cast<int>((y - extent_.min_y) / h * grid_dim_);
+  gx = std::clamp(gx, 0, grid_dim_ - 1);
+  gy = std::clamp(gy, 0, grid_dim_ - 1);
+  return gy * grid_dim_ + gx;
+}
+
+const CellInfo* CellDirectory::Find(const std::string& cell_id) const {
+  auto it = by_id_.find(cell_id);
+  return it == by_id_.end() ? nullptr : &cells_[it->second];
+}
+
+std::vector<std::string> CellDirectory::CellsInBox(
+    const BoundingBox& box) const {
+  std::vector<std::string> out;
+  if (cells_.empty()) return out;
+  // Visit only the grid tiles overlapping the box.
+  const double w = std::max(1e-9, extent_.width());
+  const double h = std::max(1e-9, extent_.height());
+  auto tile = [&](double v, double lo, double span) {
+    return std::clamp(static_cast<int>((v - lo) / span * grid_dim_), 0,
+                      grid_dim_ - 1);
+  };
+  const int gx0 = tile(box.min_x, extent_.min_x, w);
+  const int gx1 = tile(box.max_x, extent_.min_x, w);
+  const int gy0 = tile(box.min_y, extent_.min_y, h);
+  const int gy1 = tile(box.max_y, extent_.min_y, h);
+  for (int gy = gy0; gy <= gy1; ++gy) {
+    for (int gx = gx0; gx <= gx1; ++gx) {
+      for (size_t idx : grid_[gy * grid_dim_ + gx]) {
+        const CellInfo& cell = cells_[idx];
+        if (box.Contains(cell.x, cell.y)) out.push_back(cell.id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spate

@@ -1,0 +1,77 @@
+#ifndef SPATE_INDEX_SPATIAL_H_
+#define SPATE_INDEX_SPATIAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telco/record.h"
+
+namespace spate {
+
+/// Axis-aligned spatial bounding box in region coordinates (meters) — the
+/// `b` of a data-exploration query Q(a, b, w).
+struct BoundingBox {
+  double min_x = 0;
+  double min_y = 0;
+  double max_x = 0;
+  double max_y = 0;
+
+  bool Contains(double x, double y) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+};
+
+/// Everything the index needs to know about one cell.
+struct CellInfo {
+  std::string id;
+  double x = 0;
+  double y = 0;
+  std::string tech;
+  std::string region;
+  std::string antenna_id;
+};
+
+/// Directory of cells with a uniform-grid spatial index for bounding-box
+/// lookups. Telco data is only cell-resolved (Section II-B: "we can not
+/// talk about spatial data in the traditional sense"), so cell -> location
+/// is the entire spatial layer; queries select the cells whose centers fall
+/// inside `b`.
+class CellDirectory {
+ public:
+  /// Builds from CELL table rows (schema of `CellSchema()`). Rows with
+  /// malformed coordinates are skipped.
+  explicit CellDirectory(const std::vector<Record>& cell_rows,
+                         int grid_dim = 32);
+
+  /// Number of cells indexed.
+  size_t size() const { return cells_.size(); }
+
+  /// Lookup by cell id; nullptr if unknown.
+  const CellInfo* Find(const std::string& cell_id) const;
+
+  /// Ids of all cells whose center lies inside `box`, sorted.
+  std::vector<std::string> CellsInBox(const BoundingBox& box) const;
+
+  /// Bounding box covering all cells.
+  const BoundingBox& extent() const { return extent_; }
+
+  /// All cells, in insertion order.
+  const std::vector<CellInfo>& cells() const { return cells_; }
+
+ private:
+  int GridIndex(double x, double y) const;
+
+  std::vector<CellInfo> cells_;
+  std::unordered_map<std::string, size_t> by_id_;
+  int grid_dim_;
+  BoundingBox extent_;
+  std::vector<std::vector<size_t>> grid_;  // grid cell -> cell indices
+};
+
+}  // namespace spate
+
+#endif  // SPATE_INDEX_SPATIAL_H_

@@ -1,0 +1,299 @@
+#include "index/temporal_index.h"
+
+namespace spate {
+
+std::string_view IndexLevelName(IndexLevel level) {
+  switch (level) {
+    case IndexLevel::kEpoch:
+      return "epoch";
+    case IndexLevel::kDay:
+      return "day";
+    case IndexLevel::kMonth:
+      return "month";
+    case IndexLevel::kYear:
+      return "year";
+    case IndexLevel::kRoot:
+      return "root";
+  }
+  return "?";
+}
+
+Status TemporalIndex::AddLeaf(LeafNode leaf) {
+  if (leaf.epoch_start <= newest_epoch_) {
+    return Status::InvalidArgument(
+        "incremence requires strictly increasing epochs (got " +
+        FormatCompact(leaf.epoch_start) + " after " +
+        FormatCompact(newest_epoch_) + ")");
+  }
+  const Timestamp year_start = TruncateToYear(leaf.epoch_start);
+  const Timestamp month_start = TruncateToMonth(leaf.epoch_start);
+  const Timestamp day_start = TruncateToDay(leaf.epoch_start);
+
+  // Rightmost-path descent, creating dummy nodes as periods roll over.
+  if (years_.empty() || years_.back().year_start != year_start) {
+    years_.push_back(YearNode{year_start, {}, {}});
+  }
+  YearNode& year = years_.back();
+  if (year.months.empty() || year.months.back().month_start != month_start) {
+    year.months.push_back(MonthNode{month_start, {}, {}});
+  }
+  MonthNode& month = year.months.back();
+  if (month.days.empty() || month.days.back().day_start != day_start) {
+    month.days.push_back(DayNode{day_start, {}, {}});
+  }
+  DayNode& day = month.days.back();
+
+  // Highlights module: fold the leaf summary up the rightmost path. The
+  // paper batches this at period boundaries; merging incrementally yields
+  // the same cube with the cost amortized per snapshot.
+  day.summary.Merge(leaf.summary);
+  month.summary.Merge(leaf.summary);
+  year.summary.Merge(leaf.summary);
+  root_summary_.Merge(leaf.summary);
+
+  if (first_epoch_ < 0) first_epoch_ = leaf.epoch_start;
+  newest_epoch_ = leaf.epoch_start;
+  resident_leaf_bytes_ += leaf.stored_bytes;
+  ++num_leaves_;
+  day.leaves.push_back(std::move(leaf));
+  return Status::OK();
+}
+
+Status TemporalIndex::AddSealedDay(Timestamp day_start, NodeSummary summary) {
+  if (day_start != TruncateToDay(day_start)) {
+    return Status::InvalidArgument("sealed day must start at midnight");
+  }
+  if (day_start <= newest_epoch_) {
+    return Status::InvalidArgument(
+        "sealed day would land before the newest leaf");
+  }
+  const Timestamp year_start = TruncateToYear(day_start);
+  const Timestamp month_start = TruncateToMonth(day_start);
+  if (years_.empty() || years_.back().year_start != year_start) {
+    years_.push_back(YearNode{year_start, {}, {}});
+  }
+  YearNode& year = years_.back();
+  if (year.months.empty() || year.months.back().month_start != month_start) {
+    year.months.push_back(MonthNode{month_start, {}, {}});
+  }
+  MonthNode& month = year.months.back();
+  month.days.push_back(DayNode{day_start, {}, {}, /*sealed=*/true});
+  DayNode& day = month.days.back();
+  day.summary.Merge(summary);
+  month.summary.Merge(summary);
+  year.summary.Merge(summary);
+  root_summary_.Merge(summary);
+  // The whole day is decayed: nothing newer than its last epoch may be a
+  // sealed day or an earlier leaf.
+  newest_epoch_ = day_start + 86400 - kEpochSeconds;
+  if (first_epoch_ < 0) first_epoch_ = day_start;
+  if (decayed_until_ < day_start + 86400) decayed_until_ = day_start + 86400;
+  return Status::OK();
+}
+
+CoveringNode TemporalIndex::FindCovering(Timestamp begin,
+                                         Timestamp end) const {
+  CoveringNode result;
+  result.level = IndexLevel::kRoot;
+  result.start = 0;
+  result.summary = &root_summary_;
+  if (begin >= end) return result;
+  const Timestamp last = end - 1;
+
+  if (TruncateToYear(begin) != TruncateToYear(last)) return result;
+  for (const YearNode& year : years_) {
+    if (year.year_start != TruncateToYear(begin)) continue;
+    result.level = IndexLevel::kYear;
+    result.start = year.year_start;
+    result.summary = &year.summary;
+    if (TruncateToMonth(begin) != TruncateToMonth(last)) return result;
+    for (const MonthNode& month : year.months) {
+      if (month.month_start != TruncateToMonth(begin)) continue;
+      result.level = IndexLevel::kMonth;
+      result.start = month.month_start;
+      result.summary = &month.summary;
+      if (TruncateToDay(begin) != TruncateToDay(last)) return result;
+      for (const DayNode& day : month.days) {
+        if (day.day_start == TruncateToDay(begin)) {
+          result.level = IndexLevel::kDay;
+          result.start = day.day_start;
+          result.summary = &day.summary;
+          return result;
+        }
+      }
+      return result;
+    }
+    return result;
+  }
+  return result;
+}
+
+std::vector<const LeafNode*> TemporalIndex::LeavesInWindow(
+    Timestamp begin, Timestamp end) const {
+  std::vector<const LeafNode*> out;
+  for (const YearNode& year : years_) {
+    for (const MonthNode& month : year.months) {
+      for (const DayNode& day : month.days) {
+        if (day.day_start + 86400 <= begin || day.day_start >= end) continue;
+        for (const LeafNode& leaf : day.leaves) {
+          if (leaf.epoch_start + kEpochSeconds <= begin ||
+              leaf.epoch_start >= end || leaf.decayed) {
+            continue;
+          }
+          out.push_back(&leaf);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+NodeSummary TemporalIndex::SummarizeWindow(Timestamp begin,
+                                           Timestamp end) const {
+  NodeSummary out;
+  for (const YearNode& year : years_) {
+    for (const MonthNode& month : year.months) {
+      // Whole month covered: use its roll-up directly. This also keeps
+      // aggregates correct for months whose day nodes were pruned by the
+      // second decay stage.
+      const Timestamp month_end = FromCivil([&] {
+        CivilTime ct = ToCivil(month.month_start);
+        ct.month += 1;
+        return ct;
+      }());
+      if (month.month_start >= begin && month_end <= end) {
+        out.Merge(month.summary);
+        continue;
+      }
+      for (const DayNode& day : month.days) {
+        if (day.day_start + 86400 <= begin || day.day_start >= end) continue;
+        if (day.day_start >= begin && day.day_start + 86400 <= end) {
+          out.Merge(day.summary);  // whole day covered: use the roll-up
+          continue;
+        }
+        for (const LeafNode& leaf : day.leaves) {
+          if (leaf.epoch_start + kEpochSeconds <= begin ||
+              leaf.epoch_start >= end) {
+            continue;
+          }
+          out.Merge(leaf.summary);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool TemporalIndex::WindowFullyResolved(Timestamp begin, Timestamp end) const {
+  // Anything overlapping the decayed prefix of the stream (including day
+  // nodes pruned entirely by the second decay stage) lost full resolution.
+  if (first_epoch_ >= 0 && begin < decayed_until_ && end > first_epoch_) {
+    return false;
+  }
+  for (const YearNode& year : years_) {
+    for (const MonthNode& month : year.months) {
+      for (const DayNode& day : month.days) {
+        if (day.day_start + 86400 <= begin || day.day_start >= end) continue;
+        if (day.sealed) return false;
+        for (const LeafNode& leaf : day.leaves) {
+          if (leaf.epoch_start + kEpochSeconds <= begin ||
+              leaf.epoch_start >= end) {
+            continue;
+          }
+          if (leaf.decayed) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+const LeafNode* TemporalIndex::FindLeaf(Timestamp epoch_start) const {
+  const Timestamp day_start = TruncateToDay(epoch_start);
+  for (const YearNode& year : years_) {
+    if (year.year_start != TruncateToYear(epoch_start)) continue;
+    for (const MonthNode& month : year.months) {
+      if (month.month_start != TruncateToMonth(epoch_start)) continue;
+      for (const DayNode& day : month.days) {
+        if (day.day_start != day_start) continue;
+        for (const LeafNode& leaf : day.leaves) {
+          if (leaf.epoch_start == epoch_start) return &leaf;
+        }
+        return nullptr;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+size_t TemporalIndex::Decay(const DecayPolicy& policy, Timestamp now,
+                            const std::function<void(const LeafNode&)>& evict,
+                            const std::function<void(const DayNode&)>& evict_day) {
+  Timestamp horizon = now - policy.full_resolution_seconds;
+  if (policy.horizon_alignment_seconds > 0) {
+    const int64_t a = policy.horizon_alignment_seconds;
+    horizon -= ((horizon % a) + a) % a;  // floor to alignment multiple
+  }
+  size_t evicted = 0;
+  // Stage 1 — Evict Oldest Individuals: walk leaves in time order, stop at
+  // the horizon.
+  bool done = false;
+  for (YearNode& year : years_) {
+    for (MonthNode& month : year.months) {
+      for (DayNode& day : month.days) {
+        for (LeafNode& leaf : day.leaves) {
+          if (leaf.epoch_start + kEpochSeconds > horizon) {
+            done = true;
+            break;
+          }
+          if (decayed_until_ < leaf.epoch_start + kEpochSeconds) {
+            decayed_until_ = leaf.epoch_start + kEpochSeconds;
+          }
+          if (leaf.decayed) continue;
+          if (evict) evict(leaf);
+          leaf.decayed = true;
+          resident_leaf_bytes_ -= leaf.stored_bytes;
+          leaf.stored_bytes = 0;
+          ++num_decayed_;
+          ++evicted;
+        }
+        if (done) break;
+      }
+      if (done) break;
+    }
+    if (done) break;
+  }
+
+  // Stage 2 — progressive loss of detail: prune whole day nodes past the
+  // day-resolution horizon. Their summaries were already folded into the
+  // month/year/root roll-ups at insertion time, so aggregate exploration
+  // degrades to month resolution rather than disappearing.
+  const Timestamp day_horizon =
+      std::min(horizon - 86400,
+               now - std::max(policy.day_resolution_seconds,
+                              policy.full_resolution_seconds + 86400));
+  for (YearNode& year : years_) {
+    for (MonthNode& month : year.months) {
+      while (!month.days.empty()) {
+        DayNode& day = month.days.front();
+        if (day.day_start + 86400 > day_horizon) break;
+        // Only prune fully-decayed days (guaranteed by the horizon clamp,
+        // but kept as a hard invariant).
+        bool all_decayed = true;
+        for (const LeafNode& leaf : day.leaves) all_decayed &= leaf.decayed;
+        if (!all_decayed) break;
+        if (evict_day) evict_day(day);
+        if (decayed_until_ < day.day_start + 86400) {
+          decayed_until_ = day.day_start + 86400;
+        }
+        ++num_pruned_days_;
+        month.days.erase(month.days.begin());
+      }
+    }
+  }
+  return evicted;
+}
+
+}  // namespace spate

@@ -1,0 +1,141 @@
+#include "privacy/k_anonymity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace spate {
+namespace {
+
+/// Equivalence-class key of one row over the generalized quasi-identifiers.
+std::string ClassKey(const Record& row,
+                     const std::vector<QuasiIdentifier>& qis,
+                     const std::vector<int>& levels) {
+  std::string key;
+  for (size_t i = 0; i < qis.size(); ++i) {
+    key += GeneralizeValue(FieldAsString(row, qis[i].column), qis[i].kind,
+                           levels[i]);
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+/// Number of rows in equivalence classes smaller than k.
+size_t CountViolators(const std::vector<Record>& rows,
+                      const std::vector<QuasiIdentifier>& qis,
+                      const std::vector<int>& levels, int k) {
+  std::unordered_map<std::string, size_t> classes;
+  for (const Record& row : rows) ++classes[ClassKey(row, qis, levels)];
+  size_t violators = 0;
+  for (const auto& [key, count] : classes) {
+    if (count < static_cast<size_t>(k)) violators += count;
+  }
+  return violators;
+}
+
+}  // namespace
+
+std::string GeneralizeValue(const std::string& value,
+                            GeneralizationKind kind, int level) {
+  if (level <= 0) return value;
+  switch (kind) {
+    case GeneralizationKind::kSuffixMask: {
+      std::string out = value;
+      const size_t mask = std::min<size_t>(out.size(),
+                                           static_cast<size_t>(level));
+      for (size_t i = out.size() - mask; i < out.size(); ++i) out[i] = '*';
+      return out;
+    }
+    case GeneralizationKind::kNumericBucket: {
+      int64_t v = 0;
+      if (!ParseInt64(value, &v)) return "*";
+      int64_t bucket = 1;
+      for (int i = 0; i < level; ++i) bucket *= 10;
+      const int64_t lo = (v / bucket) * bucket - (v < 0 && v % bucket ? bucket : 0);
+      char buf[64];
+      snprintf(buf, sizeof(buf), "[%lld-%lld]",
+               static_cast<long long>(lo),
+               static_cast<long long>(lo + bucket - 1));
+      return buf;
+    }
+    case GeneralizationKind::kSuppressOnly:
+      return "*";
+  }
+  return "*";
+}
+
+bool IsKAnonymous(const std::vector<Record>& rows,
+                  const std::vector<QuasiIdentifier>& quasi_identifiers,
+                  int k) {
+  if (rows.empty()) return true;
+  const std::vector<int> levels(quasi_identifiers.size(), 0);
+  return CountViolators(rows, quasi_identifiers, levels, k) == 0;
+}
+
+Result<AnonymizationResult> KAnonymize(const std::vector<Record>& rows,
+                                       const AnonymizationConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  for (const QuasiIdentifier& qi : config.quasi_identifiers) {
+    if (qi.column < 0) return Status::InvalidArgument("bad QI column");
+  }
+
+  AnonymizationResult result;
+  result.levels.assign(config.quasi_identifiers.size(), 0);
+  const auto& qis = config.quasi_identifiers;
+
+  // Greedy full-domain lattice climb: while the suppression cost is too
+  // high, bump the QI level whose increase removes the most violators.
+  size_t violators = CountViolators(rows, qis, result.levels, config.k);
+  const size_t budget = static_cast<size_t>(
+      std::ceil(config.max_suppression_rate * static_cast<double>(rows.size())));
+  while (violators > budget) {
+    int best_qi = -1;
+    size_t best_violators = violators;
+    for (size_t i = 0; i < qis.size(); ++i) {
+      if (result.levels[i] >= qis[i].max_level) continue;
+      std::vector<int> trial = result.levels;
+      ++trial[i];
+      const size_t v = CountViolators(rows, qis, trial, config.k);
+      if (v < best_violators ||
+          (best_qi == -1 && v <= best_violators)) {
+        best_violators = v;
+        best_qi = static_cast<int>(i);
+      }
+    }
+    if (best_qi < 0) break;  // lattice exhausted; fall back to suppression
+    ++result.levels[best_qi];
+    violators = best_violators;
+  }
+
+  // Materialize: generalize QIs, blank dropped columns, suppress residual
+  // undersized classes.
+  std::unordered_map<std::string, size_t> classes;
+  for (const Record& row : rows) {
+    ++classes[ClassKey(row, qis, result.levels)];
+  }
+  result.rows.reserve(rows.size());
+  for (const Record& row : rows) {
+    if (classes[ClassKey(row, qis, result.levels)] <
+        static_cast<size_t>(config.k)) {
+      ++result.suppressed;
+      continue;
+    }
+    Record out = row;
+    for (size_t i = 0; i < qis.size(); ++i) {
+      if (qis[i].column < static_cast<int>(out.size())) {
+        out[qis[i].column] = GeneralizeValue(out[qis[i].column], qis[i].kind,
+                                             result.levels[i]);
+      }
+    }
+    for (int col : config.drop_columns) {
+      if (col >= 0 && col < static_cast<int>(out.size())) out[col].clear();
+    }
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace spate

@@ -1,0 +1,74 @@
+#ifndef SPATE_PRIVACY_K_ANONYMITY_H_
+#define SPATE_PRIVACY_K_ANONYMITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telco/record.h"
+
+namespace spate {
+
+/// How a quasi-identifier column generalizes as its level increases
+/// (full-domain generalization hierarchies, as in ARX / Sweeney's model).
+enum class GeneralizationKind {
+  /// Replace the last `level` characters with '*' ("u012345" -> "u012***").
+  kSuffixMask,
+  /// Round numbers down to a bucket of size 10^level ("137" -> "[130-139]").
+  kNumericBucket,
+  /// level >= 1 replaces the value with '*' (suppress-only attribute).
+  kSuppressOnly,
+};
+
+/// One quasi-identifier column and its generalization ladder.
+struct QuasiIdentifier {
+  int column = 0;
+  GeneralizationKind kind = GeneralizationKind::kSuffixMask;
+  /// Maximum level the ladder supports.
+  int max_level = 4;
+};
+
+/// Configuration of the k-anonymity sanitizer (task T5). The paper's T5
+/// "generates a k-anonymized dataset by generalizing, substituting ... and
+/// removing information as appropriate in order to make the
+/// quasi-identifiers indistinguishable among k rows" [Sweeney; ARX].
+struct AnonymizationConfig {
+  int k = 5;
+  std::vector<QuasiIdentifier> quasi_identifiers;
+  /// Columns erased outright (direct identifiers, e.g. IMEI).
+  std::vector<int> drop_columns;
+  /// Keep generalizing while suppression would exceed this fraction of the
+  /// table; once below, suppress the residual violating rows.
+  double max_suppression_rate = 0.05;
+};
+
+struct AnonymizationResult {
+  std::vector<Record> rows;
+  /// Generalization level chosen per quasi-identifier.
+  std::vector<int> levels;
+  /// Rows removed because their equivalence class stayed below k.
+  size_t suppressed = 0;
+};
+
+/// Applies one hierarchy at `level` to a single value. Exposed for tests.
+std::string GeneralizeValue(const std::string& value,
+                            GeneralizationKind kind, int level);
+
+/// True if every equivalence class over the quasi-identifier columns has at
+/// least k rows (rows already generalized).
+bool IsKAnonymous(const std::vector<Record>& rows,
+                  const std::vector<QuasiIdentifier>& quasi_identifiers,
+                  int k);
+
+/// Full-domain generalization + suppression: raises quasi-identifier levels
+/// greedily (the bump that removes the most violating rows first) until the
+/// residual violators cost less than `max_suppression_rate` of the table,
+/// then suppresses them. The result always satisfies k-anonymity (possibly
+/// with zero rows).
+Result<AnonymizationResult> KAnonymize(const std::vector<Record>& rows,
+                                       const AnonymizationConfig& config);
+
+}  // namespace spate
+
+#endif  // SPATE_PRIVACY_K_ANONYMITY_H_

@@ -1,0 +1,84 @@
+#include "query/result_cache.h"
+
+#include "common/clock.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+/// Re-filters cached rows to a narrower window/box.
+void NarrowRows(const std::vector<Record>& rows, int ts_column,
+                int cell_column, const ExplorationQuery& query,
+                const CellDirectory& cells, std::vector<Record>* out) {
+  for (const Record& row : rows) {
+    const Timestamp ts = ParseCompact(FieldAsString(row, ts_column));
+    if (ts < query.window_begin || ts >= query.window_end) continue;
+    if (query.has_box) {
+      const CellInfo* cell = cells.Find(FieldAsString(row, cell_column));
+      if (cell == nullptr || !query.box.Contains(cell->x, cell->y)) continue;
+    }
+    out->push_back(row);
+  }
+}
+
+}  // namespace
+
+bool ResultCache::Covers(const ExplorationQuery& outer,
+                         const ExplorationQuery& inner) {
+  if (outer.window_begin > inner.window_begin ||
+      outer.window_end < inner.window_end) {
+    return false;
+  }
+  if (!outer.has_box) return true;  // whole region cached
+  if (!inner.has_box) return false;
+  return outer.box.min_x <= inner.box.min_x &&
+         outer.box.min_y <= inner.box.min_y &&
+         outer.box.max_x >= inner.box.max_x &&
+         outer.box.max_y >= inner.box.max_y;
+}
+
+std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,
+                                               const CellDirectory& cells) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->result.exact || !Covers(it->query, query)) continue;
+    ++hits_;
+    // Move to front (most recently used).
+    entries_.splice(entries_.begin(), entries_, it);
+    const Entry& entry = entries_.front();
+
+    QueryResult narrowed;
+    narrowed.exact = true;
+    narrowed.served_from = entry.result.served_from;
+    NarrowRows(entry.result.cdr_rows, kCdrTs, kCdrCellId, query, cells,
+               &narrowed.cdr_rows);
+    NarrowRows(entry.result.nms_rows, kNmsTs, kNmsCellId, query, cells,
+               &narrowed.nms_rows);
+    // Rebuild the aggregate view from the narrowed rows.
+    Snapshot pseudo;
+    pseudo.cdr = narrowed.cdr_rows;
+    pseudo.nms = narrowed.nms_rows;
+    narrowed.summary.AddSnapshot(pseudo);
+    narrowed.highlights = narrowed.summary.ExtractHighlights(0.05);
+    return narrowed;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ResultCache::Insert(const ExplorationQuery& query,
+                         const QueryResult& result) {
+  if (capacity_ == 0) return;
+  entries_.push_front(Entry{query, result});
+  while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+Result<QueryResult> CachedExplorer::Execute(const ExplorationQuery& query) {
+  if (auto cached = cache_.Lookup(query, framework_->cells())) {
+    return *std::move(cached);
+  }
+  SPATE_ASSIGN_OR_RETURN(QueryResult result, framework_->Execute(query));
+  if (result.exact) cache_.Insert(query, result);
+  return result;
+}
+
+}  // namespace spate

@@ -1,0 +1,78 @@
+#ifndef SPATE_QUERY_RESULT_CACHE_H_
+#define SPATE_QUERY_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+#include "core/framework.h"
+
+namespace spate {
+
+/// LRU cache of exploration results with sub-window/sub-box containment —
+/// the paper's UI cache (Section VI-A): SPATE deliberately retrieves a
+/// larger period than requested as implicit prefetching, and "when users
+/// decide to focus on a smaller window within w, it is ... served directly
+/// from the cache of the user interface".
+///
+/// A cached *exact* result serves any query whose temporal window and
+/// bounding box are contained in the cached ones; the cached rows are then
+/// re-filtered to the narrower predicate (cheap, in-memory). Aggregate-only
+/// results are served for identical queries only.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Returns the narrowed result if some cached entry covers `query`.
+  std::optional<QueryResult> Lookup(const ExplorationQuery& query,
+                                    const CellDirectory& cells);
+
+  /// Caches `result` for `query` (evicting the least recently used entry).
+  void Insert(const ExplorationQuery& query, const QueryResult& result);
+
+  void Clear() {
+    entries_.clear();
+    hits_ = misses_ = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    ExplorationQuery query;
+    QueryResult result;
+  };
+
+  /// True if `outer` (an entry's query) covers `inner`.
+  static bool Covers(const ExplorationQuery& outer,
+                     const ExplorationQuery& inner);
+
+  size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Convenience wrapper running exploration queries through a `ResultCache`
+/// in front of a framework (what the SPATE-UI web tier does).
+class CachedExplorer {
+ public:
+  explicit CachedExplorer(Framework* framework, size_t capacity = 16)
+      : framework_(framework), cache_(capacity) {}
+
+  /// Executes `query`, consulting the cache first and caching exact
+  /// results.
+  Result<QueryResult> Execute(const ExplorationQuery& query);
+
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  Framework* framework_;
+  ResultCache cache_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_QUERY_RESULT_CACHE_H_

@@ -1,0 +1,158 @@
+#include "query/tasks.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analytics/features.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+Result<FluxResult> CollectFlux(Framework& framework, Timestamp begin,
+                               Timestamp end) {
+  FluxResult result;
+  SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+      begin, end, [&](const Snapshot& snapshot) {
+        for (const Record& row : snapshot.cdr) {
+          const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+          if (ts < begin || ts >= end) continue;
+          const int64_t up = FieldAsInt(row, kCdrUpflux);
+          const int64_t down = FieldAsInt(row, kCdrDownflux);
+          result.flux.emplace_back(up, down);
+          result.total_upflux += static_cast<uint64_t>(up);
+          result.total_downflux += static_cast<uint64_t>(down);
+        }
+      }));
+  return result;
+}
+
+}  // namespace
+
+Result<FluxResult> TaskEquality(Framework& framework,
+                                Timestamp snapshot_ts) {
+  const Timestamp begin = TruncateToEpoch(snapshot_ts);
+  return CollectFlux(framework, begin, begin + kEpochSeconds);
+}
+
+Result<FluxResult> TaskRange(Framework& framework, Timestamp begin,
+                             Timestamp end) {
+  return CollectFlux(framework, begin, end);
+}
+
+Result<DropRateResult> TaskAggregate(Framework& framework, Timestamp begin,
+                                     Timestamp end) {
+  SPATE_ASSIGN_OR_RETURN(NodeSummary summary,
+                         framework.AggregateWindow(begin, end));
+  DropRateResult result;
+  for (const auto& [cell_id, stats] : summary.per_cell()) {
+    const MetricAggregate& drops =
+        stats.metrics[static_cast<int>(Metric::kDropCalls)];
+    const MetricAggregate& attempts =
+        stats.metrics[static_cast<int>(Metric::kCallAttempts)];
+    if (drops.count == 0 && attempts.count == 0) continue;
+    result.drops_per_cell[cell_id] = drops.sum;
+    result.drop_rate_per_cell[cell_id] =
+        attempts.sum > 0 ? drops.sum / attempts.sum : 0.0;
+  }
+  return result;
+}
+
+Result<MovedDevicesResult> TaskJoin(Framework& framework, Timestamp begin,
+                                    Timestamp end) {
+  // Hash self-join: device identity (IMEI) -> distinct cell towers.
+  std::unordered_map<std::string, std::unordered_set<std::string>> cells_of;
+  SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+      begin, end, [&](const Snapshot& snapshot) {
+        for (const Record& row : snapshot.cdr) {
+          const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+          if (ts < begin || ts >= end) continue;
+          cells_of[FieldAsString(row, kCdrImei)].insert(
+              FieldAsString(row, kCdrCellId));
+        }
+      }));
+
+  MovedDevicesResult result;
+  result.devices_seen = cells_of.size();
+  std::vector<std::pair<std::string, int>> movers;
+  for (const auto& [imei, cells] : cells_of) {
+    if (cells.size() > 1) {
+      ++result.devices_moved;
+      movers.emplace_back(imei, static_cast<int>(cells.size()));
+    }
+  }
+  std::sort(movers.begin(), movers.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (movers.size() > 20) movers.resize(20);
+  result.top_movers = std::move(movers);
+  return result;
+}
+
+Result<AnonymizationResult> TaskPrivacy(Framework& framework, Timestamp begin,
+                                        Timestamp end, int k) {
+  std::vector<Record> rows;
+  SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+      begin, end, [&](const Snapshot& snapshot) {
+        for (const Record& row : snapshot.cdr) {
+          const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+          if (ts >= begin && ts < end) rows.push_back(row);
+        }
+      }));
+
+  AnonymizationConfig config;
+  config.k = k;
+  config.quasi_identifiers = {
+      {kCdrCaller, GeneralizationKind::kSuffixMask, 6},
+      {kCdrCellId, GeneralizationKind::kSuffixMask, 4},
+      {kCdrDuration, GeneralizationKind::kNumericBucket, 5},
+  };
+  config.drop_columns = {kCdrImei, kCdrCallee};
+  return KAnonymize(rows, config);
+}
+
+Result<StatisticsResult> TaskStatistics(Framework& framework, Timestamp begin,
+                                        Timestamp end, ThreadPool* pool) {
+  Matrix cdr_rows, nms_rows;
+  SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+      begin, end, [&](const Snapshot& snapshot) {
+        AppendSnapshotFeatures(snapshot, &cdr_rows, &nms_rows);
+      }));
+  StatisticsResult result;
+  result.cdr = ComputeColumnStats(cdr_rows, CdrFeatureNames(), pool);
+  result.nms = ComputeColumnStats(nms_rows, NmsFeatureNames(), pool);
+  return result;
+}
+
+Result<KMeansResult> TaskClustering(Framework& framework, Timestamp begin,
+                                    Timestamp end,
+                                    const KMeansOptions& options,
+                                    ThreadPool* pool) {
+  // Cluster NMS feature rows (cell-health fingerprints).
+  Matrix rows;
+  SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+      begin, end, [&](const Snapshot& snapshot) {
+        AppendSnapshotFeatures(snapshot, nullptr, &rows);
+      }));
+  return KMeans(rows, options, pool);
+}
+
+Result<RegressionResult> TaskRegression(Framework& framework, Timestamp begin,
+                                        Timestamp end, ThreadPool* pool) {
+  // Predict downflux from the other CDR features.
+  Matrix features;
+  std::vector<double> targets;
+  SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+      begin, end, [&](const Snapshot& snapshot) {
+        for (const Record& row : snapshot.cdr) {
+          std::vector<double> f = CdrFeatures(row);
+          targets.push_back(f[2]);  // downflux
+          f.erase(f.begin() + 2);
+          features.push_back(std::move(f));
+        }
+      }));
+  return LinearRegression(features, targets, RegressionOptions(), pool);
+}
+
+}  // namespace spate

@@ -1,0 +1,94 @@
+#ifndef SPATE_QUERY_TASKS_H_
+#define SPATE_QUERY_TASKS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/kmeans.h"
+#include "analytics/regression.h"
+#include "analytics/stats.h"
+#include "common/thread_pool.h"
+#include "core/framework.h"
+#include "privacy/k_anonymity.h"
+
+namespace spate {
+
+// The eight telco-specific evaluation tasks of Section VII-E, each running
+// unchanged against any `Framework` (RAW / SHAHED / SPATE). T1-T5 are
+// sequential operational/analytical queries; T6-T8 are the heavy tasks that
+// take a `ThreadPool` (the Spark-parallelization stand-in).
+
+/// T1/T2 result: the (upflux, downflux) pairs of the matching CDR rows.
+struct FluxResult {
+  std::vector<std::pair<int64_t, int64_t>> flux;
+  uint64_t total_upflux = 0;
+  uint64_t total_downflux = 0;
+};
+
+/// T1 Equality: SELECT upflux, downflux FROM CDR WHERE ts falls in the
+/// single snapshot beginning at `snapshot_ts`.
+Result<FluxResult> TaskEquality(Framework& framework, Timestamp snapshot_ts);
+
+/// T2 Range: the same over an arbitrary window [begin, end).
+Result<FluxResult> TaskRange(Framework& framework, Timestamp begin,
+                             Timestamp end);
+
+/// T3 result: per-cell drop-call aggregates.
+struct DropRateResult {
+  /// SUM(drop_calls) per cell id.
+  std::map<std::string, double> drops_per_cell;
+  /// drop rate = drops / attempts per cell (0 when no attempts).
+  std::map<std::string, double> drop_rate_per_cell;
+};
+
+/// T3 Aggregate: SELECT cellid, SUM(val) FROM NMS ... GROUP BY cellid over
+/// the window, served from materialized node summaries where the framework
+/// has them.
+Result<DropRateResult> TaskAggregate(Framework& framework, Timestamp begin,
+                                     Timestamp end);
+
+/// T4 result: devices observed at more than one cell tower in the window.
+struct MovedDevicesResult {
+  uint64_t devices_seen = 0;
+  uint64_t devices_moved = 0;
+  /// Top movers: (imei, distinct cells), sorted descending, capped at 20.
+  std::vector<std::pair<std::string, int>> top_movers;
+};
+
+/// T4 Join: CDR self-join on device identity to find devices whose location
+/// (cell tower) changed within the window.
+Result<MovedDevicesResult> TaskJoin(Framework& framework, Timestamp begin,
+                                    Timestamp end);
+
+/// T5 Privacy: retrieves the window's CDR rows and k-anonymizes caller id,
+/// cell id and duration (dropping IMEI as a direct identifier).
+Result<AnonymizationResult> TaskPrivacy(Framework& framework, Timestamp begin,
+                                        Timestamp end, int k);
+
+/// T6 result: column statistics for CDR then NMS feature columns.
+struct StatisticsResult {
+  std::vector<ColumnStat> cdr;
+  std::vector<ColumnStat> nms;
+};
+
+/// T6 Statistics: multivariate statistics over the window's numeric
+/// columns (column-wise max/min/mean/variance/nnz/count).
+Result<StatisticsResult> TaskStatistics(Framework& framework, Timestamp begin,
+                                        Timestamp end, ThreadPool* pool);
+
+/// T7 Clustering: k-means over combined CDR+NMS feature rows.
+Result<KMeansResult> TaskClustering(Framework& framework, Timestamp begin,
+                                    Timestamp end,
+                                    const KMeansOptions& options,
+                                    ThreadPool* pool);
+
+/// T8 Regression: linear regression of CDR downflux on the remaining
+/// features over the window.
+Result<RegressionResult> TaskRegression(Framework& framework, Timestamp begin,
+                                        Timestamp end, ThreadPool* pool);
+
+}  // namespace spate
+
+#endif  // SPATE_QUERY_TASKS_H_

@@ -1,0 +1,32 @@
+#include "query/timeseries.h"
+
+namespace spate {
+
+Result<std::vector<SeriesPoint>> AggregateSeries(Framework& framework,
+                                                 Timestamp begin,
+                                                 Timestamp end,
+                                                 int64_t bucket_seconds) {
+  if (bucket_seconds <= 0 || bucket_seconds % kEpochSeconds != 0) {
+    return Status::InvalidArgument(
+        "bucket size must be a positive multiple of the 30-minute epoch");
+  }
+  if (begin >= end) {
+    return Status::InvalidArgument("series window is empty");
+  }
+  std::vector<SeriesPoint> series;
+  series.reserve(
+      static_cast<size_t>((end - begin + bucket_seconds - 1) / bucket_seconds));
+  for (Timestamp bucket = begin; bucket < end; bucket += bucket_seconds) {
+    SeriesPoint point;
+    point.bucket_start = bucket;
+    SPATE_ASSIGN_OR_RETURN(
+        point.summary,
+        framework.AggregateWindow(bucket,
+                                  std::min<Timestamp>(bucket + bucket_seconds,
+                                                      end)));
+    series.push_back(std::move(point));
+  }
+  return series;
+}
+
+}  // namespace spate

@@ -1,0 +1,31 @@
+#ifndef SPATE_QUERY_TIMESERIES_H_
+#define SPATE_QUERY_TIMESERIES_H_
+
+#include <vector>
+
+#include "core/framework.h"
+
+namespace spate {
+
+/// One bucket of an aggregate time series.
+struct SeriesPoint {
+  Timestamp bucket_start = 0;
+  NodeSummary summary;
+};
+
+/// Splits [begin, end) into `bucket_seconds` buckets and returns each
+/// bucket's aggregate summary — the backing query of the SPATE-UI's
+/// "playback highlights in fast-forward" and of drill-down charts
+/// (Section VI-A). Index-backed frameworks serve this from materialized
+/// summaries without touching raw data.
+///
+/// `bucket_seconds` must be a positive multiple of the 30-minute epoch so
+/// buckets align with leaf boundaries.
+Result<std::vector<SeriesPoint>> AggregateSeries(Framework& framework,
+                                                 Timestamp begin,
+                                                 Timestamp end,
+                                                 int64_t bucket_seconds);
+
+}  // namespace spate
+
+#endif  // SPATE_QUERY_TIMESERIES_H_

@@ -1,0 +1,65 @@
+#ifndef SPATE_SQL_AST_H_
+#define SPATE_SQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spate {
+
+/// Aggregate functions supported by SPATE-SQL.
+enum class AggregateFn { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One item of a SELECT list: either a plain column or an aggregate call.
+struct SelectItem {
+  AggregateFn aggregate = AggregateFn::kNone;
+  /// COUNT(DISTINCT col): count distinct values instead of rows.
+  bool distinct = false;
+  /// Column name; "*" only valid for plain select or COUNT(*).
+  std::string column;
+
+  std::string DisplayName() const;
+};
+
+/// Comparison operators of the WHERE conjunction.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One `column op literal` predicate.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  std::string literal;
+};
+
+/// Dimension join: `FROM <fact> JOIN CELL ON <fact_col> = <cell_col>`
+/// (the paper's SPATE-SQL supports joins; the static CELL table is the
+/// natural dimension to enrich CDR/NMS facts with location attributes).
+struct JoinClause {
+  std::string table;         // joined table (CELL)
+  std::string left_column;   // fact-side column (possibly qualified)
+  std::string right_column;  // dimension-side column (possibly qualified)
+};
+
+/// ORDER BY on one output column.
+struct OrderBy {
+  std::string column;  // display name ("cell_id", "SUM(drop_calls)")
+  bool descending = false;
+};
+
+/// A parsed SELECT-FROM-[JOIN]-WHERE[-GROUP BY][-ORDER BY][-LIMIT] block
+/// (the query shapes of tasks T1-T3, Section VII-E, plus the join and
+/// result-shaping clauses SPATE-SQL exposes through Hue).
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;  // CDR | NMS | CELL
+  std::optional<JoinClause> join;
+  std::vector<Predicate> where;  // conjunction
+  std::optional<std::string> group_by;
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_SQL_AST_H_

@@ -1,0 +1,496 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sql/parser.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+/// Expands a compact timestamp prefix literal to its period [lo, hi).
+/// Returns false if the literal is not a valid compact timestamp.
+bool TsPeriod(const std::string& literal, Timestamp* lo, Timestamp* hi) {
+  *lo = ParseCompact(literal);
+  if (*lo < 0) return false;
+  CivilTime ct = ToCivil(*lo);
+  // Bump the finest specified field; FromCivil's arithmetic absorbs any
+  // overflow (day 32, hour 24, month 13 all roll forward correctly).
+  switch (literal.size()) {
+    case 4:
+      ct.year += 1;
+      break;
+    case 6:
+      ct.month += 1;
+      break;
+    case 8:
+      ct.day += 1;
+      break;
+    case 10:
+      ct.hour += 1;
+      break;
+    default:
+      ct.minute += 1;
+      break;
+  }
+  *hi = FromCivil(ct);
+  return true;
+}
+
+struct Accumulator {
+  uint64_t count = 0;
+  std::set<std::string> distinct_values;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::string min_text, max_text;
+  bool numeric = true;
+
+  void Add(const std::string& value) {
+    ++count;
+    double v = 0;
+    if (ParseDouble(value, &v)) {
+      sum += v;
+      if (v < min) {
+        min = v;
+        min_text = value;
+      }
+      if (v > max) {
+        max = v;
+        max_text = value;
+      }
+    } else {
+      numeric = false;
+      if (min_text.empty() || value < min_text) min_text = value;
+      if (max_text.empty() || value > max_text) max_text = value;
+    }
+  }
+};
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+/// Evaluates one non-ts predicate against a field value.
+bool EvalPredicate(const std::string& field, const Predicate& pred) {
+  double fv = 0, lv = 0;
+  int cmp;
+  if (ParseDouble(field, &fv) && ParseDouble(pred.literal, &lv)) {
+    cmp = fv < lv ? -1 : (fv > lv ? 1 : 0);
+  } else {
+    cmp = field.compare(pred.literal);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+/// Evaluates a ts predicate with prefix-period semantics.
+bool EvalTsPredicate(Timestamp ts, const Predicate& pred, Timestamp lo,
+                     Timestamp hi) {
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return ts >= lo && ts < hi;
+    case CompareOp::kNe:
+      return ts < lo || ts >= hi;
+    case CompareOp::kLt:
+      return ts < lo;
+    case CompareOp::kLe:
+      return ts < hi;
+    case CompareOp::kGt:
+      return ts >= hi;
+    case CompareOp::kGe:
+      return ts >= lo;
+  }
+  return false;
+}
+
+const TableSchema* SchemaFor(const std::string& table) {
+  if (table == "CDR") return &CdrSchema();
+  if (table == "NMS") return &NmsSchema();
+  if (table == "CELL") return &CellSchema();
+  return nullptr;
+}
+
+/// A column resolved against the (fact, optional dimension) pair.
+struct ColumnBinding {
+  int source = 0;  // 0 = fact table, 1 = joined dimension
+  int index = -1;
+};
+
+/// Resolves a possibly-qualified column name ("cell_id", "CELL.region").
+Result<ColumnBinding> Resolve(const std::string& name,
+                              const std::string& fact_table,
+                              const TableSchema& fact,
+                              const TableSchema* dim) {
+  const size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    std::string table = name.substr(0, dot);
+    for (char& c : table) {
+      c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+    }
+    const std::string column = name.substr(dot + 1);
+    if (table == fact_table) {
+      const int idx = fact.IndexOf(column);
+      if (idx < 0) return Status::InvalidArgument("sql: unknown column " + name);
+      return ColumnBinding{0, idx};
+    }
+    if (dim != nullptr && table == dim->name()) {
+      const int idx = dim->IndexOf(column);
+      if (idx < 0) return Status::InvalidArgument("sql: unknown column " + name);
+      return ColumnBinding{1, idx};
+    }
+    return Status::InvalidArgument("sql: unknown table qualifier " + name);
+  }
+  const int fact_idx = fact.IndexOf(name);
+  const int dim_idx = dim != nullptr ? dim->IndexOf(name) : -1;
+  if (fact_idx >= 0 && dim_idx >= 0) {
+    return Status::InvalidArgument("sql: ambiguous column " + name +
+                                   " (qualify with a table name)");
+  }
+  if (fact_idx >= 0) return ColumnBinding{0, fact_idx};
+  if (dim_idx >= 0) return ColumnBinding{1, dim_idx};
+  return Status::InvalidArgument("sql: unknown column " + name);
+}
+
+}  // namespace
+
+std::string SelectItem::DisplayName() const {
+  switch (aggregate) {
+    case AggregateFn::kNone:
+      return column;
+    case AggregateFn::kCount:
+      return distinct ? "COUNT(DISTINCT " + column + ")"
+                      : "COUNT(" + column + ")";
+    case AggregateFn::kSum:
+      return "SUM(" + column + ")";
+    case AggregateFn::kAvg:
+      return "AVG(" + column + ")";
+    case AggregateFn::kMin:
+      return "MIN(" + column + ")";
+    case AggregateFn::kMax:
+      return "MAX(" + column + ")";
+  }
+  return column;
+}
+
+Result<SqlResult> ExecuteSql(Framework& framework,
+                             const SelectStatement& statement) {
+  const TableSchema* fact = SchemaFor(statement.table);
+  if (fact == nullptr) {
+    return Status::InvalidArgument("sql: unknown table " + statement.table);
+  }
+  // Dimension join (CELL only — the static star-schema dimension).
+  const TableSchema* dim = nullptr;
+  ColumnBinding join_left, join_right;
+  if (statement.join.has_value()) {
+    if (statement.join->table != "CELL") {
+      return Status::NotSupported("sql: only JOIN CELL is supported");
+    }
+    if (statement.table == "CELL") {
+      return Status::NotSupported("sql: CELL cannot join itself");
+    }
+    dim = &CellSchema();
+    SPATE_ASSIGN_OR_RETURN(
+        join_left,
+        Resolve(statement.join->left_column, statement.table, *fact, dim));
+    SPATE_ASSIGN_OR_RETURN(
+        join_right,
+        Resolve(statement.join->right_column, statement.table, *fact, dim));
+    // Normalize: left on the fact side, right on the dimension side.
+    if (join_left.source == 1 && join_right.source == 0) {
+      std::swap(join_left, join_right);
+    }
+    if (join_left.source != 0 || join_right.source != 1) {
+      return Status::InvalidArgument(
+          "sql: join condition must relate the fact table to CELL");
+    }
+  }
+
+  // Expand '*' and validate columns.
+  struct Item {
+    SelectItem item;
+    ColumnBinding binding;  // invalid for COUNT(*)
+  };
+  std::vector<Item> items;
+  bool has_aggregate = false;
+  for (const SelectItem& item : statement.items) {
+    if (item.aggregate == AggregateFn::kNone && item.column == "*") {
+      for (const AttributeSpec& attr : fact->attributes()) {
+        items.push_back(
+            Item{SelectItem{AggregateFn::kNone, false, attr.name},
+                 ColumnBinding{0, fact->IndexOf(attr.name)}});
+      }
+      if (dim != nullptr) {
+        for (const AttributeSpec& attr : dim->attributes()) {
+          items.push_back(
+              Item{SelectItem{AggregateFn::kNone, false, attr.name},
+                   ColumnBinding{1, dim->IndexOf(attr.name)}});
+        }
+      }
+      continue;
+    }
+    Item entry;
+    entry.item = item;
+    if (!(item.aggregate == AggregateFn::kCount && item.column == "*")) {
+      SPATE_ASSIGN_OR_RETURN(
+          entry.binding, Resolve(item.column, statement.table, *fact, dim));
+    }
+    has_aggregate |= (item.aggregate != AggregateFn::kNone);
+    items.push_back(std::move(entry));
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("sql: empty select list");
+  }
+  ColumnBinding group_binding;
+  bool has_group = false;
+  if (statement.group_by.has_value()) {
+    SPATE_ASSIGN_OR_RETURN(
+        group_binding,
+        Resolve(*statement.group_by, statement.table, *fact, dim));
+    has_group = true;
+    has_aggregate = true;
+  }
+
+  // Validate predicates; extract the temporal window from fact-ts
+  // predicates.
+  const int ts_col = fact->IndexOf("ts");
+  Timestamp window_begin = 0;
+  Timestamp window_end = std::numeric_limits<Timestamp>::max();
+  struct TsBound {
+    const Predicate* pred;
+    Timestamp lo, hi;
+  };
+  std::vector<TsBound> ts_preds;
+  struct BoundPred {
+    const Predicate* pred;
+    ColumnBinding binding;
+  };
+  std::vector<BoundPred> other_preds;
+  for (const Predicate& pred : statement.where) {
+    SPATE_ASSIGN_OR_RETURN(
+        ColumnBinding binding,
+        Resolve(pred.column, statement.table, *fact, dim));
+    if (binding.source == 0 && binding.index == ts_col && ts_col >= 0) {
+      Timestamp lo, hi;
+      if (!TsPeriod(pred.literal, &lo, &hi)) {
+        return Status::InvalidArgument("sql: bad ts literal " + pred.literal);
+      }
+      ts_preds.push_back(TsBound{&pred, lo, hi});
+      switch (pred.op) {
+        case CompareOp::kEq:
+          window_begin = std::max(window_begin, lo);
+          window_end = std::min(window_end, hi);
+          break;
+        case CompareOp::kGe:
+          window_begin = std::max(window_begin, lo);
+          break;
+        case CompareOp::kGt:
+          window_begin = std::max(window_begin, hi);
+          break;
+        case CompareOp::kLe:
+          window_end = std::min(window_end, hi);
+          break;
+        case CompareOp::kLt:
+          window_end = std::min(window_end, lo);
+          break;
+        case CompareOp::kNe:
+          break;
+      }
+    } else {
+      other_preds.push_back(BoundPred{&pred, binding});
+    }
+  }
+
+  // Dimension hash table for the join.
+  std::unordered_map<std::string, const Record*> dim_by_key;
+  if (dim != nullptr) {
+    for (const Record& row : framework.cell_rows()) {
+      dim_by_key.emplace(FieldAsString(row, join_right.index), &row);
+    }
+  }
+
+  SqlResult result;
+  for (const Item& entry : items) {
+    result.columns.push_back(entry.item.DisplayName());
+  }
+
+  auto field = [&](const Record& fact_row, const Record* dim_row,
+                   const ColumnBinding& binding) -> const std::string& {
+    if (binding.source == 0) return FieldAsString(fact_row, binding.index);
+    static const std::string& empty = *new std::string();
+    return dim_row != nullptr ? FieldAsString(*dim_row, binding.index)
+                              : empty;
+  };
+
+  // Aggregation state: group key -> (representative key text, accumulators).
+  std::map<std::string, std::vector<Accumulator>> groups;
+  auto consume = [&](const Record& fact_row) {
+    // Join (inner): resolve the dimension row first.
+    const Record* dim_row = nullptr;
+    if (dim != nullptr) {
+      auto it = dim_by_key.find(FieldAsString(fact_row, join_left.index));
+      if (it == dim_by_key.end()) return;
+      dim_row = it->second;
+    }
+    // Predicates.
+    if (ts_col >= 0 && !ts_preds.empty()) {
+      const Timestamp ts = ParseCompact(FieldAsString(fact_row, ts_col));
+      for (const TsBound& b : ts_preds) {
+        if (!EvalTsPredicate(ts, *b.pred, b.lo, b.hi)) return;
+      }
+    }
+    for (const BoundPred& bp : other_preds) {
+      if (!EvalPredicate(field(fact_row, dim_row, bp.binding), *bp.pred)) {
+        return;
+      }
+    }
+    if (!has_aggregate) {
+      std::vector<std::string> out;
+      out.reserve(items.size());
+      for (const Item& entry : items) {
+        out.push_back(field(fact_row, dim_row, entry.binding));
+      }
+      result.rows.push_back(std::move(out));
+      return;
+    }
+    const std::string key =
+        has_group ? field(fact_row, dim_row, group_binding) : "";
+    auto [it, inserted] =
+        groups.try_emplace(key, std::vector<Accumulator>(items.size()));
+    std::vector<Accumulator>& accs = it->second;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Item& entry = items[i];
+      if (entry.item.aggregate == AggregateFn::kCount &&
+          entry.item.column == "*") {
+        ++accs[i].count;
+      } else if (entry.item.aggregate == AggregateFn::kCount &&
+                 entry.item.distinct) {
+        accs[i].distinct_values.insert(field(fact_row, dim_row, entry.binding));
+      } else {
+        accs[i].Add(field(fact_row, dim_row, entry.binding));
+      }
+    }
+  };
+
+  if (statement.table == "CELL") {
+    for (const Record& row : framework.cell_rows()) consume(row);
+  } else if (window_begin < window_end) {
+    const bool is_cdr = statement.table == "CDR";
+    SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+        window_begin, window_end, [&](const Snapshot& snapshot) {
+          const std::vector<Record>& rows =
+              is_cdr ? snapshot.cdr : snapshot.nms;
+          for (const Record& row : rows) consume(row);
+        }));
+  }
+
+  if (has_aggregate) {
+    for (const auto& [key, accs] : groups) {
+      std::vector<std::string> out;
+      out.reserve(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        const SelectItem& item = items[i].item;
+        const Accumulator& acc = accs[i];
+        switch (item.aggregate) {
+          case AggregateFn::kNone:
+            // Plain column next to aggregates: the group key (or first
+            // seen value for non-grouped columns).
+            out.push_back(has_group && item.column == *statement.group_by
+                              ? key
+                              : acc.min_text);
+            break;
+          case AggregateFn::kCount:
+            out.push_back(std::to_string(item.distinct
+                                             ? acc.distinct_values.size()
+                                             : acc.count));
+            break;
+          case AggregateFn::kSum:
+            out.push_back(FormatDouble(acc.sum));
+            break;
+          case AggregateFn::kAvg:
+            out.push_back(
+                FormatDouble(acc.count ? acc.sum / acc.count : 0.0));
+            break;
+          case AggregateFn::kMin:
+            out.push_back(acc.numeric && acc.count ? FormatDouble(acc.min)
+                                                   : acc.min_text);
+            break;
+          case AggregateFn::kMax:
+            out.push_back(acc.numeric && acc.count ? FormatDouble(acc.max)
+                                                   : acc.max_text);
+            break;
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  // ORDER BY: match the operand against output display names.
+  if (statement.order_by.has_value()) {
+    const auto& order = *statement.order_by;
+    int column = -1;
+    for (size_t i = 0; i < result.columns.size(); ++i) {
+      if (result.columns[i] == order.column) {
+        column = static_cast<int>(i);
+        break;
+      }
+    }
+    if (column < 0) {
+      return Status::InvalidArgument("sql: ORDER BY column " + order.column +
+                                     " is not in the select list");
+    }
+    const bool desc = order.descending;
+    std::stable_sort(
+        result.rows.begin(), result.rows.end(),
+        [column, desc](const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+          double av = 0, bv = 0;
+          int cmp;
+          if (ParseDouble(a[column], &av) && ParseDouble(b[column], &bv)) {
+            cmp = av < bv ? -1 : (av > bv ? 1 : 0);
+          } else {
+            const int c = a[column].compare(b[column]);
+            cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+          }
+          return desc ? cmp > 0 : cmp < 0;
+        });
+  }
+
+  if (statement.limit.has_value() && result.rows.size() > *statement.limit) {
+    result.rows.resize(*statement.limit);
+  }
+  return result;
+}
+
+Result<SqlResult> ExecuteSql(Framework& framework, std::string_view sql) {
+  SPATE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  return ExecuteSql(framework, statement);
+}
+
+}  // namespace spate

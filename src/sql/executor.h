@@ -1,0 +1,31 @@
+#ifndef SPATE_SQL_EXECUTOR_H_
+#define SPATE_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "sql/ast.h"
+
+namespace spate {
+
+/// Tabular result of a SPATE-SQL statement (all values rendered as text,
+/// like a Hive CLI).
+struct SqlResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Executes a parsed statement against a framework. Time predicates on the
+/// `ts` column use compact-timestamp prefix semantics ("2016" = the whole
+/// year) and drive temporal pruning through the framework's index before
+/// any rows are decompressed.
+Result<SqlResult> ExecuteSql(Framework& framework,
+                             const SelectStatement& statement);
+
+/// Parses and executes in one call.
+Result<SqlResult> ExecuteSql(Framework& framework, std::string_view sql);
+
+}  // namespace spate
+
+#endif  // SPATE_SQL_EXECUTOR_H_

@@ -1,0 +1,355 @@
+#include "sql/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace spate {
+namespace {
+
+enum class TokenType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/number text, string contents, or symbol
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < sql_.size()) {
+      const char c = sql_[pos_];
+      if (isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(Ident());
+        continue;
+      }
+      if (isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < sql_.size() &&
+           isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        tokens.push_back(Number());
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        SPATE_ASSIGN_OR_RETURN(Token t, QuotedString());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      // Multi-char operators first.
+      static constexpr std::string_view kTwoChar[] = {"<=", ">=", "!=", "<>"};
+      bool matched = false;
+      for (std::string_view op : kTwoChar) {
+        if (sql_.substr(pos_, 2) == op) {
+          tokens.push_back(Token{TokenType::kSymbol, std::string(op), pos_});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      if (std::string_view("=<>(),*;.").find(c) != std::string_view::npos) {
+        tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), pos_});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument("sql: unexpected character '" +
+                                     std::string(1, c) + "' at position " +
+                                     std::to_string(pos_));
+    }
+    tokens.push_back(Token{TokenType::kEnd, "", pos_});
+    return tokens;
+  }
+
+ private:
+  Token Ident() {
+    const size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokenType::kIdent, std::string(sql_.substr(start, pos_ - start)),
+                 start};
+  }
+
+  Token Number() {
+    const size_t start = pos_;
+    if (sql_[pos_] == '-') ++pos_;
+    while (pos_ < sql_.size() &&
+           (isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '.')) {
+      ++pos_;
+    }
+    return Token{TokenType::kNumber,
+                 std::string(sql_.substr(start, pos_ - start)), start};
+  }
+
+  Result<Token> QuotedString() {
+    const char quote = sql_[pos_];
+    const size_t start = pos_++;
+    std::string out;
+    while (pos_ < sql_.size() && sql_[pos_] != quote) {
+      out.push_back(sql_[pos_++]);
+    }
+    if (pos_ >= sql_.size()) {
+      return Status::InvalidArgument("sql: unterminated string at position " +
+                                     std::to_string(start));
+    }
+    ++pos_;  // closing quote
+    return Token{TokenType::kString, std::move(out), start};
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    SPATE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SPATE_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    SPATE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Current().type != TokenType::kIdent) {
+      return Error("expected table name");
+    }
+    stmt.table = Upper(Current().text);
+    Advance();
+    if (AcceptKeyword("JOIN")) {
+      JoinClause join;
+      if (Current().type != TokenType::kIdent) {
+        return Error("expected joined table name");
+      }
+      join.table = Upper(Current().text);
+      Advance();
+      SPATE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      SPATE_ASSIGN_OR_RETURN(join.left_column, ParseColumnName());
+      if (!AcceptSymbol("=")) return Error("expected = in join condition");
+      SPATE_ASSIGN_OR_RETURN(join.right_column, ParseColumnName());
+      stmt.join = std::move(join);
+    }
+    if (AcceptKeyword("WHERE")) {
+      SPATE_RETURN_IF_ERROR(ParsePredicates(&stmt));
+    }
+    if (AcceptKeyword("GROUP")) {
+      SPATE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      SPATE_ASSIGN_OR_RETURN(std::string group_col, ParseColumnName());
+      stmt.group_by = std::move(group_col);
+    }
+    if (AcceptKeyword("ORDER")) {
+      SPATE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      OrderBy order;
+      // The operand looks like a select item (column or aggregate call),
+      // matched against output display names at execution time.
+      SPATE_ASSIGN_OR_RETURN(SelectItem item, ParseItem());
+      order.column = item.DisplayName();
+      if (AcceptKeyword("DESC")) {
+        order.descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt.order_by = std::move(order);
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Current().type != TokenType::kNumber) {
+        return Error("expected LIMIT count");
+      }
+      int64_t limit = 0;
+      if (!ParseInt64(Current().text, &limit) || limit < 0) {
+        return Error("bad LIMIT count");
+      }
+      stmt.limit = static_cast<uint64_t>(limit);
+      Advance();
+    }
+    AcceptSymbol(";");
+    if (Current().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[index_]; }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("sql: " + message + " at position " +
+                                   std::to_string(Current().position));
+  }
+
+  bool AcceptKeyword(const char* keyword) {
+    if (Current().type == TokenType::kIdent &&
+        Upper(Current().text) == keyword) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(const char* symbol) {
+    if (Current().type == TokenType::kSymbol && Current().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses a possibly-qualified column reference: IDENT [ "." IDENT ].
+  Result<std::string> ParseColumnName() {
+    if (Current().type != TokenType::kIdent) {
+      return Status::InvalidArgument("sql: expected column at position " +
+                                     std::to_string(Current().position));
+    }
+    std::string name = Current().text;
+    Advance();
+    if (AcceptSymbol(".")) {
+      if (Current().type != TokenType::kIdent) {
+        return Status::InvalidArgument(
+            "sql: expected column after '.' at position " +
+            std::to_string(Current().position));
+      }
+      name += ".";
+      name += Current().text;
+      Advance();
+    }
+    return name;
+  }
+
+  /// Parses one select-list item: `*`, a column, or an aggregate call.
+  Result<SelectItem> ParseItem() {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.column = "*";
+      return item;
+    }
+    if (Current().type != TokenType::kIdent) {
+      return Status::InvalidArgument(
+          "sql: expected column or aggregate at position " +
+          std::to_string(Current().position));
+    }
+    const std::string name = Current().text;
+    const std::string upper = Upper(name);
+    // Aggregate call? (lookahead for '(')
+    if (index_ + 1 < tokens_.size() &&
+        tokens_[index_ + 1].type == TokenType::kSymbol &&
+        tokens_[index_ + 1].text == "(") {
+      Advance();  // function name
+      Advance();  // (
+      if (upper == "COUNT") {
+        item.aggregate = AggregateFn::kCount;
+      } else if (upper == "SUM") {
+        item.aggregate = AggregateFn::kSum;
+      } else if (upper == "AVG") {
+        item.aggregate = AggregateFn::kAvg;
+      } else if (upper == "MIN") {
+        item.aggregate = AggregateFn::kMin;
+      } else if (upper == "MAX") {
+        item.aggregate = AggregateFn::kMax;
+      } else {
+        return Status::InvalidArgument("sql: unknown function " + name);
+      }
+      if (AcceptKeyword("DISTINCT")) {
+        if (item.aggregate != AggregateFn::kCount) {
+          return Status::InvalidArgument(
+              "sql: DISTINCT is only supported inside COUNT");
+        }
+        item.distinct = true;
+      }
+      if (AcceptSymbol("*")) {
+        if (item.aggregate != AggregateFn::kCount || item.distinct) {
+          return Status::InvalidArgument("sql: only COUNT accepts *");
+        }
+        item.column = "*";
+      } else {
+        SPATE_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+      }
+      if (!AcceptSymbol(")")) {
+        return Status::InvalidArgument("sql: expected ) at position " +
+                                       std::to_string(Current().position));
+      }
+      return item;
+    }
+    SPATE_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+    return item;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    do {
+      SPATE_ASSIGN_OR_RETURN(SelectItem item, ParseItem());
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParsePredicates(SelectStatement* stmt) {
+    do {
+      Predicate pred;
+      SPATE_ASSIGN_OR_RETURN(pred.column, ParseColumnName());
+      if (Current().type != TokenType::kSymbol) {
+        return Error("expected comparison operator");
+      }
+      const std::string op = Current().text;
+      if (op == "=") {
+        pred.op = CompareOp::kEq;
+      } else if (op == "!=" || op == "<>") {
+        pred.op = CompareOp::kNe;
+      } else if (op == "<") {
+        pred.op = CompareOp::kLt;
+      } else if (op == "<=") {
+        pred.op = CompareOp::kLe;
+      } else if (op == ">") {
+        pred.op = CompareOp::kGt;
+      } else if (op == ">=") {
+        pred.op = CompareOp::kGe;
+      } else {
+        return Error("unknown operator " + op);
+      }
+      Advance();
+      if (Current().type != TokenType::kNumber &&
+          Current().type != TokenType::kString) {
+        return Error("expected literal");
+      }
+      pred.literal = Current().text;
+      Advance();
+      stmt->where.push_back(std::move(pred));
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(std::string_view sql) {
+  Lexer lexer(sql);
+  SPATE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace spate

@@ -1,0 +1,26 @@
+#ifndef SPATE_SQL_PARSER_H_
+#define SPATE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace spate {
+
+/// Parses one SPATE-SQL statement:
+///
+///   SELECT <item> [, <item>...]
+///   FROM <CDR|NMS|CELL>
+///   [WHERE <col> <op> <literal> [AND ...]]
+///   [GROUP BY <col>]  [;]
+///
+/// where <item> is `*`, a column, or COUNT(*) / SUM(col) / AVG(col) /
+/// MIN(col) / MAX(col); <op> is = != <> < <= > >=; literals are numbers or
+/// quoted strings ('...' or "..."). Keywords are case-insensitive.
+/// Returns InvalidArgument with a position-bearing message on bad input.
+Result<SelectStatement> ParseSql(std::string_view sql);
+
+}  // namespace spate
+
+#endif  // SPATE_SQL_PARSER_H_

@@ -1,0 +1,52 @@
+#include "telco/assembler.h"
+
+namespace spate {
+
+Status SnapshotAssembler::AddCdr(Timestamp ts, Record record) {
+  return Add(ts, std::move(record), /*is_cdr=*/true);
+}
+
+Status SnapshotAssembler::AddNms(Timestamp ts, Record record) {
+  return Add(ts, std::move(record), /*is_cdr=*/false);
+}
+
+Status SnapshotAssembler::Add(Timestamp ts, Record record, bool is_cdr) {
+  if (ts < 0) return Status::InvalidArgument("assembler: negative event time");
+  const Timestamp epoch = TruncateToEpoch(ts);
+  if (epoch <= last_emitted_epoch_) {
+    // The batch for this period already shipped: too late.
+    ++late_dropped_;
+    return Status::OK();
+  }
+  Snapshot& snapshot = pending_[epoch];
+  snapshot.epoch_start = epoch;
+  (is_cdr ? snapshot.cdr : snapshot.nms).push_back(std::move(record));
+
+  if (ts > watermark_) watermark_ = ts;
+  return EmitRipe();
+}
+
+Status SnapshotAssembler::EmitRipe() {
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    const Timestamp epoch_end = it->first + kEpochSeconds;
+    if (epoch_end + allowed_lateness_ > watermark_) break;
+    SPATE_RETURN_IF_ERROR(emit_(it->second));
+    ++emitted_;
+    last_emitted_epoch_ = it->first;
+    pending_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status SnapshotAssembler::Flush() {
+  for (auto& [epoch, snapshot] : pending_) {
+    SPATE_RETURN_IF_ERROR(emit_(snapshot));
+    ++emitted_;
+    last_emitted_epoch_ = epoch;
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+}  // namespace spate

@@ -1,0 +1,75 @@
+#ifndef SPATE_TELCO_ASSEMBLER_H_
+#define SPATE_TELCO_ASSEMBLER_H_
+
+#include <functional>
+#include <map>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "telco/snapshot.h"
+
+namespace spate {
+
+/// Assembles the telco record *stream* into the 30-minute snapshot batches
+/// SPATE ingests (Section II: "the data arrives at the data center in
+/// batches ... in the form of horizontally segmented files every 30
+/// minutes").
+///
+/// Network elements emit CDR/NMS records tagged with their event time;
+/// records may arrive late or out of order (radio-network buffering,
+/// transport retries). The assembler buckets records into epochs and emits
+/// a snapshot once the *watermark* — the largest event time seen, minus an
+/// allowed lateness — passes the epoch's end. Records arriving after their
+/// epoch was emitted are counted as dropped (operators track this as a
+/// data-quality metric).
+class SnapshotAssembler {
+ public:
+  using EmitFn = std::function<Status(const Snapshot&)>;
+
+  /// `emit` is called with each completed snapshot, in epoch order.
+  /// `allowed_lateness_seconds` delays emission to absorb stragglers.
+  SnapshotAssembler(EmitFn emit, int64_t allowed_lateness_seconds = 300)
+      : emit_(std::move(emit)),
+        allowed_lateness_(allowed_lateness_seconds) {}
+
+  /// Feeds one CDR record with event time `ts` (seconds). Advances the
+  /// watermark and may trigger snapshot emission.
+  Status AddCdr(Timestamp ts, Record record);
+
+  /// Feeds one NMS record with event time `ts`.
+  Status AddNms(Timestamp ts, Record record);
+
+  /// Forces emission of everything still buffered (end of stream).
+  Status Flush();
+
+  /// Largest event time observed so far (-1 before any record).
+  Timestamp watermark() const { return watermark_; }
+
+  /// Records that arrived after their epoch had already been emitted.
+  uint64_t late_dropped() const { return late_dropped_; }
+
+  /// Snapshots emitted so far.
+  uint64_t emitted() const { return emitted_; }
+
+  /// Epochs currently buffered (not yet past the watermark).
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  Status Add(Timestamp ts, Record record, bool is_cdr);
+
+  /// Emits every buffered epoch whose end precedes the watermark minus the
+  /// allowed lateness.
+  Status EmitRipe();
+
+  EmitFn emit_;
+  int64_t allowed_lateness_;
+  std::map<Timestamp, Snapshot> pending_;  // epoch start -> batch
+  Timestamp watermark_ = -1;
+  Timestamp last_emitted_epoch_ = -1;
+  uint64_t late_dropped_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_ASSEMBLER_H_

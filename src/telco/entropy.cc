@@ -1,0 +1,52 @@
+#include "telco/entropy.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+namespace spate {
+namespace {
+
+double EntropyOfCounts(const std::unordered_map<std::string, size_t>& counts,
+                       size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<double> ColumnEntropies(const std::vector<Record>& rows,
+                                    size_t num_columns) {
+  std::vector<double> entropies(num_columns, 0.0);
+  if (rows.empty()) return entropies;
+  static const std::string& blank = *new std::string();
+  for (size_t col = 0; col < num_columns; ++col) {
+    std::unordered_map<std::string, size_t> counts;
+    for (const Record& row : rows) {
+      const std::string& value = col < row.size() ? row[col] : blank;
+      ++counts[value];
+    }
+    entropies[col] = EntropyOfCounts(counts, rows.size());
+  }
+  return entropies;
+}
+
+double ByteEntropy(const std::string& data) {
+  if (data.empty()) return 0.0;
+  size_t counts[256] = {};
+  for (unsigned char c : data) ++counts[c];
+  double h = 0.0;
+  for (size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / data.size();
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace spate

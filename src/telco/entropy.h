@@ -1,0 +1,27 @@
+#ifndef SPATE_TELCO_ENTROPY_H_
+#define SPATE_TELCO_ENTROPY_H_
+
+#include <vector>
+
+#include "telco/record.h"
+
+namespace spate {
+
+/// Shannon entropy (bits/symbol) of each column of `rows`, treating each
+/// distinct field value as one symbol — the per-attribute analysis of the
+/// paper's Fig. 4, which motivates compression (blank optional attributes
+/// have entropy 0; most categorical attributes stay below 1 bit).
+///
+/// `num_columns` pads short rows with blanks; rows longer than it are
+/// truncated. Returns one entropy value per column (empty input -> zeros).
+std::vector<double> ColumnEntropies(const std::vector<Record>& rows,
+                                    size_t num_columns);
+
+/// Shannon entropy of a byte stream (bits/byte); an upper-bound estimate of
+/// the best possible order-0 compression per Shannon's source coding
+/// theorem (Section II-B).
+double ByteEntropy(const std::string& data);
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_ENTROPY_H_

@@ -1,0 +1,267 @@
+#include "telco/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+// Hourly load multipliers (0h..23h): quiet nights, morning/evening peaks.
+constexpr double kHourCurve[24] = {
+    0.25, 0.18, 0.14, 0.12, 0.14, 0.30, 0.55, 0.90, 1.35, 1.50, 1.45, 1.40,
+    1.55, 1.45, 1.35, 1.30, 1.40, 1.60, 1.70, 1.55, 1.30, 1.00, 0.65, 0.40};
+
+// Weekday multipliers, Monday..Sunday.
+constexpr double kWeekdayCurve[7] = {1.05, 1.00, 1.00, 1.05, 1.20,
+                                     0.95, 0.80};
+
+std::string Fmt(const char* fmt, long long v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string FmtF(const char* fmt, double v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Poisson sampler: Knuth for small lambda, normal approximation above.
+int64_t Poisson(Rng& rng, double lambda) {
+  if (lambda <= 0) return 0;
+  if (lambda > 30) {
+    const double v = lambda + std::sqrt(lambda) * rng.Gaussian();
+    return std::max<int64_t>(0, static_cast<int64_t>(std::llround(v)));
+  }
+  const double limit = std::exp(-lambda);
+  double product = rng.NextDouble();
+  int64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.NextDouble();
+  }
+  return count;
+}
+
+/// Deterministic per-attribute "kind" for the CDR filler columns, chosen by
+/// hashing the column index: most are blank or constant, a few carry
+/// low-cardinality categorical values (Fig. 4's entropy profile).
+enum class FillerKind { kBlank, kConstant, kBinary, kCategorical };
+
+FillerKind KindOfFiller(int attr_index) {
+  const uint32_t h = static_cast<uint32_t>(attr_index) * 2654435761u;
+  const uint32_t bucket = (h >> 16) % 100;
+  if (bucket < 55) return FillerKind::kBlank;
+  if (bucket < 80) return FillerKind::kConstant;
+  if (bucket < 92) return FillerKind::kBinary;
+  return FillerKind::kCategorical;
+}
+
+const char* kCallTypes[] = {"VOICE", "DATA", "SMS", "MMS"};
+const char* kResults[] = {"OK", "DROP", "FAIL", "BUSY"};
+const char* kVendors[] = {"VendorA", "VendorB", "VendorC"};
+const char* kTechs[] = {"LTE", "3G", "2G"};
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(config),
+      user_zipf_(static_cast<size_t>(config.num_users), 1.1),
+      cell_zipf_(static_cast<size_t>(config.num_cells), 1.05) {
+  // Build the static cell inventory: antennas placed uniformly in the
+  // region, each carrying a sector of cells.
+  Rng rng(config_.seed ^ 0xce11ce11ull);
+  const int cells_per_antenna =
+      std::max(1, config_.num_cells / std::max(1, config_.num_antennas));
+  cells_.reserve(config_.num_cells);
+  for (int c = 0; c < config_.num_cells; ++c) {
+    const int antenna = c / cells_per_antenna;
+    // Antenna position is a deterministic function of its id.
+    Rng antenna_rng(config_.seed ^ (0xa11e77ull + antenna));
+    const double ax = antenna_rng.NextDouble() * config_.region_meters;
+    const double ay = antenna_rng.NextDouble() * config_.region_meters;
+    const int sector = c % cells_per_antenna;
+    const int azimuth = (360 / std::max(1, cells_per_antenna)) * sector;
+    // Cell center sits a few hundred meters from the antenna along azimuth.
+    const double rad = azimuth * 3.14159265358979 / 180.0;
+    const double x = std::clamp(ax + 400.0 * std::cos(rad), 0.0,
+                                config_.region_meters);
+    const double y = std::clamp(ay + 400.0 * std::sin(rad), 0.0,
+                                config_.region_meters);
+    // 10x10 region grid over the coverage square.
+    const double grid = config_.region_meters / 10.0;
+    const int col = std::min(9, static_cast<int>(x / grid));
+    const int gridrow = std::min(9, static_cast<int>(y / grid));
+    const int region = gridrow * 10 + col;
+
+    Record row(CellSchema().num_attributes());
+    row[kCellId] = "c" + Fmt("%04lld", c);
+    row[kCellAntennaId] = "a" + Fmt("%04lld", antenna);
+    row[kCellX] = FmtF("%.1f", x);
+    row[kCellY] = FmtF("%.1f", y);
+    row[kCellTech] = kTechs[antenna % 3];
+    row[kCellAzimuth] = Fmt("%lld", azimuth);
+    row[kCellRange] = Fmt("%lld", 500 + 250 * (antenna % 8));
+    row[kCellRegion] = "R" + Fmt("%02lld", region % 100);
+    row[kCellVendor] = kVendors[rng.Uniform(3)];
+    row[kCellCapacity] = Fmt("%lld", 50ll << (antenna % 3));
+    cells_.push_back(std::move(row));
+  }
+}
+
+std::vector<Timestamp> TraceGenerator::EpochStarts() const {
+  std::vector<Timestamp> out;
+  const int total = config_.days * kEpochsPerDay;
+  out.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    out.push_back(config_.start + i * kEpochSeconds);
+  }
+  return out;
+}
+
+double TraceGenerator::LoadFactor(Timestamp ts) const {
+  const CivilTime ct = ToCivil(ts);
+  return kHourCurve[ct.hour] * kWeekdayCurve[Weekday(ts)];
+}
+
+Record TraceGenerator::MakeCdrRecord(Rng& rng, Timestamp epoch_start) const {
+  Record row(kCdrNumAttributes);
+  const Timestamp ts = epoch_start + rng.UniformInt(0, kEpochSeconds - 1);
+  const int64_t caller = static_cast<int64_t>(user_zipf_.Sample(rng));
+  const int64_t callee = static_cast<int64_t>(user_zipf_.Sample(rng));
+  const int64_t cell = static_cast<int64_t>(cell_zipf_.Sample(rng));
+  const int type = rng.Bernoulli(0.55) ? 1 : static_cast<int>(rng.Uniform(4));
+
+  row[kCdrTs] = FormatCompact(ts);
+  row[kCdrCaller] = "u" + Fmt("%06lld", caller);
+  row[kCdrCallee] = "u" + Fmt("%06lld", callee);
+  row[kCdrCellId] = "c" + Fmt("%04lld", cell);
+  row[kCdrCallType] = kCallTypes[type];
+  if (type == 0 /* VOICE */) {
+    row[kCdrDuration] =
+        Fmt("%lld", 1 + static_cast<int64_t>(rng.Exponential(1.0 / 120.0)));
+    row[kCdrUpflux] = "0";
+    row[kCdrDownflux] = "0";
+  } else if (type == 1 /* DATA */) {
+    row[kCdrDuration] =
+        Fmt("%lld", 1 + static_cast<int64_t>(rng.Exponential(1.0 / 300.0)));
+    // Heavy-tailed session volumes (bytes).
+    row[kCdrUpflux] = Fmt(
+        "%lld", static_cast<int64_t>(1024 * rng.Exponential(1.0 / 64.0)));
+    row[kCdrDownflux] = Fmt(
+        "%lld", static_cast<int64_t>(1024 * rng.Exponential(1.0 / 512.0)));
+  } else {
+    row[kCdrDuration] = "0";
+    row[kCdrUpflux] = "0";
+    row[kCdrDownflux] = "0";
+  }
+  const double drop_p = 0.02 + 0.02 * (cell % 7 == 0);  // some bad cells
+  row[kCdrResult] = rng.Bernoulli(1.0 - 2 * drop_p)
+                        ? kResults[0]
+                        : kResults[1 + rng.Uniform(3)];
+  // IMEI is a per-user stable pseudo-identifier.
+  row[kCdrImei] = "35" + Fmt("%012llx", caller * 0x9e3779b9ull + 7);
+
+  // Filler attributes (Fig. 4 entropy profile).
+  for (int a = 10; a < kCdrNumAttributes; ++a) {
+    switch (KindOfFiller(a)) {
+      case FillerKind::kBlank:
+        break;  // stays empty
+      case FillerKind::kConstant:
+        row[a] = "0";
+        break;
+      case FillerKind::kBinary:
+        row[a] = rng.Bernoulli(0.9) ? "N" : "Y";
+        break;
+      case FillerKind::kCategorical:
+        row[a] = "v" + Fmt("%lld", rng.Uniform(1 + a % 6));
+        break;
+    }
+  }
+  return row;
+}
+
+Snapshot TraceGenerator::GenerateSnapshot(Timestamp epoch_start) const {
+  const int64_t epoch_index = (epoch_start - config_.start) / kEpochSeconds;
+  Rng rng(config_.seed * 0x100000001b3ull +
+          static_cast<uint64_t>(epoch_index) + 0x5a5a5a5aull);
+
+  Snapshot snapshot;
+  snapshot.epoch_start = epoch_start;
+  const double load = LoadFactor(epoch_start);
+
+  const int64_t num_cdr = Poisson(rng, config_.cdr_base_rate * load);
+  snapshot.cdr.reserve(static_cast<size_t>(num_cdr));
+  for (int64_t i = 0; i < num_cdr; ++i) {
+    snapshot.cdr.push_back(MakeCdrRecord(rng, epoch_start));
+  }
+  // Keep rows in timestamp order, as the operator's collector emits them.
+  std::sort(snapshot.cdr.begin(), snapshot.cdr.end(),
+            [](const Record& a, const Record& b) {
+              return a[kCdrTs] < b[kCdrTs];
+            });
+
+  // NMS: aggregate counters per cell for this epoch. Network elements emit
+  // them at the period boundary (one shared report timestamp), values are
+  // quantized (integer seconds / Mbps / dBm), signal measurements are
+  // dominated by cell geometry (near-constant per cell), and most cells are
+  // quiet most of the time — the zero-inflated, highly repetitive shape
+  // that gives real OSS logs the ~9x GZIP ratios of Table I.
+  const std::string report_ts = FormatCompact(epoch_start);
+  for (int c = 0; c < config_.num_cells; ++c) {
+    const int64_t reports = Poisson(rng, config_.nms_per_cell * load);
+    // Per-cell stable signal characteristics.
+    const uint32_t cell_hash = static_cast<uint32_t>(c) * 2654435761u;
+    const int64_t base_rssi = -95 + static_cast<int64_t>(cell_hash % 20);
+    const int64_t base_tput = 8 + static_cast<int64_t>((cell_hash >> 8) % 30);
+    const bool busy_cell = (c % 5 != 0);  // 1 in 5 cells mostly idle
+    const double bad_cell = (c % 7 == 0) ? 2.5 : 1.0;
+    const double activity = busy_cell ? load : load * 0.05;
+    // Signal measurements of one cell within one period are shared by all
+    // of its reports (they describe the same antenna over the same 30
+    // minutes); only the traffic counters vary per report (per carrier).
+    const std::string cell_id = "c" + Fmt("%04lld", c);
+    const std::string tput = Fmt("%lld", base_tput + rng.UniformInt(-1, 1));
+    const std::string rssi = Fmt("%lld", base_rssi + rng.UniformInt(-1, 1));
+    const std::string duration = Fmt(
+        "%lld",
+        10 * ((120 + static_cast<int64_t>(25.0 * rng.Gaussian())) / 10));
+    for (int64_t r = 0; r < reports; ++r) {
+      Record row(NmsSchema().num_attributes());
+      row[kNmsTs] = report_ts;
+      row[kNmsCellId] = cell_id;
+      // Attempts quantized to steps of 5 by the reporting element; the
+      // call-derived counters are all zero on a report with no attempts.
+      const int64_t attempts = 5 * (Poisson(rng, 40.0 * activity) / 5);
+      row[kNmsCallAttempts] = Fmt("%lld", attempts);
+      // Injected incident: the affected cell's drops spike for a while.
+      double drop_boost = 1.0;
+      if (c == config_.incident_cell &&
+          epoch_start >= config_.incident_start &&
+          epoch_start <
+              config_.incident_start + config_.incident_duration_seconds) {
+        drop_boost = config_.incident_severity;
+      }
+      if (attempts > 0) {
+        row[kNmsDropCalls] =
+            Fmt("%lld", Poisson(rng, 0.8 * activity * bad_cell * drop_boost));
+        row[kNmsAvgDuration] = duration;
+        row[kNmsHandoverFails] = Fmt("%lld", Poisson(rng, 0.3 * activity));
+      } else {
+        row[kNmsDropCalls] = "0";
+        row[kNmsAvgDuration] = "0";
+        row[kNmsHandoverFails] = "0";
+      }
+      row[kNmsThroughput] = tput;
+      row[kNmsRssi] = rssi;
+      snapshot.nms.push_back(std::move(row));
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace spate

@@ -1,0 +1,81 @@
+#ifndef SPATE_TELCO_GENERATOR_H_
+#define SPATE_TELCO_GENERATOR_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "telco/snapshot.h"
+
+namespace spate {
+
+/// Knobs for the synthetic telco trace.
+///
+/// Defaults model a scaled-down version of the paper's dataset: 1 week of
+/// 30-minute snapshots starting on a Monday, ~300 cells on ~120 antennas in
+/// a ~6000 km^2 region, a Zipf-skewed user population, a diurnal and
+/// weekday load curve, and a CDR schema whose ~190 optional attributes are
+/// mostly blank or constant (reproducing the entropy profile of Fig. 4).
+struct TraceConfig {
+  uint64_t seed = 20160118;
+  /// First epoch (2016-01-18 00:00 UTC, a Monday).
+  Timestamp start = 1453075200;
+  int days = 7;
+  int num_users = 3000;
+  int num_cells = 360;
+  int num_antennas = 120;
+  /// Expected CDR rows per epoch at load factor 1.0.
+  double cdr_base_rate = 60.0;
+  /// Expected NMS rows per cell per epoch at load factor 1.0. NMS (OSS)
+  /// dominates the byte volume, as in the paper (~97% of the dataset).
+  double nms_per_cell = 4.0;
+  /// Side of the square coverage region in meters (~77 km -> ~6000 km^2).
+  double region_meters = 77000.0;
+
+  /// Optional injected network incident (for emergency-response scenarios
+  /// and highlight-detection tests): cell `incident_cell`'s drop-call
+  /// counters are multiplied by `incident_severity` during
+  /// [incident_start, incident_start + incident_duration_seconds).
+  int incident_cell = -1;  // -1 = no incident
+  Timestamp incident_start = 0;
+  int64_t incident_duration_seconds = 0;
+  double incident_severity = 10.0;
+};
+
+/// Deterministic synthetic telco trace generator.
+///
+/// Snapshots are generated independently per epoch (the per-epoch RNG is
+/// seeded from `seed` and the epoch index), so any subrange of the week can
+/// be produced without generating the rest — mirroring how real snapshots
+/// arrive as independent files.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(TraceConfig config = TraceConfig());
+
+  const TraceConfig& config() const { return config_; }
+
+  /// The static cell inventory (CELL table rows).
+  const std::vector<Record>& cells() const { return cells_; }
+
+  /// All epoch start timestamps of the configured window, in order.
+  std::vector<Timestamp> EpochStarts() const;
+
+  /// Generates the snapshot for the epoch beginning at `epoch_start`.
+  Snapshot GenerateSnapshot(Timestamp epoch_start) const;
+
+  /// Load multiplier at `ts` (diurnal curve x weekday curve); ~1.0 mean.
+  /// Exposed so benchmarks can report per-period load.
+  double LoadFactor(Timestamp ts) const;
+
+ private:
+  Record MakeCdrRecord(Rng& rng, Timestamp epoch_start) const;
+
+  TraceConfig config_;
+  std::vector<Record> cells_;
+  ZipfSampler user_zipf_;
+  ZipfSampler cell_zipf_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_GENERATOR_H_

@@ -1,0 +1,23 @@
+#include "telco/partition.h"
+
+namespace spate {
+
+std::vector<Timestamp> EpochsInPeriod(const std::vector<Timestamp>& epochs,
+                                      DayPeriod period) {
+  std::vector<Timestamp> out;
+  for (Timestamp ts : epochs) {
+    if (PeriodOf(ts) == period) out.push_back(ts);
+  }
+  return out;
+}
+
+std::vector<Timestamp> EpochsOnWeekday(const std::vector<Timestamp>& epochs,
+                                       int weekday) {
+  std::vector<Timestamp> out;
+  for (Timestamp ts : epochs) {
+    if (Weekday(ts) == weekday) out.push_back(ts);
+  }
+  return out;
+}
+
+}  // namespace spate

@@ -1,0 +1,61 @@
+#ifndef SPATE_TELCO_PARTITION_H_
+#define SPATE_TELCO_PARTITION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace spate {
+
+/// Day-period zones of the paper's Section VII-C datasets.
+enum class DayPeriod {
+  kMorning,    // 05:00 - 12:00
+  kAfternoon,  // 12:00 - 17:00
+  kEvening,    // 17:00 - 21:00
+  kNight,      // 21:00 - 05:00
+};
+
+/// All periods, in the paper's presentation order.
+inline constexpr DayPeriod kAllDayPeriods[] = {
+    DayPeriod::kMorning, DayPeriod::kAfternoon, DayPeriod::kEvening,
+    DayPeriod::kNight};
+
+/// Period containing `ts`.
+inline DayPeriod PeriodOf(Timestamp ts) {
+  const int hour = ToCivil(ts).hour;
+  if (hour >= 5 && hour < 12) return DayPeriod::kMorning;
+  if (hour >= 12 && hour < 17) return DayPeriod::kAfternoon;
+  if (hour >= 17 && hour < 21) return DayPeriod::kEvening;
+  return DayPeriod::kNight;
+}
+
+inline std::string_view DayPeriodName(DayPeriod period) {
+  switch (period) {
+    case DayPeriod::kMorning:
+      return "Morning";
+    case DayPeriod::kAfternoon:
+      return "Afternoon";
+    case DayPeriod::kEvening:
+      return "Evening";
+    case DayPeriod::kNight:
+      return "Night";
+  }
+  return "?";
+}
+
+/// Weekday names indexed by `Weekday(ts)` (0 = Monday).
+inline constexpr std::string_view kWeekdayNames[7] = {
+    "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+
+/// Filters `epochs` to those whose start falls in `period`.
+std::vector<Timestamp> EpochsInPeriod(const std::vector<Timestamp>& epochs,
+                                      DayPeriod period);
+
+/// Filters `epochs` to those on ISO weekday `weekday` (0 = Monday).
+std::vector<Timestamp> EpochsOnWeekday(const std::vector<Timestamp>& epochs,
+                                       int weekday);
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_PARTITION_H_

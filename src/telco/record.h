@@ -1,0 +1,42 @@
+#ifndef SPATE_TELCO_RECORD_H_
+#define SPATE_TELCO_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace spate {
+
+/// One telco record: positional attribute values, stored as text fields
+/// exactly as they arrive in the operator's CSV feeds. Typed access goes
+/// through the helpers below; missing/blank fields read as empty strings.
+using Record = std::vector<std::string>;
+
+/// Integer view of `record[idx]`; returns `fallback` on blank or malformed.
+inline int64_t FieldAsInt(const Record& record, int idx,
+                          int64_t fallback = 0) {
+  if (idx < 0 || static_cast<size_t>(idx) >= record.size()) return fallback;
+  int64_t v = 0;
+  return ParseInt64(record[idx], &v) ? v : fallback;
+}
+
+/// Double view of `record[idx]`; returns `fallback` on blank or malformed.
+inline double FieldAsDouble(const Record& record, int idx,
+                            double fallback = 0.0) {
+  if (idx < 0 || static_cast<size_t>(idx) >= record.size()) return fallback;
+  double v = 0;
+  return ParseDouble(record[idx], &v) ? v : fallback;
+}
+
+/// String view of `record[idx]`; empty string when out of range.
+inline const std::string& FieldAsString(const Record& record, int idx) {
+  static const std::string& empty = *new std::string();
+  if (idx < 0 || static_cast<size_t>(idx) >= record.size()) return empty;
+  return record[idx];
+}
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_RECORD_H_

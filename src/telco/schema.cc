@@ -1,0 +1,73 @@
+#include "telco/schema.h"
+
+#include <cstdio>
+
+namespace spate {
+namespace {
+
+TableSchema BuildCdrSchema() {
+  std::vector<AttributeSpec> attrs = {
+      {"ts", AttrType::kInt},        {"caller_id", AttrType::kString},
+      {"callee_id", AttrType::kString}, {"cell_id", AttrType::kString},
+      {"call_type", AttrType::kString}, {"duration", AttrType::kInt},
+      {"upflux", AttrType::kInt},    {"downflux", AttrType::kInt},
+      {"result", AttrType::kString}, {"imei", AttrType::kString},
+  };
+  // Optional attributes opt_011..opt_200: vendor counters, reserved fields
+  // and rarely-populated diagnostics. Most carry (near-)constant values.
+  attrs.reserve(kCdrNumAttributes);
+  char buf[16];
+  for (int i = static_cast<int>(attrs.size()) + 1; i <= kCdrNumAttributes;
+       ++i) {
+    snprintf(buf, sizeof(buf), "opt_%03d", i);
+    attrs.push_back({buf, AttrType::kString});
+  }
+  return TableSchema("CDR", std::move(attrs));
+}
+
+TableSchema BuildNmsSchema() {
+  return TableSchema("NMS", {
+                                {"ts", AttrType::kInt},
+                                {"cell_id", AttrType::kString},
+                                {"drop_calls", AttrType::kInt},
+                                {"call_attempts", AttrType::kInt},
+                                {"avg_duration", AttrType::kDouble},
+                                {"throughput", AttrType::kDouble},
+                                {"rssi", AttrType::kDouble},
+                                {"handover_fails", AttrType::kInt},
+                            });
+}
+
+TableSchema BuildCellSchema() {
+  return TableSchema("CELL", {
+                                 {"cell_id", AttrType::kString},
+                                 {"antenna_id", AttrType::kString},
+                                 {"x", AttrType::kDouble},
+                                 {"y", AttrType::kDouble},
+                                 {"tech", AttrType::kString},
+                                 {"azimuth", AttrType::kInt},
+                                 {"range_m", AttrType::kInt},
+                                 {"region", AttrType::kString},
+                                 {"vendor", AttrType::kString},
+                                 {"capacity", AttrType::kInt},
+                             });
+}
+
+}  // namespace
+
+const TableSchema& CdrSchema() {
+  static const TableSchema& schema = *new TableSchema(BuildCdrSchema());
+  return schema;
+}
+
+const TableSchema& NmsSchema() {
+  static const TableSchema& schema = *new TableSchema(BuildNmsSchema());
+  return schema;
+}
+
+const TableSchema& CellSchema() {
+  static const TableSchema& schema = *new TableSchema(BuildCellSchema());
+  return schema;
+}
+
+}  // namespace spate

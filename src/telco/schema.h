@@ -1,0 +1,98 @@
+#ifndef SPATE_TELCO_SCHEMA_H_
+#define SPATE_TELCO_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spate {
+
+/// Value domain of a telco attribute. The paper's data is "highly
+/// structured ... mostly nominal text and interval-scaled discrete numerical
+/// values" (Section II-B).
+enum class AttrType {
+  kString,  // nominal text
+  kInt,     // discrete numeric (counters, ids, bytes)
+  kDouble,  // interval-scaled measurements
+};
+
+/// One column of a telco table.
+struct AttributeSpec {
+  std::string name;
+  AttrType type = AttrType::kString;
+};
+
+/// Column layout of one telco table (CDR / NMS / CELL).
+class TableSchema {
+ public:
+  TableSchema(std::string name, std::vector<AttributeSpec> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Index of the attribute called `name`, or -1 if absent.
+  int IndexOf(std::string_view name) const {
+    for (size_t i = 0; i < attributes_.size(); ++i) {
+      if (attributes_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::string name_;
+  std::vector<AttributeSpec> attributes_;
+};
+
+/// Call Detail Record schema: ~200 attributes, of which the first 10 are the
+/// named ones of the paper's Fig. 3; the rest are the optional/filler
+/// attributes whose near-zero entropy drives the high compression ratios of
+/// Fig. 4. Well-known indices are exposed as `kCdr*` constants.
+const TableSchema& CdrSchema();
+
+/// Network Measurement System schema (8 attributes, all of Fig. 3).
+const TableSchema& NmsSchema();
+
+/// Cell/antenna inventory schema (10 attributes, all of Fig. 3).
+const TableSchema& CellSchema();
+
+// Well-known CDR attribute indices.
+inline constexpr int kCdrTs = 0;
+inline constexpr int kCdrCaller = 1;
+inline constexpr int kCdrCallee = 2;
+inline constexpr int kCdrCellId = 3;
+inline constexpr int kCdrCallType = 4;
+inline constexpr int kCdrDuration = 5;
+inline constexpr int kCdrUpflux = 6;
+inline constexpr int kCdrDownflux = 7;
+inline constexpr int kCdrResult = 8;
+inline constexpr int kCdrImei = 9;
+/// Total CDR attribute count (named + filler).
+inline constexpr int kCdrNumAttributes = 200;
+
+// Well-known NMS attribute indices.
+inline constexpr int kNmsTs = 0;
+inline constexpr int kNmsCellId = 1;
+inline constexpr int kNmsDropCalls = 2;
+inline constexpr int kNmsCallAttempts = 3;
+inline constexpr int kNmsAvgDuration = 4;
+inline constexpr int kNmsThroughput = 5;
+inline constexpr int kNmsRssi = 6;
+inline constexpr int kNmsHandoverFails = 7;
+
+// Well-known CELL attribute indices.
+inline constexpr int kCellId = 0;
+inline constexpr int kCellAntennaId = 1;
+inline constexpr int kCellX = 2;
+inline constexpr int kCellY = 3;
+inline constexpr int kCellTech = 4;
+inline constexpr int kCellAzimuth = 5;
+inline constexpr int kCellRange = 6;
+inline constexpr int kCellRegion = 7;
+inline constexpr int kCellVendor = 8;
+inline constexpr int kCellCapacity = 9;
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_SCHEMA_H_

@@ -1,0 +1,45 @@
+#ifndef SPATE_TELCO_SNAPSHOT_H_
+#define SPATE_TELCO_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "telco/record.h"
+
+namespace spate {
+
+/// One ingestion-cycle batch of telco records ("snapshot" d_i in the paper):
+/// all CDR and NMS rows whose activity fell inside a 30-minute epoch.
+struct Snapshot {
+  Timestamp epoch_start = 0;
+  std::vector<Record> cdr;
+  std::vector<Record> nms;
+
+  /// Total record count across tables.
+  size_t size() const { return cdr.size() + nms.size(); }
+};
+
+/// Serializes the snapshot to the on-DFS text format (CSV sections):
+///
+///   #SPATE-SNAPSHOT <YYYYMMDDhhmm>
+///   #CDR <row count>
+///   <comma-separated rows...>
+///   #NMS <row count>
+///   <comma-separated rows...>
+std::string SerializeSnapshot(const Snapshot& snapshot);
+
+/// Parses the text format back. Returns Corruption on any framing error.
+Status ParseSnapshot(Slice text, Snapshot* snapshot);
+
+/// Serializes a cell inventory table (one CSV row per cell, no header).
+std::string SerializeCells(const std::vector<Record>& cells);
+
+/// Parses a cell inventory table.
+Status ParseCells(Slice text, std::vector<Record>* cells);
+
+}  // namespace spate
+
+#endif  // SPATE_TELCO_SNAPSHOT_H_

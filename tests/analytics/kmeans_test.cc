@@ -1,0 +1,111 @@
+#include "analytics/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+Matrix ThreeBlobs(Rng& rng, int per_blob) {
+  Matrix points;
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({centers[b][0] + rng.Gaussian() * 0.5,
+                        centers[b][1] + rng.Gaussian() * 0.5});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  EXPECT_FALSE(KMeans({{1, 2}}, KMeansOptions{.k = 2}).ok());
+  EXPECT_FALSE(KMeans({{1}, {2, 3}}, KMeansOptions{.k = 1}).ok());
+  KMeansOptions bad;
+  bad.k = 0;
+  EXPECT_FALSE(KMeans({{1.0}}, bad).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(4);
+  Matrix points = ThreeBlobs(rng, 200);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // Every point must sit near its assigned centroid.
+  EXPECT_LT(result->inertia / points.size(), 1.0);
+  // All three blob-centers are approximated by some centroid.
+  for (const auto& center : {std::pair{0.0, 0.0}, {10.0, 10.0}, {-10.0, 10.0}}) {
+    double best = 1e18;
+    for (const auto& c : result->centroids) {
+      const double dx = c[0] - center.first, dy = c[1] - center.second;
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Rng rng(5);
+  Matrix points = ThreeBlobs(rng, 100);
+  KMeansOptions options;
+  options.k = 3;
+  auto a = KMeans(points, options);
+  auto b = KMeans(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, ParallelMatchesSequential) {
+  Rng rng(6);
+  Matrix points = ThreeBlobs(rng, 2000);
+  KMeansOptions options;
+  options.k = 3;
+  auto seq = KMeans(points, options, nullptr);
+  ThreadPool pool(4);
+  auto par = KMeans(points, options, &pool);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq->assignments, par->assignments);
+  EXPECT_NEAR(seq->inertia, par->inertia, 1e-6 * seq->inertia);
+}
+
+TEST(KMeansTest, KEqualsNPointsZeroInertia) {
+  Matrix points = {{0, 0}, {5, 5}, {9, 9}};
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, IdenticalPointsHandled) {
+  Matrix points(50, {3.0, 3.0});
+  KMeansOptions options;
+  options.k = 4;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, InertiaNonIncreasingWithMoreClusters) {
+  Rng rng(7);
+  Matrix points = ThreeBlobs(rng, 150);
+  double prev = 1e18;
+  for (int k = 1; k <= 5; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    options.max_iterations = 50;
+    auto result = KMeans(points, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev * 1.01);
+    prev = result->inertia;
+  }
+}
+
+}  // namespace
+}  // namespace spate

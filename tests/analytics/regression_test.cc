@@ -1,0 +1,99 @@
+#include "analytics/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(RegressionTest, RejectsBadInput) {
+  EXPECT_FALSE(LinearRegression({}, {}, RegressionOptions()).ok());
+  EXPECT_FALSE(
+      LinearRegression({{1.0}}, {1.0, 2.0}, RegressionOptions()).ok());
+  EXPECT_FALSE(
+      LinearRegression({{1.0}, {1.0, 2.0}}, {1.0, 2.0}, RegressionOptions())
+          .ok());
+}
+
+TEST(RegressionTest, RecoversExactLinearModel) {
+  // y = 2x1 - 3x2 + 5, no noise.
+  Rng rng(1);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.NextDouble() * 10, b = rng.NextDouble() * 10;
+    x.push_back({a, b});
+    y.push_back(2 * a - 3 * b + 5);
+  }
+  auto result = LinearRegression(x, y, RegressionOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->weights[0], 2.0, 1e-4);
+  EXPECT_NEAR(result->weights[1], -3.0, 1e-4);
+  EXPECT_NEAR(result->intercept, 5.0, 1e-3);
+  EXPECT_NEAR(result->r2, 1.0, 1e-6);
+  EXPECT_NEAR(result->mse, 0.0, 1e-6);
+}
+
+TEST(RegressionTest, NoisyModelStillClose) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.NextDouble() * 4 - 2;
+    x.push_back({a});
+    y.push_back(1.5 * a + 0.5 + rng.Gaussian() * 0.1);
+  }
+  auto result = LinearRegression(x, y, RegressionOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->weights[0], 1.5, 0.02);
+  EXPECT_NEAR(result->intercept, 0.5, 0.02);
+  EXPECT_GT(result->r2, 0.98);
+}
+
+TEST(RegressionTest, ParallelMatchesSequential) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.Gaussian(), b = rng.Gaussian(), c = rng.Gaussian();
+    x.push_back({a, b, c});
+    y.push_back(a - 2 * b + 0.5 * c + rng.Gaussian() * 0.01);
+  }
+  auto seq = LinearRegression(x, y, RegressionOptions(), nullptr);
+  ThreadPool pool(4);
+  auto par = LinearRegression(x, y, RegressionOptions(), &pool);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  for (size_t i = 0; i < seq->weights.size(); ++i) {
+    EXPECT_NEAR(seq->weights[i], par->weights[i], 1e-8);
+  }
+  EXPECT_NEAR(seq->intercept, par->intercept, 1e-8);
+}
+
+TEST(RegressionTest, ConstantFeatureHandledByRidge) {
+  // Degenerate column (all equal) plus duplicate column: the ridge term
+  // keeps the solve well-posed.
+  Matrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({1.0, static_cast<double>(i), static_cast<double>(i)});
+    y.push_back(3.0 * i);
+  }
+  RegressionOptions options;
+  options.l2 = 1e-6;
+  auto result = LinearRegression(x, y, options);
+  ASSERT_TRUE(result.ok());
+  // Prediction quality matters more than individual weights here.
+  EXPECT_GT(result->r2, 0.999);
+}
+
+TEST(RegressionTest, PredictAppliesModel) {
+  RegressionResult model;
+  model.weights = {2.0, -1.0};
+  model.intercept = 10.0;
+  EXPECT_DOUBLE_EQ(model.Predict({3.0, 4.0}), 12.0);
+}
+
+}  // namespace
+}  // namespace spate

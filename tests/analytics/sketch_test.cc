@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analytics/heavy_hitters.h"
+#include "analytics/histogram.h"
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(HeavyHittersTest, ExactWhenUnderCapacity) {
+  HeavyHitters hh(10);
+  for (int i = 0; i < 5; ++i) hh.Add("a");
+  for (int i = 0; i < 3; ++i) hh.Add("b");
+  hh.Add("c");
+  auto top = hh.Top(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[2].key, "c");
+  EXPECT_EQ(hh.Estimate("a"), 5u);
+  EXPECT_EQ(hh.Estimate("zzz"), 0u);
+}
+
+TEST(HeavyHittersTest, GuaranteesOnZipfStream) {
+  // Space-Saving guarantee: every key with freq > N/capacity is tracked,
+  // and estimates never under-count.
+  Rng rng(42);
+  ZipfSampler zipf(2000, 1.2);
+  HeavyHitters hh(64);
+  std::map<size_t, uint64_t> truth;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const size_t key = zipf.Sample(rng);
+    ++truth[key];
+    hh.Add("u" + std::to_string(key));
+  }
+  for (const auto& [key, count] : truth) {
+    const std::string name = "u" + std::to_string(key);
+    if (count > static_cast<uint64_t>(n) / 64) {
+      EXPECT_GE(hh.Estimate(name), count) << name;  // tracked, no undercount
+    }
+  }
+  // Top entries match the true heaviest keys.
+  auto top = hh.Top(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].key, "u0");
+  EXPECT_EQ(top[1].key, "u1");
+  // Estimates bound the truth: count - error <= truth <= count.
+  for (const auto& entry : top) {
+    const uint64_t true_count = truth[std::stoull(entry.key.substr(1))];
+    EXPECT_LE(true_count, entry.count);
+    EXPECT_GE(true_count, entry.count - entry.error);
+  }
+}
+
+TEST(HeavyHittersTest, WeightsAndCapacityOne) {
+  HeavyHitters hh(1);
+  hh.Add("a", 10);
+  hh.Add("b", 1);  // evicts a, inherits count 10
+  EXPECT_EQ(hh.tracked(), 1u);
+  EXPECT_EQ(hh.Estimate("b"), 11u);
+  EXPECT_EQ(hh.Top(5)[0].error, 10u);
+  EXPECT_EQ(hh.stream_weight(), 11u);
+}
+
+TEST(HistogramTest, BucketsAndSaturation) {
+  Histogram h(0, 10, 5);  // width 2
+  h.Add(-1);              // underflow
+  h.Add(0);
+  h.Add(1.99);
+  h.Add(2);
+  h.Add(9.99);
+  h.Add(10);  // overflow
+  h.Add(42);  // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(HistogramTest, QuantilesOnUniformData) {
+  Histogram h(0, 100, 100);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble() * 100);
+  EXPECT_NEAR(h.Quantile(0.5), 50, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90, 2.0);
+  EXPECT_NEAR(h.Quantile(0.1), 10, 2.0);
+  EXPECT_NEAR(h.ApproxMean(), 50, 1.0);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedFeed) {
+  Histogram a(0, 50, 10), b(0, 50, 10), all(0, 50, 10);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextDouble() * 60 - 5;
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.underflow(), all.underflow());
+  EXPECT_EQ(a.overflow(), all.overflow());
+  for (size_t i = 0; i < all.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i));
+  }
+}
+
+TEST(HistogramTest, MergeRejectsGeometryMismatch) {
+  Histogram a(0, 50, 10), b(0, 50, 20), c(0, 60, 10);
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_FALSE(a.Merge(c));
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0, 4, 2);
+  h.Add(1);
+  h.Add(1);
+  h.Add(3);
+  const std::string chart = h.ToAscii(10);
+  // Two lines, first bucket peak-width, second half.
+  EXPECT_NE(chart.find("##########"), std::string::npos);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 2);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0, 10, 4);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.ApproxMean(), 0);
+}
+
+}  // namespace
+}  // namespace spate

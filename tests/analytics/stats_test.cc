@@ -1,0 +1,68 @@
+#include "analytics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(ColumnStatsTest, EmptyInput) {
+  auto stats = ComputeColumnStats({}, {"a", "b"});
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].count, 0u);
+  EXPECT_EQ(stats[0].name, "a");
+}
+
+TEST(ColumnStatsTest, KnownValues) {
+  Matrix rows = {{1, 0}, {2, 5}, {3, 0}, {4, -5}};
+  auto stats = ComputeColumnStats(rows, {"x", "y"});
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].count, 4u);
+  EXPECT_EQ(stats[0].num_nonzeros, 4u);
+  EXPECT_DOUBLE_EQ(stats[0].min, 1);
+  EXPECT_DOUBLE_EQ(stats[0].max, 4);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 2.5);
+  EXPECT_NEAR(stats[0].variance, 5.0 / 3.0, 1e-12);  // sample variance
+  EXPECT_EQ(stats[1].num_nonzeros, 2u);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 0);
+}
+
+TEST(ColumnStatsTest, SingleRowHasZeroVariance) {
+  auto stats = ComputeColumnStats({{7}}, {"x"});
+  EXPECT_DOUBLE_EQ(stats[0].variance, 0);
+  EXPECT_DOUBLE_EQ(stats[0].min, 7);
+  EXPECT_DOUBLE_EQ(stats[0].max, 7);
+}
+
+TEST(ColumnStatsTest, ParallelMatchesSequential) {
+  Rng rng(8);
+  Matrix rows;
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back({rng.Gaussian(), rng.NextDouble() * 100,
+                    static_cast<double>(rng.Uniform(10))});
+  }
+  const std::vector<std::string> names = {"g", "u", "d"};
+  auto seq = ComputeColumnStats(rows, names, nullptr);
+  ThreadPool pool(4);
+  auto par = ComputeColumnStats(rows, names, &pool);
+  for (size_t c = 0; c < names.size(); ++c) {
+    EXPECT_EQ(par[c].count, seq[c].count);
+    EXPECT_EQ(par[c].num_nonzeros, seq[c].num_nonzeros);
+    EXPECT_DOUBLE_EQ(par[c].min, seq[c].min);
+    EXPECT_DOUBLE_EQ(par[c].max, seq[c].max);
+    EXPECT_NEAR(par[c].mean, seq[c].mean, 1e-9);
+    EXPECT_NEAR(par[c].variance, seq[c].variance, 1e-6);
+  }
+}
+
+TEST(ColumnStatsTest, ShortRowsReadAsZero) {
+  Matrix rows = {{1, 2}, {3}};
+  auto stats = ComputeColumnStats(rows, {"a", "b"});
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_EQ(stats[1].num_nonzeros, 1u);
+  EXPECT_DOUBLE_EQ(stats[1].min, 0);
+}
+
+}  // namespace
+}  // namespace spate

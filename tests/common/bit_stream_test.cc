@@ -1,0 +1,108 @@
+#include "common/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(BitStreamTest, SingleBits) {
+  std::string buf;
+  BitWriter w(&buf);
+  const bool bits[] = {true, false, true, true, false, false, true, false,
+                       true};
+  for (bool b : bits) w.WriteBit(b);
+  w.Finish();
+  ASSERT_EQ(buf.size(), 2u);  // 9 bits -> 2 bytes
+
+  BitReader r(buf);
+  for (bool b : bits) EXPECT_EQ(r.ReadBit(), b);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStreamTest, MultiBitValues) {
+  std::string buf;
+  BitWriter w(&buf);
+  w.WriteBits(0x5, 3);
+  w.WriteBits(0x1234, 16);
+  w.WriteBits(0x1ffffffffull, 33);
+  w.Finish();
+
+  BitReader r(buf);
+  EXPECT_EQ(r.ReadBits(3), 0x5u);
+  EXPECT_EQ(r.ReadBits(16), 0x1234u);
+  EXPECT_EQ(r.ReadBits(33), 0x1ffffffffull);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitStreamTest, ZeroBitWriteIsNoop) {
+  std::string buf;
+  BitWriter w(&buf);
+  w.WriteBits(0, 0);
+  w.WriteBits(1, 1);
+  w.Finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.ReadBits(0), 0u);
+  EXPECT_TRUE(r.ReadBit());
+}
+
+TEST(BitStreamTest, PeekDoesNotConsume) {
+  std::string buf;
+  BitWriter w(&buf);
+  w.WriteBits(0b101101, 6);
+  w.Finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.PeekBits(6), 0b101101u);
+  EXPECT_EQ(r.PeekBits(6), 0b101101u);
+  r.Consume(3);
+  EXPECT_EQ(r.PeekBits(3), 0b101u);
+}
+
+TEST(BitStreamTest, OverflowDetectedOnReadPastEnd) {
+  std::string buf;
+  BitWriter w(&buf);
+  w.WriteBits(0xff, 8);
+  w.Finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.ReadBits(8), 0xffu);
+  EXPECT_FALSE(r.overflowed());
+  EXPECT_EQ(r.ReadBits(8), 0u);  // past end -> zeros
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitStreamTest, PeekPastEndIsNotOverflowUntilConsumed) {
+  std::string buf("\x01", 1);
+  BitReader r(buf);
+  r.PeekBits(16);
+  EXPECT_FALSE(r.overflowed());
+  r.Consume(8);
+  EXPECT_FALSE(r.overflowed());
+  r.Consume(8);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitStreamTest, RandomRoundTrip) {
+  Rng rng(99);
+  std::vector<std::pair<uint64_t, int>> writes;
+  std::string buf;
+  BitWriter w(&buf);
+  for (int i = 0; i < 5000; ++i) {
+    int count = static_cast<int>(rng.Uniform(57)) + 1;
+    uint64_t value = rng.Next() & ((1ull << count) - 1);
+    writes.emplace_back(value, count);
+    w.WriteBits(value, count);
+  }
+  w.Finish();
+
+  BitReader r(buf);
+  for (const auto& [value, count] : writes) {
+    ASSERT_EQ(r.ReadBits(count), value);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
+}  // namespace
+}  // namespace spate

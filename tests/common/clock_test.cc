@@ -1,0 +1,111 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace spate {
+namespace {
+
+TEST(ClockTest, EpochOrigin) {
+  CivilTime ct = ToCivil(0);
+  EXPECT_EQ(ct.year, 1970);
+  EXPECT_EQ(ct.month, 1);
+  EXPECT_EQ(ct.day, 1);
+  EXPECT_EQ(ct.hour, 0);
+}
+
+TEST(ClockTest, KnownTimestamp) {
+  // 2016-01-22 15:30:00 UTC == 1453476600.
+  CivilTime ct;
+  ct.year = 2016;
+  ct.month = 1;
+  ct.day = 22;
+  ct.hour = 15;
+  ct.minute = 30;
+  EXPECT_EQ(FromCivil(ct), 1453476600);
+  CivilTime back = ToCivil(1453476600);
+  EXPECT_EQ(back.year, 2016);
+  EXPECT_EQ(back.month, 1);
+  EXPECT_EQ(back.day, 22);
+  EXPECT_EQ(back.hour, 15);
+  EXPECT_EQ(back.minute, 30);
+  EXPECT_EQ(back.second, 0);
+}
+
+TEST(ClockTest, RoundTripSweep) {
+  // Every 7h13m step across several years, including leap year 2016.
+  for (Timestamp ts = 1420070400 /* 2015-01-01 */;
+       ts < 1546300800 /* 2019-01-01 */; ts += 7 * 3600 + 13 * 60) {
+    EXPECT_EQ(FromCivil(ToCivil(ts)), ts) << ts;
+  }
+}
+
+TEST(ClockTest, LeapDay) {
+  CivilTime ct;
+  ct.year = 2016;
+  ct.month = 2;
+  ct.day = 29;
+  Timestamp ts = FromCivil(ct);
+  CivilTime back = ToCivil(ts);
+  EXPECT_EQ(back.month, 2);
+  EXPECT_EQ(back.day, 29);
+  EXPECT_EQ(ToCivil(ts + 86400).month, 3);
+  EXPECT_EQ(ToCivil(ts + 86400).day, 1);
+}
+
+TEST(ClockTest, WeekdayKnownDates) {
+  // 1970-01-01 was a Thursday (ISO index 3).
+  EXPECT_EQ(Weekday(0), 3);
+  // 2016-01-22 was a Friday (ISO index 4).
+  EXPECT_EQ(Weekday(1453476600), 4);
+  // 2016-01-24 was a Sunday (ISO index 6).
+  EXPECT_EQ(Weekday(1453476600 + 2 * 86400), 6);
+}
+
+TEST(ClockTest, Truncations) {
+  const Timestamp ts = 1453476600 + 17 * 60 + 42;  // 15:47:42
+  EXPECT_EQ(TruncateToEpoch(ts), 1453476600);      // back to 15:30
+  CivilTime day = ToCivil(TruncateToDay(ts));
+  EXPECT_EQ(day.hour, 0);
+  EXPECT_EQ(day.day, 22);
+  CivilTime month = ToCivil(TruncateToMonth(ts));
+  EXPECT_EQ(month.day, 1);
+  EXPECT_EQ(month.month, 1);
+  CivilTime year = ToCivil(TruncateToYear(ts));
+  EXPECT_EQ(year.month, 1);
+  EXPECT_EQ(year.day, 1);
+  EXPECT_EQ(year.year, 2016);
+}
+
+TEST(ClockTest, FormatCompact) {
+  EXPECT_EQ(FormatCompact(1453476600), "201601221530");
+}
+
+TEST(ClockTest, FormatIso) {
+  EXPECT_EQ(FormatIso(1453476600), "2016-01-22 15:30:00");
+}
+
+TEST(ClockTest, ParseCompactPrefixes) {
+  EXPECT_EQ(ParseCompact("201601221530"), 1453476600);
+  // Prefixes denote period starts.
+  EXPECT_EQ(ToCivil(ParseCompact("2016")).month, 1);
+  EXPECT_EQ(ToCivil(ParseCompact("201607")).month, 7);
+  EXPECT_EQ(ToCivil(ParseCompact("20160722")).day, 22);
+  EXPECT_EQ(ToCivil(ParseCompact("2016072209")).hour, 9);
+}
+
+TEST(ClockTest, ParseCompactRejectsMalformed) {
+  EXPECT_EQ(ParseCompact(""), -1);
+  EXPECT_EQ(ParseCompact("20161"), -1);     // bad length
+  EXPECT_EQ(ParseCompact("2016ab"), -1);    // non-digits
+  EXPECT_EQ(ParseCompact("201613"), -1);    // month 13
+  EXPECT_EQ(ParseCompact("20160732"), -1);  // day 32
+  EXPECT_EQ(ParseCompact("2016072225"), -1);  // hour 25
+}
+
+TEST(ClockTest, EpochConstants) {
+  EXPECT_EQ(kEpochSeconds, 1800);
+  EXPECT_EQ(kEpochsPerDay, 48);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,125 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed32(&buf, 0);
+  Slice in(buf);
+  uint32_t a = 0, b = 1;
+  ASSERT_TRUE(GetFixed32(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  Slice in(buf);
+  uint64_t v = 0;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefull);
+}
+
+TEST(CodingTest, FixedTruncatedFails) {
+  std::string buf = "abc";
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetFixed32(&in, &v));
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,       1,          127,        128,
+                            16383,   16384,      (1ull << 32) - 1,
+                            1ull << 32, UINT64_MAX};
+  for (uint64_t c : cases) {
+    std::string buf;
+    PutVarint64(&buf, c);
+    Slice in(buf);
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&in, &v)) << c;
+    EXPECT_EQ(v, c);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, (1ull << 33));
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  buf.pop_back();
+  Slice in(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(CodingTest, VarintRandomRoundTrip) {
+  Rng rng(17);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so all byte-lengths are exercised.
+    uint64_t v = rng.Next() >> rng.Uniform(64);
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice in(buf);
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&in, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, ZigZagRoundTrip) {
+  const int64_t cases[] = {0, -1, 1, -2, 2, INT64_MIN, INT64_MAX, -123456789};
+  for (int64_t c : cases) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(c)), c) << c;
+  }
+  // Small magnitudes must map to small codes.
+  EXPECT_LT(ZigZagEncode64(-3), 8u);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  PutLengthPrefixed(&buf, Slice("world!"));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.ToString(), "world!");
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  buf.pop_back();
+  Slice in(buf);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+}  // namespace
+}  // namespace spate

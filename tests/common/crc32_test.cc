@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace spate {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) test vectors.
+  EXPECT_EQ(Crc32(Slice("")), 0x00000000u);
+  EXPECT_EQ(Crc32(Slice("123456789")), 0xcbf43926u);
+  EXPECT_EQ(Crc32(Slice("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlips) {
+  std::string data(1024, 'a');
+  const uint32_t base = Crc32(data);
+  data[512] ^= 1;
+  EXPECT_NE(Crc32(data), base);
+}
+
+TEST(Crc32Test, SeedChainingMatchesOneShot) {
+  const std::string data = "hello, spate telco big data";
+  const uint32_t one_shot = Crc32(data);
+  const uint32_t part1 = Crc32(Slice(data.data(), 10));
+  const uint32_t chained = Crc32(Slice(data.data() + 10, data.size() - 10),
+                                 part1);
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(Crc32Test, BinaryData) {
+  std::string data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  EXPECT_EQ(Crc32(data), Crc32(data));
+  EXPECT_NE(Crc32(data), 0u);
+}
+
+}  // namespace
+}  // namespace spate

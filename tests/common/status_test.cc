@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace spate {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status s = Status::Corruption("bad block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "bad block");
+  EXPECT_EQ(s.ToString(), "Corruption: bad block");
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_FALSE(Status::IOError("x").IsNotFound());
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotSupported), "NotSupported");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status Fails() { return Status::IOError("disk"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  SPATE_RETURN_IF_ERROR(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kIOError);
+}
+
+Result<int> MaybeInt(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  SPATE_ASSIGN_OR_RETURN(int v, MaybeInt(fail));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsOrPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseAssignOrReturn(true, &out).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace spate

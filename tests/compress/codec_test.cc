@@ -1,0 +1,218 @@
+#include "compress/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+std::string MakeTelcoishText(Rng& rng, size_t rows) {
+  std::string out;
+  ZipfSampler cells(120, 1.2);
+  ZipfSampler types(4, 1.0);
+  for (size_t i = 0; i < rows; ++i) {
+    out += "20160122";
+    out += std::to_string(100000 + rng.Uniform(900000));
+    out += ",user";
+    out += std::to_string(rng.Uniform(3000));
+    out += ",cell";
+    out += std::to_string(cells.Sample(rng));
+    out += ",type";
+    out += std::to_string(types.Sample(rng));
+    out += ",,,,0,0,OK,";  // low-entropy optional fields
+    out += std::to_string(rng.Uniform(4096));
+    out += "\n";
+  }
+  return out;
+}
+
+class CodecTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const Codec* codec() const { return CodecRegistry::Get(GetParam()); }
+};
+
+TEST_P(CodecTest, Registered) { ASSERT_NE(codec(), nullptr); }
+
+TEST_P(CodecTest, EmptyInput) {
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec()->Compress(Slice(""), &compressed).ok());
+  ASSERT_TRUE(codec()->Decompress(compressed, &decompressed).ok());
+  EXPECT_TRUE(decompressed.empty());
+}
+
+TEST_P(CodecTest, OneByte) {
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec()->Compress(Slice("x"), &compressed).ok());
+  ASSERT_TRUE(codec()->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, "x");
+}
+
+TEST_P(CodecTest, TextRoundTrip) {
+  Rng rng(42);
+  const std::string input = MakeTelcoishText(rng, 3000);
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec()->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec()->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+TEST_P(CodecTest, BinaryRoundTrip) {
+  Rng rng(7);
+  std::string input;
+  for (int i = 0; i < 100000; ++i) {
+    input.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec()->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec()->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+TEST_P(CodecTest, HighlyRepetitiveRoundTrip) {
+  std::string input;
+  for (int i = 0; i < 2000; ++i) input += "the same line over and over\n";
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec()->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec()->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+TEST_P(CodecTest, AppendsToExistingOutput) {
+  const std::string input = "payload payload payload payload";
+  std::string compressed;
+  ASSERT_TRUE(codec()->Compress(input, &compressed).ok());
+  std::string decompressed = "prefix:";
+  ASSERT_TRUE(codec()->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, "prefix:" + input);
+}
+
+TEST_P(CodecTest, DetectsPayloadCorruption) {
+  Rng rng(12);
+  const std::string input = MakeTelcoishText(rng, 500);
+  std::string compressed;
+  ASSERT_TRUE(codec()->Compress(input, &compressed).ok());
+  // Flip a byte deep in the payload (past the envelope header).
+  for (size_t flip = compressed.size() / 2; flip < compressed.size();
+       flip += 97) {
+    std::string corrupted = compressed;
+    corrupted[flip] = static_cast<char>(corrupted[flip] ^ 0x10);
+    std::string decompressed;
+    Status s = codec()->Decompress(corrupted, &decompressed);
+    if (s.ok()) {
+      // The CRC must have caught any silent mismatch.
+      EXPECT_EQ(decompressed, input);
+    }
+  }
+}
+
+TEST_P(CodecTest, DetectsTruncation) {
+  Rng rng(13);
+  const std::string input = MakeTelcoishText(rng, 500);
+  std::string compressed;
+  ASSERT_TRUE(codec()->Compress(input, &compressed).ok());
+  std::string truncated = compressed.substr(0, compressed.size() * 3 / 4);
+  std::string decompressed;
+  EXPECT_FALSE(codec()->Decompress(truncated, &decompressed).ok());
+}
+
+TEST_P(CodecTest, RejectsWrongCodecId) {
+  const Codec* other = CodecRegistry::Get("null");
+  if (codec() == other) other = CodecRegistry::Get("deflate");
+  std::string compressed;
+  ASSERT_TRUE(other->Compress(Slice("hello"), &compressed).ok());
+  std::string decompressed;
+  EXPECT_TRUE(codec()->Decompress(compressed, &decompressed).IsCorruption());
+}
+
+TEST_P(CodecTest, RejectsEmptyBlob) {
+  std::string decompressed;
+  EXPECT_FALSE(codec()->Decompress(Slice(""), &decompressed).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecTest,
+                         ::testing::Values("deflate", "lzma-lite", "fast-lz",
+                                           "tans", "null"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+class CodecSeedTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(CodecSeedTest, RandomInputsRoundTrip) {
+  const Codec* codec = CodecRegistry::Get(std::get<0>(GetParam()));
+  ASSERT_NE(codec, nullptr);
+  Rng rng(std::get<1>(GetParam()));
+  const size_t size = rng.Uniform(50000);
+  const int alphabet = 2 + static_cast<int>(rng.Uniform(254));
+  std::string input;
+  input.reserve(size);
+  // Mix runs and random bytes to exercise match emission paths.
+  while (input.size() < size) {
+    if (rng.Bernoulli(0.3)) {
+      input.append(rng.Uniform(100) + 1,
+                   static_cast<char>(rng.Uniform(alphabet)));
+    } else {
+      input.push_back(static_cast<char>(rng.Uniform(alphabet)));
+    }
+  }
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecSeedTest,
+    ::testing::Combine(::testing::Values("deflate", "lzma-lite", "fast-lz",
+                                         "tans"),
+                       ::testing::Range<uint64_t>(0, 8)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CodecRatioTest, EntropyCodecsBeatFastLzOnTelcoText) {
+  Rng rng(99);
+  const std::string input = MakeTelcoishText(rng, 20000);
+  auto ratio = [&](const char* name) {
+    const Codec* codec = CodecRegistry::Get(name);
+    std::string compressed;
+    EXPECT_TRUE(codec->Compress(input, &compressed).ok());
+    return static_cast<double>(input.size()) / compressed.size();
+  };
+  const double deflate = ratio("deflate");
+  const double lzma = ratio("lzma-lite");
+  const double fast = ratio("fast-lz");
+  const double tans = ratio("tans");
+  // Table I shape: entropy-coded codecs land well above the byte-LZ codec.
+  EXPECT_GT(deflate, fast);
+  EXPECT_GT(lzma, fast);
+  EXPECT_GT(tans, fast);
+  // And everything actually compresses this data a lot.
+  EXPECT_GT(fast, 2.0);
+  EXPECT_GT(deflate, 4.0);
+}
+
+TEST(CodecRegistryTest, LookupByIdMatchesName) {
+  for (std::string_view name : CodecRegistry::Names()) {
+    const Codec* codec = CodecRegistry::Get(name);
+    ASSERT_NE(codec, nullptr);
+    EXPECT_EQ(CodecRegistry::GetById(codec->Id()), codec);
+  }
+  EXPECT_EQ(CodecRegistry::Get("bogus"), nullptr);
+  EXPECT_EQ(CodecRegistry::GetById(200), nullptr);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "compress/codec.h"
+#include "compress/lz77.h"
+
+namespace spate {
+namespace {
+
+TEST(Lz77DictionaryTest, TokensCoverOnlyPayload) {
+  const std::string dict = "the quick brown fox jumps over the lazy dog";
+  const std::string payload = "the quick brown fox naps";
+  const std::string buffer = dict + payload;
+  Lz77Matcher matcher;
+  auto tokens = matcher.ParseWithDictionary(buffer, dict.size());
+  size_t covered = 0;
+  for (const auto& t : tokens) covered += t.literal_len + t.match_len;
+  EXPECT_EQ(covered, payload.size());
+}
+
+TEST(Lz77DictionaryTest, MatchesReachIntoDictionary) {
+  const std::string dict(500, 'a');
+  const std::string payload(400, 'a');
+  const std::string buffer = dict + payload;
+  Lz77Matcher matcher;
+  auto tokens = matcher.ParseWithDictionary(buffer, dict.size());
+  // The payload should be almost entirely matches (referencing the dict).
+  size_t literals = 0;
+  for (const auto& t : tokens) literals += t.literal_len;
+  EXPECT_LT(literals, 8u);
+}
+
+TEST(Lz77DictionaryTest, EmptyDictionaryEqualsPlainParse) {
+  const std::string input = "hello hello hello hello";
+  Lz77Matcher a, b;
+  auto plain = a.Parse(input);
+  auto with_dict = b.ParseWithDictionary(input, 0);
+  ASSERT_EQ(plain.size(), with_dict.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].literal_len, with_dict[i].literal_len);
+    EXPECT_EQ(plain[i].match_len, with_dict[i].match_len);
+    EXPECT_EQ(plain[i].distance, with_dict[i].distance);
+  }
+}
+
+class DictionaryCodecTest : public ::testing::Test {
+ protected:
+  const Codec* codec_ = CodecRegistry::Get("deflate");
+};
+
+TEST_F(DictionaryCodecTest, DeflateSupportsDictionary) {
+  EXPECT_TRUE(codec_->SupportsDictionary());
+  EXPECT_FALSE(CodecRegistry::Get("fast-lz")->SupportsDictionary());
+  EXPECT_FALSE(CodecRegistry::Get("tans")->SupportsDictionary());
+  std::string out;
+  EXPECT_EQ(CodecRegistry::Get("fast-lz")
+                ->CompressWithDictionary(Slice("d"), Slice("x"), &out)
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(DictionaryCodecTest, RoundTripWithDictionary) {
+  const std::string dict = "snapshot header,cell0001,12,34,56\nrow two\n";
+  const std::string input = "snapshot header,cell0001,12,34,57\nrow two!\n";
+  std::string compressed;
+  ASSERT_TRUE(codec_->CompressWithDictionary(dict, input, &compressed).ok());
+  std::string decompressed;
+  ASSERT_TRUE(
+      codec_->DecompressWithDictionary(dict, compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+TEST_F(DictionaryCodecTest, SlowlyChangingPayloadCompressesMuchBetter) {
+  // A config-dump-like feed: long runs of rows unchanged between versions,
+  // with ~5% of rows edited. Cross-version matches then span many rows and
+  // the dictionary pays off massively (the differential-compression sweet
+  // spot the paper's future-work section targets).
+  Rng rng(31);
+  std::vector<std::string> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back("c" + std::to_string(1000 + i) + ",antenna" +
+                   std::to_string(rng.Uniform(500)) + "," +
+                   std::to_string(rng.Uniform(100000)) + ",LTE,R" +
+                   std::to_string(rng.Uniform(100)) + "\n");
+  }
+  std::string dict;
+  for (const auto& row : rows) dict += row;
+  // Next version: edit 5% of rows.
+  std::string input;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rng.Bernoulli(0.05)) {
+      input += "c" + std::to_string(1000 + i) + ",antenna" +
+               std::to_string(rng.Uniform(500)) + "," +
+               std::to_string(rng.Uniform(100000)) + ",3G,R" +
+               std::to_string(rng.Uniform(100)) + "\n";
+    } else {
+      input += rows[i];
+    }
+  }
+
+  std::string plain, with_dict;
+  ASSERT_TRUE(codec_->Compress(input, &plain).ok());
+  ASSERT_TRUE(codec_->CompressWithDictionary(dict, input, &with_dict).ok());
+  // The dictionary must help substantially on near-duplicate data.
+  EXPECT_LT(with_dict.size(), plain.size() / 2);
+
+  std::string decompressed;
+  ASSERT_TRUE(
+      codec_->DecompressWithDictionary(dict, with_dict, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+TEST_F(DictionaryCodecTest, WrongDictionaryDetectedByCrc) {
+  const std::string dict(1000, 'x');
+  const std::string input = std::string(500, 'x') + "payload tail";
+  std::string compressed;
+  ASSERT_TRUE(codec_->CompressWithDictionary(dict, input, &compressed).ok());
+  std::string wrong_dict(1000, 'y');
+  std::string decompressed;
+  Status s = codec_->DecompressWithDictionary(wrong_dict, compressed,
+                                              &decompressed);
+  // Either an explicit decode error or a CRC mismatch — never silent
+  // wrong output.
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(DictionaryCodecTest, ShortDictionaryRejectsOutOfRangeDistances) {
+  // Compress against a large dict, decompress against a truncated one:
+  // distances past the available bytes must be caught.
+  const std::string dict(5000, 'z');
+  const std::string input(3000, 'z');
+  std::string compressed;
+  ASSERT_TRUE(codec_->CompressWithDictionary(dict, input, &compressed).ok());
+  std::string decompressed;
+  Status s = codec_->DecompressWithDictionary(Slice(dict.data(), 2),
+                                              compressed, &decompressed);
+  EXPECT_FALSE(s.ok());
+}
+
+class DictionarySeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DictionarySeedTest, RandomRoundTrips) {
+  Rng rng(GetParam());
+  const Codec* codec = CodecRegistry::Get("deflate");
+  const size_t dict_size = rng.Uniform(30000);
+  const size_t input_size = 1 + rng.Uniform(30000);
+  const int alphabet = 3 + static_cast<int>(rng.Uniform(60));
+  auto make = [&](size_t n) {
+    std::string s;
+    while (s.size() < n) {
+      if (rng.Bernoulli(0.4)) {
+        s.append(rng.Uniform(60) + 1, static_cast<char>(rng.Uniform(alphabet)));
+      } else {
+        s.push_back(static_cast<char>(rng.Uniform(alphabet)));
+      }
+    }
+    s.resize(n);
+    return s;
+  };
+  const std::string dict = make(dict_size);
+  // Payload shares substrings with the dict half the time.
+  std::string input = make(input_size);
+  if (dict_size > 100 && rng.Bernoulli(0.5)) {
+    input += dict.substr(dict_size / 3, dict_size / 3);
+  }
+  std::string compressed, decompressed;
+  ASSERT_TRUE(codec->CompressWithDictionary(dict, input, &compressed).ok());
+  ASSERT_TRUE(
+      codec->DecompressWithDictionary(dict, compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictionarySeedTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,175 @@
+#include "compress/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+uint64_t KraftSum(const std::vector<uint8_t>& lengths) {
+  uint64_t sum = 0;
+  for (uint8_t l : lengths) {
+    if (l) sum += 1ull << (kMaxHuffmanBits - l);
+  }
+  return sum;
+}
+
+TEST(HuffmanLengthsTest, EmptyFrequencies) {
+  auto lengths = BuildHuffmanCodeLengths(std::vector<uint64_t>(10, 0));
+  for (uint8_t l : lengths) EXPECT_EQ(l, 0);
+}
+
+TEST(HuffmanLengthsTest, SingleSymbolGetsLengthOne) {
+  std::vector<uint64_t> freqs(10, 0);
+  freqs[3] = 42;
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  EXPECT_EQ(lengths[3], 1);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (i != 3) {
+      EXPECT_EQ(lengths[i], 0);
+    }
+  }
+}
+
+TEST(HuffmanLengthsTest, TwoSymbolsGetOneBitEach) {
+  std::vector<uint64_t> freqs = {5, 0, 1000000};
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[2], 1);
+}
+
+TEST(HuffmanLengthsTest, MoreFrequentSymbolsGetShorterCodes) {
+  std::vector<uint64_t> freqs = {1000, 1, 500, 1, 250};
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  EXPECT_LE(lengths[0], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[4]);
+  EXPECT_LE(lengths[4], lengths[1]);
+}
+
+TEST(HuffmanLengthsTest, KraftEqualityHolds) {
+  std::vector<uint64_t> freqs = {7, 3, 3, 2, 1, 1, 1};
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  EXPECT_EQ(KraftSum(lengths), 1ull << kMaxHuffmanBits);
+}
+
+TEST(HuffmanLengthsTest, LengthLimitHeldUnderExtremeSkew) {
+  // Fibonacci-like frequencies force deep unrestricted trees.
+  std::vector<uint64_t> freqs(40);
+  uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  for (uint8_t l : lengths) {
+    EXPECT_GT(l, 0);
+    EXPECT_LE(l, kMaxHuffmanBits);
+  }
+  EXPECT_EQ(KraftSum(lengths), 1ull << kMaxHuffmanBits);
+}
+
+class HuffmanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HuffmanPropertyTest, RandomFrequenciesYieldValidCompleteCode) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.Uniform(285);
+  std::vector<uint64_t> freqs(n);
+  for (auto& f : freqs) {
+    // Skewed magnitudes; some zeros.
+    f = rng.Bernoulli(0.2) ? 0 : (rng.Next() >> rng.Uniform(60));
+  }
+  size_t present = 0;
+  for (auto f : freqs) present += (f > 0);
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  if (present == 0) return;
+  if (present == 1) {
+    EXPECT_EQ(KraftSum(lengths), (1ull << kMaxHuffmanBits) / 2);
+    return;
+  }
+  EXPECT_EQ(KraftSum(lengths), 1ull << kMaxHuffmanBits);
+  for (uint8_t l : lengths) EXPECT_LE(l, kMaxHuffmanBits);
+}
+
+TEST_P(HuffmanPropertyTest, EncodeDecodeRoundTrip) {
+  Rng rng(GetParam() + 1000);
+  const size_t alphabet = 2 + rng.Uniform(200);
+  // Build skewed frequencies and a message drawn from them.
+  ZipfSampler zipf(alphabet, 1.1);
+  std::vector<uint32_t> message;
+  std::vector<uint64_t> freqs(alphabet, 0);
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t s = static_cast<uint32_t>(zipf.Sample(rng));
+    message.push_back(s);
+    ++freqs[s];
+  }
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+
+  std::string buf;
+  BitWriter writer(&buf);
+  WriteCodeLengths(&writer, lengths);
+  HuffmanEncoder encoder(lengths);
+  for (uint32_t s : message) encoder.Encode(&writer, s);
+  writer.Finish();
+
+  BitReader reader(buf);
+  std::vector<uint8_t> read_lengths;
+  ASSERT_TRUE(ReadCodeLengths(&reader, alphabet, &read_lengths).ok());
+  EXPECT_EQ(read_lengths, lengths);
+  HuffmanDecoder decoder;
+  ASSERT_TRUE(decoder.Init(read_lengths).ok());
+  for (uint32_t expected : message) {
+    ASSERT_EQ(decoder.Decode(&reader), static_cast<int32_t>(expected));
+  }
+  EXPECT_FALSE(reader.overflowed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanPropertyTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+TEST(HuffmanDecoderTest, RejectsOversubscribedCode) {
+  std::vector<uint8_t> lengths = {1, 1, 1};  // kraft sum > 1
+  HuffmanDecoder decoder;
+  EXPECT_TRUE(decoder.Init(lengths).IsCorruption());
+}
+
+TEST(HuffmanDecoderTest, RejectsIncompleteCode) {
+  std::vector<uint8_t> lengths = {2, 2, 2};  // kraft sum < 1
+  HuffmanDecoder decoder;
+  EXPECT_TRUE(decoder.Init(lengths).IsCorruption());
+}
+
+TEST(HuffmanDecoderTest, RejectsEmptyAlphabet) {
+  std::vector<uint8_t> lengths(5, 0);
+  HuffmanDecoder decoder;
+  EXPECT_TRUE(decoder.Init(lengths).IsCorruption());
+}
+
+TEST(HuffmanDecoderTest, AcceptsSingleSymbolCode) {
+  std::vector<uint8_t> lengths = {0, 1, 0};
+  HuffmanDecoder decoder;
+  ASSERT_TRUE(decoder.Init(lengths).ok());
+  std::string buf;
+  BitWriter writer(&buf);
+  HuffmanEncoder encoder(lengths);
+  encoder.Encode(&writer, 1);
+  encoder.Encode(&writer, 1);
+  writer.Finish();
+  BitReader reader(buf);
+  EXPECT_EQ(decoder.Decode(&reader), 1);
+  EXPECT_EQ(decoder.Decode(&reader), 1);
+}
+
+TEST(HuffmanLengthsTest, OptimalForUniformPowersOfTwo) {
+  // 8 equal frequencies -> all codes exactly 3 bits.
+  std::vector<uint64_t> freqs(8, 100);
+  auto lengths = BuildHuffmanCodeLengths(freqs);
+  for (uint8_t l : lengths) EXPECT_EQ(l, 3);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,129 @@
+#include "compress/lz77.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+std::string RandomTelcoish(Rng& rng, size_t rows) {
+  // CSV-like rows with heavy value repetition, the shape of telco traces.
+  std::string out;
+  ZipfSampler cells(50, 1.2);
+  for (size_t i = 0; i < rows; ++i) {
+    out += "201601220";
+    out += std::to_string(rng.Uniform(10));
+    out += ",cell";
+    out += std::to_string(cells.Sample(rng));
+    out += ",OK,0,0,,,";
+    out += std::to_string(rng.Uniform(1000));
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(Lz77Test, EmptyInput) {
+  Lz77Matcher matcher;
+  EXPECT_TRUE(matcher.Parse(Slice("")).empty());
+}
+
+TEST(Lz77Test, AllLiteralsWhenNoRepetition) {
+  Lz77Matcher matcher;
+  const std::string input = "abcdefghijklmnop";
+  auto tokens = matcher.Parse(input);
+  EXPECT_EQ(LzReconstruct(input, tokens), input);
+  // No 4-byte repeats: a single literal-only token.
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].match_len, 0u);
+  EXPECT_EQ(tokens[0].literal_len, input.size());
+}
+
+TEST(Lz77Test, FindsSimpleRepeat) {
+  Lz77Matcher matcher;
+  const std::string input = "hello world, hello world, hello world";
+  auto tokens = matcher.Parse(input);
+  EXPECT_EQ(LzReconstruct(input, tokens), input);
+  bool found_match = false;
+  for (const auto& t : tokens) found_match |= (t.match_len >= 4);
+  EXPECT_TRUE(found_match);
+}
+
+TEST(Lz77Test, OverlappingMatchRle) {
+  // "aaaa..." forces overlapping matches (distance < length).
+  Lz77Matcher matcher;
+  const std::string input(1000, 'a');
+  auto tokens = matcher.Parse(input);
+  EXPECT_EQ(LzReconstruct(input, tokens), input);
+  // Should compress to very few tokens.
+  EXPECT_LE(tokens.size(), 8u);
+}
+
+TEST(Lz77Test, RespectsWindowLimit) {
+  Lz77Options opts;
+  opts.window_size = 64;
+  Lz77Matcher matcher(opts);
+  std::string input = "0123456789abcdef0123456789abcdef";
+  input += std::string(200, 'x');
+  input += "0123456789abcdef";  // repeat far beyond the 64-byte window
+  auto tokens = matcher.Parse(input);
+  EXPECT_EQ(LzReconstruct(input, tokens), input);
+  for (const auto& t : tokens) {
+    if (t.match_len > 0) {
+      EXPECT_LE(t.distance, opts.window_size);
+    }
+  }
+}
+
+TEST(Lz77Test, RespectsMaxMatch) {
+  Lz77Options opts;
+  opts.max_match = 16;
+  Lz77Matcher matcher(opts);
+  const std::string input(500, 'z');
+  auto tokens = matcher.Parse(input);
+  EXPECT_EQ(LzReconstruct(input, tokens), input);
+  for (const auto& t : tokens) EXPECT_LE(t.match_len, opts.max_match);
+}
+
+TEST(Lz77Test, TokensCoverInputExactly) {
+  Rng rng(21);
+  Lz77Matcher matcher;
+  const std::string input = RandomTelcoish(rng, 500);
+  auto tokens = matcher.Parse(input);
+  size_t covered = 0;
+  for (const auto& t : tokens) covered += t.literal_len + t.match_len;
+  EXPECT_EQ(covered, input.size());
+}
+
+class Lz77PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lz77PropertyTest, RoundTripRandomInputs) {
+  Rng rng(GetParam());
+  // Mix of sizes and alphabets, including binary.
+  const size_t size = 1 + rng.Uniform(20000);
+  const int alphabet = 2 + static_cast<int>(rng.Uniform(254));
+  std::string input;
+  input.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    input.push_back(static_cast<char>(rng.Uniform(alphabet)));
+  }
+  Lz77Matcher matcher;
+  EXPECT_EQ(LzReconstruct(input, matcher.Parse(input)), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77PropertyTest,
+                         ::testing::Range<uint64_t>(0, 24));
+
+TEST(Lz77Test, TelcoishDataCompressesWell) {
+  Rng rng(5);
+  const std::string input = RandomTelcoish(rng, 2000);
+  Lz77Matcher matcher;
+  auto tokens = matcher.Parse(input);
+  size_t literals = 0;
+  for (const auto& t : tokens) literals += t.literal_len;
+  // Most of the bytes should be covered by matches.
+  EXPECT_LT(literals, input.size() / 3);
+}
+
+}  // namespace
+}  // namespace spate

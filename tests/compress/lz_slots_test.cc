@@ -1,0 +1,95 @@
+#include "compress/lz_slots.h"
+
+#include <gtest/gtest.h>
+
+namespace spate {
+namespace {
+
+TEST(LengthSlotsTest, TablesCoverRangeContiguously) {
+  // Every length in [3, 258] maps to exactly one slot whose
+  // [base, base + 2^extra) interval contains it.
+  for (uint32_t len = 3; len <= 258; ++len) {
+    const int slot = LengthSlot(len);
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, kNumLengthSlots);
+    EXPECT_GE(len, kLengthBase[slot]);
+    EXPECT_LT(len - kLengthBase[slot], 1u << kLengthExtraBits[slot]);
+  }
+  EXPECT_EQ(LengthSlot(3), 0);
+  EXPECT_EQ(LengthSlot(258), kNumLengthSlots - 1);
+}
+
+TEST(LengthSlotsTest, BasesStrictlyIncreasing) {
+  for (int s = 1; s < kNumLengthSlots; ++s) {
+    EXPECT_GT(kLengthBase[s], kLengthBase[s - 1]);
+  }
+}
+
+TEST(DistSlotsTest, TablesCoverRangeContiguously) {
+  for (uint32_t d = 1; d <= 32768; ++d) {
+    const int slot = DistSlot(d);
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, kNumDistSlots);
+    EXPECT_GE(d, kDistBase[slot]);
+    EXPECT_LT(d - kDistBase[slot], 1u << kDistExtraBits[slot]);
+  }
+  EXPECT_EQ(DistSlot(1), 0);
+  EXPECT_EQ(DistSlot(32768), kNumDistSlots - 1);
+}
+
+TEST(DistSlotsTest, AdjacentSlotsTile) {
+  // base[s+1] == base[s] + 2^extra[s]: no gaps, no overlaps.
+  for (int s = 0; s + 1 < kNumDistSlots; ++s) {
+    EXPECT_EQ(kDistBase[s + 1],
+              kDistBase[s] + (1u << kDistExtraBits[s]))
+        << "slot " << s;
+  }
+  for (int s = 0; s + 1 < kNumLengthSlots - 1; ++s) {
+    // Length table tiles up to the special final slot (258).
+    EXPECT_EQ(kLengthBase[s + 1],
+              kLengthBase[s] + (1u << kLengthExtraBits[s]))
+        << "slot " << s;
+  }
+}
+
+TEST(ExtDistSlotsTest, RoundTripAcrossMagnitudes) {
+  // Every distance maps to a slot whose [base, base + 2^direct) interval
+  // contains it, for the whole 32-bit range (sampled).
+  auto check = [](uint32_t d) {
+    const uint32_t slot = ExtDistSlot(d);
+    ASSERT_LT(slot, static_cast<uint32_t>(kNumExtDistSlots));
+    const uint32_t base = ExtDistBase(slot);
+    const int direct = ExtDistDirectBits(slot);
+    EXPECT_GE(d, base) << d;
+    EXPECT_LT(static_cast<uint64_t>(d) - base, 1ull << direct) << d;
+  };
+  for (uint32_t d = 1; d <= 4096; ++d) check(d);
+  for (uint32_t shift = 12; shift < 31; ++shift) {
+    check(1u << shift);
+    check((1u << shift) - 1);
+    check((1u << shift) + 1);
+    check((1u << shift) + (1u << (shift - 1)));
+  }
+  check(0xffffffffu);
+}
+
+TEST(ExtDistSlotsTest, SmallDistancesGetOwnSlots) {
+  EXPECT_EQ(ExtDistSlot(1), 0u);
+  EXPECT_EQ(ExtDistSlot(2), 1u);
+  EXPECT_EQ(ExtDistSlot(3), 2u);
+  EXPECT_EQ(ExtDistSlot(4), 3u);
+  EXPECT_EQ(ExtDistDirectBits(0), 0);
+  EXPECT_EQ(ExtDistDirectBits(3), 0);
+}
+
+TEST(ExtDistSlotsTest, SlotsMonotoneInDistance) {
+  uint32_t prev_slot = 0;
+  for (uint64_t d = 1; d <= (1ull << 20); d = d * 2 + 1) {
+    const uint32_t slot = ExtDistSlot(static_cast<uint32_t>(d));
+    EXPECT_GE(slot, prev_slot);
+    prev_slot = slot;
+  }
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,147 @@
+#include "compress/range_coder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(RangeCoderTest, SingleBitRoundTrip) {
+  for (int bit : {0, 1}) {
+    std::string buf;
+    BitProb enc_prob;
+    RangeEncoder enc(&buf);
+    enc.EncodeBit(&enc_prob, bit);
+    enc.Flush();
+
+    BitProb dec_prob;
+    RangeDecoder dec(buf);
+    EXPECT_EQ(dec.DecodeBit(&dec_prob), bit);
+    EXPECT_FALSE(dec.overflowed());
+  }
+}
+
+TEST(RangeCoderTest, BitSequenceRoundTrip) {
+  Rng rng(3);
+  std::vector<int> bits;
+  for (int i = 0; i < 20000; ++i) bits.push_back(rng.Bernoulli(0.85) ? 1 : 0);
+
+  std::string buf;
+  {
+    BitProb p;
+    RangeEncoder enc(&buf);
+    for (int b : bits) enc.EncodeBit(&p, b);
+    enc.Flush();
+  }
+  // Skewed bits must compress well below 1 bit/bit.
+  EXPECT_LT(buf.size(), 20000 / 8);
+
+  BitProb p;
+  RangeDecoder dec(buf);
+  for (int expected : bits) ASSERT_EQ(dec.DecodeBit(&p), expected);
+  EXPECT_FALSE(dec.overflowed());
+}
+
+TEST(RangeCoderTest, DirectBitsRoundTrip) {
+  Rng rng(7);
+  std::vector<std::pair<uint32_t, int>> values;
+  std::string buf;
+  {
+    RangeEncoder enc(&buf);
+    for (int i = 0; i < 5000; ++i) {
+      int count = 1 + static_cast<int>(rng.Uniform(24));
+      uint32_t v = static_cast<uint32_t>(rng.Next()) &
+                   ((count == 32) ? ~0u : ((1u << count) - 1));
+      values.emplace_back(v, count);
+      enc.EncodeDirect(v, count);
+    }
+    enc.Flush();
+  }
+  RangeDecoder dec(buf);
+  for (const auto& [v, count] : values) {
+    ASSERT_EQ(dec.DecodeDirect(count), v);
+  }
+  EXPECT_FALSE(dec.overflowed());
+}
+
+TEST(RangeCoderTest, MixedAdaptiveAndDirect) {
+  Rng rng(11);
+  std::string buf;
+  std::vector<int> bits;
+  std::vector<uint32_t> directs;
+  {
+    BitProb p;
+    RangeEncoder enc(&buf);
+    for (int i = 0; i < 3000; ++i) {
+      int b = rng.Bernoulli(0.2) ? 1 : 0;
+      bits.push_back(b);
+      enc.EncodeBit(&p, b);
+      uint32_t d = static_cast<uint32_t>(rng.Uniform(256));
+      directs.push_back(d);
+      enc.EncodeDirect(d, 8);
+    }
+    enc.Flush();
+  }
+  BitProb p;
+  RangeDecoder dec(buf);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_EQ(dec.DecodeBit(&p), bits[i]);
+    ASSERT_EQ(dec.DecodeDirect(8), directs[i]);
+  }
+  EXPECT_FALSE(dec.overflowed());
+}
+
+TEST(BitTreeTest, RoundTripAllValues) {
+  std::string buf;
+  BitTree enc_tree(8);
+  {
+    RangeEncoder enc(&buf);
+    for (uint32_t v = 0; v < 256; ++v) enc_tree.Encode(&enc, v);
+    enc.Flush();
+  }
+  BitTree dec_tree(8);
+  RangeDecoder dec(buf);
+  for (uint32_t v = 0; v < 256; ++v) ASSERT_EQ(dec_tree.Decode(&dec), v);
+  EXPECT_FALSE(dec.overflowed());
+}
+
+TEST(BitTreeTest, SkewedValuesCompress) {
+  Rng rng(13);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(rng.Bernoulli(0.9) ? 7 : rng.Uniform(64));
+  }
+  std::string buf;
+  {
+    BitTree tree(6);
+    RangeEncoder enc(&buf);
+    for (uint32_t v : values) tree.Encode(&enc, v);
+    enc.Flush();
+  }
+  // 6 raw bits/value = 7500 bytes; the adaptive tree should be far below.
+  EXPECT_LT(buf.size(), 3000u);
+  BitTree tree(6);
+  RangeDecoder dec(buf);
+  for (uint32_t expected : values) ASSERT_EQ(tree.Decode(&dec), expected);
+}
+
+TEST(RangeCoderTest, TruncatedInputSetsOverflow) {
+  std::string buf;
+  {
+    BitProb p;
+    RangeEncoder enc(&buf);
+    for (int i = 0; i < 1000; ++i) enc.EncodeBit(&p, i & 1);
+    enc.Flush();
+  }
+  buf.resize(buf.size() / 4);
+  BitProb p;
+  RangeDecoder dec(buf);
+  for (int i = 0; i < 1000; ++i) dec.DecodeBit(&p);
+  EXPECT_TRUE(dec.overflowed());
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,164 @@
+#include "compress/tans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+using tans_internal::kTableSize;
+using tans_internal::NormalizeCounts;
+
+std::string RoundTrip(const std::string& input) {
+  std::string encoded;
+  TansEncodeBlock(input, &encoded);
+  Slice in(encoded);
+  std::string decoded;
+  Status s = TansDecodeBlock(&in, &decoded);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(in.empty());
+  return decoded;
+}
+
+TEST(TansNormalizeTest, SumsToTableSize) {
+  std::vector<uint64_t> counts(256, 0);
+  counts['a'] = 1000;
+  counts['b'] = 10;
+  counts['c'] = 1;
+  auto norm = NormalizeCounts(counts);
+  uint64_t sum = 0;
+  for (auto n : norm) sum += n;
+  EXPECT_EQ(sum, kTableSize);
+  EXPECT_GE(norm['c'], 1u);
+  EXPECT_GT(norm['a'], norm['b']);
+}
+
+TEST(TansNormalizeTest, ManyRareSymbols) {
+  // All 256 symbols present with count 1, plus one dominant symbol.
+  std::vector<uint64_t> counts(256, 1);
+  counts[0] = 1u << 20;
+  auto norm = NormalizeCounts(counts);
+  uint64_t sum = 0;
+  for (auto n : norm) {
+    EXPECT_GE(n, 1u);
+    sum += n;
+  }
+  EXPECT_EQ(sum, kTableSize);
+}
+
+TEST(TansNormalizeTest, EmptyHistogram) {
+  auto norm = NormalizeCounts(std::vector<uint64_t>(256, 0));
+  for (auto n : norm) EXPECT_EQ(n, 0u);
+}
+
+TEST(TansBlockTest, EmptyInput) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(TansBlockTest, SingleSymbolUsesRle) {
+  const std::string input(10000, 'x');
+  std::string encoded;
+  TansEncodeBlock(input, &encoded);
+  EXPECT_LT(encoded.size(), 16u);  // varint count + mode + symbol
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(TansBlockTest, TinyInputUsesRawMode) {
+  const std::string input = "ab";
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(TansBlockTest, SkewedTextCompresses) {
+  Rng rng(1);
+  std::string input;
+  ZipfSampler zipf(16, 1.5);
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<char>('a' + zipf.Sample(rng)));
+  }
+  std::string encoded;
+  TansEncodeBlock(input, &encoded);
+  // 16 symbols, skewed: must beat 4 bits/symbol comfortably.
+  EXPECT_LT(encoded.size(), input.size() / 2);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(TansBlockTest, NearUniformBytesStillRoundTrip) {
+  Rng rng(2);
+  std::string input;
+  for (int i = 0; i < 30000; ++i) {
+    input.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+class TansPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TansPropertyTest, RoundTripRandomDistributions) {
+  Rng rng(GetParam());
+  const size_t size = rng.Uniform(60000);
+  const int alphabet = 1 + static_cast<int>(rng.Uniform(256));
+  const double skew = 0.5 + rng.NextDouble() * 2.0;
+  ZipfSampler zipf(alphabet, skew);
+  std::string input;
+  input.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    input.push_back(static_cast<char>(zipf.Sample(rng)));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TansPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(TansBlockTest, SequentialBlocksShareStream) {
+  std::string encoded;
+  TansEncodeBlock("first block payload first block payload", &encoded);
+  TansEncodeBlock(std::string(500, 'z'), &encoded);
+  TansEncodeBlock("", &encoded);
+  Slice in(encoded);
+  std::string a, b, c;
+  ASSERT_TRUE(TansDecodeBlock(&in, &a).ok());
+  ASSERT_TRUE(TansDecodeBlock(&in, &b).ok());
+  ASSERT_TRUE(TansDecodeBlock(&in, &c).ok());
+  EXPECT_EQ(a, "first block payload first block payload");
+  EXPECT_EQ(b, std::string(500, 'z'));
+  EXPECT_EQ(c, "");
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(TansBlockTest, CorruptHistogramRejected) {
+  Rng rng(4);
+  std::string input;
+  for (int i = 0; i < 1000; ++i) {
+    input.push_back(static_cast<char>('a' + rng.Uniform(8)));
+  }
+  std::string encoded;
+  TansEncodeBlock(input, &encoded);
+  // Flip a byte in the histogram area (right after count + mode).
+  encoded[4] = static_cast<char>(encoded[4] ^ 0x40);
+  Slice in(encoded);
+  std::string decoded;
+  Status s = TansDecodeBlock(&in, &decoded);
+  // Either an explicit corruption, or (if the flip hit a symbol id) a
+  // histogram that no longer matches -- the decode must not succeed with
+  // wrong output silently matching.
+  if (s.ok()) {
+    EXPECT_NE(decoded, input);
+  }
+}
+
+TEST(TansBlockTest, TruncatedPayloadRejected) {
+  Rng rng(6);
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>('a' + rng.Uniform(20)));
+  }
+  std::string encoded;
+  TansEncodeBlock(input, &encoded);
+  encoded.resize(encoded.size() - 10);
+  Slice in(encoded);
+  std::string decoded;
+  EXPECT_FALSE(TansDecodeBlock(&in, &decoded).ok());
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+TraceConfig DiffTrace() {
+  TraceConfig config;
+  config.days = 1;
+  config.num_cells = 80;
+  config.num_antennas = 20;
+  config.num_users = 300;
+  config.cdr_base_rate = 40;
+  config.nms_per_cell = 3.0;
+  return config;
+}
+
+SpateOptions DiffOptions() {
+  SpateOptions options;
+  options.differential = true;
+  options.keyframe_interval = 8;
+  options.dfs.block_size = 256 * 1024;
+  return options;
+}
+
+TEST(DifferentialTest, ScanMatchesNonDifferential) {
+  TraceConfig config = DiffTrace();
+  TraceGenerator gen(config);
+  SpateFramework plain(SpateOptions{}, gen.cells());
+  SpateFramework diff(DiffOptions(), gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    const Snapshot snapshot = gen.GenerateSnapshot(epoch);
+    ASSERT_TRUE(plain.Ingest(snapshot).ok());
+    ASSERT_TRUE(diff.Ingest(snapshot).ok());
+  }
+  NodeSummary plain_summary, diff_summary;
+  ASSERT_TRUE(plain
+                  .ScanWindow(config.start, config.start + 86400,
+                              [&](const Snapshot& s) {
+                                plain_summary.AddSnapshot(s);
+                              })
+                  .ok());
+  ASSERT_TRUE(diff.ScanWindow(config.start, config.start + 86400,
+                              [&](const Snapshot& s) {
+                                diff_summary.AddSnapshot(s);
+                              })
+                  .ok());
+  EXPECT_TRUE(plain_summary == diff_summary);
+  EXPECT_GT(diff_summary.cdr_rows(), 0u);
+}
+
+TEST(DifferentialTest, DeltasSaveSpace) {
+  TraceConfig config = DiffTrace();
+  TraceGenerator gen(config);
+  SpateFramework plain(SpateOptions{}, gen.cells());
+  SpateFramework diff(DiffOptions(), gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    const Snapshot snapshot = gen.GenerateSnapshot(epoch);
+    ASSERT_TRUE(plain.Ingest(snapshot).ok());
+    ASSERT_TRUE(diff.Ingest(snapshot).ok());
+  }
+  EXPECT_LT(diff.StorageBytes(), plain.StorageBytes());
+}
+
+TEST(DifferentialTest, KeyframeCadence) {
+  TraceConfig config = DiffTrace();
+  TraceGenerator gen(config);
+  SpateFramework diff(DiffOptions(), gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    ASSERT_TRUE(diff.Ingest(gen.GenerateSnapshot(epoch)).ok());
+  }
+  // Leaves at epochs that are multiples of the interval must be keyframes;
+  // mid-GOP leaves are deltas unless plain encoding happened to win the
+  // size comparison.
+  int keyframes = 0, deltas = 0;
+  for (const YearNode& year : diff.index().years()) {
+    for (const MonthNode& month : year.months) {
+      for (const DayNode& day : month.days) {
+        for (const LeafNode& leaf : day.leaves) {
+          const bool boundary =
+              (leaf.epoch_start / kEpochSeconds) % 8 == 0;
+          if (boundary) {
+            EXPECT_FALSE(leaf.delta) << FormatCompact(leaf.epoch_start);
+          }
+          leaf.delta ? ++deltas : ++keyframes;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(keyframes + deltas, 48);
+  EXPECT_GE(keyframes, 6);  // 48 epochs / 8 GOP boundaries at minimum
+  EXPECT_GT(deltas, 20);    // most mid-GOP snapshots should win as deltas
+}
+
+TEST(DifferentialTest, RandomAccessMidGop) {
+  TraceConfig config = DiffTrace();
+  TraceGenerator gen(config);
+  SpateFramework diff(DiffOptions(), gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    ASSERT_TRUE(diff.Ingest(gen.GenerateSnapshot(epoch)).ok());
+  }
+  // Query a single mid-GOP epoch: the chain resolves transparently.
+  const Timestamp target = config.start + 13 * kEpochSeconds;  // 13 % 8 = 5
+  size_t rows = 0;
+  ASSERT_TRUE(diff.ScanWindow(target, target + kEpochSeconds,
+                              [&](const Snapshot& s) { rows += s.size(); })
+                  .ok());
+  EXPECT_EQ(rows, gen.GenerateSnapshot(target).size());
+}
+
+TEST(DifferentialTest, GapForcesKeyframe) {
+  TraceConfig config = DiffTrace();
+  TraceGenerator gen(config);
+  SpateFramework diff(DiffOptions(), gen.cells());
+  // Ingest epochs 0..3, skip 4..5, then 6: epoch 6 lands mid-GOP but has
+  // no predecessor, so it must be stored as a keyframe.
+  const auto epochs = gen.EpochStarts();
+  for (int i : {0, 1, 2, 3, 6}) {
+    ASSERT_TRUE(diff.Ingest(gen.GenerateSnapshot(epochs[i])).ok());
+  }
+  const LeafNode* leaf = diff.index().FindLeaf(epochs[6]);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_FALSE(leaf->delta);
+  // And it reads back fine.
+  size_t rows = 0;
+  ASSERT_TRUE(diff.ScanWindow(epochs[6], epochs[6] + kEpochSeconds,
+                              [&](const Snapshot& s) { rows += s.size(); })
+                  .ok());
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(DifferentialTest, DecayEvictsWholeGopsOnly) {
+  TraceConfig config = DiffTrace();
+  config.days = 2;
+  TraceGenerator gen(config);
+  SpateOptions options = DiffOptions();
+  options.decay.full_resolution_seconds = 20 * kEpochSeconds;  // mid-GOP
+  SpateFramework diff(options, gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    ASSERT_TRUE(diff.Ingest(gen.GenerateSnapshot(epoch)).ok());
+  }
+  // Every surviving delta must still have its full chain back to a
+  // keyframe (i.e. scans over the full resident window succeed).
+  size_t decayed_boundary = 0;
+  for (const YearNode& year : diff.index().years()) {
+    for (const MonthNode& month : year.months) {
+      for (const DayNode& day : month.days) {
+        for (const LeafNode& leaf : day.leaves) {
+          if (leaf.decayed) {
+            ++decayed_boundary;
+            continue;
+          }
+          size_t rows = 0;
+          EXPECT_TRUE(diff.ScanWindow(leaf.epoch_start,
+                                      leaf.epoch_start + kEpochSeconds,
+                                      [&](const Snapshot& s) {
+                                        rows += s.size();
+                                      })
+                          .ok())
+              << FormatCompact(leaf.epoch_start);
+        }
+      }
+    }
+  }
+  EXPECT_GT(decayed_boundary, 0u);
+  // Eviction happened in whole multiples of the keyframe interval.
+  EXPECT_EQ(decayed_boundary % 8, 0u);
+}
+
+}  // namespace
+}  // namespace spate

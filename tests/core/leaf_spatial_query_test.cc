@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+/// The leaf-spatial-index query path must be an invisible optimization:
+/// identical row multisets to the plain filter path for every box.
+TEST(LeafSpatialQueryTest, BoxQueriesMatchPlainPath) {
+  TraceConfig config;
+  config.days = 1;
+  config.num_cells = 60;
+  config.num_antennas = 20;
+  config.cdr_base_rate = 30;
+  config.nms_per_cell = 0.6;
+  TraceGenerator gen(config);
+
+  SpateFramework plain(SpateOptions{}, gen.cells());
+  SpateOptions indexed_options;
+  indexed_options.leaf_spatial_index = true;
+  SpateFramework indexed(indexed_options, gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    const Snapshot snapshot = gen.GenerateSnapshot(epoch);
+    ASSERT_TRUE(plain.Ingest(snapshot).ok());
+    ASSERT_TRUE(indexed.Ingest(snapshot).ok());
+  }
+
+  const BoundingBox extent = plain.cells().extent();
+  const double w = extent.max_x - extent.min_x;
+  const double h = extent.max_y - extent.min_y;
+  const BoundingBox boxes[] = {
+      {extent.min_x, extent.min_y, extent.min_x + 0.1 * w,
+       extent.min_y + 0.1 * h},
+      {extent.min_x + 0.3 * w, extent.min_y + 0.2 * h,
+       extent.min_x + 0.7 * w, extent.min_y + 0.9 * h},
+      extent,
+      {extent.max_x + 10, extent.max_y + 10, extent.max_x + 20,
+       extent.max_y + 20},  // empty
+  };
+  for (const BoundingBox& box : boxes) {
+    ExplorationQuery query;
+    query.window_begin = config.start + 9 * 3600;
+    query.window_end = config.start + 15 * 3600;
+    query.has_box = true;
+    query.box = box;
+    auto a = plain.Execute(query);
+    auto b = indexed.Execute(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto sorted = [](std::vector<Record> rows) {
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    EXPECT_EQ(sorted(a->cdr_rows), sorted(b->cdr_rows));
+    EXPECT_EQ(sorted(a->nms_rows), sorted(b->nms_rows));
+  }
+}
+
+TEST(LeafSpatialQueryTest, SidecarsDecayWithLeaves) {
+  TraceConfig config;
+  config.days = 2;
+  config.num_cells = 30;
+  config.num_antennas = 10;
+  config.cdr_base_rate = 10;
+  config.nms_per_cell = 0.3;
+  TraceGenerator gen(config);
+  SpateOptions options;
+  options.leaf_spatial_index = true;
+  options.decay.full_resolution_seconds = 86400;
+  SpateFramework spate(options, gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    ASSERT_TRUE(spate.Ingest(gen.GenerateSnapshot(epoch)).ok());
+  }
+  // One day of sidecars decayed along with its leaves.
+  EXPECT_EQ(spate.dfs().ListFiles("/spate/spidx/").size(),
+            static_cast<size_t>(kEpochsPerDay));
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "dfs/dfs.h"
+
+namespace spate {
+namespace {
+
+TEST(DfsConcurrencyTest, ParallelWritersDistinctFiles) {
+  DfsOptions opts;
+  opts.block_size = 4096;
+  DistributedFileSystem dfs(opts);
+  constexpr int kThreads = 8;
+  constexpr int kFilesPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dfs, &failures, t] {
+      Rng rng(t);
+      for (int f = 0; f < kFilesPerThread; ++f) {
+        std::string data(100 + rng.Uniform(8000), static_cast<char>('a' + t));
+        const std::string path =
+            "/t" + std::to_string(t) + "/f" + std::to_string(f);
+        if (!dfs.WriteFile(path, data).ok()) failures.fetch_add(1);
+        auto read = dfs.ReadFile(path);
+        if (!read.ok() || *read != data) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(dfs.ListFiles("").size(),
+            static_cast<size_t>(kThreads * kFilesPerThread));
+}
+
+TEST(DfsConcurrencyTest, WritersRacingOnSamePathExactlyOneWins) {
+  DistributedFileSystem dfs;
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dfs, &winners, t] {
+      if (dfs.WriteFile("/contested", std::string(100, static_cast<char>(t)))
+              .ok()) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+  auto read = dfs.ReadFile("/contested");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 100u);
+}
+
+TEST(DfsConcurrencyTest, ReadersConcurrentWithWritersAndDeleters) {
+  DfsOptions opts;
+  opts.block_size = 1024;
+  DistributedFileSystem dfs(opts);
+  for (int f = 0; f < 100; ++f) {
+    ASSERT_TRUE(
+        dfs.WriteFile("/seed/" + std::to_string(f), std::string(3000, 'x'))
+            .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> corruption{0};
+  std::thread reader([&] {
+    Rng rng(1);
+    while (!stop.load()) {
+      auto read = dfs.ReadFile("/seed/" + std::to_string(rng.Uniform(100)));
+      // NotFound is fine (deleter raced us); corruption is not.
+      if (!read.ok() && read.status().IsCorruption()) corruption.fetch_add(1);
+      if (read.ok() && read->size() != 3000) corruption.fetch_add(1);
+    }
+  });
+  std::thread deleter([&] {
+    for (int f = 0; f < 50; ++f) dfs.DeleteFile("/seed/" + std::to_string(f));
+  });
+  std::thread writer([&] {
+    for (int f = 100; f < 150; ++f) {
+      dfs.WriteFile("/seed/" + std::to_string(f), std::string(3000, 'y'))
+          .ok();
+    }
+  });
+  deleter.join();
+  writer.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(corruption.load(), 0);
+  EXPECT_EQ(dfs.ListFiles("/seed/").size(), 100u);  // 100 - 50 + 50
+}
+
+TEST(DfsConcurrencyTest, StatsConsistentUnderParallelLoad) {
+  DistributedFileSystem dfs;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 100;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dfs, t] {
+      for (int f = 0; f < kOps; ++f) {
+        const std::string path =
+            "/s" + std::to_string(t) + "/" + std::to_string(f);
+        dfs.WriteFile(path, std::string(100, 'z')).ok();
+        dfs.ReadFile(path).ok();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const IoStats stats = dfs.stats();
+  EXPECT_EQ(stats.bytes_written, 100u * kThreads * kOps * 3);  // x replication
+  EXPECT_EQ(stats.bytes_read, 100u * kThreads * kOps);
+}
+
+}  // namespace
+}  // namespace spate

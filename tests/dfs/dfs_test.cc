@@ -1,0 +1,186 @@
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+DfsOptions SmallBlocks() {
+  DfsOptions opts;
+  opts.block_size = 1024;
+  return opts;
+}
+
+TEST(DfsTest, WriteReadRoundTrip) {
+  DistributedFileSystem dfs;
+  ASSERT_TRUE(dfs.WriteFile("/a/b", "hello world").ok());
+  auto read = dfs.ReadFile("/a/b");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello world");
+}
+
+TEST(DfsTest, EmptyFile) {
+  DistributedFileSystem dfs;
+  ASSERT_TRUE(dfs.WriteFile("/empty", "").ok());
+  auto read = dfs.ReadFile("/empty");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  EXPECT_TRUE(dfs.Exists("/empty"));
+}
+
+TEST(DfsTest, FilesAreImmutable) {
+  DistributedFileSystem dfs;
+  ASSERT_TRUE(dfs.WriteFile("/f", "v1").ok());
+  EXPECT_EQ(dfs.WriteFile("/f", "v2").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*dfs.ReadFile("/f"), "v1");
+}
+
+TEST(DfsTest, MissingFileIsNotFound) {
+  DistributedFileSystem dfs;
+  EXPECT_TRUE(dfs.ReadFile("/nope").status().IsNotFound());
+  EXPECT_TRUE(dfs.DeleteFile("/nope").IsNotFound());
+  EXPECT_FALSE(dfs.Exists("/nope"));
+  EXPECT_TRUE(dfs.FileSize("/nope").status().IsNotFound());
+}
+
+TEST(DfsTest, MultiBlockFile) {
+  DistributedFileSystem dfs(SmallBlocks());
+  Rng rng(1);
+  std::string data;
+  for (int i = 0; i < 10000; ++i) {
+    data.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  ASSERT_TRUE(dfs.WriteFile("/big", data).ok());
+  EXPECT_EQ(dfs.TotalBlocks(), 10u);  // ceil(10000/1024)
+  auto read = dfs.ReadFile("/big");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  EXPECT_EQ(*dfs.FileSize("/big"), 10000u);
+}
+
+TEST(DfsTest, DeleteFreesSpace) {
+  DistributedFileSystem dfs(SmallBlocks());
+  ASSERT_TRUE(dfs.WriteFile("/f", std::string(5000, 'x')).ok());
+  EXPECT_EQ(dfs.TotalLogicalBytes(), 5000u);
+  EXPECT_EQ(dfs.TotalPhysicalBytes(), 15000u);  // replication 3
+  ASSERT_TRUE(dfs.DeleteFile("/f").ok());
+  EXPECT_EQ(dfs.TotalLogicalBytes(), 0u);
+  EXPECT_EQ(dfs.TotalPhysicalBytes(), 0u);
+  EXPECT_EQ(dfs.TotalBlocks(), 0u);
+  EXPECT_FALSE(dfs.Exists("/f"));
+}
+
+TEST(DfsTest, ReplicationAccounting) {
+  DfsOptions opts = SmallBlocks();
+  opts.replication = 2;
+  DistributedFileSystem dfs(opts);
+  ASSERT_TRUE(dfs.WriteFile("/f", std::string(2048, 'y')).ok());
+  EXPECT_EQ(dfs.TotalLogicalBytes(), 2048u);
+  EXPECT_EQ(dfs.TotalPhysicalBytes(), 4096u);
+}
+
+TEST(DfsTest, ReplicationClampedToDatanodes) {
+  DfsOptions opts;
+  opts.num_datanodes = 2;
+  opts.replication = 5;
+  DistributedFileSystem dfs(opts);
+  EXPECT_EQ(dfs.options().replication, 2);
+}
+
+TEST(DfsTest, PlacementBalancesAcrossDatanodes) {
+  DfsOptions opts = SmallBlocks();
+  DistributedFileSystem dfs(opts);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        dfs.WriteFile("/f" + std::to_string(i), std::string(1024, 'z')).ok());
+  }
+  const auto usage = dfs.DatanodeUsage();
+  ASSERT_EQ(usage.size(), 4u);
+  uint64_t lo = usage[0], hi = usage[0];
+  for (uint64_t u : usage) {
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  // 40 blocks x 3 replicas over 4 nodes: least-loaded placement keeps the
+  // spread tight.
+  EXPECT_LE(hi - lo, 2048u);
+}
+
+TEST(DfsTest, ListFilesByPrefix) {
+  DistributedFileSystem dfs;
+  ASSERT_TRUE(dfs.WriteFile("/data/2016/a", "1").ok());
+  ASSERT_TRUE(dfs.WriteFile("/data/2016/b", "2").ok());
+  ASSERT_TRUE(dfs.WriteFile("/data/2017/c", "3").ok());
+  ASSERT_TRUE(dfs.WriteFile("/index/x", "4").ok());
+  auto files = dfs.ListFiles("/data/2016/");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "/data/2016/a");
+  EXPECT_EQ(files[1], "/data/2016/b");
+  EXPECT_EQ(dfs.ListFiles("/data/").size(), 3u);
+  EXPECT_EQ(dfs.ListFiles("").size(), 4u);
+}
+
+TEST(DfsTest, IoStatsAccumulate) {
+  DistributedFileSystem dfs(SmallBlocks());
+  ASSERT_TRUE(dfs.WriteFile("/f", std::string(2048, 'a')).ok());
+  IoStats stats = dfs.stats();
+  EXPECT_EQ(stats.blocks_written, 6u);  // 2 blocks x 3 replicas
+  EXPECT_EQ(stats.bytes_written, 6144u);
+  EXPECT_GT(stats.simulated_write_seconds, 0.0);
+  EXPECT_EQ(stats.bytes_read, 0u);
+
+  ASSERT_TRUE(dfs.ReadFile("/f").ok());
+  stats = dfs.stats();
+  EXPECT_EQ(stats.blocks_read, 2u);  // one replica per block
+  EXPECT_EQ(stats.bytes_read, 2048u);
+  EXPECT_GT(stats.simulated_read_seconds, 0.0);
+
+  dfs.ResetStats();
+  EXPECT_EQ(dfs.stats().bytes_written, 0u);
+}
+
+TEST(DfsTest, SimulatedTimeMatchesDiskModel) {
+  DfsOptions opts;
+  opts.block_size = 1 << 20;
+  opts.replication = 1;
+  opts.num_datanodes = 1;
+  opts.disk.seek_ms = 10.0;
+  opts.disk.write_mbps = 100.0;
+  DistributedFileSystem dfs(opts);
+  ASSERT_TRUE(dfs.WriteFile("/f", std::string(1 << 20, 'b')).ok());
+  // 10ms seek + 1MiB at 100 MB/s ~ 0.0105s.
+  EXPECT_NEAR(dfs.stats().simulated_write_seconds, 0.01 + 1048576.0 / 100e6,
+              1e-9);
+}
+
+TEST(DfsTest, ChecksumGuardsReads) {
+  // Valid write/read always verifies; this exercises the CRC path.
+  DistributedFileSystem dfs(SmallBlocks());
+  Rng rng(3);
+  std::string data;
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto read = dfs.ReadFile("/f");
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, data);
+  }
+}
+
+TEST(DfsTest, ManySmallFiles) {
+  DistributedFileSystem dfs;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(dfs.WriteFile("/s/" + std::to_string(i),
+                              std::string(10 + i % 50, 'q'))
+                    .ok());
+  }
+  EXPECT_EQ(dfs.ListFiles("/s/").size(), 500u);
+  EXPECT_EQ(dfs.TotalBlocks(), 500u);
+}
+
+}  // namespace
+}  // namespace spate

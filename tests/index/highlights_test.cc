@@ -1,0 +1,233 @@
+#include "index/highlights.h"
+
+#include <gtest/gtest.h>
+
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+Snapshot MakeSnapshot() {
+  Snapshot s;
+  s.epoch_start = 1453476600;
+  // Two cells; c0001 has a drop.
+  Record cdr1(kCdrNumAttributes);
+  cdr1[kCdrTs] = "201601221530";
+  cdr1[kCdrCellId] = "c0001";
+  cdr1[kCdrCallType] = "VOICE";
+  cdr1[kCdrResult] = "OK";
+  cdr1[kCdrDuration] = "100";
+  cdr1[kCdrUpflux] = "10";
+  cdr1[kCdrDownflux] = "20";
+  Record cdr2 = cdr1;
+  cdr2[kCdrCellId] = "c0002";
+  cdr2[kCdrResult] = "DROP";
+  cdr2[kCdrCallType] = "DATA";
+  cdr2[kCdrDuration] = "300";
+  s.cdr = {cdr1, cdr2};
+
+  Record nms(NmsSchema().num_attributes());
+  nms[kNmsTs] = "201601221540";
+  nms[kNmsCellId] = "c0001";
+  nms[kNmsDropCalls] = "3";
+  nms[kNmsCallAttempts] = "50";
+  nms[kNmsThroughput] = "21.5";
+  nms[kNmsRssi] = "-85.0";
+  nms[kNmsHandoverFails] = "1";
+  s.nms = {nms};
+  return s;
+}
+
+TEST(MetricAggregateTest, AddAndStats) {
+  MetricAggregate agg;
+  agg.Add(1);
+  agg.Add(2);
+  agg.Add(3);
+  EXPECT_EQ(agg.count, 3u);
+  EXPECT_DOUBLE_EQ(agg.sum, 6);
+  EXPECT_DOUBLE_EQ(agg.min, 1);
+  EXPECT_DOUBLE_EQ(agg.max, 3);
+  EXPECT_DOUBLE_EQ(agg.mean(), 2);
+  EXPECT_NEAR(agg.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricAggregateTest, MergeEqualsCombinedAdds) {
+  MetricAggregate a, b, all;
+  for (double v : {5.0, 1.0, 7.0}) {
+    a.Add(v);
+    all.Add(v);
+  }
+  for (double v : {2.0, 9.0}) {
+    b.Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_DOUBLE_EQ(a.sum, all.sum);
+  EXPECT_DOUBLE_EQ(a.min, all.min);
+  EXPECT_DOUBLE_EQ(a.max, all.max);
+  EXPECT_DOUBLE_EQ(a.variance(), all.variance());
+}
+
+TEST(NodeSummaryTest, AddSnapshotCounts) {
+  NodeSummary summary;
+  summary.AddSnapshot(MakeSnapshot());
+  EXPECT_EQ(summary.cdr_rows(), 2u);
+  EXPECT_EQ(summary.nms_rows(), 1u);
+  ASSERT_EQ(summary.per_cell().size(), 2u);
+  const CellStats& c1 = summary.per_cell().at("c0001");
+  EXPECT_EQ(c1.cdr_rows, 1u);
+  EXPECT_EQ(c1.nms_rows, 1u);
+  EXPECT_EQ(c1.dropped_calls, 0u);
+  EXPECT_DOUBLE_EQ(
+      c1.metrics[static_cast<int>(Metric::kDropCalls)].sum, 3.0);
+  EXPECT_DOUBLE_EQ(
+      c1.metrics[static_cast<int>(Metric::kCallAttempts)].sum, 50.0);
+  const CellStats& c2 = summary.per_cell().at("c0002");
+  EXPECT_EQ(c2.dropped_calls, 1u);
+  EXPECT_EQ(summary.call_type_counts().at("VOICE"), 1u);
+  EXPECT_EQ(summary.result_counts().at("DROP"), 1u);
+}
+
+TEST(NodeSummaryTest, MergeEqualsRepeatedAdd) {
+  NodeSummary once, twice;
+  once.AddSnapshot(MakeSnapshot());
+  twice.AddSnapshot(MakeSnapshot());
+  twice.AddSnapshot(MakeSnapshot());
+  NodeSummary merged = once;
+  merged.Merge(once);
+  EXPECT_TRUE(merged == twice ||
+              merged.Serialize() == twice.Serialize());
+  EXPECT_EQ(merged.cdr_rows(), 4u);
+}
+
+TEST(NodeSummaryTest, SerializeParseRoundTrip) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  NodeSummary summary;
+  for (int e = 0; e < 4; ++e) {
+    summary.AddSnapshot(
+        gen.GenerateSnapshot(config.start + (20 + e) * kEpochSeconds));
+  }
+  const std::string blob = summary.Serialize();
+  NodeSummary parsed;
+  ASSERT_TRUE(NodeSummary::Parse(blob, &parsed).ok());
+  EXPECT_TRUE(parsed == summary);
+}
+
+TEST(NodeSummaryTest, ParseRejectsTruncation) {
+  NodeSummary summary;
+  summary.AddSnapshot(MakeSnapshot());
+  std::string blob = summary.Serialize();
+  blob.resize(blob.size() - 5);
+  NodeSummary parsed;
+  EXPECT_FALSE(NodeSummary::Parse(blob, &parsed).ok());
+}
+
+TEST(NodeSummaryTest, ParseRejectsTrailingBytes) {
+  NodeSummary summary;
+  summary.AddSnapshot(MakeSnapshot());
+  std::string blob = summary.Serialize() + "xx";
+  NodeSummary parsed;
+  EXPECT_TRUE(NodeSummary::Parse(blob, &parsed).IsCorruption());
+}
+
+TEST(NodeSummaryTest, TotalMetricSumsCells) {
+  NodeSummary summary;
+  summary.AddSnapshot(MakeSnapshot());
+  const MetricAggregate up = summary.TotalMetric(Metric::kUpflux);
+  EXPECT_EQ(up.count, 2u);
+  EXPECT_DOUBLE_EQ(up.sum, 20.0);
+}
+
+TEST(NodeSummaryTest, FilterCells) {
+  NodeSummary summary;
+  summary.AddSnapshot(MakeSnapshot());
+  NodeSummary only_c1 = summary.FilterCells(
+      [](const std::string& id) { return id == "c0001"; });
+  EXPECT_EQ(only_c1.per_cell().size(), 1u);
+  EXPECT_EQ(only_c1.cdr_rows(), 1u);
+  EXPECT_EQ(only_c1.nms_rows(), 1u);
+}
+
+TEST(HighlightsTest, RareCategoricalValueExtracted) {
+  NodeSummary summary;
+  Snapshot s;
+  s.epoch_start = 1453476600;
+  for (int i = 0; i < 100; ++i) {
+    Record row(kCdrNumAttributes);
+    row[kCdrTs] = "201601221530";
+    row[kCdrCellId] = "c0001";
+    row[kCdrCallType] = "VOICE";
+    row[kCdrResult] = i == 0 ? "FAIL" : "OK";  // 1% FAIL
+    s.cdr.push_back(row);
+  }
+  summary.AddSnapshot(s);
+  auto highlights = summary.ExtractHighlights(0.05);
+  bool found = false;
+  for (const Highlight& h : highlights) {
+    if (h.attribute == "result" && h.value == "FAIL") {
+      found = true;
+      EXPECT_NEAR(h.frequency, 0.01, 1e-9);
+    }
+    // The dominant value must never be a highlight.
+    EXPECT_FALSE(h.attribute == "result" && h.value == "OK");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HighlightsTest, ThresholdControlsExtraction) {
+  NodeSummary summary;
+  Snapshot s;
+  s.epoch_start = 1453476600;
+  for (int i = 0; i < 10; ++i) {
+    Record row(kCdrNumAttributes);
+    row[kCdrCellId] = "c0001";
+    row[kCdrTs] = "201601221530";
+    row[kCdrResult] = i < 2 ? "DROP" : "OK";  // 20% DROP
+    row[kCdrCallType] = "VOICE";
+    s.cdr.push_back(row);
+  }
+  summary.AddSnapshot(s);
+  // theta 0.05: 20% DROP is frequent -> no highlight.
+  for (const Highlight& h : summary.ExtractHighlights(0.05)) {
+    EXPECT_NE(h.value, "DROP");
+  }
+  // theta 0.5: now DROP is below threshold.
+  bool found = false;
+  for (const Highlight& h : summary.ExtractHighlights(0.5)) {
+    found |= (h.attribute == "result" && h.value == "DROP");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HighlightsTest, PeakingCellExtracted) {
+  NodeSummary summary;
+  Snapshot s;
+  s.epoch_start = 1453476600;
+  // 20 quiet cells, one with an extreme drop count.
+  for (int c = 0; c < 21; ++c) {
+    Record nms(NmsSchema().num_attributes());
+    nms[kNmsTs] = "201601221540";
+    char buf[8];
+    snprintf(buf, sizeof(buf), "c%04d", c);
+    nms[kNmsCellId] = buf;
+    nms[kNmsDropCalls] = (c == 7) ? "500" : "2";
+    nms[kNmsCallAttempts] = "50";
+    s.nms.push_back(nms);
+  }
+  summary.AddSnapshot(s);
+  bool found = false;
+  for (const Highlight& h : summary.ExtractHighlights(0.05)) {
+    if (h.attribute == "drop_calls") {
+      EXPECT_EQ(h.cell_id, "c0007");
+      EXPECT_GT(h.frequency, 2.0);  // z-score
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,98 @@
+#include "index/leaf_spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+Snapshot GeneratedSnapshot() {
+  TraceConfig config;
+  config.days = 1;
+  TraceGenerator gen(config);
+  return gen.GenerateSnapshot(config.start + 20 * kEpochSeconds);
+}
+
+TEST(LeafSpatialIndexTest, EmptySnapshot) {
+  Snapshot snapshot;
+  LeafSpatialIndex index = LeafSpatialIndex::Build(snapshot);
+  EXPECT_EQ(index.num_cells(), 0u);
+  EXPECT_EQ(index.CdrRows("c0001"), nullptr);
+}
+
+TEST(LeafSpatialIndexTest, RowPositionsAreExact) {
+  const Snapshot snapshot = GeneratedSnapshot();
+  LeafSpatialIndex index = LeafSpatialIndex::Build(snapshot);
+  // Every CDR row must be listed exactly once under its own cell.
+  size_t listed = 0;
+  for (const std::string& cell : index.Cells()) {
+    const auto* rows = index.CdrRows(cell);
+    if (rows == nullptr) continue;
+    for (uint32_t row : *rows) {
+      ASSERT_LT(row, snapshot.cdr.size());
+      EXPECT_EQ(FieldAsString(snapshot.cdr[row], kCdrCellId), cell);
+      ++listed;
+    }
+  }
+  EXPECT_EQ(listed, snapshot.cdr.size());
+  // Same for NMS.
+  listed = 0;
+  for (const std::string& cell : index.Cells()) {
+    const auto* rows = index.NmsRows(cell);
+    if (rows == nullptr) continue;
+    listed += rows->size();
+    for (uint32_t row : *rows) {
+      EXPECT_EQ(FieldAsString(snapshot.nms[row], kNmsCellId), cell);
+    }
+  }
+  EXPECT_EQ(listed, snapshot.nms.size());
+}
+
+TEST(LeafSpatialIndexTest, RowListsAscending) {
+  const Snapshot snapshot = GeneratedSnapshot();
+  LeafSpatialIndex index = LeafSpatialIndex::Build(snapshot);
+  for (const std::string& cell : index.Cells()) {
+    const auto* rows = index.NmsRows(cell);
+    if (rows == nullptr || rows->size() < 2) continue;
+    for (size_t i = 1; i < rows->size(); ++i) {
+      EXPECT_LT((*rows)[i - 1], (*rows)[i]);
+    }
+  }
+}
+
+TEST(LeafSpatialIndexTest, SerializeParseRoundTrip) {
+  const Snapshot snapshot = GeneratedSnapshot();
+  LeafSpatialIndex index = LeafSpatialIndex::Build(snapshot);
+  const std::string blob = index.Serialize();
+  LeafSpatialIndex parsed;
+  ASSERT_TRUE(LeafSpatialIndex::Parse(blob, &parsed).ok());
+  EXPECT_TRUE(parsed == index);
+  EXPECT_EQ(parsed.Serialize(), blob);
+}
+
+TEST(LeafSpatialIndexTest, ParseRejectsTruncation) {
+  const Snapshot snapshot = GeneratedSnapshot();
+  std::string blob = LeafSpatialIndex::Build(snapshot).Serialize();
+  blob.resize(blob.size() / 2);
+  LeafSpatialIndex parsed;
+  EXPECT_FALSE(LeafSpatialIndex::Parse(blob, &parsed).ok());
+}
+
+TEST(LeafSpatialIndexTest, ParseRejectsTrailingBytes) {
+  Snapshot snapshot;
+  std::string blob = LeafSpatialIndex::Build(snapshot).Serialize() + "x";
+  LeafSpatialIndex parsed;
+  EXPECT_TRUE(LeafSpatialIndex::Parse(blob, &parsed).IsCorruption());
+}
+
+TEST(LeafSpatialIndexTest, UnknownCellReturnsNull) {
+  const Snapshot snapshot = GeneratedSnapshot();
+  LeafSpatialIndex index = LeafSpatialIndex::Build(snapshot);
+  EXPECT_EQ(index.CdrRows("no-such-cell"), nullptr);
+  EXPECT_EQ(index.NmsRows("no-such-cell"), nullptr);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/spate_framework.h"
+#include "index/temporal_index.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+constexpr Timestamp kStart = 1453075200;  // 2016-01-18 00:00 (Monday)
+
+LeafNode MakeLeaf(Timestamp epoch) {
+  LeafNode leaf;
+  leaf.epoch_start = epoch;
+  leaf.stored_bytes = 10;
+  Snapshot s;
+  s.epoch_start = epoch;
+  Record row(kCdrNumAttributes);
+  row[kCdrTs] = FormatCompact(epoch);
+  row[kCdrCellId] = "c0001";
+  s.cdr.push_back(row);
+  leaf.summary.AddSnapshot(s);
+  return leaf;
+}
+
+TEST(ProgressiveDecayTest, DayNodesPrunePastSecondHorizon) {
+  TemporalIndex index;
+  const int days = 10;
+  for (int i = 0; i < days * kEpochsPerDay; ++i) {
+    ASSERT_TRUE(index.AddLeaf(MakeLeaf(kStart + i * kEpochSeconds)).ok());
+  }
+  DecayPolicy policy;
+  policy.full_resolution_seconds = 3 * 86400;  // raw: 3 days
+  policy.day_resolution_seconds = 6 * 86400;   // day summaries: 6 days
+  const Timestamp now = kStart + days * 86400;
+  std::vector<Timestamp> pruned_days;
+  index.Decay(policy, now,
+              /*evict=*/nullptr,
+              [&](const DayNode& day) { pruned_days.push_back(day.day_start); });
+
+  // Days 0..3 are past the 6-day day-summary horizon (and fully decayed).
+  EXPECT_EQ(index.num_pruned_days(), 4u);
+  ASSERT_EQ(pruned_days.size(), 4u);
+  for (size_t i = 0; i < pruned_days.size(); ++i) {
+    EXPECT_EQ(pruned_days[i],
+              kStart + static_cast<Timestamp>(i) * 86400);
+  }
+  // Leaves up to the 3-day horizon decayed.
+  EXPECT_EQ(index.num_decayed(), 7u * kEpochsPerDay);
+
+  // Month/root aggregates still count everything (progressive, not lossy
+  // at the aggregate level).
+  EXPECT_EQ(index.root_summary().cdr_rows(),
+            static_cast<uint64_t>(days * kEpochsPerDay));
+
+  // A whole-month window still answers exactly right via month roll-up.
+  const Timestamp month_begin = TruncateToMonth(kStart);
+  CivilTime next = ToCivil(month_begin);
+  next.month += 1;
+  const NodeSummary month = index.SummarizeWindow(month_begin, FromCivil(next));
+  EXPECT_EQ(month.cdr_rows(), static_cast<uint64_t>(days * kEpochsPerDay));
+
+  // A window inside the pruned region is not fully resolved; its covering
+  // node is the month (the day node is gone).
+  EXPECT_FALSE(index.WindowFullyResolved(kStart, kStart + 3600));
+  const CoveringNode covering = index.FindCovering(kStart, kStart + 3600);
+  EXPECT_EQ(covering.level, IndexLevel::kMonth);
+
+  // The retained full-resolution window still resolves.
+  EXPECT_TRUE(index.WindowFullyResolved(kStart + 8 * 86400,
+                                        kStart + 9 * 86400));
+}
+
+TEST(ProgressiveDecayTest, DayResolutionClampedAboveFullResolution) {
+  TemporalIndex index;
+  for (int i = 0; i < 5 * kEpochsPerDay; ++i) {
+    ASSERT_TRUE(index.AddLeaf(MakeLeaf(kStart + i * kEpochSeconds)).ok());
+  }
+  DecayPolicy policy;
+  policy.full_resolution_seconds = 2 * 86400;
+  policy.day_resolution_seconds = 0;  // bogus: would prune resident days
+  index.Decay(policy, kStart + 5 * 86400, nullptr, nullptr);
+  // The clamp keeps at least the full-resolution window's days intact:
+  // only days whose leaves decayed may prune.
+  EXPECT_EQ(index.num_pruned_days(), 2u);
+  EXPECT_TRUE(index.WindowFullyResolved(kStart + 3 * 86400 + 3600,
+                                        kStart + 4 * 86400));
+}
+
+TEST(ProgressiveDecayTest, FrameworkDeletesPersistedDaySummaries) {
+  TraceConfig config;
+  config.days = 8;
+  config.num_cells = 30;
+  config.num_antennas = 10;
+  config.cdr_base_rate = 10;
+  config.nms_per_cell = 0.3;
+  TraceGenerator gen(config);
+  SpateOptions options;
+  options.decay.full_resolution_seconds = 2 * 86400;
+  options.decay.day_resolution_seconds = 5 * 86400;
+  SpateFramework spate(options, gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    ASSERT_TRUE(spate.Ingest(gen.GenerateSnapshot(epoch)).ok());
+  }
+  // Day summaries persisted for completed days 0..6 (7 files), minus the
+  // pruned ones (days past the 5-day day-resolution horizon: days 0..2).
+  const auto files = spate.dfs().ListFiles("/spate/index/day/");
+  EXPECT_EQ(spate.index().num_pruned_days(), 3u);
+  EXPECT_EQ(files.size(), 4u);
+  // No leaf data files remain for the pruned region either.
+  EXPECT_TRUE(spate.dfs().ListFiles("/spate/data/2016/01/18").empty());
+
+  // Month-level exploration of the pruned region still answers.
+  ExplorationQuery query;
+  query.window_begin = config.start;
+  query.window_end = config.start + 86400;
+  auto result = spate.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  EXPECT_EQ(result->served_from, IndexLevel::kMonth);
+  EXPECT_GT(result->summary.cdr_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,107 @@
+#include "index/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+Record Cell(const std::string& id, double x, double y) {
+  Record row(CellSchema().num_attributes());
+  row[kCellId] = id;
+  row[kCellAntennaId] = "a0001";
+  row[kCellX] = std::to_string(x);
+  row[kCellY] = std::to_string(y);
+  row[kCellTech] = "LTE";
+  row[kCellRegion] = "R00";
+  return row;
+}
+
+TEST(BoundingBoxTest, Contains) {
+  BoundingBox box{0, 0, 10, 10};
+  EXPECT_TRUE(box.Contains(5, 5));
+  EXPECT_TRUE(box.Contains(0, 0));
+  EXPECT_TRUE(box.Contains(10, 10));
+  EXPECT_FALSE(box.Contains(-1, 5));
+  EXPECT_FALSE(box.Contains(5, 11));
+}
+
+TEST(CellDirectoryTest, FindById) {
+  CellDirectory dir({Cell("c0001", 1, 2), Cell("c0002", 3, 4)});
+  EXPECT_EQ(dir.size(), 2u);
+  const CellInfo* c = dir.Find("c0001");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->x, 1);
+  EXPECT_DOUBLE_EQ(c->y, 2);
+  EXPECT_EQ(dir.Find("c9999"), nullptr);
+}
+
+TEST(CellDirectoryTest, SkipsMalformedCoordinates) {
+  Record bad = Cell("cbad", 0, 0);
+  bad[kCellX] = "not-a-number";
+  CellDirectory dir({Cell("c0001", 1, 2), bad});
+  EXPECT_EQ(dir.size(), 1u);
+  EXPECT_EQ(dir.Find("cbad"), nullptr);
+}
+
+TEST(CellDirectoryTest, CellsInBoxExhaustive) {
+  // 10x10 grid of cells at integer coordinates.
+  std::vector<Record> rows;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      char id[16];
+      snprintf(id, sizeof(id), "c%d%d", x, y);
+      rows.push_back(Cell(id, x * 100, y * 100));
+    }
+  }
+  CellDirectory dir(rows, 4);
+  // Box covering x in [150, 450], y in [250, 350]: x in {2,3,4}, y in {3}.
+  auto in_box = dir.CellsInBox(BoundingBox{150, 250, 450, 350});
+  ASSERT_EQ(in_box.size(), 3u);
+  EXPECT_EQ(in_box[0], "c23");
+  EXPECT_EQ(in_box[1], "c33");
+  EXPECT_EQ(in_box[2], "c43");
+}
+
+TEST(CellDirectoryTest, WholeExtentBoxReturnsAll) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  CellDirectory dir(gen.cells());
+  EXPECT_EQ(dir.size(), static_cast<size_t>(config.num_cells));
+  auto all = dir.CellsInBox(dir.extent());
+  EXPECT_EQ(all.size(), dir.size());
+}
+
+TEST(CellDirectoryTest, GridMatchesBruteForce) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  CellDirectory dir(gen.cells());
+  const BoundingBox box{10000, 20000, 35000, 55000};
+  auto fast = dir.CellsInBox(box);
+  std::vector<std::string> brute;
+  for (const CellInfo& cell : dir.cells()) {
+    if (box.Contains(cell.x, cell.y)) brute.push_back(cell.id);
+  }
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(fast, brute);
+  EXPECT_FALSE(fast.empty());
+}
+
+TEST(CellDirectoryTest, EmptyBoxYieldsNothing) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  CellDirectory dir(gen.cells());
+  auto none = dir.CellsInBox(BoundingBox{-500, -500, -1, -1});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(CellDirectoryTest, EmptyDirectory) {
+  CellDirectory dir({});
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_TRUE(dir.CellsInBox(BoundingBox{0, 0, 1e9, 1e9}).empty());
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,142 @@
+#include "privacy/k_anonymity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spate {
+namespace {
+
+TEST(GeneralizeValueTest, SuffixMask) {
+  EXPECT_EQ(GeneralizeValue("u012345", GeneralizationKind::kSuffixMask, 0),
+            "u012345");
+  EXPECT_EQ(GeneralizeValue("u012345", GeneralizationKind::kSuffixMask, 3),
+            "u012***");
+  EXPECT_EQ(GeneralizeValue("ab", GeneralizationKind::kSuffixMask, 5), "**");
+}
+
+TEST(GeneralizeValueTest, NumericBucket) {
+  EXPECT_EQ(GeneralizeValue("137", GeneralizationKind::kNumericBucket, 1),
+            "[130-139]");
+  EXPECT_EQ(GeneralizeValue("137", GeneralizationKind::kNumericBucket, 2),
+            "[100-199]");
+  EXPECT_EQ(GeneralizeValue("5", GeneralizationKind::kNumericBucket, 3),
+            "[0-999]");
+  EXPECT_EQ(GeneralizeValue("oops", GeneralizationKind::kNumericBucket, 1),
+            "*");
+}
+
+TEST(GeneralizeValueTest, SuppressOnly) {
+  EXPECT_EQ(GeneralizeValue("x", GeneralizationKind::kSuppressOnly, 0), "x");
+  EXPECT_EQ(GeneralizeValue("x", GeneralizationKind::kSuppressOnly, 1), "*");
+}
+
+std::vector<Record> MakeRows(int n, int distinct_users) {
+  Rng rng(7);
+  std::vector<Record> rows;
+  for (int i = 0; i < n; ++i) {
+    char user[16], cell[16];
+    snprintf(user, sizeof(user), "u%06d",
+             static_cast<int>(rng.Uniform(distinct_users)));
+    snprintf(cell, sizeof(cell), "c%04d", static_cast<int>(rng.Uniform(20)));
+    rows.push_back({user, cell, std::to_string(rng.Uniform(600))});
+  }
+  return rows;
+}
+
+AnonymizationConfig MakeConfig(int k) {
+  AnonymizationConfig config;
+  config.k = k;
+  config.quasi_identifiers = {
+      {0, GeneralizationKind::kSuffixMask, 6},
+      {1, GeneralizationKind::kSuffixMask, 4},
+      {2, GeneralizationKind::kNumericBucket, 4},
+  };
+  return config;
+}
+
+TEST(KAnonymityTest, IsKAnonymousDetectsViolations) {
+  std::vector<Record> rows = {{"a"}, {"a"}, {"b"}};
+  std::vector<QuasiIdentifier> qis = {{0, GeneralizationKind::kSuffixMask, 1}};
+  EXPECT_TRUE(IsKAnonymous(rows, qis, 2) == false);  // "b" is unique
+  EXPECT_TRUE(IsKAnonymous(rows, qis, 1));
+  EXPECT_TRUE(IsKAnonymous({}, qis, 5));
+}
+
+TEST(KAnonymityTest, ResultSatisfiesK) {
+  const auto rows = MakeRows(2000, 400);
+  for (int k : {2, 5, 10, 25}) {
+    auto result = KAnonymize(rows, MakeConfig(k));
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(
+        IsKAnonymous(result->rows, MakeConfig(k).quasi_identifiers, k))
+        << "k=" << k;
+    EXPECT_EQ(result->rows.size() + result->suppressed, rows.size());
+  }
+}
+
+TEST(KAnonymityTest, HigherKGeneralizesMore) {
+  const auto rows = MakeRows(2000, 400);
+  auto k2 = KAnonymize(rows, MakeConfig(2));
+  auto k50 = KAnonymize(rows, MakeConfig(50));
+  ASSERT_TRUE(k2.ok());
+  ASSERT_TRUE(k50.ok());
+  int levels2 = 0, levels50 = 0;
+  for (int l : k2->levels) levels2 += l;
+  for (int l : k50->levels) levels50 += l;
+  EXPECT_GE(levels50, levels2);
+}
+
+TEST(KAnonymityTest, DropColumnsBlanked) {
+  std::vector<Record> rows = {{"a", "secret1"}, {"a", "secret2"}};
+  AnonymizationConfig config;
+  config.k = 2;
+  config.quasi_identifiers = {{0, GeneralizationKind::kSuffixMask, 1}};
+  config.drop_columns = {1};
+  auto result = KAnonymize(rows, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][1], "");
+  EXPECT_EQ(result->rows[1][1], "");
+}
+
+TEST(KAnonymityTest, AlreadyAnonymousDataUntouched) {
+  std::vector<Record> rows(10, Record{"same", "42"});
+  auto result = KAnonymize(rows, MakeConfig(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->suppressed, 0u);
+  EXPECT_EQ(result->rows.size(), 10u);
+  for (int l : result->levels) EXPECT_EQ(l, 0);
+  EXPECT_EQ(result->rows[0][0], "same");
+}
+
+TEST(KAnonymityTest, SmallUniqueTableFullySuppressedOrGeneralized) {
+  // 3 fully distinct rows, k=5: either everything generalizes to one class
+  // or rows are suppressed; k-anonymity must hold regardless.
+  std::vector<Record> rows = {{"aaa", "1"}, {"bbb", "2"}, {"ccc", "3"}};
+  AnonymizationConfig config = MakeConfig(5);
+  auto result = KAnonymize(rows, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsKAnonymous(result->rows, config.quasi_identifiers, 5));
+}
+
+TEST(KAnonymityTest, RejectsBadConfig) {
+  AnonymizationConfig config;
+  config.k = 0;
+  EXPECT_FALSE(KAnonymize({}, config).ok());
+  config.k = 2;
+  config.quasi_identifiers = {{-1, GeneralizationKind::kSuffixMask, 1}};
+  EXPECT_FALSE(KAnonymize({}, config).ok());
+}
+
+TEST(KAnonymityTest, SuppressionBoundedByBudgetWhenLatticeSuffices) {
+  const auto rows = MakeRows(3000, 100);
+  AnonymizationConfig config = MakeConfig(3);
+  auto result = KAnonymize(rows, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->suppressed,
+            static_cast<size_t>(config.max_suppression_rate * rows.size()) + 1);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,150 @@
+#include "query/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+
+namespace spate {
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.days = 1;
+    config.num_cells = 60;
+    config.num_antennas = 20;
+    config.num_users = 200;
+    config.cdr_base_rate = 40;
+    config.nms_per_cell = 1.0;
+    config_ = new TraceConfig(config);
+    gen_ = new TraceGenerator(config);
+    spate_ = new SpateFramework(SpateOptions{}, gen_->cells());
+    for (Timestamp epoch : gen_->EpochStarts()) {
+      ASSERT_TRUE(spate_->Ingest(gen_->GenerateSnapshot(epoch)).ok());
+    }
+  }
+
+  ExplorationQuery DayQuery() const {
+    ExplorationQuery q;
+    q.window_begin = config_->start + 8 * 3600;
+    q.window_end = config_->start + 20 * 3600;
+    return q;
+  }
+
+  static TraceConfig* config_;
+  static TraceGenerator* gen_;
+  static SpateFramework* spate_;
+};
+
+TraceConfig* ResultCacheTest::config_ = nullptr;
+TraceGenerator* ResultCacheTest::gen_ = nullptr;
+SpateFramework* ResultCacheTest::spate_ = nullptr;
+
+TEST_F(ResultCacheTest, IdenticalQueryHits) {
+  CachedExplorer explorer(spate_);
+  auto first = explorer.Execute(DayQuery());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(explorer.cache().misses(), 1u);
+  auto second = explorer.Execute(DayQuery());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(explorer.cache().hits(), 1u);
+  EXPECT_EQ(second->cdr_rows.size(), first->cdr_rows.size());
+  EXPECT_EQ(second->nms_rows.size(), first->nms_rows.size());
+}
+
+TEST_F(ResultCacheTest, SubWindowServedFromCacheMatchesDirect) {
+  CachedExplorer explorer(spate_);
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());  // warm: 08:00-20:00
+
+  ExplorationQuery narrow = DayQuery();
+  narrow.window_begin = config_->start + 11 * 3600;
+  narrow.window_end = config_->start + 13 * 3600;
+  auto cached = explorer.Execute(narrow);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(explorer.cache().hits(), 1u);
+
+  auto direct = spate_->Execute(narrow);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cached->cdr_rows.size(), direct->cdr_rows.size());
+  EXPECT_EQ(cached->nms_rows.size(), direct->nms_rows.size());
+  EXPECT_EQ(cached->summary.cdr_rows(), direct->summary.cdr_rows());
+}
+
+TEST_F(ResultCacheTest, SubBoxServedFromCache) {
+  CachedExplorer explorer(spate_);
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());  // unboxed = whole region
+
+  ExplorationQuery boxed = DayQuery();
+  boxed.has_box = true;
+  const BoundingBox extent = spate_->cells().extent();
+  boxed.box = BoundingBox{extent.min_x, extent.min_y,
+                          (extent.min_x + extent.max_x) / 2, extent.max_y};
+  auto cached = explorer.Execute(boxed);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(explorer.cache().hits(), 1u);
+  auto direct = spate_->Execute(boxed);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cached->cdr_rows.size(), direct->cdr_rows.size());
+}
+
+TEST_F(ResultCacheTest, WiderWindowMisses) {
+  CachedExplorer explorer(spate_);
+  ExplorationQuery narrow = DayQuery();
+  narrow.window_end = config_->start + 10 * 3600;
+  ASSERT_TRUE(explorer.Execute(narrow).ok());
+  // Wider than cached: must go to the framework.
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());
+  EXPECT_EQ(explorer.cache().hits(), 0u);
+  EXPECT_EQ(explorer.cache().misses(), 2u);
+}
+
+TEST_F(ResultCacheTest, BoxedEntryDoesNotServeUnboxedQuery) {
+  CachedExplorer explorer(spate_);
+  ExplorationQuery boxed = DayQuery();
+  boxed.has_box = true;
+  boxed.box = spate_->cells().extent();
+  ASSERT_TRUE(explorer.Execute(boxed).ok());
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());  // unboxed
+  EXPECT_EQ(explorer.cache().hits(), 0u);
+}
+
+TEST_F(ResultCacheTest, LruEviction) {
+  ResultCache cache(2);
+  QueryResult dummy;
+  dummy.exact = true;
+  ExplorationQuery q1 = DayQuery();
+  ExplorationQuery q2 = DayQuery();
+  q2.window_begin += 3600;
+  ExplorationQuery q3 = DayQuery();
+  q3.window_begin += 7200;
+  cache.Insert(q1, dummy);
+  cache.Insert(q2, dummy);
+  cache.Insert(q3, dummy);  // evicts q1
+  EXPECT_EQ(cache.size(), 2u);
+  ExplorationQuery probe = q1;
+  EXPECT_FALSE(cache.Lookup(probe, spate_->cells()).has_value());
+  EXPECT_TRUE(cache.Lookup(q3, spate_->cells()).has_value());
+}
+
+TEST_F(ResultCacheTest, ZeroCapacityNeverCaches) {
+  CachedExplorer explorer(spate_, 0);
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());
+  EXPECT_EQ(explorer.cache().hits(), 0u);
+  EXPECT_EQ(explorer.cache().size(), 0u);
+}
+
+TEST_F(ResultCacheTest, ClearResets) {
+  CachedExplorer explorer(spate_);
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());
+  ResultCache cache(4);
+  cache.Insert(DayQuery(), QueryResult{});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,225 @@
+#include "query/tasks.h"
+
+#include "analytics/features.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/raw_framework.h"
+#include "baseline/shahed_framework.h"
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+/// All three frameworks loaded with the same small trace; tasks must agree.
+class TasksTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.days = 1;
+    config.num_cells = 50;
+    config.num_antennas = 15;
+    config.num_users = 150;
+    config.cdr_base_rate = 50;
+    config.nms_per_cell = 0.4;
+    config_ = new TraceConfig(config);
+    gen_ = new TraceGenerator(config);
+    DfsOptions dfs;
+    dfs.block_size = 256 * 1024;
+    raw_ = new RawFramework(dfs, gen_->cells());
+    shahed_ = new ShahedFramework(dfs, gen_->cells());
+    SpateOptions options;
+    options.dfs = dfs;
+    spate_ = new SpateFramework(options, gen_->cells());
+    for (Timestamp epoch : gen_->EpochStarts()) {
+      const Snapshot snapshot = gen_->GenerateSnapshot(epoch);
+      ASSERT_TRUE(raw_->Ingest(snapshot).ok());
+      ASSERT_TRUE(shahed_->Ingest(snapshot).ok());
+      ASSERT_TRUE(spate_->Ingest(snapshot).ok());
+    }
+    pool_ = new ThreadPool(4);
+  }
+
+  std::vector<Framework*> All() { return {raw_, shahed_, spate_}; }
+  Timestamp begin() const { return config_->start; }
+  Timestamp end() const { return config_->start + 86400; }
+
+  static TraceConfig* config_;
+  static TraceGenerator* gen_;
+  static RawFramework* raw_;
+  static ShahedFramework* shahed_;
+  static SpateFramework* spate_;
+  static ThreadPool* pool_;
+};
+
+TraceConfig* TasksTest::config_ = nullptr;
+TraceGenerator* TasksTest::gen_ = nullptr;
+RawFramework* TasksTest::raw_ = nullptr;
+ShahedFramework* TasksTest::shahed_ = nullptr;
+SpateFramework* TasksTest::spate_ = nullptr;
+ThreadPool* TasksTest::pool_ = nullptr;
+
+TEST_F(TasksTest, T1EqualityAgreesAcrossFrameworks) {
+  const Timestamp snapshot_ts = begin() + 18 * kEpochSeconds;
+  auto expected = TaskEquality(*raw_, snapshot_ts);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_FALSE(expected->flux.empty());
+  for (Framework* fw : All()) {
+    auto result = TaskEquality(*fw, snapshot_ts);
+    ASSERT_TRUE(result.ok()) << fw->Name();
+    EXPECT_EQ(result->flux, expected->flux) << fw->Name();
+    EXPECT_EQ(result->total_upflux, expected->total_upflux);
+    EXPECT_EQ(result->total_downflux, expected->total_downflux);
+  }
+}
+
+TEST_F(TasksTest, T2RangeAgreesAcrossFrameworks) {
+  auto expected = TaskRange(*raw_, begin() + 6 * 3600, begin() + 18 * 3600);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_FALSE(expected->flux.empty());
+  for (Framework* fw : All()) {
+    auto result = TaskRange(*fw, begin() + 6 * 3600, begin() + 18 * 3600);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->flux.size(), expected->flux.size()) << fw->Name();
+    EXPECT_EQ(result->total_downflux, expected->total_downflux) << fw->Name();
+  }
+}
+
+TEST_F(TasksTest, T2SubWindowIsSubsetOfFullDay) {
+  auto day = TaskRange(*spate_, begin(), end());
+  auto hour = TaskRange(*spate_, begin() + 12 * 3600, begin() + 13 * 3600);
+  ASSERT_TRUE(day.ok());
+  ASSERT_TRUE(hour.ok());
+  EXPECT_LT(hour->flux.size(), day->flux.size());
+  EXPECT_LE(hour->total_upflux, day->total_upflux);
+}
+
+TEST_F(TasksTest, T3AggregateAgreesAcrossFrameworks) {
+  auto expected = TaskAggregate(*raw_, begin(), end());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_FALSE(expected->drops_per_cell.empty());
+  for (Framework* fw : All()) {
+    auto result = TaskAggregate(*fw, begin(), end());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->drops_per_cell, expected->drops_per_cell) << fw->Name();
+  }
+  // Rates are in [0, 1]-ish range (drops <= attempts in expectation).
+  for (const auto& [cell, rate] : expected->drop_rate_per_cell) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LT(rate, 1.0) << cell;
+  }
+}
+
+TEST_F(TasksTest, T4JoinFindsMovers) {
+  auto expected = TaskJoin(*raw_, begin(), end());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_GT(expected->devices_seen, 0u);
+  EXPECT_GT(expected->devices_moved, 0u);
+  EXPECT_LE(expected->devices_moved, expected->devices_seen);
+  EXPECT_LE(expected->top_movers.size(), 20u);
+  for (Framework* fw : All()) {
+    auto result = TaskJoin(*fw, begin(), end());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->devices_seen, expected->devices_seen) << fw->Name();
+    EXPECT_EQ(result->devices_moved, expected->devices_moved) << fw->Name();
+    EXPECT_EQ(result->top_movers, expected->top_movers) << fw->Name();
+  }
+}
+
+TEST_F(TasksTest, T5PrivacyProducesKAnonymousRows) {
+  for (Framework* fw : All()) {
+    auto result = TaskPrivacy(*fw, begin(), begin() + 6 * 3600, 5);
+    ASSERT_TRUE(result.ok()) << fw->Name();
+    AnonymizationConfig config;
+    config.quasi_identifiers = {
+        {kCdrCaller, GeneralizationKind::kSuffixMask, 6},
+        {kCdrCellId, GeneralizationKind::kSuffixMask, 4},
+        {kCdrDuration, GeneralizationKind::kNumericBucket, 5},
+    };
+    EXPECT_TRUE(IsKAnonymous(result->rows, config.quasi_identifiers, 5));
+    // Direct identifiers are gone.
+    for (const Record& row : result->rows) {
+      EXPECT_EQ(FieldAsString(row, kCdrImei), "");
+      EXPECT_EQ(FieldAsString(row, kCdrCallee), "");
+    }
+  }
+}
+
+TEST_F(TasksTest, T6StatisticsAgreeAcrossFrameworks) {
+  auto expected = TaskStatistics(*raw_, begin(), end(), pool_);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->cdr.size(), CdrFeatureNames().size());
+  ASSERT_EQ(expected->nms.size(), NmsFeatureNames().size());
+  EXPECT_GT(expected->cdr[0].count, 0u);
+  for (Framework* fw : All()) {
+    auto result = TaskStatistics(*fw, begin(), end(), pool_);
+    ASSERT_TRUE(result.ok());
+    for (size_t c = 0; c < expected->cdr.size(); ++c) {
+      EXPECT_EQ(result->cdr[c].count, expected->cdr[c].count);
+      EXPECT_NEAR(result->cdr[c].mean, expected->cdr[c].mean, 1e-9);
+      EXPECT_NEAR(result->cdr[c].variance, expected->cdr[c].variance, 1e-4);
+    }
+  }
+}
+
+TEST_F(TasksTest, T6StatisticsSanity) {
+  auto result = TaskStatistics(*spate_, begin(), end(), pool_);
+  ASSERT_TRUE(result.ok());
+  // rssi column of NMS: mean near -85.
+  const ColumnStat& rssi = result->nms[4];
+  EXPECT_EQ(rssi.name, "rssi");
+  EXPECT_NEAR(rssi.mean, -85.0, 2.0);
+  EXPECT_LT(rssi.max, 0.0);
+}
+
+TEST_F(TasksTest, T7ClusteringAgreesAcrossFrameworks) {
+  KMeansOptions options;
+  options.k = 3;
+  auto expected = TaskClustering(*raw_, begin(), end(), options, pool_);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(expected->centroids.size(), 3u);
+  EXPECT_GT(expected->assignments.size(), 100u);
+  for (Framework* fw : All()) {
+    auto result = TaskClustering(*fw, begin(), end(), options, pool_);
+    ASSERT_TRUE(result.ok());
+    // Same data + same seed = same clustering.
+    EXPECT_EQ(result->assignments, expected->assignments) << fw->Name();
+    EXPECT_NEAR(result->inertia, expected->inertia, 1e-6 * expected->inertia);
+  }
+}
+
+TEST_F(TasksTest, T8RegressionAgreesAcrossFrameworks) {
+  auto expected = TaskRegression(*raw_, begin(), end(), pool_);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(expected->weights.size(), CdrFeatureNames().size() - 1);
+  for (Framework* fw : All()) {
+    auto result = TaskRegression(*fw, begin(), end(), pool_);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < expected->weights.size(); ++i) {
+      EXPECT_NEAR(result->weights[i], expected->weights[i],
+                  1e-6 * (1 + std::abs(expected->weights[i])));
+    }
+  }
+}
+
+TEST_F(TasksTest, TasksOnEmptyWindow) {
+  const Timestamp far_future = begin() + 400 * 86400;
+  auto t2 = TaskRange(*spate_, far_future, far_future + 3600);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->flux.empty());
+  auto t4 = TaskJoin(*spate_, far_future, far_future + 3600);
+  ASSERT_TRUE(t4.ok());
+  EXPECT_EQ(t4->devices_seen, 0u);
+  // Clustering/regression need data: they must fail cleanly, not crash.
+  EXPECT_FALSE(
+      TaskClustering(*spate_, far_future, far_future + 3600, {}, pool_).ok());
+  EXPECT_FALSE(
+      TaskRegression(*spate_, far_future, far_future + 3600, pool_).ok());
+}
+
+}  // namespace
+}  // namespace spate

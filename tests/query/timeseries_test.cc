@@ -1,0 +1,96 @@
+#include "query/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+
+namespace spate {
+namespace {
+
+class TimeseriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.days = 1;
+    config.num_cells = 40;
+    config.num_antennas = 10;
+    config.cdr_base_rate = 30;
+    config.nms_per_cell = 0.5;
+    config_ = new TraceConfig(config);
+    gen_ = new TraceGenerator(config);
+    spate_ = new SpateFramework(SpateOptions{}, gen_->cells());
+    for (Timestamp epoch : gen_->EpochStarts()) {
+      ASSERT_TRUE(spate_->Ingest(gen_->GenerateSnapshot(epoch)).ok());
+    }
+  }
+
+  static TraceConfig* config_;
+  static TraceGenerator* gen_;
+  static SpateFramework* spate_;
+};
+
+TraceConfig* TimeseriesTest::config_ = nullptr;
+TraceGenerator* TimeseriesTest::gen_ = nullptr;
+SpateFramework* TimeseriesTest::spate_ = nullptr;
+
+TEST_F(TimeseriesTest, HourlySeriesCoversDay) {
+  auto series = AggregateSeries(*spate_, config_->start,
+                                config_->start + 86400, 3600);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 24u);
+  uint64_t total = 0;
+  for (size_t i = 0; i < series->size(); ++i) {
+    EXPECT_EQ((*series)[i].bucket_start,
+              config_->start + static_cast<Timestamp>(i) * 3600);
+    total += (*series)[i].summary.cdr_rows();
+  }
+  // Buckets partition the window: totals match the whole-day aggregate.
+  auto day = spate_->AggregateWindow(config_->start, config_->start + 86400);
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(total, day->cdr_rows());
+}
+
+TEST_F(TimeseriesTest, DiurnalShapeVisible) {
+  auto series = AggregateSeries(*spate_, config_->start,
+                                config_->start + 86400, 3600);
+  ASSERT_TRUE(series.ok());
+  // Evening rush (18:00) clearly busier than deep night (03:00).
+  EXPECT_GT((*series)[18].summary.cdr_rows(),
+            2 * (*series)[3].summary.cdr_rows());
+}
+
+TEST_F(TimeseriesTest, EpochGranularity) {
+  auto series = AggregateSeries(*spate_, config_->start + 12 * 3600,
+                                config_->start + 14 * 3600, kEpochSeconds);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 4u);
+  for (const SeriesPoint& point : *series) {
+    const Snapshot expected = gen_->GenerateSnapshot(point.bucket_start);
+    EXPECT_EQ(point.summary.cdr_rows(), expected.cdr.size());
+    EXPECT_EQ(point.summary.nms_rows(), expected.nms.size());
+  }
+}
+
+TEST_F(TimeseriesTest, RaggedFinalBucket) {
+  // 90-minute window with 1-hour buckets: final bucket is 30 minutes.
+  auto series = AggregateSeries(*spate_, config_->start + 10 * 3600,
+                                config_->start + 10 * 3600 + 5400, 3600);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_GT((*series)[1].summary.nms_rows(), 0u);
+}
+
+TEST_F(TimeseriesTest, RejectsBadArguments) {
+  EXPECT_FALSE(
+      AggregateSeries(*spate_, config_->start, config_->start + 3600, 0)
+          .ok());
+  EXPECT_FALSE(
+      AggregateSeries(*spate_, config_->start, config_->start + 3600, 1234)
+          .ok());  // not an epoch multiple
+  EXPECT_FALSE(
+      AggregateSeries(*spate_, config_->start, config_->start, 3600).ok());
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,172 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+class SqlExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.days = 1;
+    config.num_cells = 40;
+    config.num_antennas = 10;
+    config.num_users = 200;
+    config.cdr_base_rate = 40;
+    config.nms_per_cell = 0.4;
+    gen_ = new TraceGenerator(config);
+    SpateOptions options;
+    options.dfs.block_size = 256 * 1024;
+    spate_ = new SpateFramework(options, gen_->cells());
+    for (Timestamp epoch : gen_->EpochStarts()) {
+      ASSERT_TRUE(spate_->Ingest(gen_->GenerateSnapshot(epoch)).ok());
+    }
+  }
+
+  static TraceGenerator* gen_;
+  static SpateFramework* spate_;
+};
+
+TraceGenerator* SqlExecutorTest::gen_ = nullptr;
+SpateFramework* SqlExecutorTest::spate_ = nullptr;
+
+TEST_F(SqlExecutorTest, EqualityOnSnapshotTimestamp) {
+  // One 30-min snapshot; prefix semantics on a 12-digit ts literal select
+  // exactly one minute, so use the >=/< pair for a full epoch instead.
+  const Timestamp epoch = gen_->config().start + 20 * kEpochSeconds;
+  const std::string key = FormatCompact(epoch);
+  auto result = ExecuteSql(
+      *spate_, "SELECT upflux, downflux FROM CDR WHERE ts = '" + key + "'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->columns.size(), 2u);
+  // Expected: generated rows with ts in that exact minute.
+  size_t expected = 0;
+  for (const Record& row : gen_->GenerateSnapshot(epoch).cdr) {
+    if (FieldAsString(row, kCdrTs) == key) ++expected;
+  }
+  EXPECT_EQ(result->rows.size(), expected);
+}
+
+TEST_F(SqlExecutorTest, RangeOverDayPrefix) {
+  const std::string day =
+      FormatCompact(gen_->config().start).substr(0, 8);
+  auto result = ExecuteSql(
+      *spate_,
+      "SELECT COUNT(*) FROM CDR WHERE ts >= '" + day + "' AND ts <= '" + day +
+          "'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  size_t expected = 0;
+  for (Timestamp epoch : gen_->EpochStarts()) {
+    expected += gen_->GenerateSnapshot(epoch).cdr.size();
+  }
+  EXPECT_EQ(result->rows[0][0], std::to_string(expected));
+}
+
+TEST_F(SqlExecutorTest, GroupByAggregates) {
+  auto result = ExecuteSql(
+      *spate_,
+      "SELECT cell_id, SUM(drop_calls), COUNT(*) FROM NMS GROUP BY cell_id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns[1], "SUM(drop_calls)");
+  ASSERT_FALSE(result->rows.empty());
+  // Cross-check one group against the index summary.
+  auto agg = spate_->AggregateWindow(0, 1ll << 40);
+  ASSERT_TRUE(agg.ok());
+  for (const auto& row : result->rows) {
+    const auto it = agg->per_cell().find(row[0]);
+    ASSERT_NE(it, agg->per_cell().end()) << row[0];
+    const double expected =
+        it->second.metrics[static_cast<int>(Metric::kDropCalls)].sum;
+    EXPECT_EQ(row[1], std::to_string(static_cast<long long>(expected)));
+    EXPECT_EQ(row[2],
+              std::to_string(it->second.nms_rows));
+  }
+}
+
+TEST_F(SqlExecutorTest, WhereOnCategoricalColumn) {
+  auto all = ExecuteSql(*spate_, "SELECT COUNT(*) FROM CDR");
+  auto voice =
+      ExecuteSql(*spate_, "SELECT COUNT(*) FROM CDR WHERE call_type='VOICE'");
+  auto not_voice = ExecuteSql(
+      *spate_, "SELECT COUNT(*) FROM CDR WHERE call_type != 'VOICE'");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(voice.ok());
+  ASSERT_TRUE(not_voice.ok());
+  const long long total = std::stoll(all->rows[0][0]);
+  const long long v = std::stoll(voice->rows[0][0]);
+  const long long nv = std::stoll(not_voice->rows[0][0]);
+  EXPECT_EQ(v + nv, total);
+  EXPECT_GT(v, 0);
+  EXPECT_GT(nv, 0);
+}
+
+TEST_F(SqlExecutorTest, NumericComparison) {
+  auto result = ExecuteSql(
+      *spate_, "SELECT duration FROM CDR WHERE duration > 100");
+  ASSERT_TRUE(result.ok());
+  for (const auto& row : result->rows) {
+    EXPECT_GT(std::stoll(row[0]), 100);
+  }
+}
+
+TEST_F(SqlExecutorTest, MinMaxAvg) {
+  auto result = ExecuteSql(
+      *spate_, "SELECT MIN(rssi), MAX(rssi), AVG(rssi) FROM NMS");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  const double lo = std::stod(result->rows[0][0]);
+  const double hi = std::stod(result->rows[0][1]);
+  const double avg = std::stod(result->rows[0][2]);
+  EXPECT_LT(lo, hi);
+  EXPECT_GT(avg, lo);
+  EXPECT_LT(avg, hi);
+  EXPECT_NEAR(avg, -85.0, 2.0);
+}
+
+TEST_F(SqlExecutorTest, CellTableQuery) {
+  auto result = ExecuteSql(
+      *spate_, "SELECT cell_id, tech FROM CELL WHERE tech = 'LTE'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->rows.empty());
+  for (const auto& row : result->rows) EXPECT_EQ(row[1], "LTE");
+  auto count =
+      ExecuteSql(*spate_, "SELECT COUNT(*) FROM CELL");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0], std::to_string(gen_->cells().size()));
+}
+
+TEST_F(SqlExecutorTest, StarExpansion) {
+  auto result = ExecuteSql(*spate_, "SELECT * FROM NMS WHERE drop_calls > 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns.size(), NmsSchema().num_attributes());
+}
+
+TEST_F(SqlExecutorTest, ContradictoryWindowIsEmpty) {
+  auto result = ExecuteSql(
+      *spate_,
+      "SELECT upflux FROM CDR WHERE ts >= '2017' AND ts <= '2016'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(SqlExecutorTest, SemanticErrors) {
+  EXPECT_FALSE(ExecuteSql(*spate_, "SELECT x FROM NOPE").ok());
+  EXPECT_FALSE(ExecuteSql(*spate_, "SELECT bogus_col FROM CDR").ok());
+  EXPECT_FALSE(
+      ExecuteSql(*spate_, "SELECT ts FROM CDR WHERE bogus_col = 1").ok());
+  EXPECT_FALSE(
+      ExecuteSql(*spate_, "SELECT ts FROM CDR GROUP BY bogus_col").ok());
+  EXPECT_FALSE(
+      ExecuteSql(*spate_, "SELECT ts FROM CDR WHERE ts = 'banana'").ok());
+}
+
+}  // namespace
+}  // namespace spate

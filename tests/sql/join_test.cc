@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/spate_framework.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+class SqlJoinTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.days = 1;
+    config.num_cells = 40;
+    config.num_antennas = 10;
+    config.num_users = 150;
+    config.cdr_base_rate = 30;
+    config.nms_per_cell = 0.5;
+    gen_ = new TraceGenerator(config);
+    spate_ = new SpateFramework(SpateOptions{}, gen_->cells());
+    for (Timestamp epoch : gen_->EpochStarts()) {
+      ASSERT_TRUE(spate_->Ingest(gen_->GenerateSnapshot(epoch)).ok());
+    }
+  }
+
+  static TraceGenerator* gen_;
+  static SpateFramework* spate_;
+};
+
+TraceGenerator* SqlJoinTest::gen_ = nullptr;
+SpateFramework* SqlJoinTest::spate_ = nullptr;
+
+TEST_F(SqlJoinTest, ParserAcceptsJoinOrderLimit) {
+  auto stmt = ParseSql(
+      "SELECT caller_id, CELL.region FROM CDR JOIN CELL "
+      "ON CDR.cell_id = CELL.cell_id WHERE tech = 'LTE' "
+      "ORDER BY caller_id DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(stmt->join.has_value());
+  EXPECT_EQ(stmt->join->table, "CELL");
+  EXPECT_EQ(stmt->join->left_column, "CDR.cell_id");
+  EXPECT_EQ(stmt->join->right_column, "CELL.cell_id");
+  ASSERT_TRUE(stmt->order_by.has_value());
+  EXPECT_EQ(stmt->order_by->column, "caller_id");
+  EXPECT_TRUE(stmt->order_by->descending);
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 10u);
+}
+
+TEST_F(SqlJoinTest, JoinEnrichesFactsWithDimension) {
+  auto result = ExecuteSql(
+      *spate_,
+      "SELECT NMS.cell_id, tech, region FROM NMS JOIN CELL "
+      "ON NMS.cell_id = CELL.cell_id LIMIT 50");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 50u);
+  for (const auto& row : result->rows) {
+    // Dimension attributes come from the matching CELL row.
+    const CellInfo* cell = spate_->cells().Find(row[0]);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(row[1], cell->tech);
+    EXPECT_EQ(row[2], cell->region);
+  }
+}
+
+TEST_F(SqlJoinTest, JoinPredicateOnDimensionFilters) {
+  auto all = ExecuteSql(*spate_,
+                        "SELECT COUNT(*) FROM CDR JOIN CELL "
+                        "ON CDR.cell_id = CELL.cell_id");
+  auto lte = ExecuteSql(*spate_,
+                        "SELECT COUNT(*) FROM CDR JOIN CELL "
+                        "ON CDR.cell_id = CELL.cell_id WHERE tech = 'LTE'");
+  auto plain = ExecuteSql(*spate_, "SELECT COUNT(*) FROM CDR");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(lte.ok());
+  ASSERT_TRUE(plain.ok());
+  // Every CDR row has a valid cell: inner join preserves the count.
+  EXPECT_EQ(all->rows[0][0], plain->rows[0][0]);
+  EXPECT_LT(std::stoll(lte->rows[0][0]), std::stoll(all->rows[0][0]));
+  EXPECT_GT(std::stoll(lte->rows[0][0]), 0);
+}
+
+TEST_F(SqlJoinTest, GroupByDimensionAttribute) {
+  auto result = ExecuteSql(
+      *spate_,
+      "SELECT tech, COUNT(*), SUM(drop_calls) FROM NMS JOIN CELL "
+      "ON NMS.cell_id = CELL.cell_id GROUP BY tech ORDER BY tech");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 3u);  // 2G / 3G / LTE
+  EXPECT_EQ(result->rows[0][0], "2G");
+  EXPECT_EQ(result->rows[1][0], "3G");
+  EXPECT_EQ(result->rows[2][0], "LTE");
+}
+
+TEST_F(SqlJoinTest, OrderByNumericAscendingAndDescending) {
+  auto asc = ExecuteSql(*spate_,
+                        "SELECT cell_id, SUM(drop_calls) FROM NMS "
+                        "GROUP BY cell_id ORDER BY SUM(drop_calls)");
+  auto desc = ExecuteSql(*spate_,
+                         "SELECT cell_id, SUM(drop_calls) FROM NMS "
+                         "GROUP BY cell_id ORDER BY SUM(drop_calls) DESC");
+  ASSERT_TRUE(asc.ok());
+  ASSERT_TRUE(desc.ok());
+  ASSERT_GT(asc->rows.size(), 2u);
+  for (size_t i = 1; i < asc->rows.size(); ++i) {
+    EXPECT_LE(std::stod(asc->rows[i - 1][1]), std::stod(asc->rows[i][1]));
+  }
+  for (size_t i = 1; i < desc->rows.size(); ++i) {
+    EXPECT_GE(std::stod(desc->rows[i - 1][1]), std::stod(desc->rows[i][1]));
+  }
+  // DESC is the reverse multiset of ASC.
+  EXPECT_EQ(asc->rows.size(), desc->rows.size());
+  EXPECT_EQ(asc->rows.front()[1], desc->rows.back()[1]);
+}
+
+TEST_F(SqlJoinTest, LimitTruncates) {
+  auto result = ExecuteSql(*spate_, "SELECT cell_id FROM CELL LIMIT 7");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 7u);
+  auto zero = ExecuteSql(*spate_, "SELECT cell_id FROM CELL LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->rows.empty());
+}
+
+TEST_F(SqlJoinTest, AmbiguousColumnRejected) {
+  // cell_id exists in both NMS and CELL.
+  auto result = ExecuteSql(*spate_,
+                           "SELECT cell_id FROM NMS JOIN CELL "
+                           "ON NMS.cell_id = CELL.cell_id");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(SqlJoinTest, JoinValidation) {
+  // Only CELL can be joined.
+  EXPECT_EQ(ExecuteSql(*spate_,
+                       "SELECT ts FROM CDR JOIN NMS ON CDR.cell_id = "
+                       "NMS.cell_id")
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+  // Join condition must relate fact to CELL.
+  EXPECT_FALSE(ExecuteSql(*spate_,
+                          "SELECT ts FROM CDR JOIN CELL ON CELL.cell_id = "
+                          "CELL.antenna_id")
+                   .ok());
+  // Unknown qualifier.
+  EXPECT_FALSE(
+      ExecuteSql(*spate_, "SELECT BOGUS.ts FROM CDR").ok());
+}
+
+TEST_F(SqlJoinTest, CountDistinct) {
+  // Distinct devices per cell tower: the SQL flavor of the T4 join logic.
+  auto result = ExecuteSql(
+      *spate_,
+      "SELECT CDR.cell_id, COUNT(DISTINCT imei), COUNT(*) FROM CDR "
+      "GROUP BY CDR.cell_id ORDER BY COUNT(*) DESC LIMIT 10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->columns[1], "COUNT(DISTINCT imei)");
+  ASSERT_FALSE(result->rows.empty());
+  for (const auto& row : result->rows) {
+    // Distinct devices <= total calls per cell.
+    EXPECT_LE(std::stoll(row[1]), std::stoll(row[2]));
+    EXPECT_GT(std::stoll(row[1]), 0);
+  }
+  // Global distinct count across all cells.
+  auto global = ExecuteSql(*spate_, "SELECT COUNT(DISTINCT imei) FROM CDR");
+  auto rows_total = ExecuteSql(*spate_, "SELECT COUNT(*) FROM CDR");
+  ASSERT_TRUE(global.ok());
+  ASSERT_TRUE(rows_total.ok());
+  EXPECT_LT(std::stoll(global->rows[0][0]),
+            std::stoll(rows_total->rows[0][0]));
+}
+
+TEST_F(SqlJoinTest, CountDistinctValidation) {
+  EXPECT_FALSE(ExecuteSql(*spate_, "SELECT COUNT(DISTINCT *) FROM CDR").ok());
+  EXPECT_FALSE(ExecuteSql(*spate_, "SELECT SUM(DISTINCT upflux) FROM CDR").ok());
+}
+
+TEST_F(SqlJoinTest, OrderByMustBeInSelectList) {
+  auto result =
+      ExecuteSql(*spate_, "SELECT cell_id FROM CELL ORDER BY vendor");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SqlJoinTest, QualifiedColumnsWithoutJoin) {
+  auto result = ExecuteSql(
+      *spate_, "SELECT CDR.upflux FROM CDR WHERE CDR.call_type = 'DATA' "
+               "LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 5u);
+}
+
+TEST_F(SqlJoinTest, StarExpandsBothTablesUnderJoin) {
+  auto result = ExecuteSql(*spate_,
+                           "SELECT * FROM NMS JOIN CELL "
+                           "ON NMS.cell_id = CELL.cell_id LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns.size(),
+            NmsSchema().num_attributes() + CellSchema().num_attributes());
+}
+
+}  // namespace
+}  // namespace spate

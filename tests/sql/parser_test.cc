@@ -1,0 +1,122 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace spate {
+namespace {
+
+TEST(SqlParserTest, SimpleSelect) {
+  auto stmt = ParseSql("SELECT upflux, downflux FROM CDR");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].column, "upflux");
+  EXPECT_EQ(stmt->items[1].column, "downflux");
+  EXPECT_EQ(stmt->table, "CDR");
+  EXPECT_TRUE(stmt->where.empty());
+  EXPECT_FALSE(stmt->group_by.has_value());
+}
+
+TEST(SqlParserTest, PaperT1Query) {
+  auto stmt = ParseSql(
+      "SELECT upflux, downflux FROM CDR WHERE ts='201601221530';");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 1u);
+  EXPECT_EQ(stmt->where[0].column, "ts");
+  EXPECT_EQ(stmt->where[0].op, CompareOp::kEq);
+  EXPECT_EQ(stmt->where[0].literal, "201601221530");
+}
+
+TEST(SqlParserTest, PaperT2RangeQuery) {
+  auto stmt = ParseSql(
+      "SELECT upflux, downflux FROM CDR WHERE ts>='2015' AND ts<='2016'");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->where.size(), 2u);
+  EXPECT_EQ(stmt->where[0].op, CompareOp::kGe);
+  EXPECT_EQ(stmt->where[1].op, CompareOp::kLe);
+}
+
+TEST(SqlParserTest, PaperT3AggregateQuery) {
+  auto stmt = ParseSql(
+      "SELECT cell_id, SUM(drop_calls) FROM NMS GROUP BY cell_id");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].aggregate, AggregateFn::kNone);
+  EXPECT_EQ(stmt->items[1].aggregate, AggregateFn::kSum);
+  EXPECT_EQ(stmt->items[1].column, "drop_calls");
+  ASSERT_TRUE(stmt->group_by.has_value());
+  EXPECT_EQ(*stmt->group_by, "cell_id");
+}
+
+TEST(SqlParserTest, AllAggregates) {
+  auto stmt = ParseSql(
+      "SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d) FROM NMS");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 5u);
+  EXPECT_EQ(stmt->items[0].aggregate, AggregateFn::kCount);
+  EXPECT_EQ(stmt->items[0].column, "*");
+  EXPECT_EQ(stmt->items[1].aggregate, AggregateFn::kSum);
+  EXPECT_EQ(stmt->items[2].aggregate, AggregateFn::kAvg);
+  EXPECT_EQ(stmt->items[3].aggregate, AggregateFn::kMin);
+  EXPECT_EQ(stmt->items[4].aggregate, AggregateFn::kMax);
+}
+
+TEST(SqlParserTest, StarSelect) {
+  auto stmt = ParseSql("SELECT * FROM CELL");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].column, "*");
+}
+
+TEST(SqlParserTest, KeywordsCaseInsensitive) {
+  auto stmt = ParseSql("select x from cdr where y > 5 group by x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->table, "CDR");
+  EXPECT_EQ(stmt->where[0].op, CompareOp::kGt);
+}
+
+TEST(SqlParserTest, AllOperators) {
+  for (auto [text, op] : std::initializer_list<std::pair<const char*, CompareOp>>{
+           {"=", CompareOp::kEq},
+           {"!=", CompareOp::kNe},
+           {"<>", CompareOp::kNe},
+           {"<", CompareOp::kLt},
+           {"<=", CompareOp::kLe},
+           {">", CompareOp::kGt},
+           {">=", CompareOp::kGe}}) {
+    auto stmt = ParseSql(std::string("SELECT a FROM CDR WHERE a ") + text +
+                         " 10");
+    ASSERT_TRUE(stmt.ok()) << text;
+    EXPECT_EQ(stmt->where[0].op, op) << text;
+  }
+}
+
+TEST(SqlParserTest, NegativeNumbersAndDoubleQuotes) {
+  auto stmt = ParseSql("SELECT a FROM CDR WHERE rssi < -80 AND tech = \"LTE\"");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where[0].literal, "-80");
+  EXPECT_EQ(stmt->where[1].literal, "LTE");
+}
+
+TEST(SqlParserTest, Rejections) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM CDR").ok());
+  EXPECT_FALSE(ParseSql("SELECT a CDR").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM CDR WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM CDR WHERE a ==").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM CDR WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT BOGUS(a) FROM CDR").ok());
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM CDR").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM CDR GROUP x").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM CDR extra junk").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM CDR WHERE a ~ 3").ok());
+}
+
+TEST(SqlParserTest, ErrorsCarryPosition) {
+  auto stmt = ParseSql("SELECT a FROM CDR WHERE a ==");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("position"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spate

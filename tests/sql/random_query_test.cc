@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/raw_framework.h"
+#include "common/random.h"
+#include "core/spate_framework.h"
+#include "sql/executor.h"
+#include "telco/generator.h"
+
+namespace spate {
+namespace {
+
+/// Randomized SPATE-SQL generator: emits valid statements over NMS (the
+/// numeric-rich table) mixing predicates, aggregates, grouping, ordering
+/// and limits. Executed against RAW and SPATE, results must agree — the
+/// storage/index machinery must be invisible to SQL semantics.
+class QueryGen {
+ public:
+  explicit QueryGen(uint64_t seed, Timestamp start) : rng_(seed), start_(start) {}
+
+  std::string Next() {
+    std::string sql = "SELECT ";
+    const bool aggregate = rng_.Bernoulli(0.5);
+    const bool group = aggregate && rng_.Bernoulli(0.6);
+    if (aggregate) {
+      std::vector<std::string> items;
+      if (group) items.push_back("cell_id");
+      const char* fns[] = {"COUNT(*)", "SUM(drop_calls)", "AVG(throughput)",
+                           "MIN(rssi)", "MAX(call_attempts)",
+                           "COUNT(DISTINCT cell_id)"};
+      const int n = 1 + static_cast<int>(rng_.Uniform(3));
+      for (int i = 0; i < n; ++i) items.push_back(fns[rng_.Uniform(6)]);
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i) sql += ", ";
+        sql += items[i];
+      }
+      order_candidate_ = items.back();
+    } else {
+      sql += "ts, cell_id, drop_calls, rssi";
+      order_candidate_ = "rssi";
+    }
+    sql += " FROM NMS";
+
+    // Predicates.
+    const int preds = static_cast<int>(rng_.Uniform(3));
+    for (int i = 0; i < preds; ++i) {
+      sql += (i == 0) ? " WHERE " : " AND ";
+      switch (rng_.Uniform(4)) {
+        case 0:
+          sql += "rssi " + Op() + " " + std::to_string(-80 - rng_.Uniform(20));
+          break;
+        case 1:
+          sql += "drop_calls " + Op() + " " + std::to_string(rng_.Uniform(5));
+          break;
+        case 2:
+          sql += "ts >= '" + FormatCompact(start_ + rng_.Uniform(20) * 3600)
+                 + "'";
+          break;
+        default:
+          sql += "call_attempts " + Op() + " " +
+                 std::to_string(5 * rng_.Uniform(10));
+          break;
+      }
+    }
+    if (group) sql += " GROUP BY cell_id";
+    if (rng_.Bernoulli(0.5)) {
+      sql += " ORDER BY " + order_candidate_;
+      if (rng_.Bernoulli(0.5)) sql += " DESC";
+    }
+    if (rng_.Bernoulli(0.3)) {
+      sql += " LIMIT " + std::to_string(10 + rng_.Uniform(100));
+    }
+    return sql;
+  }
+
+ private:
+  std::string Op() {
+    const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+    return ops[rng_.Uniform(6)];
+  }
+
+  Rng rng_;
+  Timestamp start_;
+  std::string order_candidate_;
+};
+
+TEST(RandomSqlTest, RawAndSpateAgreeOnGeneratedQueries) {
+  TraceConfig config;
+  config.days = 1;
+  config.num_cells = 30;
+  config.num_antennas = 10;
+  config.cdr_base_rate = 10;
+  config.nms_per_cell = 0.5;
+  TraceGenerator gen(config);
+  RawFramework raw(DfsOptions{}, gen.cells());
+  SpateFramework spate(SpateOptions{}, gen.cells());
+  for (Timestamp epoch : gen.EpochStarts()) {
+    const Snapshot s = gen.GenerateSnapshot(epoch);
+    ASSERT_TRUE(raw.Ingest(s).ok());
+    ASSERT_TRUE(spate.Ingest(s).ok());
+  }
+
+  QueryGen query_gen(2024, config.start);
+  int executed = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::string sql = query_gen.Next();
+    auto raw_result = ExecuteSql(raw, sql);
+    auto spate_result = ExecuteSql(spate, sql);
+    ASSERT_EQ(raw_result.ok(), spate_result.ok()) << sql;
+    if (!raw_result.ok()) continue;  // generator should not emit these
+    ++executed;
+    EXPECT_EQ(raw_result->columns, spate_result->columns) << sql;
+    // With ORDER BY + LIMIT, ties make row *sets* non-deterministic across
+    // engines only if sort keys tie at the cutoff; our executor is a
+    // stable sort over identically-ordered input, so exact equality holds.
+    auto sorted = [](std::vector<std::vector<std::string>> rows) {
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    EXPECT_EQ(sorted(raw_result->rows), sorted(spate_result->rows)) << sql;
+  }
+  EXPECT_EQ(executed, 60);  // every generated statement was valid
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,222 @@
+#include "telco/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+constexpr Timestamp kStart = 1453075200;  // 2016-01-18 00:00
+
+Record CdrRow(Timestamp ts) {
+  Record row(kCdrNumAttributes);
+  row[kCdrTs] = FormatCompact(ts);
+  row[kCdrCellId] = "c0001";
+  return row;
+}
+
+TEST(AssemblerTest, EmitsEpochWhenWatermarkPasses) {
+  std::vector<Snapshot> emitted;
+  SnapshotAssembler assembler(
+      [&](const Snapshot& s) {
+        emitted.push_back(s);
+        return Status::OK();
+      },
+      /*allowed_lateness_seconds=*/0);
+
+  ASSERT_TRUE(assembler.AddCdr(kStart + 10, CdrRow(kStart + 10)).ok());
+  ASSERT_TRUE(assembler.AddCdr(kStart + 20, CdrRow(kStart + 20)).ok());
+  EXPECT_TRUE(emitted.empty());  // epoch still open
+  // A record in the next epoch pushes the watermark past the boundary.
+  ASSERT_TRUE(assembler
+                  .AddCdr(kStart + kEpochSeconds + 5,
+                          CdrRow(kStart + kEpochSeconds + 5))
+                  .ok());
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].epoch_start, kStart);
+  EXPECT_EQ(emitted[0].cdr.size(), 2u);
+  EXPECT_EQ(assembler.pending(), 1u);
+}
+
+TEST(AssemblerTest, AllowedLatenessDelaysEmission) {
+  std::vector<Snapshot> emitted;
+  SnapshotAssembler assembler(
+      [&](const Snapshot& s) {
+        emitted.push_back(s);
+        return Status::OK();
+      },
+      /*allowed_lateness_seconds=*/300);
+  ASSERT_TRUE(assembler.AddCdr(kStart + 10, CdrRow(kStart + 10)).ok());
+  // Watermark just past the epoch end: not yet (lateness margin).
+  ASSERT_TRUE(assembler
+                  .AddCdr(kStart + kEpochSeconds + 100,
+                          CdrRow(kStart + kEpochSeconds + 100))
+                  .ok());
+  EXPECT_TRUE(emitted.empty());
+  // A late straggler for epoch 0 still lands in it.
+  ASSERT_TRUE(assembler.AddCdr(kStart + 500, CdrRow(kStart + 500)).ok());
+  EXPECT_TRUE(emitted.empty());
+  // Watermark passes end + lateness: epoch 0 ships with the straggler.
+  ASSERT_TRUE(assembler
+                  .AddCdr(kStart + kEpochSeconds + 301,
+                          CdrRow(kStart + kEpochSeconds + 301))
+                  .ok());
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].cdr.size(), 2u);
+  EXPECT_EQ(assembler.late_dropped(), 0u);
+}
+
+TEST(AssemblerTest, TooLateRecordsAreDropped) {
+  std::vector<Snapshot> emitted;
+  SnapshotAssembler assembler(
+      [&](const Snapshot& s) {
+        emitted.push_back(s);
+        return Status::OK();
+      },
+      0);
+  ASSERT_TRUE(assembler.AddCdr(kStart + 10, CdrRow(kStart + 10)).ok());
+  ASSERT_TRUE(assembler
+                  .AddCdr(kStart + kEpochSeconds + 5,
+                          CdrRow(kStart + kEpochSeconds + 5))
+                  .ok());
+  ASSERT_EQ(emitted.size(), 1u);
+  // Epoch 0 already shipped: this record is dropped, not misfiled.
+  ASSERT_TRUE(assembler.AddCdr(kStart + 200, CdrRow(kStart + 200)).ok());
+  EXPECT_EQ(assembler.late_dropped(), 1u);
+  ASSERT_TRUE(assembler.Flush().ok());
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(emitted[1].cdr.size(), 1u);
+}
+
+TEST(AssemblerTest, FlushEmitsEverything) {
+  std::vector<Snapshot> emitted;
+  SnapshotAssembler assembler(
+      [&](const Snapshot& s) {
+        emitted.push_back(s);
+        return Status::OK();
+      },
+      0);
+  for (int e = 0; e < 5; ++e) {
+    ASSERT_TRUE(assembler
+                    .AddNms(kStart + e * kEpochSeconds + 7,
+                            Record{FormatCompact(kStart + e * kEpochSeconds),
+                                   "c0001", "1", "5", "120", "20", "-85", "0"})
+                    .ok());
+  }
+  ASSERT_TRUE(assembler.Flush().ok());
+  EXPECT_EQ(emitted.size(), 5u);
+  EXPECT_EQ(assembler.pending(), 0u);
+  for (size_t i = 1; i < emitted.size(); ++i) {
+    EXPECT_GT(emitted[i].epoch_start, emitted[i - 1].epoch_start);
+  }
+}
+
+TEST(AssemblerTest, RejectsNegativeEventTime) {
+  SnapshotAssembler assembler([](const Snapshot&) { return Status::OK(); },
+                              0);
+  EXPECT_TRUE(assembler.AddCdr(-5, CdrRow(0)).IsInvalidArgument());
+}
+
+TEST(AssemblerTest, PropagatesEmitFailure) {
+  SnapshotAssembler assembler(
+      [](const Snapshot&) { return Status::IOError("dfs down"); }, 0);
+  ASSERT_TRUE(assembler.AddCdr(kStart + 10, CdrRow(kStart + 10)).ok());
+  EXPECT_EQ(assembler
+                .AddCdr(kStart + kEpochSeconds + 5,
+                        CdrRow(kStart + kEpochSeconds + 5))
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(AssemblerTest, ShuffledStreamReassemblesExactly) {
+  // Take 4 generated snapshots, explode them into a record stream, shuffle
+  // within a bounded horizon, and verify the assembler reconstructs the
+  // same per-epoch record multisets.
+  TraceConfig config;
+  config.days = 1;
+  config.num_cells = 40;
+  config.num_antennas = 10;
+  TraceGenerator gen(config);
+  struct Event {
+    Timestamp ts;
+    Record record;
+    bool is_cdr;
+  };
+  std::vector<Event> events;
+  std::map<Timestamp, size_t> expected_sizes;
+  for (int e = 20; e < 24; ++e) {
+    const Timestamp epoch = config.start + e * kEpochSeconds;
+    const Snapshot s = gen.GenerateSnapshot(epoch);
+    expected_sizes[epoch] = s.size();
+    for (const Record& row : s.cdr) {
+      events.push_back(Event{ParseCompact(row[kCdrTs]), row, true});
+    }
+    for (const Record& row : s.nms) {
+      events.push_back(Event{ParseCompact(row[kNmsTs]), row, false});
+    }
+  }
+  // Bounded shuffle: swap nearby events (models transport reordering).
+  Rng rng(77);
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    const size_t j = i + rng.Uniform(std::min<size_t>(40, events.size() - i));
+    std::swap(events[i], events[j]);
+  }
+
+  std::map<Timestamp, size_t> emitted_sizes;
+  SnapshotAssembler assembler(
+      [&](const Snapshot& s) {
+        emitted_sizes[s.epoch_start] = s.size();
+        return Status::OK();
+      },
+      /*allowed_lateness_seconds=*/kEpochSeconds);
+  for (const Event& event : events) {
+    ASSERT_TRUE((event.is_cdr
+                     ? assembler.AddCdr(event.ts, event.record)
+                     : assembler.AddNms(event.ts, event.record))
+                    .ok());
+  }
+  ASSERT_TRUE(assembler.Flush().ok());
+  EXPECT_EQ(assembler.late_dropped(), 0u);
+  EXPECT_EQ(emitted_sizes, expected_sizes);
+}
+
+TEST(IncidentInjectionTest, SpikeAppearsOnlyInConfiguredWindow) {
+  TraceConfig base;
+  base.days = 1;
+  base.num_cells = 60;
+  base.num_antennas = 20;
+  TraceConfig incident = base;
+  incident.incident_cell = 23;
+  // Afternoon window (14:00-16:00) so the base load is high enough for the
+  // multiplier to be unambiguous.
+  incident.incident_start = base.start + 28 * kEpochSeconds;
+  incident.incident_duration_seconds = 4 * kEpochSeconds;
+  incident.incident_severity = 20.0;
+  TraceGenerator plain(base), spiked(incident);
+
+  auto drops_of = [&](TraceGenerator& gen, int epoch_index, int cell) {
+    const Snapshot s =
+        gen.GenerateSnapshot(base.start + epoch_index * kEpochSeconds);
+    int64_t total = 0;
+    char id[8];
+    snprintf(id, sizeof(id), "c%04d", cell);
+    for (const Record& row : s.nms) {
+      if (FieldAsString(row, kNmsCellId) == id) {
+        total += FieldAsInt(row, kNmsDropCalls);
+      }
+    }
+    return total;
+  };
+  // During the incident the affected cell's drops explode.
+  EXPECT_GT(drops_of(spiked, 29, 23),
+            5 * std::max<int64_t>(1, drops_of(plain, 29, 23)));
+  // Epochs outside the window are bit-identical (per-epoch RNG seeding).
+  EXPECT_EQ(drops_of(spiked, 40, 23), drops_of(plain, 40, 23));
+  EXPECT_EQ(drops_of(spiked, 40, 24), drops_of(plain, 40, 24));
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,87 @@
+#include "telco/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+TEST(EntropyTest, EmptyInput) {
+  auto h = ColumnEntropies({}, 3);
+  ASSERT_EQ(h.size(), 3u);
+  for (double v : h) EXPECT_EQ(v, 0.0);
+}
+
+TEST(EntropyTest, ConstantColumnHasZeroEntropy) {
+  std::vector<Record> rows(100, Record{"same", "x"});
+  auto h = ColumnEntropies(rows, 2);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+TEST(EntropyTest, UniformBinaryColumnHasOneBit) {
+  std::vector<Record> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({i % 2 ? "a" : "b"});
+  auto h = ColumnEntropies(rows, 1);
+  EXPECT_NEAR(h[0], 1.0, 1e-9);
+}
+
+TEST(EntropyTest, UniformQuaternaryHasTwoBits) {
+  std::vector<Record> rows;
+  for (int i = 0; i < 400; ++i) rows.push_back({std::to_string(i % 4)});
+  auto h = ColumnEntropies(rows, 1);
+  EXPECT_NEAR(h[0], 2.0, 1e-9);
+}
+
+TEST(EntropyTest, ShortRowsPadWithBlank) {
+  std::vector<Record> rows = {{"a", "b"}, {"a"}};
+  auto h = ColumnEntropies(rows, 2);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_NEAR(h[1], 1.0, 1e-9);  // "b" vs blank
+}
+
+TEST(EntropyTest, GeneratedCdrMatchesFig4Profile) {
+  // Fig. 4: most CDR attributes below 1 bit, several exactly 0, identifier
+  // columns well above.
+  TraceConfig config;
+  config.cdr_base_rate = 300;
+  TraceGenerator gen(config);
+  std::vector<Record> rows;
+  for (int e = 0; e < 8; ++e) {
+    Snapshot s = gen.GenerateSnapshot(config.start + (16 + e) * kEpochSeconds);
+    rows.insert(rows.end(), s.cdr.begin(), s.cdr.end());
+  }
+  ASSERT_GT(rows.size(), 500u);
+  auto h = ColumnEntropies(rows, kCdrNumAttributes);
+
+  int zero = 0, below_one = 0;
+  for (int a = 10; a < kCdrNumAttributes; ++a) {
+    if (h[a] == 0.0) ++zero;
+    if (h[a] < 1.0) ++below_one;
+  }
+  EXPECT_GT(zero, 100);        // blank + constant fillers
+  EXPECT_GT(below_one, 140);   // plus the skewed binary flags
+  // Identifiers carry real information.
+  EXPECT_GT(h[kCdrCaller], 4.0);
+  EXPECT_GT(h[kCdrTs], 4.0);
+  // call_type is low-cardinality.
+  EXPECT_LT(h[kCdrCallType], 2.1);
+}
+
+TEST(ByteEntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ByteEntropy(""), 0.0);
+  EXPECT_DOUBLE_EQ(ByteEntropy("aaaa"), 0.0);
+  EXPECT_NEAR(ByteEntropy("abab"), 1.0, 1e-9);
+  EXPECT_NEAR(ByteEntropy("abcd"), 2.0, 1e-9);
+}
+
+TEST(ByteEntropyTest, BoundedByEight) {
+  std::string all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<char>(i));
+  EXPECT_NEAR(ByteEntropy(all), 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,162 @@
+#include "telco/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "telco/partition.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  TraceConfig config;
+  TraceGenerator a(config), b(config);
+  const Snapshot sa = a.GenerateSnapshot(config.start + 10 * kEpochSeconds);
+  const Snapshot sb = b.GenerateSnapshot(config.start + 10 * kEpochSeconds);
+  EXPECT_EQ(SerializeSnapshot(sa), SerializeSnapshot(sb));
+}
+
+TEST(GeneratorTest, EpochsIndependentOfGenerationOrder) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  const Snapshot first = gen.GenerateSnapshot(config.start);
+  gen.GenerateSnapshot(config.start + kEpochSeconds);
+  const Snapshot again = gen.GenerateSnapshot(config.start);
+  EXPECT_EQ(SerializeSnapshot(first), SerializeSnapshot(again));
+}
+
+TEST(GeneratorTest, EpochStartsCoverConfiguredWindow) {
+  TraceConfig config;
+  config.days = 7;
+  TraceGenerator gen(config);
+  const auto epochs = gen.EpochStarts();
+  EXPECT_EQ(epochs.size(), 7u * kEpochsPerDay);
+  EXPECT_EQ(epochs.front(), config.start);
+  EXPECT_EQ(epochs.back(), config.start + (7 * kEpochsPerDay - 1) * kEpochSeconds);
+}
+
+TEST(GeneratorTest, StartIsMonday) {
+  TraceConfig config;
+  EXPECT_EQ(Weekday(config.start), 0);  // Monday
+}
+
+TEST(GeneratorTest, CellInventoryMatchesConfig) {
+  TraceConfig config;
+  config.num_cells = 100;
+  config.num_antennas = 25;
+  TraceGenerator gen(config);
+  EXPECT_EQ(gen.cells().size(), 100u);
+  std::set<std::string> antennas;
+  for (const Record& row : gen.cells()) {
+    EXPECT_EQ(row.size(), CellSchema().num_attributes());
+    antennas.insert(FieldAsString(row, kCellAntennaId));
+    // Coordinates inside the region.
+    const double x = FieldAsDouble(row, kCellX);
+    const double y = FieldAsDouble(row, kCellY);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, config.region_meters);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, config.region_meters);
+  }
+  EXPECT_EQ(antennas.size(), 25u);
+}
+
+TEST(GeneratorTest, CdrRowsHaveFullSchemaWidth) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  const Snapshot snapshot = gen.GenerateSnapshot(config.start + 18 * kEpochSeconds);
+  for (const Record& row : snapshot.cdr) {
+    EXPECT_EQ(row.size(), static_cast<size_t>(kCdrNumAttributes));
+    // Cell ids must exist in the inventory.
+    const std::string& cell = FieldAsString(row, kCdrCellId);
+    EXPECT_EQ(cell.size(), 5u);
+    EXPECT_EQ(cell[0], 'c');
+  }
+  for (const Record& row : snapshot.nms) {
+    EXPECT_EQ(row.size(), NmsSchema().num_attributes());
+  }
+}
+
+TEST(GeneratorTest, RecordTimestampsInsideEpoch) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  const Timestamp epoch = config.start + 20 * kEpochSeconds;
+  const Snapshot snapshot = gen.GenerateSnapshot(epoch);
+  for (const Record& row : snapshot.cdr) {
+    const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+    EXPECT_GE(ts, epoch);
+    EXPECT_LT(ts, epoch + kEpochSeconds);
+  }
+}
+
+TEST(GeneratorTest, DiurnalLoadShape) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  // Day-peak hours should carry clearly more load than deep night.
+  const double peak = gen.LoadFactor(config.start + 18 * 3600 + 600);
+  const double night = gen.LoadFactor(config.start + 3 * 3600 + 600);
+  EXPECT_GT(peak, 3 * night);
+}
+
+TEST(GeneratorTest, WeekendLighterThanFriday) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  const Timestamp noon = 12 * 3600;
+  const double friday = gen.LoadFactor(config.start + 4 * 86400 + noon);
+  const double sunday = gen.LoadFactor(config.start + 6 * 86400 + noon);
+  EXPECT_GT(friday, sunday);
+}
+
+TEST(GeneratorTest, MorningBusierThanNightInRecordCounts) {
+  TraceConfig config;
+  config.cdr_base_rate = 120;
+  TraceGenerator gen(config);
+  size_t morning = 0, night = 0;
+  for (int d = 0; d < 3; ++d) {
+    morning += gen.GenerateSnapshot(config.start + d * 86400 + 9 * 3600).size();
+    night += gen.GenerateSnapshot(config.start + d * 86400 + 2 * 3600).size();
+  }
+  EXPECT_GT(morning, night);
+}
+
+TEST(PartitionTest, PeriodBoundaries) {
+  TraceConfig config;
+  const Timestamp day = config.start;
+  EXPECT_EQ(PeriodOf(day + 5 * 3600), DayPeriod::kMorning);
+  EXPECT_EQ(PeriodOf(day + 11 * 3600 + 1800), DayPeriod::kMorning);
+  EXPECT_EQ(PeriodOf(day + 12 * 3600), DayPeriod::kAfternoon);
+  EXPECT_EQ(PeriodOf(day + 16 * 3600), DayPeriod::kAfternoon);
+  EXPECT_EQ(PeriodOf(day + 17 * 3600), DayPeriod::kEvening);
+  EXPECT_EQ(PeriodOf(day + 20 * 3600), DayPeriod::kEvening);
+  EXPECT_EQ(PeriodOf(day + 21 * 3600), DayPeriod::kNight);
+  EXPECT_EQ(PeriodOf(day + 2 * 3600), DayPeriod::kNight);
+}
+
+TEST(PartitionTest, PeriodsPartitionTheWeek) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  const auto epochs = gen.EpochStarts();
+  size_t total = 0;
+  for (DayPeriod p : kAllDayPeriods) {
+    total += EpochsInPeriod(epochs, p).size();
+  }
+  EXPECT_EQ(total, epochs.size());
+}
+
+TEST(PartitionTest, WeekdaysPartitionTheWeek) {
+  TraceConfig config;
+  TraceGenerator gen(config);
+  const auto epochs = gen.EpochStarts();
+  size_t total = 0;
+  for (int wd = 0; wd < 7; ++wd) {
+    const auto day_epochs = EpochsOnWeekday(epochs, wd);
+    EXPECT_EQ(day_epochs.size(), static_cast<size_t>(kEpochsPerDay));
+    total += day_epochs.size();
+  }
+  EXPECT_EQ(total, epochs.size());
+}
+
+}  // namespace
+}  // namespace spate

@@ -1,0 +1,58 @@
+#include "telco/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "telco/record.h"
+
+namespace spate {
+namespace {
+
+TEST(SchemaTest, CdrHas200Attributes) {
+  EXPECT_EQ(CdrSchema().num_attributes(), 200u);
+  EXPECT_EQ(CdrSchema().name(), "CDR");
+}
+
+TEST(SchemaTest, CdrNamedAttributeIndices) {
+  const TableSchema& cdr = CdrSchema();
+  EXPECT_EQ(cdr.IndexOf("ts"), kCdrTs);
+  EXPECT_EQ(cdr.IndexOf("caller_id"), kCdrCaller);
+  EXPECT_EQ(cdr.IndexOf("callee_id"), kCdrCallee);
+  EXPECT_EQ(cdr.IndexOf("cell_id"), kCdrCellId);
+  EXPECT_EQ(cdr.IndexOf("call_type"), kCdrCallType);
+  EXPECT_EQ(cdr.IndexOf("duration"), kCdrDuration);
+  EXPECT_EQ(cdr.IndexOf("upflux"), kCdrUpflux);
+  EXPECT_EQ(cdr.IndexOf("downflux"), kCdrDownflux);
+  EXPECT_EQ(cdr.IndexOf("result"), kCdrResult);
+  EXPECT_EQ(cdr.IndexOf("imei"), kCdrImei);
+  EXPECT_EQ(cdr.IndexOf("no_such_column"), -1);
+}
+
+TEST(SchemaTest, CdrFillerAttributesNamedSequentially) {
+  EXPECT_EQ(CdrSchema().attributes()[10].name, "opt_011");
+  EXPECT_EQ(CdrSchema().attributes()[199].name, "opt_200");
+}
+
+TEST(SchemaTest, NmsHas8Attributes) {
+  EXPECT_EQ(NmsSchema().num_attributes(), 8u);
+  EXPECT_EQ(NmsSchema().IndexOf("drop_calls"), kNmsDropCalls);
+  EXPECT_EQ(NmsSchema().IndexOf("throughput"), kNmsThroughput);
+}
+
+TEST(SchemaTest, CellHas10Attributes) {
+  EXPECT_EQ(CellSchema().num_attributes(), 10u);
+  EXPECT_EQ(CellSchema().IndexOf("x"), kCellX);
+  EXPECT_EQ(CellSchema().IndexOf("region"), kCellRegion);
+}
+
+TEST(RecordTest, TypedFieldAccess) {
+  Record row = {"201601221530", "u000001", "", "c0001", "VOICE", "145"};
+  EXPECT_EQ(FieldAsInt(row, 5), 145);
+  EXPECT_EQ(FieldAsString(row, 4), "VOICE");
+  EXPECT_EQ(FieldAsInt(row, 2, -1), -1);    // blank -> fallback
+  EXPECT_EQ(FieldAsInt(row, 99, -7), -7);   // out of range -> fallback
+  EXPECT_EQ(FieldAsString(row, 99), "");
+  EXPECT_DOUBLE_EQ(FieldAsDouble(row, 5), 145.0);
+}
+
+}  // namespace
+}  // namespace spate
