@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_differential.dir/bench_ablation_differential.cc.o"
+  "CMakeFiles/bench_ablation_differential.dir/bench_ablation_differential.cc.o.d"
+  "bench_ablation_differential"
+  "bench_ablation_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

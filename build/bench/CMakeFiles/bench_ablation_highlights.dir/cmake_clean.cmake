@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_highlights.dir/bench_ablation_highlights.cc.o"
+  "CMakeFiles/bench_ablation_highlights.dir/bench_ablation_highlights.cc.o.d"
+  "bench_ablation_highlights"
+  "bench_ablation_highlights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_highlights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_entropy.dir/bench_fig4_entropy.cc.o"
+  "CMakeFiles/bench_fig4_entropy.dir/bench_fig4_entropy.cc.o.d"
+  "bench_fig4_entropy"
+  "bench_fig4_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fig8_dayperiod.dir/bench_fig7_fig8_dayperiod.cc.o"
+  "CMakeFiles/bench_fig7_fig8_dayperiod.dir/bench_fig7_fig8_dayperiod.cc.o.d"
+  "bench_fig7_fig8_dayperiod"
+  "bench_fig7_fig8_dayperiod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_dayperiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

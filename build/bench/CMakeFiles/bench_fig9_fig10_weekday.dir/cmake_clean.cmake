@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fig10_weekday.dir/bench_fig9_fig10_weekday.cc.o"
+  "CMakeFiles/bench_fig9_fig10_weekday.dir/bench_fig9_fig10_weekday.cc.o.d"
+  "bench_fig9_fig10_weekday"
+  "bench_fig9_fig10_weekday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fig10_weekday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_compression.dir/bench_table1_compression.cc.o"
+  "CMakeFiles/bench_table1_compression.dir/bench_table1_compression.cc.o.d"
+  "bench_table1_compression"
+  "bench_table1_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_traffic_explorer.dir/city_traffic_explorer.cpp.o"
+  "CMakeFiles/city_traffic_explorer.dir/city_traffic_explorer.cpp.o.d"
+  "city_traffic_explorer"
+  "city_traffic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_traffic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_sharing.dir/privacy_sharing.cpp.o"
+  "CMakeFiles/privacy_sharing.dir/privacy_sharing.cpp.o.d"
+  "privacy_sharing"
+  "privacy_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/spate_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spate_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/spate_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/spate_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/spate_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/spate_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/spate_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/spate_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/telco/CMakeFiles/spate_telco.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_cli.dir/spate_cli.cpp.o"
+  "CMakeFiles/spate_cli.dir/spate_cli.cpp.o.d"
+  "spate_cli"
+  "spate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("compress")
+subdirs("telco")
+subdirs("dfs")
+subdirs("index")
+subdirs("query")
+subdirs("sql")
+subdirs("analytics")
+subdirs("privacy")
+subdirs("core")
+subdirs("baseline")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/features.cc" "src/analytics/CMakeFiles/spate_analytics.dir/features.cc.o" "gcc" "src/analytics/CMakeFiles/spate_analytics.dir/features.cc.o.d"
+  "/root/repo/src/analytics/heavy_hitters.cc" "src/analytics/CMakeFiles/spate_analytics.dir/heavy_hitters.cc.o" "gcc" "src/analytics/CMakeFiles/spate_analytics.dir/heavy_hitters.cc.o.d"
+  "/root/repo/src/analytics/histogram.cc" "src/analytics/CMakeFiles/spate_analytics.dir/histogram.cc.o" "gcc" "src/analytics/CMakeFiles/spate_analytics.dir/histogram.cc.o.d"
+  "/root/repo/src/analytics/kmeans.cc" "src/analytics/CMakeFiles/spate_analytics.dir/kmeans.cc.o" "gcc" "src/analytics/CMakeFiles/spate_analytics.dir/kmeans.cc.o.d"
+  "/root/repo/src/analytics/regression.cc" "src/analytics/CMakeFiles/spate_analytics.dir/regression.cc.o" "gcc" "src/analytics/CMakeFiles/spate_analytics.dir/regression.cc.o.d"
+  "/root/repo/src/analytics/stats.cc" "src/analytics/CMakeFiles/spate_analytics.dir/stats.cc.o" "gcc" "src/analytics/CMakeFiles/spate_analytics.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telco/CMakeFiles/spate_telco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

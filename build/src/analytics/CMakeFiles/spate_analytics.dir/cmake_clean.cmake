@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_analytics.dir/features.cc.o"
+  "CMakeFiles/spate_analytics.dir/features.cc.o.d"
+  "CMakeFiles/spate_analytics.dir/heavy_hitters.cc.o"
+  "CMakeFiles/spate_analytics.dir/heavy_hitters.cc.o.d"
+  "CMakeFiles/spate_analytics.dir/histogram.cc.o"
+  "CMakeFiles/spate_analytics.dir/histogram.cc.o.d"
+  "CMakeFiles/spate_analytics.dir/kmeans.cc.o"
+  "CMakeFiles/spate_analytics.dir/kmeans.cc.o.d"
+  "CMakeFiles/spate_analytics.dir/regression.cc.o"
+  "CMakeFiles/spate_analytics.dir/regression.cc.o.d"
+  "CMakeFiles/spate_analytics.dir/stats.cc.o"
+  "CMakeFiles/spate_analytics.dir/stats.cc.o.d"
+  "libspate_analytics.a"
+  "libspate_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

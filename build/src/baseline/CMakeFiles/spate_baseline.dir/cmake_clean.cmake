@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_baseline.dir/raw_framework.cc.o"
+  "CMakeFiles/spate_baseline.dir/raw_framework.cc.o.d"
+  "CMakeFiles/spate_baseline.dir/shahed_framework.cc.o"
+  "CMakeFiles/spate_baseline.dir/shahed_framework.cc.o.d"
+  "libspate_baseline.a"
+  "libspate_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

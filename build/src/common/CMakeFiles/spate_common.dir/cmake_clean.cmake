@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_common.dir/clock.cc.o"
+  "CMakeFiles/spate_common.dir/clock.cc.o.d"
+  "CMakeFiles/spate_common.dir/crc32.cc.o"
+  "CMakeFiles/spate_common.dir/crc32.cc.o.d"
+  "CMakeFiles/spate_common.dir/status.cc.o"
+  "CMakeFiles/spate_common.dir/status.cc.o.d"
+  "CMakeFiles/spate_common.dir/strings.cc.o"
+  "CMakeFiles/spate_common.dir/strings.cc.o.d"
+  "CMakeFiles/spate_common.dir/thread_pool.cc.o"
+  "CMakeFiles/spate_common.dir/thread_pool.cc.o.d"
+  "libspate_common.a"
+  "libspate_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

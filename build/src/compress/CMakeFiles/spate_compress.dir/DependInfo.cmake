@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/spate_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/deflate_codec.cc" "src/compress/CMakeFiles/spate_compress.dir/deflate_codec.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/deflate_codec.cc.o.d"
+  "/root/repo/src/compress/fast_lz_codec.cc" "src/compress/CMakeFiles/spate_compress.dir/fast_lz_codec.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/fast_lz_codec.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/spate_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/spate_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/lz77.cc.o.d"
+  "/root/repo/src/compress/lzma_lite_codec.cc" "src/compress/CMakeFiles/spate_compress.dir/lzma_lite_codec.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/lzma_lite_codec.cc.o.d"
+  "/root/repo/src/compress/null_codec.cc" "src/compress/CMakeFiles/spate_compress.dir/null_codec.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/null_codec.cc.o.d"
+  "/root/repo/src/compress/tans.cc" "src/compress/CMakeFiles/spate_compress.dir/tans.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/tans.cc.o.d"
+  "/root/repo/src/compress/tans_codec.cc" "src/compress/CMakeFiles/spate_compress.dir/tans_codec.cc.o" "gcc" "src/compress/CMakeFiles/spate_compress.dir/tans_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

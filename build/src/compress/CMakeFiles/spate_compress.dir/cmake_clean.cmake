@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_compress.dir/codec.cc.o"
+  "CMakeFiles/spate_compress.dir/codec.cc.o.d"
+  "CMakeFiles/spate_compress.dir/deflate_codec.cc.o"
+  "CMakeFiles/spate_compress.dir/deflate_codec.cc.o.d"
+  "CMakeFiles/spate_compress.dir/fast_lz_codec.cc.o"
+  "CMakeFiles/spate_compress.dir/fast_lz_codec.cc.o.d"
+  "CMakeFiles/spate_compress.dir/huffman.cc.o"
+  "CMakeFiles/spate_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/spate_compress.dir/lz77.cc.o"
+  "CMakeFiles/spate_compress.dir/lz77.cc.o.d"
+  "CMakeFiles/spate_compress.dir/lzma_lite_codec.cc.o"
+  "CMakeFiles/spate_compress.dir/lzma_lite_codec.cc.o.d"
+  "CMakeFiles/spate_compress.dir/null_codec.cc.o"
+  "CMakeFiles/spate_compress.dir/null_codec.cc.o.d"
+  "CMakeFiles/spate_compress.dir/tans.cc.o"
+  "CMakeFiles/spate_compress.dir/tans.cc.o.d"
+  "CMakeFiles/spate_compress.dir/tans_codec.cc.o"
+  "CMakeFiles/spate_compress.dir/tans_codec.cc.o.d"
+  "libspate_compress.a"
+  "libspate_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

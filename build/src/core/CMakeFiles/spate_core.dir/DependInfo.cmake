@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/spate_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/spate_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/spate_framework.cc" "src/core/CMakeFiles/spate_core.dir/spate_framework.cc.o" "gcc" "src/core/CMakeFiles/spate_core.dir/spate_framework.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/spate_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/spate_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/spate_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/telco/CMakeFiles/spate_telco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_core.dir/framework.cc.o"
+  "CMakeFiles/spate_core.dir/framework.cc.o.d"
+  "CMakeFiles/spate_core.dir/spate_framework.cc.o"
+  "CMakeFiles/spate_core.dir/spate_framework.cc.o.d"
+  "libspate_core.a"
+  "libspate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspate_core.a"
+)

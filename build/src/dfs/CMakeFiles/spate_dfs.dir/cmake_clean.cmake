@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_dfs.dir/dfs.cc.o"
+  "CMakeFiles/spate_dfs.dir/dfs.cc.o.d"
+  "libspate_dfs.a"
+  "libspate_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

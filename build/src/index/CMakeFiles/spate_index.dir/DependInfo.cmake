@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/highlights.cc" "src/index/CMakeFiles/spate_index.dir/highlights.cc.o" "gcc" "src/index/CMakeFiles/spate_index.dir/highlights.cc.o.d"
+  "/root/repo/src/index/leaf_spatial.cc" "src/index/CMakeFiles/spate_index.dir/leaf_spatial.cc.o" "gcc" "src/index/CMakeFiles/spate_index.dir/leaf_spatial.cc.o.d"
+  "/root/repo/src/index/spatial.cc" "src/index/CMakeFiles/spate_index.dir/spatial.cc.o" "gcc" "src/index/CMakeFiles/spate_index.dir/spatial.cc.o.d"
+  "/root/repo/src/index/temporal_index.cc" "src/index/CMakeFiles/spate_index.dir/temporal_index.cc.o" "gcc" "src/index/CMakeFiles/spate_index.dir/temporal_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telco/CMakeFiles/spate_telco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

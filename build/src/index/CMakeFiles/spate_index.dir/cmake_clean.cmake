@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_index.dir/highlights.cc.o"
+  "CMakeFiles/spate_index.dir/highlights.cc.o.d"
+  "CMakeFiles/spate_index.dir/leaf_spatial.cc.o"
+  "CMakeFiles/spate_index.dir/leaf_spatial.cc.o.d"
+  "CMakeFiles/spate_index.dir/spatial.cc.o"
+  "CMakeFiles/spate_index.dir/spatial.cc.o.d"
+  "CMakeFiles/spate_index.dir/temporal_index.cc.o"
+  "CMakeFiles/spate_index.dir/temporal_index.cc.o.d"
+  "libspate_index.a"
+  "libspate_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

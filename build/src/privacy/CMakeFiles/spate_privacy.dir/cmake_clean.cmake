@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_privacy.dir/k_anonymity.cc.o"
+  "CMakeFiles/spate_privacy.dir/k_anonymity.cc.o.d"
+  "libspate_privacy.a"
+  "libspate_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_query.dir/result_cache.cc.o"
+  "CMakeFiles/spate_query.dir/result_cache.cc.o.d"
+  "CMakeFiles/spate_query.dir/tasks.cc.o"
+  "CMakeFiles/spate_query.dir/tasks.cc.o.d"
+  "CMakeFiles/spate_query.dir/timeseries.cc.o"
+  "CMakeFiles/spate_query.dir/timeseries.cc.o.d"
+  "libspate_query.a"
+  "libspate_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_sql.dir/executor.cc.o"
+  "CMakeFiles/spate_sql.dir/executor.cc.o.d"
+  "CMakeFiles/spate_sql.dir/parser.cc.o"
+  "CMakeFiles/spate_sql.dir/parser.cc.o.d"
+  "libspate_sql.a"
+  "libspate_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telco/assembler.cc" "src/telco/CMakeFiles/spate_telco.dir/assembler.cc.o" "gcc" "src/telco/CMakeFiles/spate_telco.dir/assembler.cc.o.d"
+  "/root/repo/src/telco/entropy.cc" "src/telco/CMakeFiles/spate_telco.dir/entropy.cc.o" "gcc" "src/telco/CMakeFiles/spate_telco.dir/entropy.cc.o.d"
+  "/root/repo/src/telco/generator.cc" "src/telco/CMakeFiles/spate_telco.dir/generator.cc.o" "gcc" "src/telco/CMakeFiles/spate_telco.dir/generator.cc.o.d"
+  "/root/repo/src/telco/partition.cc" "src/telco/CMakeFiles/spate_telco.dir/partition.cc.o" "gcc" "src/telco/CMakeFiles/spate_telco.dir/partition.cc.o.d"
+  "/root/repo/src/telco/schema.cc" "src/telco/CMakeFiles/spate_telco.dir/schema.cc.o" "gcc" "src/telco/CMakeFiles/spate_telco.dir/schema.cc.o.d"
+  "/root/repo/src/telco/snapshot.cc" "src/telco/CMakeFiles/spate_telco.dir/snapshot.cc.o" "gcc" "src/telco/CMakeFiles/spate_telco.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

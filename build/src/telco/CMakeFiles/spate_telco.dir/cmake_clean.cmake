@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spate_telco.dir/assembler.cc.o"
+  "CMakeFiles/spate_telco.dir/assembler.cc.o.d"
+  "CMakeFiles/spate_telco.dir/entropy.cc.o"
+  "CMakeFiles/spate_telco.dir/entropy.cc.o.d"
+  "CMakeFiles/spate_telco.dir/generator.cc.o"
+  "CMakeFiles/spate_telco.dir/generator.cc.o.d"
+  "CMakeFiles/spate_telco.dir/partition.cc.o"
+  "CMakeFiles/spate_telco.dir/partition.cc.o.d"
+  "CMakeFiles/spate_telco.dir/schema.cc.o"
+  "CMakeFiles/spate_telco.dir/schema.cc.o.d"
+  "CMakeFiles/spate_telco.dir/snapshot.cc.o"
+  "CMakeFiles/spate_telco.dir/snapshot.cc.o.d"
+  "libspate_telco.a"
+  "libspate_telco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spate_telco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

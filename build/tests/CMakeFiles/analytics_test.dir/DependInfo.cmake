@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics/kmeans_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/kmeans_test.cc.o.d"
+  "/root/repo/tests/analytics/regression_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/regression_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/regression_test.cc.o.d"
+  "/root/repo/tests/analytics/sketch_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/sketch_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/sketch_test.cc.o.d"
+  "/root/repo/tests/analytics/stats_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/stats_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/spate_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/telco/CMakeFiles/spate_telco.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/codec_test.cc" "tests/CMakeFiles/compress_test.dir/compress/codec_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/codec_test.cc.o.d"
+  "/root/repo/tests/compress/dictionary_test.cc" "tests/CMakeFiles/compress_test.dir/compress/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/dictionary_test.cc.o.d"
+  "/root/repo/tests/compress/fuzz_test.cc" "tests/CMakeFiles/compress_test.dir/compress/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/fuzz_test.cc.o.d"
+  "/root/repo/tests/compress/huffman_test.cc" "tests/CMakeFiles/compress_test.dir/compress/huffman_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/huffman_test.cc.o.d"
+  "/root/repo/tests/compress/lz77_test.cc" "tests/CMakeFiles/compress_test.dir/compress/lz77_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/lz77_test.cc.o.d"
+  "/root/repo/tests/compress/lz_slots_test.cc" "tests/CMakeFiles/compress_test.dir/compress/lz_slots_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/lz_slots_test.cc.o.d"
+  "/root/repo/tests/compress/range_coder_test.cc" "tests/CMakeFiles/compress_test.dir/compress/range_coder_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/range_coder_test.cc.o.d"
+  "/root/repo/tests/compress/tans_test.cc" "tests/CMakeFiles/compress_test.dir/compress/tans_test.cc.o" "gcc" "tests/CMakeFiles/compress_test.dir/compress/tans_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/spate_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

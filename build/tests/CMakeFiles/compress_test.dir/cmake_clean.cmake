@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress/codec_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/codec_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/dictionary_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/dictionary_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/fuzz_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/fuzz_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/huffman_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/huffman_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lz77_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lz77_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lz_slots_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lz_slots_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/range_coder_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/range_coder_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/tans_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/tans_test.cc.o.d"
+  "compress_test"
+  "compress_test.pdb"
+  "compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

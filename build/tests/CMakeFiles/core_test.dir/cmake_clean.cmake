@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/differential_test.cc.o"
+  "CMakeFiles/core_test.dir/core/differential_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/end_to_end_test.cc.o"
+  "CMakeFiles/core_test.dir/core/end_to_end_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/framework_test.cc.o"
+  "CMakeFiles/core_test.dir/core/framework_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kitchen_sink_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kitchen_sink_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/leaf_spatial_query_test.cc.o"
+  "CMakeFiles/core_test.dir/core/leaf_spatial_query_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/recovery_test.cc.o"
+  "CMakeFiles/core_test.dir/core/recovery_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

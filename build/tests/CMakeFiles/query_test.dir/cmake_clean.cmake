@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/query/result_cache_test.cc.o"
+  "CMakeFiles/query_test.dir/query/result_cache_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/tasks_test.cc.o"
+  "CMakeFiles/query_test.dir/query/tasks_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/timeseries_test.cc.o"
+  "CMakeFiles/query_test.dir/query/timeseries_test.cc.o.d"
+  "query_test"
+  "query_test.pdb"
+  "query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telco_test.dir/telco/assembler_test.cc.o"
+  "CMakeFiles/telco_test.dir/telco/assembler_test.cc.o.d"
+  "CMakeFiles/telco_test.dir/telco/entropy_test.cc.o"
+  "CMakeFiles/telco_test.dir/telco/entropy_test.cc.o.d"
+  "CMakeFiles/telco_test.dir/telco/generator_test.cc.o"
+  "CMakeFiles/telco_test.dir/telco/generator_test.cc.o.d"
+  "CMakeFiles/telco_test.dir/telco/schema_test.cc.o"
+  "CMakeFiles/telco_test.dir/telco/schema_test.cc.o.d"
+  "CMakeFiles/telco_test.dir/telco/snapshot_test.cc.o"
+  "CMakeFiles/telco_test.dir/telco/snapshot_test.cc.o.d"
+  "telco_test"
+  "telco_test.pdb"
+  "telco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
