@@ -1,0 +1,137 @@
+// Fault tolerance: what SPATE does when its storage misbehaves.
+//
+// Walks the full failure story on a one-day trace: a datanode dies and
+// reads fail over to surviving replicas; a flipped byte is caught by the
+// per-block CRC; a leaf that loses every copy degrades to the covering
+// highlight summary instead of erroring; RepairScan() re-replicates and
+// repairs; and Recover() rebuilds the index over the damaged DFS.
+//
+// Build & run:  ./build/examples/fault_tolerance
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/spate_framework.h"
+#include "telco/generator.h"
+#include "telco/schema.h"
+
+using namespace spate;  // NOLINT — example brevity
+
+namespace {
+
+void PrintReadCounters(const IoStats& stats) {
+  printf("    dead-node skips: %llu, CRC failures: %llu, failovers: %llu, "
+         "unreadable blocks: %llu\n",
+         static_cast<unsigned long long>(stats.dead_node_skips),
+         static_cast<unsigned long long>(stats.crc_read_failures),
+         static_cast<unsigned long long>(stats.read_failovers),
+         static_cast<unsigned long long>(stats.failed_block_reads));
+}
+
+}  // namespace
+
+int main() {
+  TraceConfig trace;
+  trace.days = 1;
+  trace.num_cells = 120;
+  trace.num_users = 600;
+  TraceGenerator generator(trace);
+
+  SpateOptions options;  // degraded_reads defaults to true
+  SpateFramework spate(options, generator.cells());
+  for (Timestamp epoch : generator.EpochStarts()) {
+    if (!spate.Ingest(generator.GenerateSnapshot(epoch)).ok()) return 1;
+  }
+  DistributedFileSystem& dfs = spate.dfs();
+  printf("Ingested %d snapshots, %s logical on %d datanodes "
+         "(replication %d).\n",
+         kEpochsPerDay, HumanBytes(spate.StorageBytes()).c_str(),
+         dfs.options().num_datanodes, dfs.options().replication);
+
+  ExplorationQuery noon;
+  noon.window_begin = trace.start + 12 * 3600;
+  noon.window_end = trace.start + 13 * 3600;
+
+  // 1. A datanode dies: reads silently fail over to surviving replicas.
+  printf("\n[1] Datanode 2 dies.\n");
+  dfs.KillDatanode(2).ok();
+  dfs.ResetStats();
+  size_t scanned = 0;
+  spate.ScanWindow(trace.start, trace.start + 86400,
+                   [&](const Snapshot&) { ++scanned; })
+      .ok();
+  printf("    full-day scan still streams %zu/%d snapshots.\n", scanned,
+         kEpochsPerDay);
+  PrintReadCounters(dfs.stats());
+
+  // 2. Silent corruption: two of one leaf's three copies rot on disk. The
+  //    per-block CRC catches each bad copy and the read moves on; at least
+  //    one of the two is on a live node, so the CRC check actually runs.
+  const std::string rotten = dfs.ListFiles("/spate/data/")[10];
+  dfs.CorruptReplica(rotten, 0, 0, 9).ok();
+  dfs.CorruptReplica(rotten, 0, 1, 9).ok();
+  printf("\n[2] Bit-flips in two replicas of %s.\n", rotten.c_str());
+  dfs.ResetStats();
+  scanned = 0;
+  spate.ScanWindow(trace.start, trace.start + 86400,
+                   [&](const Snapshot&) { ++scanned; })
+      .ok();
+  printf("    full-day scan still streams %zu/%d snapshots.\n", scanned,
+         kEpochsPerDay);
+  PrintReadCounters(dfs.stats());
+
+  // 3. A leaf loses every replica: the query degrades to the covering
+  //    day-level summary, exactly like a decayed leaf.
+  const std::string doomed = dfs.ListFiles("/spate/data/")[24];  // ~noon
+  for (int r = 0; r < dfs.options().replication; ++r) {
+    dfs.CorruptReplica(doomed, 0, static_cast<size_t>(r), 1).ok();
+  }
+  printf("\n[3] Every replica of %s is corrupt.\n", doomed.c_str());
+  auto result = spate.Execute(noon);
+  if (!result.ok()) return 1;
+  printf("    noon query: exact=%s, degraded=%s, served from %s summary "
+         "(%llu calls aggregable), %zu epoch(s) skipped.\n",
+         result->exact ? "yes" : "no", result->degraded ? "yes" : "no",
+         std::string(IndexLevelName(result->served_from)).c_str(),
+         static_cast<unsigned long long>(result->summary.cdr_rows()),
+         result->skipped_epochs.size());
+
+  // 4. The repair scan: re-replicates blocks that lost copies to the dead
+  //    node and rewrites CRC-failing replicas from a good copy.
+  printf("\n[4] RepairScan().\n");
+  const RepairReport repair = dfs.RepairScan();
+  printf("    scanned %llu blocks: repaired %llu replica(s) in place, "
+         "re-replicated %llu (%s copied), %llu block(s) still unreadable.\n",
+         static_cast<unsigned long long>(repair.blocks_scanned),
+         static_cast<unsigned long long>(repair.replicas_repaired),
+         static_cast<unsigned long long>(repair.replicas_rereplicated),
+         HumanBytes(repair.bytes_copied).c_str(),
+         static_cast<unsigned long long>(repair.unavailable_blocks +
+                                         repair.unrecoverable_blocks));
+  printf("    physical/logical bytes: %.2fx (target %d).\n",
+         static_cast<double>(dfs.TotalPhysicalBytes()) /
+             static_cast<double>(dfs.TotalLogicalBytes()),
+         dfs.options().replication);
+
+  // 5. Restart over the damaged DFS: Recover() keeps going past the one
+  //    unrecoverable leaf, re-inserting it as a decayed placeholder.
+  printf("\n[5] Recover() over the damaged DFS.\n");
+  auto recovered = SpateFramework::Recover(options, spate.shared_dfs());
+  if (!recovered.ok()) {
+    fprintf(stderr, "recover failed: %s\n",
+            recovered.status().ToString().c_str());
+    return 1;
+  }
+  const RecoveryReport& report = (*recovered)->recovery_report();
+  printf("    %zu leaves recovered, %zu skipped (decayed placeholders), "
+         "%zu day summaries dropped.\n",
+         report.leaves_recovered, report.leaves_skipped,
+         report.day_summaries_skipped);
+  result = (*recovered)->Execute(noon);
+  if (!result.ok()) return 1;
+  printf("    noon query after restart: exact=%s, %llu calls aggregable "
+         "from the summary.\n",
+         result->exact ? "yes" : "no",
+         static_cast<unsigned long long>(result->summary.cdr_rows()));
+  return 0;
+}

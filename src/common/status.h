@@ -19,6 +19,10 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  /// Data exists but no replica can currently be read (e.g. every datanode
+  /// holding it is down). Unlike `kCorruption` the condition may clear once
+  /// nodes return or `RepairScan()` runs; callers may degrade gracefully.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "Corruption").
@@ -62,6 +66,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -69,6 +76,7 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }

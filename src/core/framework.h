@@ -31,7 +31,9 @@ struct ExplorationQuery {
 /// Answer to an exploration query. When the window is still at full
 /// resolution the result is exact (filtered raw rows); when parts of it have
 /// decayed, the result degrades gracefully to the covering node's highlight
-/// summary — SPATE's core trade (Section V-C).
+/// summary — SPATE's core trade (Section V-C). Storage faults degrade the
+/// same way: a leaf whose every replica is unreadable is served like a
+/// decayed leaf (`degraded` + `skipped_epochs` say so).
 struct QueryResult {
   bool exact = false;
   /// The index level that served the query (epoch = raw leaves).
@@ -41,6 +43,20 @@ struct QueryResult {
   /// Aggregate summary of the served period restricted to `b`'s cells.
   NodeSummary summary;
   std::vector<Highlight> highlights;
+  /// True when storage faults (not decay) forced the summary fallback.
+  bool degraded = false;
+  /// Epoch starts of in-window leaves with no readable replica.
+  std::vector<Timestamp> skipped_epochs;
+};
+
+/// Outcome of the most recent `ScanWindow` on frameworks that support
+/// degraded reads: how many leaves were streamed and which in-window epochs
+/// were skipped because no replica of their data could be read.
+struct ScanStats {
+  size_t leaves_scanned = 0;
+  std::vector<Timestamp> skipped_epochs;
+
+  bool complete() const { return skipped_epochs.empty(); }
 };
 
 /// Ingestion cost breakdown for one snapshot (Fig. 7/9's metric).
@@ -74,10 +90,19 @@ class Framework {
 
   /// Streams every stored snapshot intersecting [begin, end) through `fn`,
   /// in time order (decompressing as needed). The workhorse of the task
-  /// suite (T1-T8) and the SQL layer.
+  /// suite (T1-T8) and the SQL layer. Frameworks with degraded-read support
+  /// skip unreadable leaves and report them in `last_scan_stats()`.
   virtual Status ScanWindow(
       Timestamp begin, Timestamp end,
       const std::function<void(const Snapshot&)>& fn) = 0;
+
+  /// Skip accounting of the most recent `ScanWindow`. The default (used by
+  /// the baselines, which fail hard instead of degrading) reports an empty,
+  /// complete scan.
+  virtual const ScanStats& last_scan_stats() const {
+    static const ScanStats kEmpty;
+    return kEmpty;
+  }
 
   /// Aggregate summary of [begin, end): index-backed frameworks merge
   /// materialized node summaries; RAW scans and re-aggregates.

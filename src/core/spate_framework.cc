@@ -10,6 +10,17 @@
 #include "telco/schema.h"
 
 namespace spate {
+namespace {
+
+/// Failures that degraded-read mode absorbs: the data is gone or currently
+/// unreachable, but the in-memory summaries still answer for it. Anything
+/// else (logic errors, bad arguments) stays fatal.
+bool DegradableFailure(const Status& status) {
+  return status.IsUnavailable() || status.IsCorruption() ||
+         status.IsNotFound();
+}
+
+}  // namespace
 
 SpateFramework::SpateFramework(SpateOptions options,
                                const std::vector<Record>& cell_rows)
@@ -75,22 +86,40 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
   std::unique_ptr<SpateFramework> framework(new SpateFramework(
       std::move(options), std::move(dfs), cell_rows, /*write_meta=*/false));
 
-  // 2. Persisted day summaries (cover fully-decayed days).
+  const bool tolerate = framework->options_.degraded_reads;
+  RecoveryReport& report = framework->recovery_report_;
+
+  // 2. Persisted day summaries (cover fully-decayed days). An unreadable
+  // summary blob is dropped in degraded mode: the month/year roll-ups that
+  // the resident leaves rebuild are the best remaining answer.
   std::map<Timestamp, NodeSummary> day_summaries;
   for (const std::string& path :
        framework->dfs_->ListFiles("/spate/index/day/")) {
     const Timestamp day = ParseCompact(path.substr(path.rfind('/') + 1));
     if (day < 0) continue;
-    SPATE_ASSIGN_OR_RETURN(std::string blob, framework->dfs_->ReadFile(path));
+    auto blob = framework->dfs_->ReadFile(path);
+    Status status = blob.status();
     std::string serialized;
-    SPATE_RETURN_IF_ERROR(framework->codec_->Decompress(blob, &serialized));
     NodeSummary summary;
-    SPATE_RETURN_IF_ERROR(NodeSummary::Parse(serialized, &summary));
+    if (status.ok()) status = framework->codec_->Decompress(*blob, &serialized);
+    if (status.ok()) status = NodeSummary::Parse(serialized, &summary);
+    if (!status.ok()) {
+      if (tolerate && DegradableFailure(status)) {
+        ++report.day_summaries_skipped;
+        continue;
+      }
+      return status;
+    }
+    ++report.day_summaries_recovered;
     day_summaries.emplace(day, std::move(summary));
   }
 
   // 3. Resident leaves, in time order (paths sort chronologically). Delta
-  // blobs (".d" suffix) replay against the previous epoch's text.
+  // blobs (".d" suffix) replay against the previous epoch's text. In
+  // degraded mode a leaf whose blob cannot be read — or a delta stranded
+  // because its chain lost an earlier link — becomes a decayed placeholder
+  // so that queries over its window degrade to summaries instead of
+  // silently claiming exactness.
   const std::vector<std::string> leaf_paths =
       framework->dfs_->ListFiles("/spate/data/");
   std::string prev_text;
@@ -115,19 +144,46 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
       day_summaries.erase(it);
     }
 
-    SPATE_ASSIGN_OR_RETURN(std::string blob, framework->dfs_->ReadFile(path));
+    Status status;
     std::string text;
-    if (delta) {
-      if (prev_epoch != epoch - kEpochSeconds) {
-        return Status::Corruption("recover: delta chain broken at " + path);
-      }
-      SPATE_RETURN_IF_ERROR(framework->codec_->DecompressWithDictionary(
-          prev_text, blob, &text));
+    std::string blob;
+    auto blob_read = framework->dfs_->ReadFile(path);
+    if (!blob_read.ok()) {
+      status = blob_read.status();
     } else {
-      SPATE_RETURN_IF_ERROR(framework->codec_->Decompress(blob, &text));
+      blob = std::move(*blob_read);
+      if (delta) {
+        if (prev_epoch != epoch - kEpochSeconds) {
+          status = Status::Corruption("recover: delta chain broken at " + path);
+        } else {
+          status = framework->codec_->DecompressWithDictionary(prev_text, blob,
+                                                               &text);
+        }
+      } else {
+        status = framework->codec_->Decompress(blob, &text);
+      }
     }
     Snapshot snapshot;
-    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &snapshot));
+    if (status.ok()) status = ParseSnapshot(text, &snapshot);
+
+    if (!status.ok()) {
+      if (!tolerate || !DegradableFailure(status)) return status;
+      // Placeholder: the epoch existed but its raw data is lost. It enters
+      // the index already decayed (summary-only windows), and it breaks the
+      // delta chain so stranded successors are skipped too.
+      LeafNode lost;
+      lost.epoch_start = epoch;
+      lost.dfs_path = path;
+      lost.decayed = true;
+      lost.delta = delta;
+      SPATE_RETURN_IF_ERROR(framework->index_.AddLeaf(std::move(lost)));
+      framework->last_day_persisted_ = TruncateToDay(epoch);
+      ++report.leaves_skipped;
+      report.skipped_epochs.push_back(epoch);
+      prev_text.clear();
+      prev_epoch = -1;
+      continue;
+    }
 
     LeafNode leaf;
     leaf.epoch_start = epoch;
@@ -137,6 +193,7 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
     leaf.summary.AddSnapshot(snapshot);
     SPATE_RETURN_IF_ERROR(framework->index_.AddLeaf(std::move(leaf)));
     framework->last_day_persisted_ = TruncateToDay(epoch);
+    ++report.leaves_recovered;
     prev_text = std::move(text);
     prev_epoch = epoch;
     if (framework->options_.differential) {
@@ -328,6 +385,7 @@ Result<QueryResult> SpateFramework::Execute(const ExplorationQuery& query) {
     result.served_from = IndexLevel::kEpoch;
     Status scan;
     if (options_.leaf_spatial_index && query.has_box) {
+      last_scan_ = ScanStats();
       scan = ExecuteExactWithLeafIndex(query, &result);
     } else {
       scan = ScanWindow(
@@ -338,15 +396,25 @@ Result<QueryResult> SpateFramework::Execute(const ExplorationQuery& query) {
           });
     }
     if (!scan.ok()) return scan;
-    result.summary = RestrictSummaryToBox(
-        index_.SummarizeWindow(query.window_begin, query.window_end), query,
-        cells_);
-    result.highlights =
-        result.summary.ExtractHighlights(ThetaFor(IndexLevel::kDay));
-    return result;
+    if (last_scan_.complete()) {
+      result.summary = RestrictSummaryToBox(
+          index_.SummarizeWindow(query.window_begin, query.window_end), query,
+          cells_);
+      result.highlights =
+          result.summary.ExtractHighlights(ThetaFor(IndexLevel::kDay));
+      return result;
+    }
+    // Storage faults hid at least one leaf (every replica unreadable): drop
+    // the partial rows and degrade to the covering summary, exactly as if
+    // those leaves had decayed.
+    result.cdr_rows.clear();
+    result.nms_rows.clear();
+    result.degraded = true;
+    result.skipped_epochs = last_scan_.skipped_epochs;
   }
 
-  // Decayed path: serve from the smallest covering node's highlights.
+  // Decayed (or fault-degraded) path: serve from the smallest covering
+  // node's highlights.
   const CoveringNode covering =
       index_.FindCovering(query.window_begin, query.window_end);
   result.exact = false;
@@ -365,17 +433,40 @@ Status SpateFramework::ExecuteExactWithLeafIndex(
   const std::unordered_set<std::string> wanted(in_box.begin(), in_box.end());
   for (const LeafNode* leaf : index_.LeavesInWindow(query.window_begin,
                                                     query.window_end)) {
-    SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeaf(*leaf));
+    // The leaf blob and its sidecar must both be readable; degraded mode
+    // skips the epoch (recorded) when either has lost every replica.
+    Status status;
+    std::string text;
     Snapshot snapshot;
-    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &snapshot));
-
-    SPATE_ASSIGN_OR_RETURN(
-        std::string sidecar_blob,
-        dfs_->ReadFile("/spate/spidx/" + FormatCompact(leaf->epoch_start)));
+    std::string sidecar_blob;
     std::string serialized;
-    SPATE_RETURN_IF_ERROR(codec_->Decompress(sidecar_blob, &serialized));
     LeafSpatialIndex sidecar;
-    SPATE_RETURN_IF_ERROR(LeafSpatialIndex::Parse(serialized, &sidecar));
+    auto materialized = MaterializeLeaf(*leaf);
+    if (!materialized.ok()) {
+      status = materialized.status();
+    } else {
+      text = std::move(*materialized);
+      status = ParseSnapshot(text, &snapshot);
+    }
+    if (status.ok()) {
+      auto sidecar_read =
+          dfs_->ReadFile("/spate/spidx/" + FormatCompact(leaf->epoch_start));
+      if (!sidecar_read.ok()) {
+        status = sidecar_read.status();
+      } else {
+        sidecar_blob = std::move(*sidecar_read);
+        status = codec_->Decompress(sidecar_blob, &serialized);
+      }
+    }
+    if (status.ok()) status = LeafSpatialIndex::Parse(serialized, &sidecar);
+    if (!status.ok()) {
+      if (options_.degraded_reads && DegradableFailure(status)) {
+        last_scan_.skipped_epochs.push_back(leaf->epoch_start);
+        continue;
+      }
+      return status;
+    }
+    ++last_scan_.leaves_scanned;
 
     auto take = [&](const std::vector<Record>& rows,
                     const std::vector<uint32_t>* positions, int ts_column,
@@ -400,10 +491,29 @@ Status SpateFramework::ExecuteExactWithLeafIndex(
 Status SpateFramework::ScanWindow(
     Timestamp begin, Timestamp end,
     const std::function<void(const Snapshot&)>& fn) {
+  last_scan_ = ScanStats();
   for (const LeafNode* leaf : index_.LeavesInWindow(begin, end)) {
-    SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeaf(*leaf));
+    Status status;
+    std::string text;
     Snapshot snapshot;
-    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &snapshot));
+    auto materialized = MaterializeLeaf(*leaf);
+    if (!materialized.ok()) {
+      status = materialized.status();
+    } else {
+      text = std::move(*materialized);
+      status = ParseSnapshot(text, &snapshot);
+    }
+    if (!status.ok()) {
+      // Degraded read: every replica of this leaf (or of its delta chain)
+      // is unreadable. Skip the epoch and report it instead of failing the
+      // whole scan; callers consult `last_scan_stats()`.
+      if (options_.degraded_reads && DegradableFailure(status)) {
+        last_scan_.skipped_epochs.push_back(leaf->epoch_start);
+        continue;
+      }
+      return status;
+    }
+    ++last_scan_.leaves_scanned;
     fn(snapshot);
   }
   return Status::OK();

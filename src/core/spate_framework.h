@@ -37,6 +37,27 @@ struct SpateOptions {
   /// design): writes a per-snapshot cell->rows sidecar so bounding-box
   /// queries skip non-matching rows, at the price of extra storage.
   bool leaf_spatial_index = false;
+
+  /// Degraded reads: when a leaf's every replica is unreadable (datanodes
+  /// down, all copies corrupt), treat it like a decayed leaf — `Execute`
+  /// falls back to the covering highlight summary, `ScanWindow` skips it
+  /// (reporting the epoch in `last_scan_stats()`), and `Recover` keeps
+  /// going past it. When false, storage faults surface as hard errors.
+  bool degraded_reads = true;
+};
+
+/// Outcome of `Recover()` (degraded-recovery accounting): what was rebuilt
+/// from the surviving DFS files and what had to be skipped.
+struct RecoveryReport {
+  size_t leaves_recovered = 0;
+  /// Leaves whose blob was unreadable/corrupt, or stranded deltas whose
+  /// chain lost its keyframe; each becomes a decayed placeholder leaf.
+  size_t leaves_skipped = 0;
+  size_t day_summaries_recovered = 0;
+  /// Persisted day summaries that could not be read back.
+  size_t day_summaries_skipped = 0;
+  /// Epoch starts of the skipped leaves.
+  std::vector<Timestamp> skipped_epochs;
 };
 
 /// The SPATE framework (the paper's contribution): lossless compression of
@@ -53,10 +74,23 @@ class SpateFramework : public Framework {
   /// (delta chains replay from their keyframes) and their summaries
   /// recomputed; fully-decayed days are restored from their persisted day
   /// summaries. Days that were only partially decayed keep the stats of
-  /// their resident leaves (the evicted leaves'' raw data is gone by
+  /// their resident leaves (the evicted leaves' raw data is gone by
   /// design).
+  ///
+  /// With `degraded_reads` (the default) recovery also tolerates storage
+  /// faults: a leaf whose blob is unreadable (every replica corrupt or on a
+  /// dead datanode) — or a delta stranded by such a loss earlier in its
+  /// chain — is re-inserted as a decayed placeholder instead of aborting
+  /// the rebuild, and unreadable persisted day summaries are dropped.
+  /// `recovery_report()` itemizes everything skipped. Only the cell
+  /// inventory remains load-bearing: if /spate/meta/cells is unreadable the
+  /// recovery fails.
   static Result<std::unique_ptr<SpateFramework>> Recover(
       SpateOptions options, std::shared_ptr<DistributedFileSystem> dfs);
+
+  /// What the last `Recover()` skipped (empty for a framework built by the
+  /// public constructor).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
 
   /// Shared handle to the underlying DFS (pass to `Recover` to simulate a
   /// restart over surviving storage).
@@ -71,6 +105,7 @@ class SpateFramework : public Framework {
   Status ScanWindow(
       Timestamp begin, Timestamp end,
       const std::function<void(const Snapshot&)>& fn) override;
+  const ScanStats& last_scan_stats() const override { return last_scan_; }
   Result<NodeSummary> AggregateWindow(Timestamp begin,
                                       Timestamp end) override;
   uint64_t StorageBytes() const override;
@@ -125,6 +160,8 @@ class SpateFramework : public Framework {
   std::vector<Record> cell_rows_;
   TemporalIndex index_;
   IngestStats last_ingest_;
+  ScanStats last_scan_;
+  RecoveryReport recovery_report_;
   Timestamp last_day_persisted_ = -1;
   // Differential-mode state.
   std::string last_ingest_text_;

@@ -7,7 +7,7 @@
 namespace spate {
 
 DistributedFileSystem::DistributedFileSystem(DfsOptions options)
-    : options_(options) {
+    : options_(options), fault_(FaultOptions{}, 1) {
   if (options_.num_datanodes < 1) options_.num_datanodes = 1;
   if (options_.replication < 1) options_.replication = 1;
   if (options_.replication > options_.num_datanodes) {
@@ -15,16 +15,28 @@ DistributedFileSystem::DistributedFileSystem(DfsOptions options)
   }
   if (options_.block_size == 0) options_.block_size = 64ull << 20;
   datanode_bytes_.assign(options_.num_datanodes, 0);
+  fault_ = FaultInjector(options_.fault, options_.num_datanodes);
 }
 
-std::vector<int> DistributedFileSystem::PlaceReplicas() {
-  // Least-loaded placement, HDFS-balancer style.
-  std::vector<int> nodes(options_.num_datanodes);
-  for (int i = 0; i < options_.num_datanodes; ++i) nodes[i] = i;
+std::vector<int> DistributedFileSystem::PickLiveNodes(
+    size_t count, const std::vector<int>& exclude) const {
+  // Least-loaded placement, HDFS-balancer style, over live nodes only.
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<size_t>(options_.num_datanodes));
+  for (int i = 0; i < options_.num_datanodes; ++i) {
+    if (fault_.IsDown(i)) continue;
+    if (std::find(exclude.begin(), exclude.end(), i) != exclude.end()) {
+      continue;
+    }
+    nodes.push_back(i);
+  }
   std::sort(nodes.begin(), nodes.end(), [this](int a, int b) {
-    return datanode_bytes_[a] < datanode_bytes_[b];
+    if (datanode_bytes_[a] != datanode_bytes_[b]) {
+      return datanode_bytes_[a] < datanode_bytes_[b];
+    }
+    return a < b;
   });
-  nodes.resize(options_.replication);
+  if (nodes.size() > count) nodes.resize(count);
   return nodes;
 }
 
@@ -33,6 +45,9 @@ Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
   if (files_.count(path)) {
     return Status::AlreadyExists("dfs file exists: " + path);
   }
+  if (fault_.NumLive() == 0) {
+    return Status::Unavailable("dfs: no live datanode to write " + path);
+  }
   FileEntry entry;
   entry.size = data.size();
   size_t offset = 0;
@@ -40,14 +55,22 @@ Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
     const size_t len = std::min<size_t>(options_.block_size,
                                         data.size() - offset);
     Block block;
-    block.data.assign(data.data() + offset, len);
-    block.crc = Crc32(Slice(block.data));
-    block.replicas = PlaceReplicas();
-    for (int node : block.replicas) {
+    block.size = len;
+    block.crc = Crc32(Slice(data.data() + offset, len));
+    // Place on live nodes; fewer live nodes than the replication target
+    // yields an under-replicated block that RepairScan() tops up later.
+    const std::vector<int> nodes =
+        PickLiveNodes(static_cast<size_t>(options_.replication), {});
+    for (int node : nodes) {
+      Replica replica;
+      replica.datanode = node;
+      replica.data.assign(data.data() + offset, len);
       datanode_bytes_[node] += len;
       ++stats_.blocks_written;
       stats_.bytes_written += len;
-      stats_.simulated_write_seconds += options_.disk.WriteSeconds(len);
+      stats_.simulated_write_seconds +=
+          options_.disk.WriteSeconds(len) * fault_.SlowdownFor(node);
+      block.replicas.push_back(std::move(replica));
     }
     const uint64_t id = next_block_id_++;
     blocks_.emplace(id, std::move(block));
@@ -56,6 +79,60 @@ Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
   } while (offset < data.size());
   files_.emplace(path, std::move(entry));
   return Status::OK();
+}
+
+Status DistributedFileSystem::ReadBlockLocked(const std::string& path,
+                                              const Block& block,
+                                              std::string* out) {
+  bool maybe_transient = false;  // a copy we could not inspect might be good
+  size_t failed_replicas = 0;
+  for (const Replica& replica : block.replicas) {
+    if (fault_.IsDown(replica.datanode)) {
+      ++stats_.dead_node_skips;
+      ++failed_replicas;
+      maybe_transient = true;
+      continue;
+    }
+    // Bounded retry against injected transient errors; backoff doubles.
+    bool got = false;
+    for (int attempt = 0; attempt < fault_.options().max_read_attempts;
+         ++attempt) {
+      stats_.simulated_read_seconds +=
+          options_.disk.ReadSeconds(replica.data.size()) *
+          fault_.SlowdownFor(replica.datanode);
+      if (fault_.NextReadAttemptFails()) {
+        ++stats_.transient_read_errors;
+        stats_.simulated_read_seconds += fault_.BackoffSeconds(attempt);
+        continue;
+      }
+      got = true;
+      break;
+    }
+    if (!got) {
+      ++failed_replicas;
+      maybe_transient = true;
+      continue;
+    }
+    if (replica.data.size() != block.size ||
+        Crc32(Slice(replica.data)) != block.crc) {
+      // Silent corruption caught by the checksum: fail over.
+      ++stats_.crc_read_failures;
+      ++failed_replicas;
+      continue;
+    }
+    stats_.read_failovers += failed_replicas;
+    ++stats_.blocks_read;
+    stats_.bytes_read += replica.data.size();
+    out->append(replica.data);
+    return Status::OK();
+  }
+  stats_.read_failovers += failed_replicas;
+  ++stats_.failed_block_reads;
+  if (maybe_transient) {
+    return Status::Unavailable("dfs: no readable replica for " + path +
+                               " (datanode down or transient errors)");
+  }
+  return Status::Corruption("dfs: every replica corrupt for " + path);
 }
 
 Result<std::string> DistributedFileSystem::ReadFile(const std::string& path) {
@@ -71,15 +148,7 @@ Result<std::string> DistributedFileSystem::ReadFile(const std::string& path) {
     if (bit == blocks_.end()) {
       return Status::Corruption("dfs: missing block for " + path);
     }
-    const Block& block = bit->second;
-    if (Crc32(Slice(block.data)) != block.crc) {
-      return Status::Corruption("dfs: block checksum mismatch for " + path);
-    }
-    ++stats_.blocks_read;
-    stats_.bytes_read += block.data.size();
-    stats_.simulated_read_seconds +=
-        options_.disk.ReadSeconds(block.data.size());
-    out += block.data;
+    SPATE_RETURN_IF_ERROR(ReadBlockLocked(path, bit->second, &out));
   }
   return out;
 }
@@ -93,8 +162,8 @@ Status DistributedFileSystem::DeleteFile(const std::string& path) {
   for (uint64_t id : it->second.block_ids) {
     auto bit = blocks_.find(id);
     if (bit != blocks_.end()) {
-      for (int node : bit->second.replicas) {
-        datanode_bytes_[node] -= bit->second.data.size();
+      for (const Replica& replica : bit->second.replicas) {
+        datanode_bytes_[replica.datanode] -= replica.data.size();
       }
       blocks_.erase(bit);
     }
@@ -151,6 +220,201 @@ uint64_t DistributedFileSystem::TotalBlocks() const {
 std::vector<uint64_t> DistributedFileSystem::DatanodeUsage() const {
   std::lock_guard<std::mutex> lock(mu_);
   return datanode_bytes_;
+}
+
+Status DistributedFileSystem::KillDatanode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fault_.ValidNode(node)) {
+    return Status::InvalidArgument("dfs: no such datanode");
+  }
+  fault_.KillDatanode(node);
+  return Status::OK();
+}
+
+Status DistributedFileSystem::ReviveDatanode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fault_.ValidNode(node)) {
+    return Status::InvalidArgument("dfs: no such datanode");
+  }
+  fault_.ReviveDatanode(node);
+  return Status::OK();
+}
+
+bool DistributedFileSystem::DatanodeIsDown(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_.ValidNode(node) && fault_.IsDown(node);
+}
+
+int DistributedFileSystem::NumLiveDatanodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_.NumLive();
+}
+
+Status DistributedFileSystem::SetDatanodeSlowdown(int node, double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fault_.ValidNode(node)) {
+    return Status::InvalidArgument("dfs: no such datanode");
+  }
+  fault_.SetSlowdown(node, factor);
+  return Status::OK();
+}
+
+Result<CorruptionEvent> DistributedFileSystem::CorruptRandomReplica(
+    uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Non-empty blocks only (an empty replica has no byte to flip).
+  std::vector<uint64_t> candidates;
+  candidates.reserve(blocks_.size());
+  for (const auto& [id, block] : blocks_) {
+    if (block.size > 0 && !block.replicas.empty()) candidates.push_back(id);
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("dfs: no non-empty block to corrupt");
+  }
+  Rng rng(seed);
+  Block& block = blocks_.at(candidates[rng.Uniform(candidates.size())]);
+  Replica& replica = block.replicas[rng.Uniform(block.replicas.size())];
+  CorruptionEvent event;
+  event.block_id = candidates[0];  // overwritten below; keep compiler happy
+  for (const auto& [id, b] : blocks_) {
+    if (&b == &block) event.block_id = id;
+  }
+  event.datanode = replica.datanode;
+  event.byte_offset = rng.Uniform(replica.data.size());
+  replica.data[event.byte_offset] ^= 0x01;
+  return event;
+}
+
+Status DistributedFileSystem::CorruptReplica(const std::string& path,
+                                             size_t block_index,
+                                             size_t replica_index,
+                                             uint64_t byte_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  if (block_index >= it->second.block_ids.size()) {
+    return Status::OutOfRange("dfs: block index out of range");
+  }
+  auto bit = blocks_.find(it->second.block_ids[block_index]);
+  if (bit == blocks_.end()) {
+    return Status::Corruption("dfs: missing block for " + path);
+  }
+  Block& block = bit->second;
+  if (replica_index >= block.replicas.size()) {
+    return Status::OutOfRange("dfs: replica index out of range");
+  }
+  std::string& data = block.replicas[replica_index].data;
+  if (data.empty()) {
+    return Status::OutOfRange("dfs: empty replica has no byte to flip");
+  }
+  data[byte_offset % data.size()] ^= 0x01;
+  return Status::OK();
+}
+
+RepairReport DistributedFileSystem::RepairScan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RepairReport report;
+  for (auto& [id, block] : blocks_) {
+    ++report.blocks_scanned;
+    // Classify replicas. Copies on dead nodes cannot be inspected; they are
+    // replaced (and only then dropped) so redundancy never shrinks further.
+    std::vector<size_t> good_live, bad_live, on_dead;
+    for (size_t i = 0; i < block.replicas.size(); ++i) {
+      const Replica& replica = block.replicas[i];
+      if (fault_.IsDown(replica.datanode)) {
+        on_dead.push_back(i);
+      } else if (replica.data.size() == block.size &&
+                 Crc32(Slice(replica.data)) == block.crc) {
+        good_live.push_back(i);
+      } else {
+        bad_live.push_back(i);
+      }
+    }
+    if (good_live.empty()) {
+      if (!on_dead.empty()) {
+        ++report.unavailable_blocks;
+      } else {
+        ++report.unrecoverable_blocks;
+      }
+      continue;  // no good source copy to repair from
+    }
+    const bool needs_work =
+        !bad_live.empty() || !on_dead.empty() ||
+        block.replicas.size() < static_cast<size_t>(options_.replication);
+    if (!needs_work) continue;
+
+    // One source read per block needing work.
+    const size_t src = good_live[0];
+    const int src_node = block.replicas[src].datanode;
+    stats_.simulated_read_seconds +=
+        options_.disk.ReadSeconds(block.size) * fault_.SlowdownFor(src_node);
+    stats_.bytes_read += block.size;
+    ++stats_.blocks_read;
+    const std::string source = block.replicas[src].data;
+
+    // 1. Rewrite corrupt live replicas in place.
+    for (size_t i : bad_live) {
+      Replica& replica = block.replicas[i];
+      datanode_bytes_[replica.datanode] -= replica.data.size();
+      replica.data = source;
+      datanode_bytes_[replica.datanode] += replica.data.size();
+      stats_.simulated_write_seconds +=
+          options_.disk.WriteSeconds(block.size) *
+          fault_.SlowdownFor(replica.datanode);
+      stats_.repair_bytes_copied += block.size;
+      ++stats_.blocks_repaired;
+      ++report.replicas_repaired;
+      report.bytes_copied += block.size;
+    }
+
+    // 2. Restore the replication target on live nodes: place replacements
+    // for dead-node copies and for under-replicated writes, then drop one
+    // dead-node copy per successful replacement.
+    std::vector<int> holders;
+    for (const Replica& replica : block.replicas) {
+      holders.push_back(replica.datanode);
+    }
+    const size_t live_count = block.replicas.size() - on_dead.size();
+    const size_t target = static_cast<size_t>(options_.replication);
+    size_t deficit = live_count < target ? target - live_count : 0;
+    std::vector<size_t> dropped;
+    while (deficit > 0) {
+      const std::vector<int> picked = PickLiveNodes(1, holders);
+      if (picked.empty()) break;  // not enough distinct live nodes
+      Replica replica;
+      replica.datanode = picked[0];
+      replica.data = source;
+      datanode_bytes_[picked[0]] += block.size;
+      stats_.simulated_write_seconds +=
+          options_.disk.WriteSeconds(block.size) *
+          fault_.SlowdownFor(picked[0]);
+      stats_.bytes_written += block.size;
+      ++stats_.blocks_written;
+      stats_.repair_bytes_copied += block.size;
+      ++stats_.blocks_rereplicated;
+      ++report.replicas_rereplicated;
+      report.bytes_copied += block.size;
+      holders.push_back(picked[0]);
+      block.replicas.push_back(std::move(replica));
+      if (!on_dead.empty()) {
+        dropped.push_back(on_dead.back());
+        on_dead.pop_back();
+      }
+      --deficit;
+    }
+    // Drop the replaced dead-node copies (highest indices first so the
+    // remaining indices stay valid).
+    std::sort(dropped.rbegin(), dropped.rend());
+    for (size_t i : dropped) {
+      datanode_bytes_[block.replicas[i].datanode] -=
+          block.replicas[i].data.size();
+      block.replicas.erase(block.replicas.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  return report;
 }
 
 IoStats DistributedFileSystem::stats() const {

@@ -10,6 +10,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "dfs/disk_model.h"
+#include "dfs/fault_injector.h"
 
 namespace spate {
 
@@ -21,16 +22,52 @@ struct DfsOptions {
   int replication = 3;
   int num_datanodes = 4;
   DiskModel disk;
+  FaultOptions fault;
+};
+
+/// One injected corruption event (for test assertions / logging).
+struct CorruptionEvent {
+  uint64_t block_id = 0;
+  int datanode = -1;
+  uint64_t byte_offset = 0;
+};
+
+/// Outcome of one `RepairScan()` pass over the block inventory.
+struct RepairReport {
+  uint64_t blocks_scanned = 0;
+  /// Corrupt replicas on live nodes rewritten in place from a good copy.
+  uint64_t replicas_repaired = 0;
+  /// Replacement replicas placed on live nodes for copies stranded on dead
+  /// datanodes or missing after an under-replicated write.
+  uint64_t replicas_rereplicated = 0;
+  uint64_t bytes_copied = 0;
+  /// Blocks with no live good replica but surviving copies on down nodes
+  /// (repairable once those nodes revive).
+  uint64_t unavailable_blocks = 0;
+  /// Blocks with no good replica anywhere (every copy corrupt).
+  uint64_t unrecoverable_blocks = 0;
 };
 
 /// In-process replicated block file system.
 ///
 /// Files are immutable once written (HDFS semantics): split into fixed-size
-/// blocks, each placed on `replication` distinct datanodes (logical copies;
-/// bytes are stored once and replication is accounted, not duplicated, in
-/// memory). Every block carries a CRC-32 that is verified on read. All
-/// operations also charge deterministic *simulated* disk time to `stats()`
-/// per the `DiskModel`.
+/// blocks, each replica stored as a physically separate copy on one of
+/// `replication` distinct datanodes. Every block carries a CRC-32 computed at
+/// write time; reads verify the chosen replica's bytes against it and fail
+/// over to the next replica on mismatch. All operations also charge
+/// deterministic *simulated* disk time to `stats()` per the `DiskModel`.
+///
+/// Failure model (all faults deterministic, driven by `FaultOptions` and the
+/// imperative fault API below):
+///  - datanodes can be killed/revived; reads skip dead nodes, writes place
+///    replicas on live nodes only (under-replicating if too few are live);
+///  - replica bytes can be bit-flipped (silent corruption); CRC verification
+///    catches it and the read fails over;
+///  - reads can fail transiently at a seeded rate, retried per replica with
+///    bounded exponential backoff before failing over;
+///  - `RepairScan()` plays the namenode's re-replication role: it rewrites
+///    corrupt live replicas and re-replicates copies lost to dead nodes,
+///    restoring the replication target from any surviving good copy.
 ///
 /// Thread-safe.
 class DistributedFileSystem {
@@ -40,10 +77,16 @@ class DistributedFileSystem {
   DistributedFileSystem(const DistributedFileSystem&) = delete;
   DistributedFileSystem& operator=(const DistributedFileSystem&) = delete;
 
-  /// Writes an immutable file. Returns AlreadyExists if `path` is taken.
+  /// Writes an immutable file. Returns AlreadyExists if `path` is taken and
+  /// Unavailable if no datanode is live.
   Status WriteFile(const std::string& path, Slice data);
 
-  /// Reads a whole file; verifies every block checksum.
+  /// Reads a whole file with per-block replica failover. Each block is
+  /// served by the first replica that is on a live datanode, survives its
+  /// bounded transient retries and passes CRC verification. Returns
+  /// Unavailable if some unread copy might still exist (dead node or
+  /// transient exhaustion), Corruption if every reachable replica is
+  /// corrupt.
   Result<std::string> ReadFile(const std::string& path);
 
   /// Removes a file and frees its blocks. NotFound if absent.
@@ -61,7 +104,7 @@ class DistributedFileSystem {
   /// pre-replication). This is the "Space" metric of Figs. 8/10.
   uint64_t TotalLogicalBytes() const;
 
-  /// Bytes on disk across all datanodes (logical x replication).
+  /// Bytes on disk across all datanodes (every physical replica copy).
   uint64_t TotalPhysicalBytes() const;
 
   /// Number of stored blocks (pre-replication).
@@ -70,23 +113,66 @@ class DistributedFileSystem {
   /// Physical bytes per datanode, for placement-balance inspection.
   std::vector<uint64_t> DatanodeUsage() const;
 
+  // --- Fault injection (deterministic; see FaultOptions for the seeded
+  // transient-error stream). ---
+
+  /// Marks a datanode unreachable. Its replicas survive and serve again
+  /// after `ReviveDatanode` (a transient outage) unless `RepairScan()`
+  /// replaced them first. InvalidArgument on a bad node id.
+  Status KillDatanode(int node);
+  Status ReviveDatanode(int node);
+  bool DatanodeIsDown(int node) const;
+  int NumLiveDatanodes() const;
+
+  /// Scales one datanode's simulated disk time (a degraded disk / noisy
+  /// neighbour). Factor 1 restores nominal speed.
+  Status SetDatanodeSlowdown(int node, double factor);
+
+  /// Flips one byte in one replica of one stored block, all chosen
+  /// deterministically from `seed` (silent corruption; only CRC-verified
+  /// reads notice). NotFound when no non-empty block exists.
+  Result<CorruptionEvent> CorruptRandomReplica(uint64_t seed);
+
+  /// Flips the byte at `byte_offset` of replica `replica_index` of block
+  /// number `block_index` of `path` (targeted corruption for tests).
+  Status CorruptReplica(const std::string& path, size_t block_index,
+                        size_t replica_index, uint64_t byte_offset);
+
+  /// Namenode-style integrity pass: for every block, rewrites corrupt
+  /// replicas on live nodes from a surviving good copy and re-replicates
+  /// copies stranded on dead nodes (or missing after an under-replicated
+  /// write) onto live nodes, restoring the replication target where
+  /// possible. Counters land in the returned report and in `stats()`.
+  RepairReport RepairScan();
+
   const DfsOptions& options() const { return options_; }
   IoStats stats() const;
   void ResetStats();
 
  private:
-  struct Block {
+  /// One physical copy of a block on one datanode.
+  struct Replica {
+    int datanode = -1;
     std::string data;
-    uint32_t crc = 0;
-    std::vector<int> replicas;  // datanode ids
+  };
+  struct Block {
+    uint64_t size = 0;  // logical length (every healthy replica's length)
+    uint32_t crc = 0;   // CRC-32 of the logical bytes at write time
+    std::vector<Replica> replicas;
   };
   struct FileEntry {
     std::vector<uint64_t> block_ids;
     uint64_t size = 0;
   };
 
-  /// Picks `replication` distinct datanodes, least-loaded first.
-  std::vector<int> PlaceReplicas();
+  /// Picks up to `count` distinct *live* datanodes not in `exclude`,
+  /// least-loaded first.
+  std::vector<int> PickLiveNodes(size_t count,
+                                 const std::vector<int>& exclude) const;
+
+  /// Reads one block with failover; appends the bytes to `out`.
+  Status ReadBlockLocked(const std::string& path, const Block& block,
+                         std::string* out);
 
   DfsOptions options_;
   mutable std::mutex mu_;
@@ -95,6 +181,7 @@ class DistributedFileSystem {
   std::vector<uint64_t> datanode_bytes_;
   uint64_t next_block_id_ = 1;
   IoStats stats_;
+  FaultInjector fault_;
 };
 
 }  // namespace spate

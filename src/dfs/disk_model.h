@@ -36,6 +36,26 @@ struct IoStats {
   double simulated_write_seconds = 0;
   double simulated_read_seconds = 0;
 
+  // --- Failure / recovery accounting (fault-injected operation). ---
+  /// Reads that had to move past a replica (dead node, bad CRC or exhausted
+  /// transient retries) before succeeding or giving up.
+  uint64_t read_failovers = 0;
+  /// Replica read attempts skipped because the datanode was down.
+  uint64_t dead_node_skips = 0;
+  /// Replica reads that failed checksum verification.
+  uint64_t crc_read_failures = 0;
+  /// Injected transient read errors observed (each consumes one retry).
+  uint64_t transient_read_errors = 0;
+  /// Block reads for which *no* replica could be read.
+  uint64_t failed_block_reads = 0;
+  /// Corrupt replicas rewritten in place by `RepairScan()`.
+  uint64_t blocks_repaired = 0;
+  /// Replicas re-created on live nodes by `RepairScan()` to restore the
+  /// replication target after datanode loss.
+  uint64_t blocks_rereplicated = 0;
+  /// Bytes copied between datanodes by `RepairScan()`.
+  uint64_t repair_bytes_copied = 0;
+
   double simulated_io_seconds() const {
     return simulated_write_seconds + simulated_read_seconds;
   }

@@ -1,0 +1,94 @@
+#ifndef SPATE_DFS_FAULT_INJECTOR_H_
+#define SPATE_DFS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace spate {
+
+/// Configuration of the deterministic fault injector attached to a
+/// `DistributedFileSystem`. All stochastic faults draw from one explicitly
+/// seeded `Rng`, so a fault schedule replays bit-identically under the same
+/// seed (the same property the trace generator gives workloads).
+struct FaultOptions {
+  /// Seed of the transient-error stream.
+  uint64_t seed = 0;
+  /// Probability that any single replica read attempt fails transiently
+  /// (a flaky NIC / busy datanode). 0 disables transient errors.
+  double transient_read_error_rate = 0.0;
+  /// Read attempts per replica before failing over to the next one
+  /// (bounded retry; must be >= 1).
+  int max_read_attempts = 3;
+  /// Simulated backoff before the first retry; doubles per retry
+  /// (exponential backoff, charged to `IoStats::simulated_read_seconds`).
+  double retry_backoff_ms = 1.0;
+};
+
+/// Deterministic fault state of a DFS cluster: per-datanode liveness and
+/// slowdown factors plus a seeded transient-error stream.
+///
+/// Not internally synchronized — `DistributedFileSystem` owns one and
+/// accesses it under its own mutex; tests drive it through the DFS wrappers
+/// (`KillDatanode`, `SetDatanodeSlowdown`, ...).
+class FaultInjector {
+ public:
+  FaultInjector(FaultOptions options, int num_datanodes)
+      : options_(options),
+        down_(static_cast<size_t>(num_datanodes), false),
+        slowdown_(static_cast<size_t>(num_datanodes), 1.0),
+        rng_(options.seed) {
+    if (options_.max_read_attempts < 1) options_.max_read_attempts = 1;
+    if (options_.transient_read_error_rate < 0) {
+      options_.transient_read_error_rate = 0;
+    }
+  }
+
+  bool ValidNode(int node) const {
+    return node >= 0 && node < static_cast<int>(down_.size());
+  }
+
+  void KillDatanode(int node) { down_[static_cast<size_t>(node)] = true; }
+  void ReviveDatanode(int node) { down_[static_cast<size_t>(node)] = false; }
+  bool IsDown(int node) const { return down_[static_cast<size_t>(node)]; }
+
+  int NumLive() const {
+    int live = 0;
+    for (bool d : down_) live += d ? 0 : 1;
+    return live;
+  }
+
+  /// Multiplies the datanode's simulated disk time (>= 0; 1 = nominal).
+  void SetSlowdown(int node, double factor) {
+    slowdown_[static_cast<size_t>(node)] = factor < 0 ? 0 : factor;
+  }
+  double SlowdownFor(int node) const {
+    return slowdown_[static_cast<size_t>(node)];
+  }
+
+  /// Draws the next value of the seeded transient-error stream: true if the
+  /// current replica read attempt should fail.
+  bool NextReadAttemptFails() {
+    if (options_.transient_read_error_rate <= 0) return false;
+    return rng_.Bernoulli(options_.transient_read_error_rate);
+  }
+
+  /// Simulated backoff before retry number `retry` (0-based), in seconds.
+  double BackoffSeconds(int retry) const {
+    return options_.retry_backoff_ms * 1e-3 *
+           static_cast<double>(1ull << (retry < 62 ? retry : 62));
+  }
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+  std::vector<bool> down_;
+  std::vector<double> slowdown_;
+  Rng rng_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_DFS_FAULT_INJECTOR_H_

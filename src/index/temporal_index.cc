@@ -55,6 +55,9 @@ Status TemporalIndex::AddLeaf(LeafNode leaf) {
   newest_epoch_ = leaf.epoch_start;
   resident_leaf_bytes_ += leaf.stored_bytes;
   ++num_leaves_;
+  // Recovery may insert placeholders for leaves lost to storage faults:
+  // already decayed, so windows touching them degrade to summaries.
+  if (leaf.decayed) ++num_decayed_;
   day.leaves.push_back(std::move(leaf));
   return Status::OK();
 }

@@ -91,7 +91,10 @@ class TemporalIndex {
   /// Incremence module: appends a leaf on the rightmost path, creating
   /// dummy day/month/year nodes as periods roll over. Leaves must arrive in
   /// strictly increasing epoch order (the arrival clock of the stream);
-  /// out-of-order snapshots are rejected with InvalidArgument.
+  /// out-of-order snapshots are rejected with InvalidArgument. A leaf that
+  /// arrives already `decayed` acts as a placeholder for data lost to
+  /// storage faults (recovery uses this): it counts as decayed and windows
+  /// touching it are not fully resolved.
   Status AddLeaf(LeafNode leaf);
 
   /// Smallest single node (day -> month -> year -> root) whose period fully

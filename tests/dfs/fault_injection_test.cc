@@ -1,0 +1,325 @@
+// Fault-injected operation of the replicated DFS: datanode loss, silent
+// replica corruption, transient read errors, slow disks — and the recovery
+// paths (replica failover, RepairScan re-replication/repair). Everything is
+// seeded and must replay bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "dfs/dfs.h"
+
+namespace spate {
+namespace {
+
+DfsOptions SmallBlocks() {
+  DfsOptions opts;
+  opts.block_size = 1024;
+  return opts;
+}
+
+std::string TestPayload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string data(n, '\0');
+  for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+  return data;
+}
+
+// A fresh DFS places the first block's replicas on the least-loaded live
+// nodes, ties broken by id — datanodes 0, 1, 2 — so targeted tests can
+// reason about where each replica lives.
+
+TEST(FaultInjectionTest, DeadDatanodeFailsOverToSurvivingReplica) {
+  DistributedFileSystem dfs(SmallBlocks());
+  const std::string data = TestPayload(512, 1);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  ASSERT_TRUE(dfs.KillDatanode(0).ok());
+  EXPECT_TRUE(dfs.DatanodeIsDown(0));
+  EXPECT_EQ(dfs.NumLiveDatanodes(), 3);
+
+  auto read = dfs.ReadFile("/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+  const IoStats stats = dfs.stats();
+  EXPECT_EQ(stats.dead_node_skips, 1u);
+  EXPECT_EQ(stats.read_failovers, 1u);
+  EXPECT_EQ(stats.failed_block_reads, 0u);
+}
+
+TEST(FaultInjectionTest, AllReplicaNodesDownIsUnavailableUntilRevival) {
+  DistributedFileSystem dfs(SmallBlocks());
+  const std::string data = TestPayload(512, 2);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  for (int node : {0, 1, 2}) ASSERT_TRUE(dfs.KillDatanode(node).ok());
+
+  auto read = dfs.ReadFile("/f");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsUnavailable()) << read.status().ToString();
+  EXPECT_EQ(dfs.stats().failed_block_reads, 1u);
+
+  // A transient outage: revival restores the data untouched.
+  ASSERT_TRUE(dfs.ReviveDatanode(1).ok());
+  auto again = dfs.ReadFile("/f");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, data);
+}
+
+TEST(FaultInjectionTest, CorruptReplicaIsCaughtByCrcAndFailedOver) {
+  DistributedFileSystem dfs(SmallBlocks());
+  const std::string data = TestPayload(700, 3);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  ASSERT_TRUE(dfs.CorruptReplica("/f", 0, 0, 13).ok());
+
+  auto read = dfs.ReadFile("/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);  // served from a healthy copy
+  const IoStats stats = dfs.stats();
+  EXPECT_EQ(stats.crc_read_failures, 1u);
+  EXPECT_EQ(stats.read_failovers, 1u);
+}
+
+TEST(FaultInjectionTest, EveryReplicaCorruptIsCorruption) {
+  DistributedFileSystem dfs(SmallBlocks());
+  ASSERT_TRUE(dfs.WriteFile("/f", TestPayload(300, 4)).ok());
+  for (size_t r = 0; r < 3; ++r) {
+    ASSERT_TRUE(dfs.CorruptReplica("/f", 0, r, 7).ok());
+  }
+  auto read = dfs.ReadFile("/f");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status().ToString();
+  EXPECT_EQ(dfs.stats().crc_read_failures, 3u);
+  EXPECT_EQ(dfs.stats().failed_block_reads, 1u);
+}
+
+TEST(FaultInjectionTest, RepairScanRewritesCorruptReplicaInPlace) {
+  DistributedFileSystem dfs(SmallBlocks());
+  const std::string data = TestPayload(900, 5);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  ASSERT_TRUE(dfs.CorruptReplica("/f", 0, 0, 42).ok());
+
+  const RepairReport report = dfs.RepairScan();
+  EXPECT_EQ(report.blocks_scanned, 1u);
+  EXPECT_EQ(report.replicas_repaired, 1u);
+  EXPECT_EQ(report.replicas_rereplicated, 0u);
+  EXPECT_EQ(report.bytes_copied, data.size());
+  EXPECT_EQ(dfs.stats().blocks_repaired, 1u);
+
+  // The repaired copy (datanode 0) is genuinely good: it can serve alone.
+  ASSERT_TRUE(dfs.KillDatanode(1).ok());
+  ASSERT_TRUE(dfs.KillDatanode(2).ok());
+  auto read = dfs.ReadFile("/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+  EXPECT_EQ(dfs.stats().crc_read_failures, 0u);
+}
+
+TEST(FaultInjectionTest, RepairScanReReplicatesAfterDatanodeLoss) {
+  DistributedFileSystem dfs(SmallBlocks());
+  const std::string data = TestPayload(3000, 6);  // 3 blocks
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  const uint64_t physical_before = dfs.TotalPhysicalBytes();
+  EXPECT_EQ(physical_before, 3u * data.size());
+
+  // Node 2 dies for good: every replica it held must move to node 3 (the
+  // only live node without a copy).
+  ASSERT_TRUE(dfs.KillDatanode(2).ok());
+  const RepairReport report = dfs.RepairScan();
+  EXPECT_GT(report.replicas_rereplicated, 0u);
+  EXPECT_EQ(report.unavailable_blocks, 0u);
+  EXPECT_EQ(report.unrecoverable_blocks, 0u);
+  EXPECT_EQ(dfs.stats().blocks_rereplicated, report.replicas_rereplicated);
+
+  // Replication target restored; the dead node's copies were dropped.
+  EXPECT_EQ(dfs.TotalPhysicalBytes(), physical_before);
+  EXPECT_EQ(dfs.DatanodeUsage()[2], 0u);
+
+  // Even if the dead node never returns, reads are clean.
+  auto read = dfs.ReadFile("/f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  const RepairReport second = dfs.RepairScan();  // idempotent
+  EXPECT_EQ(second.replicas_rereplicated, 0u);
+  EXPECT_EQ(second.replicas_repaired, 0u);
+}
+
+TEST(FaultInjectionTest, WritesUnderReplicateWhenNodesAreDown) {
+  DistributedFileSystem dfs(SmallBlocks());
+  ASSERT_TRUE(dfs.KillDatanode(0).ok());
+  ASSERT_TRUE(dfs.KillDatanode(1).ok());
+  const std::string data = TestPayload(1000, 7);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  // Only 2 live nodes: the block is under-replicated, not rejected.
+  EXPECT_EQ(dfs.TotalPhysicalBytes(), 2u * data.size());
+
+  ASSERT_TRUE(dfs.ReviveDatanode(0).ok());
+  const RepairReport report = dfs.RepairScan();
+  EXPECT_EQ(report.replicas_rereplicated, 1u);
+  EXPECT_EQ(dfs.TotalPhysicalBytes(), 3u * data.size());
+}
+
+TEST(FaultInjectionTest, WriteWithNoLiveDatanodeIsUnavailable) {
+  DistributedFileSystem dfs(SmallBlocks());
+  for (int node = 0; node < 4; ++node) {
+    ASSERT_TRUE(dfs.KillDatanode(node).ok());
+  }
+  Status status = dfs.WriteFile("/f", "payload");
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_FALSE(dfs.Exists("/f"));
+}
+
+TEST(FaultInjectionTest, InvalidDatanodeIdsAreRejected) {
+  DistributedFileSystem dfs(SmallBlocks());
+  EXPECT_TRUE(dfs.KillDatanode(-1).IsInvalidArgument());
+  EXPECT_TRUE(dfs.KillDatanode(4).IsInvalidArgument());
+  EXPECT_TRUE(dfs.ReviveDatanode(99).IsInvalidArgument());
+  EXPECT_TRUE(dfs.SetDatanodeSlowdown(7, 2.0).IsInvalidArgument());
+  EXPECT_FALSE(dfs.DatanodeIsDown(-3));
+}
+
+TEST(FaultInjectionTest, TransientErrorsAreRetriedWithinBudget) {
+  DfsOptions opts = SmallBlocks();
+  opts.fault.seed = 11;
+  opts.fault.transient_read_error_rate = 0.3;
+  opts.fault.max_read_attempts = 4;
+  DistributedFileSystem dfs(opts);
+  const std::string data = TestPayload(4096, 8);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto read = dfs.ReadFile("/f");
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(*read, data);
+  }
+  const IoStats stats = dfs.stats();
+  // At a 30% injected failure rate, 80 block reads must have seen some
+  // transient errors — all absorbed by the bounded retry.
+  EXPECT_GT(stats.transient_read_errors, 0u);
+  EXPECT_EQ(stats.failed_block_reads, 0u);
+}
+
+TEST(FaultInjectionTest, FaultScheduleIsDeterministicUnderSeed) {
+  auto run = [](IoStats* out_stats, CorruptionEvent* out_event) {
+    DfsOptions opts = SmallBlocks();
+    opts.fault.seed = 99;
+    opts.fault.transient_read_error_rate = 0.25;
+    DistributedFileSystem dfs(opts);
+    for (int f = 0; f < 8; ++f) {
+      ASSERT_TRUE(dfs.WriteFile("/f" + std::to_string(f),
+                                TestPayload(2000 + 137 * f, 40 + f))
+                      .ok());
+    }
+    auto event = dfs.CorruptRandomReplica(7);
+    ASSERT_TRUE(event.ok());
+    *out_event = *event;
+    ASSERT_TRUE(dfs.KillDatanode(2).ok());
+    for (int f = 0; f < 8; ++f) {
+      dfs.ReadFile("/f" + std::to_string(f));
+    }
+    dfs.RepairScan();
+    *out_stats = dfs.stats();
+  };
+  IoStats a_stats, b_stats;
+  CorruptionEvent a_event, b_event;
+  run(&a_stats, &a_event);
+  run(&b_stats, &b_event);
+  EXPECT_EQ(a_event.block_id, b_event.block_id);
+  EXPECT_EQ(a_event.datanode, b_event.datanode);
+  EXPECT_EQ(a_event.byte_offset, b_event.byte_offset);
+  EXPECT_EQ(a_stats.transient_read_errors, b_stats.transient_read_errors);
+  EXPECT_EQ(a_stats.read_failovers, b_stats.read_failovers);
+  EXPECT_EQ(a_stats.crc_read_failures, b_stats.crc_read_failures);
+  EXPECT_EQ(a_stats.blocks_repaired, b_stats.blocks_repaired);
+  EXPECT_EQ(a_stats.blocks_rereplicated, b_stats.blocks_rereplicated);
+  EXPECT_EQ(a_stats.bytes_read, b_stats.bytes_read);
+  EXPECT_DOUBLE_EQ(a_stats.simulated_read_seconds,
+                   b_stats.simulated_read_seconds);
+}
+
+TEST(FaultInjectionTest, SlowDatanodeInflatesSimulatedTime) {
+  DfsOptions opts = SmallBlocks();
+  DistributedFileSystem fast(opts);
+  DistributedFileSystem slow(opts);
+  for (int node = 0; node < 4; ++node) {
+    ASSERT_TRUE(slow.SetDatanodeSlowdown(node, 10.0).ok());
+  }
+  const std::string data = TestPayload(8192, 9);
+  ASSERT_TRUE(fast.WriteFile("/f", data).ok());
+  ASSERT_TRUE(slow.WriteFile("/f", data).ok());
+  ASSERT_TRUE(fast.ReadFile("/f").ok());
+  ASSERT_TRUE(slow.ReadFile("/f").ok());
+  EXPECT_NEAR(slow.stats().simulated_write_seconds,
+              10.0 * fast.stats().simulated_write_seconds, 1e-12);
+  EXPECT_NEAR(slow.stats().simulated_read_seconds,
+              10.0 * fast.stats().simulated_read_seconds, 1e-12);
+}
+
+TEST(FaultInjectionTest, RepairScanClassifiesHopelessBlocks) {
+  DfsOptions opts = SmallBlocks();
+  opts.replication = 1;
+  DistributedFileSystem dfs(opts);
+  ASSERT_TRUE(dfs.WriteFile("/corrupt", TestPayload(400, 10)).ok());
+  ASSERT_TRUE(dfs.WriteFile("/stranded", TestPayload(400, 11)).ok());
+  // /corrupt: the only replica is corrupt -> unrecoverable.
+  ASSERT_TRUE(dfs.CorruptReplica("/corrupt", 0, 0, 0).ok());
+  // /stranded: the only replica's node is down -> unavailable (not lost).
+  int stranded_node = -1;
+  for (int node = 0; node < 4 && stranded_node < 0; ++node) {
+    ASSERT_TRUE(dfs.KillDatanode(node).ok());
+    if (!dfs.ReadFile("/stranded").ok()) {
+      stranded_node = node;
+    } else {
+      ASSERT_TRUE(dfs.ReviveDatanode(node).ok());
+    }
+  }
+  ASSERT_GE(stranded_node, 0);
+
+  const RepairReport report = dfs.RepairScan();
+  EXPECT_EQ(report.unrecoverable_blocks, 1u);
+  EXPECT_EQ(report.unavailable_blocks, 1u);
+  EXPECT_EQ(report.replicas_repaired, 0u);
+
+  // Revival turns the unavailable block back into a healthy one.
+  ASSERT_TRUE(dfs.ReviveDatanode(stranded_node).ok());
+  const RepairReport after = dfs.RepairScan();
+  EXPECT_EQ(after.unavailable_blocks, 0u);
+}
+
+TEST(FaultInjectionTest, CorruptRandomReplicaFlipsExactlyOneByte) {
+  DfsOptions opts = SmallBlocks();
+  DistributedFileSystem dfs(opts);
+  const std::string data = TestPayload(2500, 12);
+  ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
+  auto event = dfs.CorruptRandomReplica(123);
+  ASSERT_TRUE(event.ok());
+  EXPECT_GE(event->datanode, 0);
+  EXPECT_LT(event->byte_offset, 1024u);  // within one block
+
+  // Two of three replicas are intact: the read fails over and returns the
+  // original bytes (at most one CRC failure on the way).
+  auto read = dfs.ReadFile("/f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  EXPECT_LE(dfs.stats().crc_read_failures, 1u);
+
+  // RepairScan heals it; afterwards no replica is corrupt.
+  const RepairReport report = dfs.RepairScan();
+  EXPECT_EQ(report.replicas_repaired, 1u);
+  dfs.ResetStats();
+  ASSERT_TRUE(dfs.ReadFile("/f").ok());
+  EXPECT_EQ(dfs.stats().crc_read_failures, 0u);
+}
+
+TEST(FaultInjectionTest, CorruptionApiValidatesTargets) {
+  DistributedFileSystem dfs(SmallBlocks());
+  EXPECT_TRUE(dfs.CorruptRandomReplica(1).status().IsNotFound());
+  EXPECT_TRUE(
+      dfs.CorruptReplica("/missing", 0, 0, 0).IsNotFound());
+  ASSERT_TRUE(dfs.WriteFile("/f", "abc").ok());
+  EXPECT_EQ(dfs.CorruptReplica("/f", 5, 0, 0).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(dfs.CorruptReplica("/f", 0, 9, 0).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace spate
