@@ -1,0 +1,49 @@
+#ifndef SPATE_COMMON_LATCH_H_
+#define SPATE_COMMON_LATCH_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace spate {
+
+/// One-shot completion latch: initialized with the number of outstanding
+/// jobs, counted down once per finished job, waited on by the submitter.
+///
+/// This is the completion primitive behind `ThreadPool::ParallelFor`: each
+/// fan-out owns its own latch, so a waiter only blocks on *its* jobs — never
+/// on unrelated work that happens to share the pool (which a global
+/// "wait until idle" barrier would).
+///
+/// Thread-safety: `CountDown` and `Wait` may be called concurrently from any
+/// thread. The latch must outlive every `CountDown` call; `Wait`-ing until
+/// the count reaches zero before destroying it (the `ParallelFor` pattern)
+/// guarantees that.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : count_(count) {}
+
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+  /// Signals one job complete. The final count-down wakes all waiters.
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until the count reaches zero.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_LATCH_H_

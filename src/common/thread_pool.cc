@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/latch.h"
+
 namespace spate {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -39,11 +41,23 @@ void ThreadPool::ParallelFor(size_t n,
   if (n == 0) return;
   const size_t chunks = std::min(n, threads_.size() * 4);
   const size_t per_chunk = (n + chunks - 1) / chunks;
+  const size_t num_jobs = (n + per_chunk - 1) / per_chunk;
+  if (num_jobs <= 1) {
+    body(0, n);
+    return;
+  }
+  // Private completion latch: this call waits for exactly its own chunks,
+  // never for unrelated tasks sharing the pool. Stack capture is safe — the
+  // latch cannot be destroyed until every chunk has counted down.
+  CountdownLatch latch(num_jobs);
   for (size_t begin = 0; begin < n; begin += per_chunk) {
     const size_t end = std::min(n, begin + per_chunk);
-    Submit([&body, begin, end] { body(begin, end); });
+    Submit([&body, &latch, begin, end] {
+      body(begin, end);
+      latch.CountDown();
+    });
   }
-  WaitIdle();
+  latch.Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -11,10 +11,23 @@
 
 namespace spate {
 
-/// Fixed-size worker pool used as the parallel execution substrate for the
-/// heavy analytics tasks (the stand-in for Spark parallelization in the
-/// paper's T6-T8). Tasks are plain callables; `WaitIdle()` barriers until the
-/// queue drains and all workers are idle.
+/// Fixed-size worker pool: the parallel execution substrate for the heavy
+/// analytics tasks (the stand-in for Spark parallelization in the paper's
+/// T6-T8) and for the SPATE snapshot pipeline's ingest/scan fan-out. Tasks
+/// are plain callables; `WaitIdle()` barriers until the queue drains and all
+/// workers are idle.
+///
+/// Thread-safety contract:
+///  - `Submit`, `WaitIdle` and `ParallelFor` may be called concurrently from
+///    any number of threads. Each `ParallelFor` call waits on a private
+///    completion latch covering only its own chunks, so concurrent fan-outs
+///    sharing one pool do not block on each other's work.
+///  - `ParallelFor` must NOT be called from inside a pool task: the caller
+///    blocks holding a worker slot while its chunks sit in the queue, and if
+///    every worker does this at once the pool deadlocks. Fan out at one
+///    level at a time (the SPATE pipeline fans out either across leaves or
+///    across chunk parts of one blob, never both nested).
+///  - Tasks must not throw (the codebase is exception-free by policy).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
@@ -35,7 +48,10 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
-  /// pool, blocking until every chunk completes.
+  /// pool, blocking until every chunk completes (private latch: concurrent
+  /// callers only wait for their own chunks). A single-chunk fan-out runs
+  /// inline on the calling thread. Chunk boundaries depend only on `n` and
+  /// the pool size, so per-chunk work is deterministic for a fixed pool.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
 
  private:

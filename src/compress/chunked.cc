@@ -1,0 +1,128 @@
+#include "compress/chunked.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/thread_pool.h"
+
+namespace spate {
+namespace {
+
+/// Decodes one plain envelope by the codec id it records.
+Status DecompressEnvelope(Slice blob, std::string* text) {
+  if (blob.empty()) return Status::Corruption("chunked: empty blob");
+  const Codec* codec =
+      CodecRegistry::GetById(static_cast<uint8_t>(blob[0]));
+  if (codec == nullptr) {
+    return Status::Corruption("chunked: unknown codec id in envelope");
+  }
+  return codec->Decompress(blob, text);
+}
+
+}  // namespace
+
+bool IsChunkedBlob(Slice blob) {
+  return !blob.empty() && static_cast<uint8_t>(blob[0]) == kChunkedMagic;
+}
+
+Status ChunkedCompress(const Codec& codec, Slice text, size_t chunk_bytes,
+                       ThreadPool* pool, std::string* blob) {
+  if (chunk_bytes == 0) chunk_bytes = kDefaultChunkBytes;
+  if (text.size() <= chunk_bytes) {
+    // One chunk: today's plain envelope, bit-for-bit.
+    return codec.Compress(text, blob);
+  }
+  // Content-driven partition: fixed-size byte slices. Nothing here may
+  // depend on the worker count — that is the bit-identity invariant.
+  const size_t num_parts = (text.size() + chunk_bytes - 1) / chunk_bytes;
+  std::vector<std::string> parts(num_parts);
+  std::vector<Status> statuses(num_parts);
+  auto compress_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const size_t offset = i * chunk_bytes;
+      const size_t len = std::min(chunk_bytes, text.size() - offset);
+      statuses[i] =
+          codec.Compress(Slice(text.data() + offset, len), &parts[i]);
+    }
+  };
+  if (pool != nullptr && num_parts > 1) {
+    pool->ParallelFor(num_parts, compress_range);
+  } else {
+    compress_range(0, num_parts);
+  }
+  for (const Status& status : statuses) SPATE_RETURN_IF_ERROR(status);
+
+  // Deterministic assembly in part order.
+  blob->push_back(static_cast<char>(kChunkedMagic));
+  PutVarint64(blob, text.size());
+  PutVarint64(blob, num_parts);
+  for (const std::string& part : parts) PutVarint64(blob, part.size());
+  for (const std::string& part : parts) blob->append(part);
+  return Status::OK();
+}
+
+Status ChunkedDecompress(Slice blob, ThreadPool* pool, std::string* text) {
+  if (!IsChunkedBlob(blob)) return DecompressEnvelope(blob, text);
+
+  Slice input(blob.data() + 1, blob.size() - 1);
+  uint64_t original_size = 0;
+  uint64_t num_parts = 0;
+  if (!GetVarint64(&input, &original_size) ||
+      !GetVarint64(&input, &num_parts)) {
+    return Status::Corruption("chunked: truncated container header");
+  }
+  // Every part needs at least a varint length byte plus a minimal envelope;
+  // reject counts the remaining bytes cannot possibly hold before sizing
+  // any allocation off them.
+  if (num_parts == 0 || num_parts > input.size()) {
+    return Status::Corruption("chunked: implausible part count");
+  }
+  std::vector<uint64_t> lengths(static_cast<size_t>(num_parts));
+  uint64_t total = 0;
+  for (uint64_t& len : lengths) {
+    if (!GetVarint64(&input, &len)) {
+      return Status::Corruption("chunked: truncated part-length table");
+    }
+    total += len;
+  }
+  if (total != input.size()) {
+    return Status::Corruption("chunked: part lengths disagree with payload");
+  }
+
+  // Per-part decode into indexed slots; each envelope verifies its own size
+  // and CRC, and the slot order restores the original byte order.
+  std::vector<Slice> part_blobs(lengths.size());
+  size_t offset = 0;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    part_blobs[i] = Slice(input.data() + offset,
+                          static_cast<size_t>(lengths[i]));
+    offset += static_cast<size_t>(lengths[i]);
+  }
+  std::vector<std::string> decoded(lengths.size());
+  std::vector<Status> statuses(lengths.size());
+  auto decode_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      statuses[i] = DecompressEnvelope(part_blobs[i], &decoded[i]);
+    }
+  };
+  if (pool != nullptr && part_blobs.size() > 1) {
+    pool->ParallelFor(part_blobs.size(), decode_range);
+  } else {
+    decode_range(0, part_blobs.size());
+  }
+  for (const Status& status : statuses) SPATE_RETURN_IF_ERROR(status);
+
+  uint64_t decoded_total = 0;
+  for (const std::string& part : decoded) decoded_total += part.size();
+  if (decoded_total != original_size) {
+    return Status::Corruption("chunked: reassembled size mismatch");
+  }
+  text->reserve(text->size() +
+                static_cast<size_t>(
+                    std::min<uint64_t>(original_size, kMaxUntrustedReserve)));
+  for (const std::string& part : decoded) text->append(part);
+  return Status::OK();
+}
+
+}  // namespace spate

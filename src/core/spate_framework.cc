@@ -38,6 +38,11 @@ SpateFramework::SpateFramework(SpateOptions options,
       cells_(cell_rows),
       cell_rows_(cell_rows) {
   if (codec_ == nullptr) codec_ = CodecRegistry::Get("deflate");
+  if (options_.parallelism.worker_count > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.parallelism.worker_count));
+    materialize_ctx_.decode_pool = pool_.get();
+  }
   if (options_.differential) {
     // Deltas must never outlive the chain they decode against: decay only
     // at keyframe-group boundaries.
@@ -101,7 +106,7 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
     Status status = blob.status();
     std::string serialized;
     NodeSummary summary;
-    if (status.ok()) status = framework->codec_->Decompress(*blob, &serialized);
+    if (status.ok()) status = ChunkedDecompress(*blob, nullptr, &serialized);
     if (status.ok()) status = NodeSummary::Parse(serialized, &summary);
     if (!status.ok()) {
       if (tolerate && DegradableFailure(status)) {
@@ -160,7 +165,9 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
                                                                &text);
         }
       } else {
-        status = framework->codec_->Decompress(blob, &text);
+        // Plain (possibly chunked) leaf blob; recovery itself walks the
+        // leaves serially, but chunk parts of one blob may fan out.
+        status = ChunkedDecompress(blob, framework->pool_.get(), &text);
       }
     }
     Snapshot snapshot;
@@ -230,8 +237,13 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
                          !IsKeyframe(snapshot.epoch_start) &&
                          last_ingest_epoch_ ==
                              snapshot.epoch_start - kEpochSeconds;
+  // Ingest fan-out: the snapshot text is partitioned into independent
+  // compression jobs (content-driven, so the stored bytes do not depend on
+  // the worker count) and compressed on the shared pool when one exists.
   std::string compressed;
-  SPATE_RETURN_IF_ERROR(codec_->Compress(text, &compressed));
+  SPATE_RETURN_IF_ERROR(ChunkedCompress(*codec_, text,
+                                        options_.parallelism.ingest_chunk_bytes,
+                                        pool_.get(), &compressed));
   bool delta = false;
   if (try_delta) {
     // Deltas only pay off when cross-snapshot redundancy beats the
@@ -304,17 +316,21 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
   return Status::OK();
 }
 
-Result<std::string> SpateFramework::MaterializeLeaf(const LeafNode& leaf) {
+Result<std::string> SpateFramework::MaterializeLeafWith(
+    const LeafNode& leaf, DecodeContext* ctx) const {
   if (leaf.decayed) {
     return Status::NotFound("leaf decayed: " + leaf.dfs_path);
   }
-  if (materialize_cache_epoch_ == leaf.epoch_start) {
-    return materialize_cache_text_;
+  if (ctx->cache_epoch == leaf.epoch_start) {
+    return ctx->cache_text;
   }
   SPATE_ASSIGN_OR_RETURN(std::string blob, dfs_->ReadFile(leaf.dfs_path));
   std::string text;
   if (!leaf.delta) {
-    SPATE_RETURN_IF_ERROR(codec_->Decompress(blob, &text));
+    // Plain (possibly chunked) blob; chunk parts may decode on the pool,
+    // unless this context belongs to a scan worker that is itself one arm
+    // of a fan-out (then decode_pool is null — no nested fan-out).
+    SPATE_RETURN_IF_ERROR(ChunkedDecompress(blob, ctx->decode_pool, &text));
   } else {
     // Resolve the chain: the delta decodes against the previous epoch's
     // text (cached when scanning sequentially; otherwise at most
@@ -325,13 +341,24 @@ Result<std::string> SpateFramework::MaterializeLeaf(const LeafNode& leaf) {
       return Status::Corruption("delta leaf without predecessor: " +
                                 leaf.dfs_path);
     }
-    SPATE_ASSIGN_OR_RETURN(std::string prev_text, MaterializeLeaf(*prev));
+    SPATE_ASSIGN_OR_RETURN(std::string prev_text,
+                           MaterializeLeafWith(*prev, ctx));
     SPATE_RETURN_IF_ERROR(
         codec_->DecompressWithDictionary(prev_text, blob, &text));
   }
-  materialize_cache_epoch_ = leaf.epoch_start;
-  materialize_cache_text_ = text;
+  // The one-entry cache exists to resolve delta chains against the
+  // previous epoch in O(1); outside differential mode (and off any delta
+  // chain — a recovered store can hold deltas the options no longer
+  // advertise) it would only buy a full text copy per leaf.
+  if (options_.differential || leaf.delta) {
+    ctx->cache_epoch = leaf.epoch_start;
+    ctx->cache_text = text;
+  }
   return text;
+}
+
+Result<std::string> SpateFramework::MaterializeLeaf(const LeafNode& leaf) {
+  return MaterializeLeafWith(leaf, &materialize_ctx_);
 }
 
 size_t SpateFramework::RunDecay(Timestamp now) {
@@ -428,61 +455,119 @@ Result<QueryResult> SpateFramework::Execute(const ExplorationQuery& query) {
 Status SpateFramework::ExecuteExactWithLeafIndex(
     const ExplorationQuery& query, QueryResult* result) {
   // Resolve the box to cell ids once, then use each leaf's sidecar to jump
-  // straight to the matching rows.
+  // straight to the matching rows. The leaf blob and its sidecar must both
+  // be readable; degraded mode skips the epoch (recorded) when either has
+  // lost every replica.
   const std::vector<std::string> in_box = cells_.CellsInBox(query.box);
   const std::unordered_set<std::string> wanted(in_box.begin(), in_box.end());
-  for (const LeafNode* leaf : index_.LeavesInWindow(query.window_begin,
-                                                    query.window_end)) {
-    // The leaf blob and its sidecar must both be readable; degraded mode
-    // skips the epoch (recorded) when either has lost every replica.
-    Status status;
-    std::string text;
-    Snapshot snapshot;
-    std::string sidecar_blob;
-    std::string serialized;
-    LeafSpatialIndex sidecar;
-    auto materialized = MaterializeLeaf(*leaf);
-    if (!materialized.ok()) {
-      status = materialized.status();
-    } else {
-      text = std::move(*materialized);
-      status = ParseSnapshot(text, &snapshot);
-    }
-    if (status.ok()) {
-      auto sidecar_read =
-          dfs_->ReadFile("/spate/spidx/" + FormatCompact(leaf->epoch_start));
-      if (!sidecar_read.ok()) {
-        status = sidecar_read.status();
-      } else {
-        sidecar_blob = std::move(*sidecar_read);
-        status = codec_->Decompress(sidecar_blob, &serialized);
-      }
-    }
-    if (status.ok()) status = LeafSpatialIndex::Parse(serialized, &sidecar);
+  return ScanLeaves(
+      index_.LeavesInWindow(query.window_begin, query.window_end),
+      [&](const LeafNode& leaf, const Snapshot& snapshot) -> Status {
+        SPATE_ASSIGN_OR_RETURN(
+            std::string sidecar_blob,
+            dfs_->ReadFile("/spate/spidx/" + FormatCompact(leaf.epoch_start)));
+        std::string serialized;
+        SPATE_RETURN_IF_ERROR(
+            ChunkedDecompress(sidecar_blob, nullptr, &serialized));
+        LeafSpatialIndex sidecar;
+        SPATE_RETURN_IF_ERROR(LeafSpatialIndex::Parse(serialized, &sidecar));
+
+        auto take = [&](const std::vector<Record>& rows,
+                        const std::vector<uint32_t>* positions, int ts_column,
+                        std::vector<Record>* out) {
+          if (positions == nullptr) return;
+          for (uint32_t row : *positions) {
+            if (row >= rows.size()) continue;
+            const Timestamp ts =
+                ParseCompact(FieldAsString(rows[row], ts_column));
+            if (ts < query.window_begin || ts >= query.window_end) continue;
+            out->push_back(rows[row]);
+          }
+        };
+        for (const std::string& cell_id : in_box) {
+          if (!wanted.count(cell_id)) continue;
+          take(snapshot.cdr, sidecar.CdrRows(cell_id), kCdrTs,
+               &result->cdr_rows);
+          take(snapshot.nms, sidecar.NmsRows(cell_id), kNmsTs,
+               &result->nms_rows);
+        }
+        return Status::OK();
+      });
+}
+
+Status SpateFramework::ScanLeaves(
+    const std::vector<const LeafNode*>& leaves,
+    const std::function<Status(const LeafNode&, const Snapshot&)>& fn) {
+  // Folds one leaf's outcome into the scan, in timestamp order, on the
+  // calling thread. A degradable failure — every replica of the leaf (or of
+  // its delta chain, or of its sidecar) unreadable — skips the epoch and
+  // records it instead of failing the whole scan; callers consult
+  // `last_scan_stats()`.
+  auto fold = [&](const LeafNode& leaf, Status status,
+                  const Snapshot& snapshot) -> Result<bool> {
+    if (status.ok()) status = fn(leaf, snapshot);
     if (!status.ok()) {
       if (options_.degraded_reads && DegradableFailure(status)) {
-        last_scan_.skipped_epochs.push_back(leaf->epoch_start);
-        continue;
+        last_scan_.skipped_epochs.push_back(leaf.epoch_start);
+        return false;
       }
       return status;
     }
     ++last_scan_.leaves_scanned;
+    return true;
+  };
 
-    auto take = [&](const std::vector<Record>& rows,
-                    const std::vector<uint32_t>* positions, int ts_column,
-                    std::vector<Record>* out) {
-      if (positions == nullptr) return;
-      for (uint32_t row : *positions) {
-        if (row >= rows.size()) continue;
-        const Timestamp ts = ParseCompact(FieldAsString(rows[row], ts_column));
-        if (ts < query.window_begin || ts >= query.window_end) continue;
-        out->push_back(rows[row]);
+  const bool parallel =
+      pool_ != nullptr &&
+      leaves.size() >= static_cast<size_t>(std::max(
+                           2, options_.parallelism.min_parallel_epochs));
+  if (!parallel) {
+    for (const LeafNode* leaf : leaves) {
+      Snapshot snapshot;
+      Status status;
+      auto materialized = MaterializeLeaf(*leaf);
+      if (!materialized.ok()) {
+        status = materialized.status();
+      } else {
+        status = ParseSnapshot(*materialized, &snapshot);
       }
-    };
-    for (const std::string& cell_id : in_box) {
-      if (!wanted.count(cell_id)) continue;
-      take(snapshot.cdr, sidecar.CdrRows(cell_id), kCdrTs, &result->cdr_rows);
-      take(snapshot.nms, sidecar.NmsRows(cell_id), kNmsTs, &result->nms_rows);
+      SPATE_ASSIGN_OR_RETURN(bool ok, fold(*leaf, status, snapshot));
+      (void)ok;
+    }
+    return Status::OK();
+  }
+
+  // Scan fan-out: decode leaves concurrently in bounded batches (capping
+  // the number of simultaneously materialized snapshots), then fold each
+  // batch serially in timestamp order. Workers take contiguous leaf ranges
+  // with a private decode buffer, so delta chains still resolve against the
+  // worker's previous leaf; stats are only touched in the serial fold — no
+  // hot-path atomics, and the fold order (hence `last_scan_`) is identical
+  // to the serial path's.
+  struct Slot {
+    Status status;
+    Snapshot snapshot;
+  };
+  const size_t batch =
+      static_cast<size_t>(options_.parallelism.worker_count) * 4;
+  for (size_t base = 0; base < leaves.size(); base += batch) {
+    const size_t count = std::min(batch, leaves.size() - base);
+    std::vector<Slot> slots(count);
+    pool_->ParallelFor(count, [&](size_t begin, size_t end) {
+      DecodeContext ctx;  // per-worker buffer; no nested fan-out
+      for (size_t i = begin; i < end; ++i) {
+        auto materialized = MaterializeLeafWith(*leaves[base + i], &ctx);
+        if (!materialized.ok()) {
+          slots[i].status = materialized.status();
+          continue;
+        }
+        slots[i].status = ParseSnapshot(*materialized, &slots[i].snapshot);
+      }
+    });
+    for (size_t i = 0; i < count; ++i) {
+      SPATE_ASSIGN_OR_RETURN(
+          bool ok, fold(*leaves[base + i], slots[i].status, slots[i].snapshot));
+      (void)ok;
     }
   }
   return Status::OK();
@@ -492,31 +577,11 @@ Status SpateFramework::ScanWindow(
     Timestamp begin, Timestamp end,
     const std::function<void(const Snapshot&)>& fn) {
   last_scan_ = ScanStats();
-  for (const LeafNode* leaf : index_.LeavesInWindow(begin, end)) {
-    Status status;
-    std::string text;
-    Snapshot snapshot;
-    auto materialized = MaterializeLeaf(*leaf);
-    if (!materialized.ok()) {
-      status = materialized.status();
-    } else {
-      text = std::move(*materialized);
-      status = ParseSnapshot(text, &snapshot);
-    }
-    if (!status.ok()) {
-      // Degraded read: every replica of this leaf (or of its delta chain)
-      // is unreadable. Skip the epoch and report it instead of failing the
-      // whole scan; callers consult `last_scan_stats()`.
-      if (options_.degraded_reads && DegradableFailure(status)) {
-        last_scan_.skipped_epochs.push_back(leaf->epoch_start);
-        continue;
-      }
-      return status;
-    }
-    ++last_scan_.leaves_scanned;
-    fn(snapshot);
-  }
-  return Status::OK();
+  return ScanLeaves(index_.LeavesInWindow(begin, end),
+                    [&fn](const LeafNode&, const Snapshot& snapshot) {
+                      fn(snapshot);
+                      return Status::OK();
+                    });
 }
 
 Result<NodeSummary> SpateFramework::AggregateWindow(Timestamp begin,

@@ -5,10 +5,30 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "compress/chunked.h"
 #include "compress/codec.h"
 #include "core/framework.h"
 
 namespace spate {
+
+/// Knobs of the parallel snapshot pipeline (ingest compression fan-out and
+/// multi-epoch scan decode fan-out). The stand-in for the implicit Hadoop
+/// parallelism the paper's storage layer rides on.
+struct ParallelismOptions {
+  /// Worker threads shared by ingest and scans. 1 (the default) keeps the
+  /// whole pipeline on the calling thread — no pool is created and every
+  /// code path executes exactly as the pre-parallel framework did.
+  int worker_count = 1;
+  /// Minimum in-window leaves before a scan fans out; shorter windows stay
+  /// serial (fan-out overhead beats the win on a couple of leaves).
+  int min_parallel_epochs = 4;
+  /// Serialized-text bytes per independent ingest compression job. The
+  /// partition of a snapshot into jobs is a pure function of its text and
+  /// this knob — never of `worker_count` — so stored leaf bytes and CRCs
+  /// are bit-identical at every worker count (see compress/chunked.h).
+  size_t ingest_chunk_bytes = kDefaultChunkBytes;
+};
 
 /// Configuration of the SPATE framework.
 struct SpateOptions {
@@ -44,6 +64,10 @@ struct SpateOptions {
   /// (reporting the epoch in `last_scan_stats()`), and `Recover` keeps
   /// going past it. When false, storage faults surface as hard errors.
   bool degraded_reads = true;
+
+  /// Parallel snapshot pipeline (ingest + scan fan-out). Defaults to fully
+  /// serial operation.
+  ParallelismOptions parallelism;
 };
 
 /// Outcome of `Recover()` (degraded-recovery accounting): what was rebuilt
@@ -63,6 +87,14 @@ struct RecoveryReport {
 /// The SPATE framework (the paper's contribution): lossless compression of
 /// arriving snapshots on a replicated DFS, a multi-resolution spatiotemporal
 /// index with materialized highlights, and decaying of aged raw data.
+///
+/// Concurrency: the framework parallelizes *internally* (per
+/// `ParallelismOptions`) but its public surface is externally synchronized —
+/// one `Ingest`/`Execute`/`ScanWindow`/`RunDecay` call at a time, like the
+/// serial framework. The fan-out happens below the API: ingest compresses
+/// one snapshot's chunks concurrently, scans decode in-window leaves
+/// concurrently, and both fold their stats back before returning. See
+/// DESIGN.md "Concurrency model" for the per-class contracts.
 class SpateFramework : public Framework {
  public:
   /// `cell_rows` is the static CELL inventory (also persisted to the DFS).
@@ -129,6 +161,11 @@ class SpateFramework : public Framework {
 
   const SpateOptions& options() const { return options_; }
 
+  /// The pipeline's shared worker pool (nullptr when `worker_count == 1`).
+  /// Exposed so analytics tasks can reuse it instead of spawning their own;
+  /// see DESIGN.md "Concurrency model" for what may run on it concurrently.
+  ThreadPool* pool() { return pool_.get(); }
+
   /// Highlight threshold for a level (theta_i, Section V-B).
   double ThetaFor(IndexLevel level) const;
 
@@ -136,10 +173,37 @@ class SpateFramework : public Framework {
   /// DFS path of the raw (compressed) snapshot for an epoch.
   static std::string LeafPath(Timestamp epoch_start);
 
-  /// Reads + decodes the raw text of one leaf, resolving delta chains back
-  /// to their keyframe. Maintains a one-entry materialization cache so
-  /// sequential scans pay O(1) extra work per leaf.
+  /// Per-worker leaf-decode state: a one-entry materialization cache (so a
+  /// sequential run over contiguous leaves resolves each delta against its
+  /// already-decoded predecessor) plus the pool — if any — that chunked
+  /// single-blob decodes may fan out on. Workers of a parallel scan each
+  /// own one with `decode_pool == nullptr` (fan out across leaves OR across
+  /// chunk parts, never both nested).
+  struct DecodeContext {
+    Timestamp cache_epoch = -1;
+    std::string cache_text;
+    ThreadPool* decode_pool = nullptr;
+  };
+
+  /// Reads + decodes the raw text of one leaf into `ctx`'s cache, resolving
+  /// delta chains back to their keyframe. Touches no framework state except
+  /// `ctx`, the (thread-safe) DFS and the const index/codec — the parallel
+  /// scan path calls it concurrently with per-worker contexts.
+  Result<std::string> MaterializeLeafWith(const LeafNode& leaf,
+                                          DecodeContext* ctx) const;
+
+  /// Serial-path wrapper over the framework-owned context.
   Result<std::string> MaterializeLeaf(const LeafNode& leaf);
+
+  /// Decodes every leaf in `leaves` and hands (leaf, snapshot) pairs to
+  /// `fn` on the calling thread, in timestamp order. Fans the decode out on
+  /// the pool when it exists and the window spans at least
+  /// `min_parallel_epochs` leaves; decode failures and degradable `fn`
+  /// statuses feed `last_scan_` via per-worker counters folded in leaf
+  /// order. `fn` returning a degradable status skips that epoch.
+  Status ScanLeaves(
+      const std::vector<const LeafNode*>& leaves,
+      const std::function<Status(const LeafNode&, const Snapshot&)>& fn);
 
   /// True if the snapshot at `epoch_start` starts a keyframe group.
   bool IsKeyframe(Timestamp epoch_start) const;
@@ -156,6 +220,8 @@ class SpateFramework : public Framework {
   SpateOptions options_;
   const Codec* codec_;  // owned by the registry
   std::shared_ptr<DistributedFileSystem> dfs_;
+  /// Shared worker pool of the parallel pipeline (null when serial).
+  std::unique_ptr<ThreadPool> pool_;
   CellDirectory cells_;
   std::vector<Record> cell_rows_;
   TemporalIndex index_;
@@ -166,8 +232,8 @@ class SpateFramework : public Framework {
   // Differential-mode state.
   std::string last_ingest_text_;
   Timestamp last_ingest_epoch_ = -1;
-  std::string materialize_cache_text_;
-  Timestamp materialize_cache_epoch_ = -1;
+  /// Serial-path materialization cache (parallel scans use per-worker ones).
+  DecodeContext materialize_ctx_;
 };
 
 }  // namespace spate

@@ -69,7 +69,18 @@ struct RepairReport {
 ///    corrupt live replicas and re-replicates copies lost to dead nodes,
 ///    restoring the replication target from any surviving good copy.
 ///
-/// Thread-safe.
+/// Thread-safety: fully thread-safe. Every public operation (reads, writes,
+/// fault controls, stats) takes the single internal mutex, so concurrent
+/// scan workers may call `ReadFile` freely while another thread writes or
+/// injects faults; each call is atomic with respect to the others. Two
+/// consequences worth knowing when fanning out over this class:
+///  - the mutex serializes I/O, so the DFS itself adds no read parallelism —
+///    concurrency wins come from overlapping *decompression* with I/O, not
+///    from overlapping reads (see DESIGN.md "Concurrency model");
+///  - `stats()` accumulates simulated seconds in arrival order; with
+///    concurrent readers that order — and therefore the floating-point sum —
+///    can differ run to run even though per-call charges are deterministic.
+///    Byte/operation counters are exact regardless of interleaving.
 class DistributedFileSystem {
  public:
   explicit DistributedFileSystem(DfsOptions options = DfsOptions());

@@ -32,6 +32,16 @@ struct FaultOptions {
 /// Not internally synchronized — `DistributedFileSystem` owns one and
 /// accesses it under its own mutex; tests drive it through the DFS wrappers
 /// (`KillDatanode`, `SetDatanodeSlowdown`, ...).
+///
+/// Determinism caveat under concurrency: the transient-error stream is one
+/// shared seeded RNG consumed per read *attempt*, so which attempt observes
+/// which draw depends on the order readers reach the DFS. With concurrent
+/// scan workers that order is scheduler-dependent, making transient faults
+/// replayable only for serial workloads. *State-based* faults — kills,
+/// revivals, slowdowns, corrupted replica bytes — are plain state with no
+/// stream to race on and stay deterministic at any worker count; tests that
+/// assert serial/parallel equivalence use only those (see
+/// tests/core/parallel_pipeline_test.cc).
 class FaultInjector {
  public:
   FaultInjector(FaultOptions options, int num_datanodes)

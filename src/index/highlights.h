@@ -17,6 +17,14 @@ namespace spate {
 /// Streaming aggregate of one numeric metric: count/sum/min/max (+ sum of
 /// squares for variance). Mergeable, so summaries roll up day -> month ->
 /// year exactly as the paper's highlights module does.
+///
+/// Thread-safety: plain value types with no synchronization, like all the
+/// summary structs below. Built and merged on the ingestion thread; scan
+/// workers only ever read them through `const` pointers into the index
+/// (safe while nothing mutates — see DESIGN.md "Concurrency model").
+/// `Merge` order affects the floating-point `sum`/`sum_sq` bits, which is
+/// why roll-ups always merge in timestamp order rather than completion
+/// order.
 struct MetricAggregate {
   uint64_t count = 0;
   double sum = 0;

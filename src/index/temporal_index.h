@@ -83,7 +83,14 @@ struct CoveringNode {
 /// insertion, bottom-up highlight roll-up and decay (the paper's Indexing
 /// layer: incremence + highlights + decaying modules).
 ///
-/// Not thread-safe; the framework serializes ingestion.
+/// Thread-safety: not internally synchronized. Mutators (`Insert`, decay,
+/// seal) run only on the framework's ingestion thread, which owns the
+/// object. Const lookups (`LeavesInWindow`, covering-node queries) are safe
+/// to call from many threads *only while no mutator runs*; the framework's
+/// scan fan-out relies on exactly this — worker threads hold `const
+/// LeafNode*` pointers collected up front while the external
+/// one-writer-or-many-readers contract (see DESIGN.md "Concurrency model")
+/// guarantees no concurrent `Insert` invalidates them mid-scan.
 class TemporalIndex {
  public:
   TemporalIndex() = default;

@@ -19,6 +19,15 @@ namespace spate {
 // unchanged against any `Framework` (RAW / SHAHED / SPATE). T1-T5 are
 // sequential operational/analytical queries; T6-T8 are the heavy tasks that
 // take a `ThreadPool` (the Spark-parallelization stand-in).
+//
+// Pool sharing: T6-T8 may be handed `SpateFramework::pool()` — the same
+// pool the framework uses for its own ingest/scan fan-out — because
+// `ThreadPool::ParallelFor` scopes each caller's wait to its own chunks
+// (a private latch, not a global barrier). The one rule is that pool tasks
+// must not themselves call `ParallelFor` on the same pool; the analytics
+// kernels here fan out only from the calling thread, which satisfies it.
+// Passing nullptr keeps a task fully serial. See DESIGN.md "Concurrency
+// model".
 
 /// T1/T2 result: the (upflux, downflux) pairs of the matching CDR rows.
 struct FluxResult {

@@ -22,6 +22,15 @@ namespace spate {
 /// allowed lateness — passes the epoch's end. Records arriving after their
 /// epoch was emitted are counted as dropped (operators track this as a
 /// data-quality metric).
+///
+/// Thread-safety: NOT thread-safe; one assembler consumes one ordered
+/// record stream. Parallelism in the ingest pipeline happens *downstream*:
+/// `emit` typically calls `SpateFramework::Ingest`, which fans the
+/// snapshot's compression out over a worker pool internally while `emit`
+/// itself stays a plain synchronous call on the assembler's thread (see
+/// DESIGN.md "Concurrency model"). Feeding one assembler from several
+/// threads would also break the watermark invariant, which assumes a
+/// single monotone observer of event times.
 class SnapshotAssembler {
  public:
   using EmitFn = std::function<Status(const Snapshot&)>;

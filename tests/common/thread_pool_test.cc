@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
+
+#include "common/latch.h"
 
 namespace spate {
 namespace {
@@ -61,6 +64,65 @@ TEST(ThreadPoolTest, ParallelSum) {
     total.fetch_add(local);
   });
   EXPECT_EQ(total.load(), 99999ll * 100000 / 2);
+}
+
+TEST(ThreadPoolTest, LatchReleasesWaitersAtZero) {
+  CountdownLatch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(released.load());
+  latch.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+// Each ParallelFor waits on a private latch, so fan-outs sharing one pool
+// from different threads must not block on each other's work (the old
+// WaitIdle-based barrier did, and could observe spurious "idle" windows).
+TEST(ThreadPoolTest, ConcurrentParallelForCallersOnSharedPool) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 5000;
+  std::vector<std::atomic<long long>> totals(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &totals, c] {
+      for (int round = 0; round < 5; ++round) {
+        pool.ParallelFor(kItems, [&totals, c](size_t begin, size_t end) {
+          long long local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            local += static_cast<long long>(i);
+          }
+          totals[c].fetch_add(local);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const long long per_round = static_cast<long long>(kItems - 1) * kItems / 2;
+  for (const auto& total : totals) {
+    EXPECT_EQ(total.load(), 5 * per_round);
+  }
+}
+
+// ParallelFor must not wait for unrelated queued work: a slow Submit-ted
+// task sharing the pool cannot stall an independent fan-out's completion.
+TEST(ThreadPoolTest, ParallelForDoesNotWaitForUnrelatedTasks) {
+  ThreadPool pool(4);
+  CountdownLatch release(1);
+  pool.Submit([&release] { release.Wait(); });  // parks one worker
+  std::atomic<int> covered{0};
+  pool.ParallelFor(100, [&covered](size_t begin, size_t end) {
+    covered.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(covered.load(), 100);  // returned while the parked task blocks
+  release.CountDown();
+  pool.WaitIdle();
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
