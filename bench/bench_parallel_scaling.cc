@@ -14,8 +14,8 @@
 // same blocks) and would drown the CPU effect being measured.
 //
 // Capture for the perf trajectory (see EXPERIMENTS.md "Bench catalog"):
-//   ./bench/bench_parallel_scaling | grep '^BENCH_JSON' | cut -d' ' -f2- \
-//     > BENCH_parallel_scaling.json
+//   ./bench/bench_parallel_scaling | grep '^BENCH_JSON' | cut -d' ' -f2-
+//   (redirect into BENCH_parallel_scaling.json)
 
 #include <cstdio>
 #include <string>

@@ -9,6 +9,10 @@
 //   highlights <from> <to> only the highlight list for the window
 //   stats                  storage/index statistics
 //   decay <days>           run the decaying module, keeping <days> days
+//   fsck                   deep cross-layer integrity check (see
+//                          src/check/fsck.h for the invariant catalog)
+//   corrupt <seed>         flip one replica byte (then try `fsck`)
+//   repair                 namenode repair scan (re-replicate/rewrite)
 //   help / quit
 //
 // Non-interactive use:  echo "sql SELECT COUNT(*) FROM CDR" | spate_cli
@@ -23,6 +27,7 @@
 
 #include "analytics/heavy_hitters.h"
 #include "analytics/histogram.h"
+#include "check/fsck.h"
 #include "common/strings.h"
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
@@ -104,7 +109,8 @@ int main(int argc, char** argv) {
              "  highlights <from> <to>\n"
              "  top callers|cells|devices <from> <to> [k]\n"
              "  hist rssi|throughput|duration <from> <to>\n"
-             "  stats | decay <days> | quit\n");
+             "  stats | decay <days> | quit\n"
+             "  fsck | corrupt <seed> | repair\n");
       continue;
     }
     if (command == "top") {
@@ -249,6 +255,41 @@ int main(int argc, char** argv) {
       const size_t evicted = spate.RunDecay(policy, now);
       printf("evicted %zu leaves; storage now %s\n", evicted,
              HumanBytes(spate.StorageBytes()).c_str());
+      continue;
+    }
+    if (command == "fsck") {
+      const check::FsckReport report = spate.Fsck();
+      printf("%s", report.ToString().c_str());
+      continue;
+    }
+    if (command == "corrupt") {
+      int64_t seed = 0;
+      std::string seed_text;
+      if (!(in >> seed_text) || !ParseInt64(seed_text, &seed)) {
+        printf("usage: corrupt <seed>\n");
+        continue;
+      }
+      auto event = spate.dfs().CorruptRandomReplica(
+          static_cast<uint64_t>(seed));
+      if (!event.ok()) {
+        printf("error: %s\n", event.status().ToString().c_str());
+        continue;
+      }
+      printf("flipped byte %llu of a replica of block %llu on datanode %d "
+             "(run 'fsck' to find it, 'repair' to heal it)\n",
+             static_cast<unsigned long long>(event->byte_offset),
+             static_cast<unsigned long long>(event->block_id),
+             event->datanode);
+      continue;
+    }
+    if (command == "repair") {
+      const RepairReport report = spate.dfs().RepairScan();
+      printf("scanned %llu blocks: repaired %llu replicas, re-replicated "
+             "%llu, %llu unrecoverable\n",
+             static_cast<unsigned long long>(report.blocks_scanned),
+             static_cast<unsigned long long>(report.replicas_repaired),
+             static_cast<unsigned long long>(report.replicas_rereplicated),
+             static_cast<unsigned long long>(report.unrecoverable_blocks));
       continue;
     }
     printf("unknown command '%s' (try 'help')\n", command.c_str());

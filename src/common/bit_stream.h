@@ -1,10 +1,10 @@
 #ifndef SPATE_COMMON_BIT_STREAM_H_
 #define SPATE_COMMON_BIT_STREAM_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 
+#include "common/check.h"
 #include "common/slice.h"
 
 namespace spate {
@@ -20,8 +20,8 @@ class BitWriter {
 
   /// Writes the low `count` bits of `bits` (count <= 57).
   void WriteBits(uint64_t bits, int count) {
-    assert(count >= 0 && count <= 57);
-    assert(count == 64 || (bits >> count) == 0);
+    SPATE_DCHECK(count >= 0 && count <= 57);
+    SPATE_DCHECK(count == 64 || (bits >> count) == 0);
     acc_ |= bits << filled_;
     filled_ += count;
     while (filled_ >= 8) {
@@ -61,7 +61,7 @@ class BitReader {
   /// Returns the next `count` bits without consuming them. Peeking past the
   /// end of input yields zero bits (not an error until actually consumed).
   uint64_t PeekBits(int count) {
-    assert(count >= 0 && count <= 57);
+    SPATE_DCHECK(count >= 0 && count <= 57);
     while (filled_ < count) {
       uint64_t byte = 0;
       if (pos_ < input_.size()) {
@@ -75,7 +75,7 @@ class BitReader {
 
   /// Consumes `count` bits (which must have been peeked or are readable).
   void Consume(int count) {
-    assert(count <= filled_);
+    SPATE_DCHECK_LE(count, filled_);
     acc_ >>= count;
     filled_ -= count;
     consumed_ += count;

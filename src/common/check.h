@@ -1,0 +1,118 @@
+#ifndef SPATE_COMMON_CHECK_H_
+#define SPATE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+/// Invariant-checking macros — the single sanctioned replacement for bare
+/// `assert()` in `src/` (enforced by `tools/lint.py`).
+///
+/// Three tiers, matching how storage systems layer their checks:
+///
+///  - `SPATE_CHECK*`  — fatal in every build mode. For invariants whose
+///    violation means memory is already unsafe to touch (out-of-bounds
+///    slice access, bit-stream contract breaches). Prints the expression
+///    and, for the comparison forms, both operand values, then aborts.
+///  - `SPATE_DCHECK*` — fatal in debug builds, compiled to *nothing* in
+///    NDEBUG builds (the condition is only named inside `sizeof`, an
+///    unevaluated context, so release codegen is bit-identical to having
+///    no check at all). For hot-path invariants and module-seam hooks.
+///  - `SPATE_VERIFY_OR_RETURN` — never aborts; returns an Internal
+///    `Status` naming the failed condition. For invariants in fallible
+///    code paths where the process should degrade, not die.
+///
+/// All condition expressions must be side-effect free: `SPATE_DCHECK`
+/// arguments are never evaluated in release builds.
+
+namespace spate {
+namespace check_internal {
+
+/// Terminates the process after printing the failed check. Out of line so
+/// the cold path costs one call in the caller.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expression,
+                                     const std::string& operands) {
+  std::fprintf(stderr, "%s:%d: SPATE_CHECK failed: %s%s%s\n", file, line,
+               expression, operands.empty() ? "" : " ", operands.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Renders `a <op> b` with both operand values for the comparison checks.
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream out;
+  out << "(" << a << " vs. " << b << ")";
+  return out.str();
+}
+
+}  // namespace check_internal
+}  // namespace spate
+
+/// Fatal check, all build modes.
+#define SPATE_CHECK(condition)                                        \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      ::spate::check_internal::CheckFailed(__FILE__, __LINE__,        \
+                                           #condition, std::string()); \
+    }                                                                 \
+  } while (0)
+
+#define SPATE_CHECK_OP_IMPL(op, a, b)                                      \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      ::spate::check_internal::CheckFailed(                                \
+          __FILE__, __LINE__, #a " " #op " " #b,                           \
+          ::spate::check_internal::FormatOperands((a), (b)));              \
+    }                                                                      \
+  } while (0)
+
+#define SPATE_CHECK_EQ(a, b) SPATE_CHECK_OP_IMPL(==, a, b)
+#define SPATE_CHECK_NE(a, b) SPATE_CHECK_OP_IMPL(!=, a, b)
+#define SPATE_CHECK_LE(a, b) SPATE_CHECK_OP_IMPL(<=, a, b)
+#define SPATE_CHECK_LT(a, b) SPATE_CHECK_OP_IMPL(<, a, b)
+#define SPATE_CHECK_GE(a, b) SPATE_CHECK_OP_IMPL(>=, a, b)
+#define SPATE_CHECK_GT(a, b) SPATE_CHECK_OP_IMPL(>, a, b)
+
+/// Debug-only checks: identical to the `SPATE_CHECK` forms under !NDEBUG;
+/// under NDEBUG the condition is swallowed by `sizeof` (unevaluated, zero
+/// codegen) while still requiring it to compile, so DCHECK-only variables
+/// never trip -Wunused and bit-rot is caught in release builds too.
+#ifndef NDEBUG
+#define SPATE_DCHECK(condition) SPATE_CHECK(condition)
+#define SPATE_DCHECK_EQ(a, b) SPATE_CHECK_EQ(a, b)
+#define SPATE_DCHECK_NE(a, b) SPATE_CHECK_NE(a, b)
+#define SPATE_DCHECK_LE(a, b) SPATE_CHECK_LE(a, b)
+#define SPATE_DCHECK_LT(a, b) SPATE_CHECK_LT(a, b)
+#define SPATE_DCHECK_GE(a, b) SPATE_CHECK_GE(a, b)
+#define SPATE_DCHECK_GT(a, b) SPATE_CHECK_GT(a, b)
+#else
+#define SPATE_DCHECK_SWALLOW(condition) \
+  static_cast<void>(sizeof(static_cast<bool>(condition) ? 1 : 0))
+#define SPATE_DCHECK(condition) SPATE_DCHECK_SWALLOW(condition)
+#define SPATE_DCHECK_EQ(a, b) SPATE_DCHECK_SWALLOW((a) == (b))
+#define SPATE_DCHECK_NE(a, b) SPATE_DCHECK_SWALLOW((a) != (b))
+#define SPATE_DCHECK_LE(a, b) SPATE_DCHECK_SWALLOW((a) <= (b))
+#define SPATE_DCHECK_LT(a, b) SPATE_DCHECK_SWALLOW((a) < (b))
+#define SPATE_DCHECK_GE(a, b) SPATE_DCHECK_SWALLOW((a) >= (b))
+#define SPATE_DCHECK_GT(a, b) SPATE_DCHECK_SWALLOW((a) > (b))
+#endif
+
+/// Status-returning verification for fallible paths: on failure returns
+/// `Status::Internal` naming the condition plus the caller's context
+/// message. Use where a broken invariant should surface as an error the
+/// caller can handle (or degrade on), not a crash.
+#define SPATE_VERIFY_OR_RETURN(condition, context_message)                 \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      return ::spate::Status::Internal(std::string("invariant violated: ") + \
+                                       #condition + " — " +               \
+                                       (context_message));                 \
+    }                                                                      \
+  } while (0)
+
+#endif  // SPATE_COMMON_CHECK_H_

@@ -1,9 +1,9 @@
 #ifndef SPATE_COMMON_LATCH_H_
 #define SPATE_COMMON_LATCH_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace spate {
 
@@ -27,21 +27,21 @@ class CountdownLatch {
   CountdownLatch& operator=(const CountdownLatch&) = delete;
 
   /// Signals one job complete. The final count-down wakes all waiters.
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  void CountDown() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (count_ > 0 && --count_ == 0) cv_.NotifyAll();
   }
 
   /// Blocks until the count reaches zero.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ == 0; });
+  void Wait() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (count_ != 0) cv_.Wait(&mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t count_ GUARDED_BY(mu_);
 };
 
 }  // namespace spate

@@ -1,0 +1,74 @@
+#ifndef SPATE_COMMON_MUTEX_H_
+#define SPATE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace spate {
+
+/// Capability-annotated mutex: a zero-cost wrapper over `std::mutex` that
+/// Clang's thread-safety analysis can reason about (the std type carries no
+/// capability attributes, so `GUARDED_BY(std::mutex)` checks nothing).
+/// Every internally synchronized SPATE class guards its state with one of
+/// these; the `static-analysis` CI job then proves the lock discipline at
+/// compile time with `-Wthread-safety -Werror`.
+///
+/// Lowercase `lock()`/`unlock()` aliases satisfy the standard BasicLockable
+/// concept so `spate::CondVar` (a `std::condition_variable_any`) can wait
+/// on the annotated type directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  // BasicLockable interface (std interop; same annotations).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a `Mutex`, annotated so the analysis knows the capability
+/// is held for the guard's scope (the `std::lock_guard` stand-in).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with `spate::Mutex`. `Wait` atomically
+/// releases and reacquires the mutex like `std::condition_variable::wait`;
+/// the `REQUIRES` annotation makes the analysis enforce that callers
+/// already hold it. Callers loop on their predicate explicitly
+/// (`while (!pred) cv.Wait(&mu);`) so the predicate reads of guarded state
+/// stay inside the analyzed critical section.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) { cv_.wait(*mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_COMMON_MUTEX_H_

@@ -1,10 +1,11 @@
 #ifndef SPATE_COMMON_RANDOM_H_
 #define SPATE_COMMON_RANDOM_H_
 
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
 
 namespace spate {
 
@@ -42,13 +43,13 @@ class Rng {
 
   /// Uniform integer in [0, n). n must be > 0.
   uint64_t Uniform(uint64_t n) {
-    assert(n > 0);
+    SPATE_DCHECK_GT(n, 0u);
     return Next() % n;
   }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    assert(lo <= hi);
+    SPATE_DCHECK_LE(lo, hi);
     return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
@@ -84,7 +85,7 @@ class Rng {
 class ZipfSampler {
  public:
   ZipfSampler(size_t n, double s) : cdf_(n) {
-    assert(n > 0);
+    SPATE_CHECK_GT(n, 0u);
     double sum = 0;
     for (size_t i = 0; i < n; ++i) {
       sum += 1.0 / std::pow(static_cast<double>(i + 1), s);

@@ -1,11 +1,12 @@
 #ifndef SPATE_COMMON_SLICE_H_
 #define SPATE_COMMON_SLICE_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstring>
 #include <string>
 #include <string_view>
+
+#include "common/check.h"
 
 namespace spate {
 
@@ -30,13 +31,13 @@ class Slice {
   bool empty() const { return size_ == 0; }
 
   char operator[](size_t i) const {
-    assert(i < size_);
+    SPATE_DCHECK_LT(i, size_);
     return data_[i];
   }
 
   /// Drops the first `n` bytes from the view.
   void RemovePrefix(size_t n) {
-    assert(n <= size_);
+    SPATE_DCHECK_LE(n, size_);
     data_ += n;
     size_ -= n;
   }

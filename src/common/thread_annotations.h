@@ -1,0 +1,76 @@
+#ifndef SPATE_COMMON_THREAD_ANNOTATIONS_H_
+#define SPATE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (no-ops on other compilers).
+///
+/// These macros turn the prose contracts of DESIGN.md "Concurrency model"
+/// into machine-checked ones: members guarded by a mutex are declared
+/// `GUARDED_BY(mu_)`, internal helpers that assume the lock are declared
+/// `REQUIRES(mu_)`, and the `static-analysis` CI job compiles `src/` with
+/// Clang's `-Wthread-safety -Werror`, so a call path that touches guarded
+/// state without the lock fails the build instead of waiting for TSan to
+/// catch an interleaving at runtime.
+///
+/// The annotations only bind to capability-annotated lock types, so the
+/// guarded classes use `spate::Mutex` (`common/mutex.h`) — a zero-cost
+/// annotated wrapper over `std::mutex` — rather than `std::mutex` itself.
+///
+/// Classes whose contract is *external* synchronization (one writer or many
+/// readers, enforced by the caller — e.g. `TemporalIndex`,
+/// `SnapshotAssembler`) carry the declarative
+/// `SPATE_EXTERNALLY_SYNCHRONIZED` marker instead: it expands to nothing on
+/// every compiler but records the contract where `tools/lint.py` can see it
+/// (every header documenting a thread-safety contract must carry either
+/// real annotations or this marker).
+
+#if defined(__clang__) && !defined(SPATE_NO_THREAD_SAFETY_ANALYSIS)
+#define SPATE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SPATE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CAPABILITY(x) SPATE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability for its lifetime.
+#define SCOPED_CAPABILITY SPATE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a member is protected by the given capability.
+#define GUARDED_BY(x) SPATE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the pointed-to data is protected by the capability.
+#define PT_GUARDED_BY(x) SPATE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that a function must be called with the capability held.
+#define REQUIRES(...) \
+  SPATE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Declares that a function must be called *without* the capability held
+/// (it acquires it itself; calling it under the lock would deadlock).
+#define EXCLUDES(...) \
+  SPATE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) \
+  SPATE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability before returning.
+#define RELEASE(...) \
+  SPATE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) \
+  SPATE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the function is nevertheless safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SPATE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Declarative marker (expands to nothing): the class is safe only under
+/// the caller's synchronization discipline, documented in its header and
+/// in DESIGN.md's contract table. Satisfies the lint rule that contracts
+/// carry annotations, without claiming compiler-checked locking.
+#define SPATE_EXTERNALLY_SYNCHRONIZED
+
+#endif  // SPATE_COMMON_THREAD_ANNOTATIONS_H_

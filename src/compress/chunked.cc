@@ -20,6 +20,24 @@ Status DecompressEnvelope(Slice blob, std::string* text) {
   return codec->Decompress(blob, text);
 }
 
+/// Validates one plain envelope's header: known codec id, parseable size
+/// varint and CRC field, and a payload no larger than the remaining bytes
+/// allow. Does not touch the payload itself.
+Status VerifyEnvelopeHeader(Slice blob) {
+  if (blob.empty()) return Status::Corruption("envelope: empty blob");
+  const uint8_t id = static_cast<uint8_t>(blob[0]);
+  const Codec* codec = CodecRegistry::GetById(id);
+  if (codec == nullptr) {
+    return Status::Corruption("envelope: unknown codec id " +
+                              std::to_string(static_cast<int>(id)));
+  }
+  Slice payload;
+  uint64_t original_size = 0;
+  uint32_t crc = 0;
+  return compress_internal::GetEnvelope(id, blob, &payload, &original_size,
+                                        &crc);
+}
+
 }  // namespace
 
 bool IsChunkedBlob(Slice blob) {
@@ -122,6 +140,54 @@ Status ChunkedDecompress(Slice blob, ThreadPool* pool, std::string* text) {
                 static_cast<size_t>(
                     std::min<uint64_t>(original_size, kMaxUntrustedReserve)));
   for (const std::string& part : decoded) text->append(part);
+  return Status::OK();
+}
+
+Status VerifyChunkedFraming(Slice blob) {
+  if (!IsChunkedBlob(blob)) return VerifyEnvelopeHeader(blob);
+
+  // Container header: mirror `ChunkedDecompress`'s framing checks exactly,
+  // minus the codec work.
+  Slice input(blob.data() + 1, blob.size() - 1);
+  uint64_t original_size = 0;
+  uint64_t num_parts = 0;
+  if (!GetVarint64(&input, &original_size) ||
+      !GetVarint64(&input, &num_parts)) {
+    return Status::Corruption("chunked: truncated container header");
+  }
+  if (num_parts == 0 || num_parts > input.size()) {
+    return Status::Corruption("chunked: implausible part count");
+  }
+  std::vector<uint64_t> lengths(static_cast<size_t>(num_parts));
+  uint64_t total = 0;
+  for (uint64_t& len : lengths) {
+    if (!GetVarint64(&input, &len)) {
+      return Status::Corruption("chunked: truncated part-length table");
+    }
+    total += len;
+  }
+  if (total != input.size()) {
+    return Status::Corruption("chunked: part lengths disagree with payload");
+  }
+  // Per-part envelope headers (the parts' recorded sizes must also sum to
+  // the container's original size — each header re-states its slice).
+  size_t offset = 0;
+  uint64_t recorded_total = 0;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const Slice part(input.data() + offset, static_cast<size_t>(lengths[i]));
+    offset += static_cast<size_t>(lengths[i]);
+    SPATE_RETURN_IF_ERROR(VerifyEnvelopeHeader(part));
+    uint64_t part_size = 0;
+    uint32_t crc = 0;
+    Slice payload;
+    SPATE_RETURN_IF_ERROR(compress_internal::GetEnvelope(
+        static_cast<uint8_t>(part[0]), part, &payload, &part_size, &crc));
+    recorded_total += part_size;
+  }
+  if (recorded_total != original_size) {
+    return Status::Corruption(
+        "chunked: part envelope sizes disagree with container size");
+  }
   return Status::OK();
 }
 

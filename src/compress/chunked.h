@@ -63,6 +63,15 @@ Status ChunkedCompress(const Codec& codec, Slice text, size_t chunk_bytes,
 /// Corruption on any framing, size or CRC violation.
 Status ChunkedDecompress(Slice blob, ThreadPool* pool, std::string* text);
 
+/// Structural verification without decompression (for `spate::check`'s
+/// fsck): validates the container framing — magic, header varints, part
+/// count, part-length table vs payload bytes — and each part's envelope
+/// header (known codec id, parseable size/CRC fields). Plain envelopes get
+/// the same header check. Cheap (no codec work, no allocation proportional
+/// to the text); does NOT prove the payloads decode — pair with
+/// `ChunkedDecompress` for that.
+Status VerifyChunkedFraming(Slice blob);
+
 }  // namespace spate
 
 #endif  // SPATE_COMPRESS_CHUNKED_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/slice.h"
 
 namespace spate {
@@ -30,6 +31,7 @@ class RangeEncoder {
 
   /// Encodes `bit` against the adaptive model `p`, updating it.
   void EncodeBit(BitProb* p, int bit) {
+    SPATE_DCHECK(bit == 0 || bit == 1);
     const uint32_t bound = (range_ >> BitProb::kBits) * p->prob;
     if (bit == 0) {
       range_ = bound;
@@ -45,6 +47,7 @@ class RangeEncoder {
 
   /// Encodes `count` raw bits of `value` (MSB first) at probability 1/2.
   void EncodeDirect(uint32_t value, int count) {
+    SPATE_DCHECK(count >= 0 && count <= 32);
     for (int i = count - 1; i >= 0; --i) {
       range_ >>= 1;
       if ((value >> i) & 1) low_ += range_;
@@ -166,7 +169,9 @@ class RangeDecoder {
 class BitTree {
  public:
   explicit BitTree(int num_bits)
-      : num_bits_(num_bits), probs_(1u << num_bits) {}
+      : num_bits_(num_bits), probs_(1u << num_bits) {
+    SPATE_DCHECK(num_bits > 0 && num_bits <= 20);
+  }
 
   void Encode(RangeEncoder* enc, uint32_t value) {
     uint32_t ctx = 1;

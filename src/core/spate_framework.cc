@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "index/leaf_spatial.h"
 #include "telco/schema.h"
@@ -503,8 +504,18 @@ Status SpateFramework::ScanLeaves(
   // its delta chain, or of its sidecar) unreadable — skips the epoch and
   // records it instead of failing the whole scan; callers consult
   // `last_scan_stats()`.
+#ifndef NDEBUG
+  // Fold-order hook: the serial fold must visit leaves in strictly
+  // increasing epoch order regardless of how the decode fan-out scheduled
+  // them — `last_scan_` folding and every caller depend on it.
+  Timestamp debug_last_folded = -1;
+#endif
   auto fold = [&](const LeafNode& leaf, Status status,
                   const Snapshot& snapshot) -> Result<bool> {
+#ifndef NDEBUG
+    SPATE_DCHECK_GT(leaf.epoch_start, debug_last_folded);
+    debug_last_folded = leaf.epoch_start;
+#endif
     if (status.ok()) status = fn(leaf, snapshot);
     if (!status.ok()) {
       if (options_.degraded_reads && DegradableFailure(status)) {

@@ -5,12 +5,17 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "compress/chunked.h"
 #include "compress/codec.h"
 #include "core/framework.h"
 
 namespace spate {
+
+namespace check {
+struct FsckReport;
+}  // namespace check
 
 /// Knobs of the parallel snapshot pipeline (ingest compression fan-out and
 /// multi-epoch scan decode fan-out). The stand-in for the implicit Hadoop
@@ -95,7 +100,7 @@ struct RecoveryReport {
 /// one snapshot's chunks concurrently, scans decode in-window leaves
 /// concurrently, and both fold their stats back before returning. See
 /// DESIGN.md "Concurrency model" for the per-class contracts.
-class SpateFramework : public Framework {
+class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
  public:
   /// `cell_rows` is the static CELL inventory (also persisted to the DFS).
   SpateFramework(SpateOptions options, const std::vector<Record>& cell_rows);
@@ -168,6 +173,13 @@ class SpateFramework : public Framework {
 
   /// Highlight threshold for a level (theta_i, Section V-B).
   double ThetaFor(IndexLevel level) const;
+
+  /// Deep cross-layer verifier (`spate_cli fsck`): replica integrity and
+  /// replication factor on the DFS, container framing and decodability of
+  /// every stored blob, index shape, highlight roll-up consistency and
+  /// decay monotonicity. See src/check/fsck.h for the invariant catalog.
+  /// Defined in the `spate_check` library — link it to call this.
+  check::FsckReport Fsck() const;
 
  private:
   /// DFS path of the raw (compressed) snapshot for an epoch.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/crc32.h"
 
 namespace spate {
@@ -41,7 +42,7 @@ std::vector<int> DistributedFileSystem::PickLiveNodes(
 }
 
 Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.count(path)) {
     return Status::AlreadyExists("dfs file exists: " + path);
   }
@@ -136,7 +137,7 @@ Status DistributedFileSystem::ReadBlockLocked(const std::string& path,
 }
 
 Result<std::string> DistributedFileSystem::ReadFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("dfs file not found: " + path);
@@ -154,7 +155,7 @@ Result<std::string> DistributedFileSystem::ReadFile(const std::string& path) {
 }
 
 Status DistributedFileSystem::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("dfs file not found: " + path);
@@ -173,13 +174,13 @@ Status DistributedFileSystem::DeleteFile(const std::string& path) {
 }
 
 bool DistributedFileSystem::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) != 0;
 }
 
 Result<uint64_t> DistributedFileSystem::FileSize(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("dfs file not found: " + path);
@@ -189,7 +190,7 @@ Result<uint64_t> DistributedFileSystem::FileSize(
 
 std::vector<std::string> DistributedFileSystem::ListFiles(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -199,31 +200,31 @@ std::vector<std::string> DistributedFileSystem::ListFiles(
 }
 
 uint64_t DistributedFileSystem::TotalLogicalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [path, entry] : files_) total += entry.size;
   return total;
 }
 
 uint64_t DistributedFileSystem::TotalPhysicalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (uint64_t b : datanode_bytes_) total += b;
   return total;
 }
 
 uint64_t DistributedFileSystem::TotalBlocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return blocks_.size();
 }
 
 std::vector<uint64_t> DistributedFileSystem::DatanodeUsage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return datanode_bytes_;
 }
 
 Status DistributedFileSystem::KillDatanode(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!fault_.ValidNode(node)) {
     return Status::InvalidArgument("dfs: no such datanode");
   }
@@ -232,7 +233,7 @@ Status DistributedFileSystem::KillDatanode(int node) {
 }
 
 Status DistributedFileSystem::ReviveDatanode(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!fault_.ValidNode(node)) {
     return Status::InvalidArgument("dfs: no such datanode");
   }
@@ -241,17 +242,17 @@ Status DistributedFileSystem::ReviveDatanode(int node) {
 }
 
 bool DistributedFileSystem::DatanodeIsDown(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_.ValidNode(node) && fault_.IsDown(node);
 }
 
 int DistributedFileSystem::NumLiveDatanodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_.NumLive();
 }
 
 Status DistributedFileSystem::SetDatanodeSlowdown(int node, double factor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!fault_.ValidNode(node)) {
     return Status::InvalidArgument("dfs: no such datanode");
   }
@@ -261,7 +262,7 @@ Status DistributedFileSystem::SetDatanodeSlowdown(int node, double factor) {
 
 Result<CorruptionEvent> DistributedFileSystem::CorruptRandomReplica(
     uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Non-empty blocks only (an empty replica has no byte to flip).
   std::vector<uint64_t> candidates;
   candidates.reserve(blocks_.size());
@@ -289,7 +290,7 @@ Status DistributedFileSystem::CorruptReplica(const std::string& path,
                                              size_t block_index,
                                              size_t replica_index,
                                              uint64_t byte_offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("dfs file not found: " + path);
@@ -314,7 +315,7 @@ Status DistributedFileSystem::CorruptReplica(const std::string& path,
 }
 
 RepairReport DistributedFileSystem::RepairScan() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RepairReport report;
   for (auto& [id, block] : blocks_) {
     ++report.blocks_scanned;
@@ -413,17 +414,97 @@ RepairReport DistributedFileSystem::RepairScan() {
       block.replicas.erase(block.replicas.begin() +
                            static_cast<std::ptrdiff_t>(i));
     }
+#ifndef NDEBUG
+    // Post-repair seam invariant: a block we repaired from a good live copy
+    // must leave with no corrupt replica on a live node (dead-node copies
+    // are only replaced once a substitute exists, so they may linger).
+    for (const Replica& replica : block.replicas) {
+      if (fault_.IsDown(replica.datanode)) continue;
+      SPATE_DCHECK_EQ(replica.data.size(), block.size);
+      SPATE_DCHECK_EQ(Crc32(Slice(replica.data)), block.crc);
+    }
+#endif
   }
   return report;
 }
 
+std::vector<BlockInspection> DistributedFileSystem::InspectBlocks() const {
+  MutexLock lock(&mu_);
+  std::vector<BlockInspection> out;
+  out.reserve(blocks_.size());
+  for (const auto& [path, entry] : files_) {
+    for (size_t index = 0; index < entry.block_ids.size(); ++index) {
+      auto bit = blocks_.find(entry.block_ids[index]);
+      BlockInspection info;
+      info.block_id = entry.block_ids[index];
+      info.path = path;
+      info.block_index = index;
+      info.replication_target =
+          std::min(options_.replication, options_.num_datanodes);
+      if (bit == blocks_.end()) {
+        // Dangling block id: namenode metadata names a block that holds no
+        // replicas at all; fsck classifies it as a replication violation.
+        out.push_back(std::move(info));
+        continue;
+      }
+      const Block& block = bit->second;
+      info.size = block.size;
+      info.crc = block.crc;
+      info.replicas.reserve(block.replicas.size());
+      for (const Replica& replica : block.replicas) {
+        ReplicaInspection r;
+        r.datanode = replica.datanode;
+        r.length = replica.data.size();
+        r.healthy = replica.data.size() == block.size &&
+                    Crc32(Slice(replica.data)) == block.crc;
+        r.node_down = fault_.IsDown(replica.datanode);
+        info.replicas.push_back(r);
+      }
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+Result<std::string> DistributedFileSystem::InspectFile(
+    const std::string& path) const {
+  MutexLock lock(&mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("inspect: no such file " + path);
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(it->second.size));
+  for (uint64_t block_id : it->second.block_ids) {
+    auto bit = blocks_.find(block_id);
+    if (bit == blocks_.end()) {
+      return Status::Corruption("inspect: dangling block id in " + path);
+    }
+    const Block& block = bit->second;
+    const Replica* healthy = nullptr;
+    for (const Replica& replica : block.replicas) {
+      if (replica.data.size() == block.size &&
+          Crc32(Slice(replica.data)) == block.crc) {
+        healthy = &replica;
+        break;
+      }
+    }
+    if (healthy == nullptr) {
+      return Status::Corruption("inspect: no healthy replica of block " +
+                                std::to_string(block_id) + " of " + path);
+    }
+    out.append(healthy->data);
+  }
+  return out;
+}
+
 IoStats DistributedFileSystem::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void DistributedFileSystem::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.Reset();
 }
 

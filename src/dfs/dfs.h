@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "dfs/disk_model.h"
@@ -30,6 +30,34 @@ struct CorruptionEvent {
   uint64_t block_id = 0;
   int datanode = -1;
   uint64_t byte_offset = 0;
+};
+
+/// Deep-inspection view of one replica of one block, for `spate::check`'s
+/// fsck (replica bytes verified against the block's write-time CRC and
+/// length without charging simulated I/O — fsck is an auditor, not a
+/// workload).
+struct ReplicaInspection {
+  int datanode = -1;
+  uint64_t length = 0;
+  /// Replica bytes match the block's logical length and CRC-32.
+  bool healthy = false;
+  /// The holding datanode is currently dead (bytes inspected regardless;
+  /// a production fsck reaches disks the namenode cannot).
+  bool node_down = false;
+};
+
+/// Deep-inspection view of one stored block (pre-replication).
+struct BlockInspection {
+  uint64_t block_id = 0;
+  /// Owning file path and position of this block within it.
+  std::string path;
+  size_t block_index = 0;
+  uint64_t size = 0;  // logical length recorded at write time
+  uint32_t crc = 0;   // CRC-32 recorded at write time
+  /// Replication target in force when the block was written (the options'
+  /// replication clamped to the datanode count).
+  int replication_target = 0;
+  std::vector<ReplicaInspection> replicas;
 };
 
 /// Outcome of one `RepairScan()` pass over the block inventory.
@@ -156,6 +184,19 @@ class DistributedFileSystem {
   /// possible. Counters land in the returned report and in `stats()`.
   RepairReport RepairScan();
 
+  /// Deep verify for `spate::check::Fsck`: every replica of every block,
+  /// CRC-checked against the write-time metadata, in (path, block_index)
+  /// order. Unlike reads, inspection sees replicas on dead datanodes too
+  /// and charges no simulated I/O or stats.
+  std::vector<BlockInspection> InspectBlocks() const;
+
+  /// Reassembles a file from any healthy replica of each block — including
+  /// replicas on dead datanodes — without charging simulated I/O, retries
+  /// or stats (the auditor's read, used by fsck to verify stored blobs
+  /// behind a degraded cluster). NotFound if the path is absent, Corruption
+  /// if some block has no healthy replica anywhere.
+  Result<std::string> InspectFile(const std::string& path) const;
+
   const DfsOptions& options() const { return options_; }
   IoStats stats() const;
   void ResetStats();
@@ -179,20 +220,23 @@ class DistributedFileSystem {
   /// Picks up to `count` distinct *live* datanodes not in `exclude`,
   /// least-loaded first.
   std::vector<int> PickLiveNodes(size_t count,
-                                 const std::vector<int>& exclude) const;
+                                 const std::vector<int>& exclude) const
+      REQUIRES(mu_);
 
   /// Reads one block with failover; appends the bytes to `out`.
   Status ReadBlockLocked(const std::string& path, const Block& block,
-                         std::string* out);
+                         std::string* out) REQUIRES(mu_);
 
   DfsOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, FileEntry> files_;
-  std::map<uint64_t, Block> blocks_;
-  std::vector<uint64_t> datanode_bytes_;
-  uint64_t next_block_id_ = 1;
-  IoStats stats_;
-  FaultInjector fault_;
+  mutable Mutex mu_;
+  std::map<std::string, FileEntry> files_ GUARDED_BY(mu_);
+  std::map<uint64_t, Block> blocks_ GUARDED_BY(mu_);
+  std::vector<uint64_t> datanode_bytes_ GUARDED_BY(mu_);
+  uint64_t next_block_id_ GUARDED_BY(mu_) = 1;
+  IoStats stats_ GUARDED_BY(mu_);
+  /// Not internally synchronized (see fault_injector.h); every access goes
+  /// through this class under `mu_` — which the analysis now enforces.
+  FaultInjector fault_ GUARDED_BY(mu_);
 };
 
 }  // namespace spate

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace spate {
 
@@ -42,7 +43,7 @@ struct FaultOptions {
 /// stream to race on and stay deterministic at any worker count; tests that
 /// assert serial/parallel equivalence use only those (see
 /// tests/core/parallel_pipeline_test.cc).
-class FaultInjector {
+class SPATE_EXTERNALLY_SYNCHRONIZED FaultInjector {
  public:
   FaultInjector(FaultOptions options, int num_datanodes)
       : options_(options),

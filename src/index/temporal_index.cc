@@ -1,5 +1,7 @@
 #include "index/temporal_index.h"
 
+#include "common/check.h"
+
 namespace spate {
 
 std::string_view IndexLevelName(IndexLevel level) {
@@ -59,6 +61,20 @@ Status TemporalIndex::AddLeaf(LeafNode leaf) {
   // already decayed, so windows touching them degrade to summaries.
   if (leaf.decayed) ++num_decayed_;
   day.leaves.push_back(std::move(leaf));
+#ifndef NDEBUG
+  // Post-insert shape hook: the O(1) slice of `ShapeProblems()` covering
+  // the node just touched (the full walk is fsck-time only).
+  const LeafNode& inserted = day.leaves.back();
+  SPATE_DCHECK_EQ(inserted.epoch_start, newest_epoch_);
+  SPATE_DCHECK_EQ(TruncateToEpoch(inserted.epoch_start),
+                  inserted.epoch_start);
+  SPATE_DCHECK_EQ(TruncateToDay(inserted.epoch_start), day.day_start);
+  if (day.leaves.size() >= 2) {
+    SPATE_DCHECK_LT(day.leaves[day.leaves.size() - 2].epoch_start,
+                    inserted.epoch_start);
+  }
+  SPATE_DCHECK_LE(day.leaves.size(), static_cast<size_t>(kEpochsPerDay));
+#endif
   return Status::OK();
 }
 
@@ -297,6 +313,152 @@ size_t TemporalIndex::Decay(const DecayPolicy& policy, Timestamp now,
     }
   }
   return evicted;
+}
+
+std::vector<std::string> TemporalIndex::ShapeProblems() const {
+  std::vector<std::string> problems;
+  auto flag = [&problems](std::string message) {
+    problems.push_back(std::move(message));
+  };
+
+  // Walk-derived replicas of the incremental counters.
+  size_t walked_leaves = 0;
+  size_t walked_decayed = 0;
+  uint64_t walked_resident_bytes = 0;
+  Timestamp walked_first = -1;
+  Timestamp walked_newest = -1;
+  // The global clock of the walk: every leaf epoch and sealed-day period
+  // must start strictly after everything before it (the monotone-epochs /
+  // open-rightmost-spine invariant — out-of-order nodes could only have
+  // been inserted off the rightmost path).
+  Timestamp last_seen = -1;
+
+  Timestamp prev_year = -1;
+  for (const YearNode& year : years_) {
+    const std::string year_tag = "year " + FormatCompact(year.year_start);
+    if (year.year_start != TruncateToYear(year.year_start)) {
+      flag(year_tag + ": start not on a year boundary");
+    }
+    if (year.year_start <= prev_year) {
+      flag(year_tag + ": out of order after " + FormatCompact(prev_year));
+    }
+    prev_year = year.year_start;
+    if (year.months.size() > 12) {
+      flag(year_tag + ": " + std::to_string(year.months.size()) + " months");
+    }
+    Timestamp prev_month = -1;
+    for (const MonthNode& month : year.months) {
+      const std::string month_tag =
+          "month " + FormatCompact(month.month_start);
+      if (month.month_start != TruncateToMonth(month.month_start)) {
+        flag(month_tag + ": start not on a month boundary");
+      }
+      if (TruncateToYear(month.month_start) != year.year_start) {
+        flag(month_tag + ": filed under the wrong " + year_tag);
+      }
+      if (month.month_start <= prev_month) {
+        flag(month_tag + ": out of order after " + FormatCompact(prev_month));
+      }
+      prev_month = month.month_start;
+      if (month.days.size() > 31) {
+        flag(month_tag + ": " + std::to_string(month.days.size()) + " days");
+      }
+      Timestamp prev_day = -1;
+      for (const DayNode& day : month.days) {
+        const std::string day_tag = "day " + FormatCompact(day.day_start);
+        if (day.day_start != TruncateToDay(day.day_start)) {
+          flag(day_tag + ": start not on a day boundary");
+        }
+        if (TruncateToMonth(day.day_start) != month.month_start) {
+          flag(day_tag + ": filed under the wrong " + month_tag);
+        }
+        if (day.day_start <= prev_day) {
+          flag(day_tag + ": out of order after " + FormatCompact(prev_day));
+        }
+        prev_day = day.day_start;
+        if (day.leaves.size() > static_cast<size_t>(kEpochsPerDay)) {
+          flag(day_tag + ": " + std::to_string(day.leaves.size()) +
+               " leaves");
+        }
+        if (day.sealed) {
+          if (!day.leaves.empty()) {
+            flag(day_tag + ": sealed but holds " +
+                 std::to_string(day.leaves.size()) + " leaves");
+          }
+          if (day.day_start <= last_seen) {
+            flag(day_tag + ": sealed day overlaps earlier nodes");
+          }
+          last_seen = day.day_start + 86400 - kEpochSeconds;
+          if (walked_first < 0) walked_first = day.day_start;
+          walked_newest = last_seen;
+          continue;
+        }
+        for (const LeafNode& leaf : day.leaves) {
+          const std::string leaf_tag =
+              "leaf " + FormatCompact(leaf.epoch_start);
+          if (leaf.epoch_start != TruncateToEpoch(leaf.epoch_start)) {
+            flag(leaf_tag + ": start not on an epoch boundary");
+          }
+          if (TruncateToDay(leaf.epoch_start) != day.day_start) {
+            flag(leaf_tag + ": filed under the wrong " + day_tag);
+          }
+          if (leaf.epoch_start <= last_seen) {
+            flag(leaf_tag + ": out of order after " +
+                 FormatCompact(last_seen));
+          }
+          last_seen = leaf.epoch_start;
+          if (walked_first < 0) walked_first = leaf.epoch_start;
+          walked_newest = leaf.epoch_start;
+          ++walked_leaves;
+          if (leaf.decayed) {
+            ++walked_decayed;
+            if (leaf.stored_bytes != 0) {
+              flag(leaf_tag + ": decayed but still accounts " +
+                   std::to_string(leaf.stored_bytes) + " stored bytes");
+            }
+          } else {
+            walked_resident_bytes += leaf.stored_bytes;
+          }
+        }
+      }
+    }
+  }
+
+  // Counter agreement. Day-pruning (decay stage 2) removes nodes without
+  // rewriting the historical leaf counters or `first_epoch_`, so those
+  // checks relax to inequalities once any day was pruned.
+  if (num_pruned_days_ == 0) {
+    if (walked_leaves != num_leaves_) {
+      flag("num_leaves() says " + std::to_string(num_leaves_) +
+           " but the tree holds " + std::to_string(walked_leaves));
+    }
+    if (walked_decayed != num_decayed_) {
+      flag("num_decayed() says " + std::to_string(num_decayed_) +
+           " but the tree holds " + std::to_string(walked_decayed));
+    }
+    if (walked_first != first_epoch_) {
+      flag("first_epoch() says " + FormatCompact(first_epoch_) +
+           " but the oldest node starts " + FormatCompact(walked_first));
+    }
+  } else {
+    if (walked_leaves > num_leaves_) {
+      flag("tree holds more leaves than num_leaves() ever counted");
+    }
+    if (first_epoch_ >= 0 && walked_first >= 0 &&
+        walked_first < first_epoch_) {
+      flag("a node predates first_epoch()");
+    }
+  }
+  if (walked_resident_bytes != resident_leaf_bytes_) {
+    flag("resident_leaf_bytes() says " +
+         std::to_string(resident_leaf_bytes_) + " but live leaves hold " +
+         std::to_string(walked_resident_bytes));
+  }
+  if (walked_newest != newest_epoch_) {
+    flag("newest_epoch() says " + FormatCompact(newest_epoch_) +
+         " but the rightmost node ends " + FormatCompact(walked_newest));
+  }
+  return problems;
 }
 
 }  // namespace spate

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/highlights.h"
 
 namespace spate {
@@ -91,7 +92,7 @@ struct CoveringNode {
 /// LeafNode*` pointers collected up front while the external
 /// one-writer-or-many-readers contract (see DESIGN.md "Concurrency model")
 /// guarantees no concurrent `Insert` invalidates them mid-scan.
-class TemporalIndex {
+class SPATE_EXTERNALLY_SYNCHRONIZED TemporalIndex {
  public:
   TemporalIndex() = default;
 
@@ -157,7 +158,22 @@ class TemporalIndex {
   /// Everything before this timestamp has lost full resolution.
   Timestamp decayed_until() const { return decayed_until_; }
 
+  /// Deep structural self-check (the index-shape invariant of
+  /// `spate::check::Fsck`): calendar alignment and strict time order at
+  /// every level, arity bounds (<= 12 months/year, <= 31 days/month,
+  /// <= 48 epoch leaves/day), the open rightmost spine (the newest leaf or
+  /// sealed day lives at the end of the last day/month/year), sealed days
+  /// carrying no leaves, and the derived counters
+  /// (`num_leaves`/`num_decayed`/`resident_leaf_bytes`/epoch bounds)
+  /// agreeing with a full walk. Returns every problem found, empty when the
+  /// shape is sound. O(total leaves) — fsck-time, not hot-path.
+  std::vector<std::string> ShapeProblems() const;
+
  private:
+  /// Test-only corruption hook: fsck tests reach through this to seed
+  /// shape/highlight/decay violations that no public mutator can produce.
+  friend class TemporalIndexTestAccess;
+
   std::vector<YearNode> years_;
   NodeSummary root_summary_;
   size_t num_leaves_ = 0;

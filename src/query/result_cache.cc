@@ -39,6 +39,7 @@ bool ResultCache::Covers(const ExplorationQuery& outer,
 
 std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,
                                                const CellDirectory& cells) {
+  MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (!it->result.exact || !Covers(it->query, query)) continue;
     ++hits_;
@@ -68,6 +69,7 @@ std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,
 void ResultCache::Insert(const ExplorationQuery& query,
                          const QueryResult& result) {
   if (capacity_ == 0) return;
+  MutexLock lock(&mu_);
   entries_.push_front(Entry{query, result});
   while (entries_.size() > capacity_) entries_.pop_back();
 }

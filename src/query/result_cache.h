@@ -5,6 +5,7 @@
 #include <list>
 #include <optional>
 
+#include "common/mutex.h"
 #include "core/framework.h"
 
 namespace spate {
@@ -19,25 +20,43 @@ namespace spate {
 /// bounding box are contained in the cached ones; the cached rows are then
 /// re-filtered to the narrower predicate (cheap, in-memory). Aggregate-only
 /// results are served for identical queries only.
+///
+/// Thread-safety: fully thread-safe. The web tier serves many user sessions
+/// at once, so the LRU list and hit counters live behind one internal
+/// mutex (`GUARDED_BY(mu_)`, proven by the static-analysis CI job); each
+/// `Lookup`/`Insert` is atomic with respect to the others. Note the
+/// *framework* behind a `CachedExplorer` keeps its own externally
+/// synchronized contract — only the cache itself may be shared freely.
 class ResultCache {
  public:
   explicit ResultCache(size_t capacity = 16) : capacity_(capacity) {}
 
   /// Returns the narrowed result if some cached entry covers `query`.
   std::optional<QueryResult> Lookup(const ExplorationQuery& query,
-                                    const CellDirectory& cells);
+                                    const CellDirectory& cells) EXCLUDES(mu_);
 
   /// Caches `result` for `query` (evicting the least recently used entry).
-  void Insert(const ExplorationQuery& query, const QueryResult& result);
+  void Insert(const ExplorationQuery& query, const QueryResult& result)
+      EXCLUDES(mu_);
 
-  void Clear() {
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     entries_.clear();
     hits_ = misses_ = 0;
   }
 
-  size_t size() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return entries_.size();
+  }
+  uint64_t hits() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return hits_;
+  }
+  uint64_t misses() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -50,9 +69,10 @@ class ResultCache {
                      const ExplorationQuery& inner);
 
   size_t capacity_;
-  std::list<Entry> entries_;  // front = most recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> entries_ GUARDED_BY(mu_);  // front = most recently used
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 /// Convenience wrapper running exploration queries through a `ResultCache`

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "telco/snapshot.h"
 
 namespace spate {
@@ -31,7 +32,7 @@ namespace spate {
 /// DESIGN.md "Concurrency model"). Feeding one assembler from several
 /// threads would also break the watermark invariant, which assumes a
 /// single monotone observer of event times.
-class SnapshotAssembler {
+class SPATE_EXTERNALLY_SYNCHRONIZED SnapshotAssembler {
  public:
   using EmitFn = std::function<Status(const Snapshot&)>;
 

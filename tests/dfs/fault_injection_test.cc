@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "check/fsck.h"
 #include "common/random.h"
 #include "dfs/dfs.h"
 
@@ -71,6 +72,10 @@ TEST(FaultInjectionTest, CorruptReplicaIsCaughtByCrcAndFailedOver) {
   ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
   ASSERT_TRUE(dfs.CorruptReplica("/f", 0, 0, 13).ok());
 
+  // The silent corruption is invisible to the namenode but not to fsck.
+  const check::FsckReport fsck = check::VerifyDfs(dfs);
+  EXPECT_TRUE(fsck.Detected(check::kReplicaIntegrity)) << fsck.ToString();
+
   auto read = dfs.ReadFile("/f");
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(*read, data);  // served from a healthy copy
@@ -97,8 +102,10 @@ TEST(FaultInjectionTest, RepairScanRewritesCorruptReplicaInPlace) {
   const std::string data = TestPayload(900, 5);
   ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
   ASSERT_TRUE(dfs.CorruptReplica("/f", 0, 0, 42).ok());
+  ASSERT_FALSE(check::VerifyDfs(dfs).clean());
 
   const RepairReport report = dfs.RepairScan();
+  EXPECT_TRUE(check::VerifyDfs(dfs).clean());  // repair closes the finding
   EXPECT_EQ(report.blocks_scanned, 1u);
   EXPECT_EQ(report.replicas_repaired, 1u);
   EXPECT_EQ(report.replicas_rereplicated, 0u);
@@ -151,11 +158,15 @@ TEST(FaultInjectionTest, WritesUnderReplicateWhenNodesAreDown) {
   ASSERT_TRUE(dfs.WriteFile("/f", data).ok());
   // Only 2 live nodes: the block is under-replicated, not rejected.
   EXPECT_EQ(dfs.TotalPhysicalBytes(), 2u * data.size());
+  const check::FsckReport fsck = check::VerifyDfs(dfs);
+  EXPECT_TRUE(fsck.Detected(check::kReplicationFactor)) << fsck.ToString();
+  EXPECT_FALSE(fsck.Detected(check::kReplicaIntegrity));
 
   ASSERT_TRUE(dfs.ReviveDatanode(0).ok());
   const RepairReport report = dfs.RepairScan();
   EXPECT_EQ(report.replicas_rereplicated, 1u);
   EXPECT_EQ(dfs.TotalPhysicalBytes(), 3u * data.size());
+  EXPECT_TRUE(check::VerifyDfs(dfs).clean());
 }
 
 TEST(FaultInjectionTest, WriteWithNoLiveDatanodeIsUnavailable) {

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Custom repo lint (the non-clang half of the static-analysis CI gate).
+
+Checks, over src/ (and headers' include guards):
+
+  1. no bare assert() outside src/common/check.h — use SPATE_CHECK /
+     SPATE_DCHECK so failures print values and fatal behavior is uniform
+     (static_assert stays allowed: it is a compile-time check);
+  2. no naked `new` / `delete` — ownership goes through
+     std::unique_ptr / std::shared_ptr (a `new` passed straight into a
+     smart-pointer constructor on the same line is fine: some private
+     constructors cannot go through make_unique);
+  3. thread-safety contract headers (the classes in DESIGN.md's
+     "Concurrency model" table) must carry their contract in machine-read
+     form: capability annotations (GUARDED_BY / CAPABILITY) for internally
+     synchronized classes, or the explicit SPATE_EXTERNALLY_SYNCHRONIZED
+     marker for externally synchronized ones;
+  4. include-guard hygiene: every header under src/ uses the canonical
+     SPATE_<PATH>_H_ guard with a matching #endif comment.
+
+Exit code 0 when clean, 1 with findings on stderr otherwise.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+# Rule 1 exemptions: the check library itself.
+ASSERT_EXEMPT = {os.path.join("src", "common", "check.h")}
+
+# Rule 3: headers that define a class with a concurrency contract
+# (mirrors DESIGN.md "Concurrency model" per-class table).
+CONTRACT_HEADERS = [
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "thread_pool.h"),
+    os.path.join("src", "common", "latch.h"),
+    os.path.join("src", "dfs", "dfs.h"),
+    os.path.join("src", "dfs", "fault_injector.h"),
+    os.path.join("src", "query", "result_cache.h"),
+    os.path.join("src", "index", "temporal_index.h"),
+    os.path.join("src", "core", "spate_framework.h"),
+    os.path.join("src", "telco", "assembler.h"),
+]
+ANNOTATION_RE = re.compile(
+    r"\b(GUARDED_BY|PT_GUARDED_BY|CAPABILITY|REQUIRES|EXCLUDES|"
+    r"SPATE_EXTERNALLY_SYNCHRONIZED)\b"
+)
+
+BARE_ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+NAKED_NEW_RE = re.compile(r"(?<![_A-Za-z0-9])new\b(?!\s*\()")
+NAKED_DELETE_RE = re.compile(r"(?<![_A-Za-z0-9])delete(\[\])?\s")
+SMART_WRAP_RE = re.compile(
+    r"\b(unique_ptr|shared_ptr|make_unique|make_shared)\b"
+)
+# The leaky-singleton idiom (`static const T& x = *new T(...)`) is allowed:
+# the leak is deliberate — it sidesteps static destruction order.
+LEAKY_SINGLETON_RE = re.compile(r"\bstatic\s+const\b.*\*\s*new\b")
+
+
+def strip_comments_and_strings(line):
+    """Crude single-line scrub so commented/quoted tokens don't trip rules."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return re.sub(r"//.*", "", line)
+
+
+def source_files():
+    for root, _, names in os.walk(SRC):
+        for name in sorted(names):
+            if name.endswith((".cc", ".h")):
+                yield os.path.join(root, name)
+
+
+def expected_guard(rel_path):
+    stem = rel_path[len("src" + os.sep):]
+    return "SPATE_" + re.sub(r"[/\\.]", "_", stem).upper() + "_"
+
+
+def main():
+    findings = []
+
+    for path in source_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+
+        in_block_comment = False
+        in_leaky_stmt = False
+        for number, raw in enumerate(lines, start=1):
+            line = raw
+            if in_block_comment:
+                if "*/" not in line:
+                    continue
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            if "/*" in line and "*/" not in line.split("/*", 1)[1]:
+                line = line.split("/*", 1)[0]
+                in_block_comment = True
+            code = strip_comments_and_strings(line)
+
+            if rel not in ASSERT_EXEMPT and "static_assert" not in code:
+                if BARE_ASSERT_RE.search(code):
+                    findings.append(
+                        f"{rel}:{number}: bare assert() — use SPATE_CHECK"
+                        " / SPATE_DCHECK (src/common/check.h)")
+            # A leaky-singleton initializer may wrap onto several lines
+            # (`static const ...& x =` / `*new T{...};`); exempt the whole
+            # statement, up to its terminating semicolon.
+            if re.search(r"\bstatic\s+const\b", code):
+                in_leaky_stmt = True
+            allowed = (SMART_WRAP_RE.search(code) or in_leaky_stmt
+                       or LEAKY_SINGLETON_RE.search(code))
+            if in_leaky_stmt and ";" in code:
+                in_leaky_stmt = False
+            if NAKED_NEW_RE.search(code) and not allowed:
+                findings.append(
+                    f"{rel}:{number}: naked `new` — own it with"
+                    " std::unique_ptr / std::shared_ptr")
+            if NAKED_DELETE_RE.search(code):
+                findings.append(
+                    f"{rel}:{number}: naked `delete` — ownership must be"
+                    " RAII-managed")
+
+        if rel.endswith(".h"):
+            guard = expected_guard(rel)
+            text = "\n".join(lines)
+            if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+                findings.append(
+                    f"{rel}:1: include guard must be `{guard}`")
+            elif f"#endif  // {guard}" not in text:
+                findings.append(
+                    f"{rel}:{len(lines)}: closing `#endif  // {guard}`"
+                    " comment missing")
+
+    for rel in CONTRACT_HEADERS:
+        path = os.path.join(REPO, rel)
+        if not os.path.exists(path):
+            findings.append(
+                f"{rel}:1: listed in the concurrency contract table but"
+                " missing — update tools/lint.py")
+            continue
+        with open(path, encoding="utf-8") as f:
+            if not ANNOTATION_RE.search(f.read()):
+                findings.append(
+                    f"{rel}:1: concurrency-contract header carries no"
+                    " thread-safety annotation (GUARDED_BY / CAPABILITY /"
+                    " SPATE_EXTERNALLY_SYNCHRONIZED)")
+
+    if findings:
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
