@@ -13,6 +13,10 @@
 //                          src/check/fsck.h for the invariant catalog)
 //   corrupt <seed>         flip one replica byte (then try `fsck`)
 //   repair                 namenode repair scan (re-replicate/rewrite)
+//   locks                  lock-order graph + per-mutex contention stats
+//                          observed so far (spate::lockdep; populated in
+//                          instrumented builds — -DSPATE_LOCKDEP=ON or
+//                          Debug)
 //   help / quit
 //
 // Non-interactive use:  echo "sql SELECT COUNT(*) FROM CDR" | spate_cli
@@ -28,6 +32,7 @@
 #include "analytics/heavy_hitters.h"
 #include "analytics/histogram.h"
 #include "check/fsck.h"
+#include "common/lockdep.h"
 #include "common/strings.h"
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
@@ -110,7 +115,7 @@ int main(int argc, char** argv) {
              "  top callers|cells|devices <from> <to> [k]\n"
              "  hist rssi|throughput|duration <from> <to>\n"
              "  stats | decay <days> | quit\n"
-             "  fsck | corrupt <seed> | repair\n");
+             "  fsck | corrupt <seed> | repair | locks\n");
       continue;
     }
     if (command == "top") {
@@ -280,6 +285,10 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(event->byte_offset),
              static_cast<unsigned long long>(event->block_id),
              event->datanode);
+      continue;
+    }
+    if (command == "locks") {
+      printf("%s", lockdep::Dump().c_str());
       continue;
     }
     if (command == "repair") {

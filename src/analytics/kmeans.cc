@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <limits>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/random.h"
 
 namespace spate {
@@ -107,12 +107,12 @@ Result<KMeansResult> KMeans(const Matrix& points,
       }
     };
     if (pool != nullptr && points.size() > 2048) {
-      std::mutex mu;
+      Mutex mu{"Analytics.kmeans"};
       pool->ParallelFor(points.size(), [&](size_t begin, size_t end) {
         Accum local{Matrix(options.k, std::vector<double>(dims, 0)),
                     std::vector<uint64_t>(options.k, 0), 0};
         assign_range(begin, end, &local);
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         total.inertia += local.inertia;
         for (int c = 0; c < options.k; ++c) {
           total.counts[c] += local.counts[c];

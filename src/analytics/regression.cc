@@ -1,7 +1,8 @@
 #include "analytics/regression.h"
 
 #include <cmath>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace spate {
 namespace {
@@ -70,12 +71,12 @@ Result<RegressionResult> LinearRegression(const Matrix& features,
     }
   };
   if (pool != nullptr && features.size() > 2048) {
-    std::mutex mu;
+    Mutex mu{"Analytics.regression"};
     pool->ParallelFor(features.size(), [&](size_t begin, size_t end) {
       Matrix g(n, std::vector<double>(n, 0));
       std::vector<double> v(n, 0);
       accumulate(begin, end, &g, &v);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       for (size_t r = 0; r < n; ++r) {
         for (size_t c = 0; c < n; ++c) gram[r][c] += g[r][c];
         xty[r] += v[r];

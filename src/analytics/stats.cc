@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace spate {
 namespace {
@@ -53,11 +54,11 @@ std::vector<ColumnStat> ComputeColumnStats(
   Partial total(cols);
 
   if (pool != nullptr && rows.size() > 1024) {
-    std::mutex mu;
+    Mutex mu{"Analytics.stats"};
     pool->ParallelFor(rows.size(), [&](size_t begin, size_t end) {
       Partial local(cols);
       for (size_t i = begin; i < end; ++i) local.Add(rows[i]);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       total.Merge(local);
     });
   } else {

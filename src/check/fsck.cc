@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/lockdep.h"
 #include "compress/chunked.h"
 #include "core/spate_framework.h"
 #include "dfs/dfs.h"
@@ -34,7 +35,11 @@ std::string FsckReport::ToString() const {
   os << "fsck: " << blocks_checked << " blocks, " << replicas_checked
      << " replicas, " << files_checked << " files, " << leaves_checked
      << " leaves, " << containers_checked << " containers, "
-     << summaries_checked << " summaries checked\n";
+     << summaries_checked << " summaries";
+  if (lock_sites_checked > 0) {
+    os << ", " << lock_sites_checked << " lock sites";
+  }
+  os << " checked\n";
   if (clean()) {
     os << "fsck: clean (0 violations)\n";
     return os.str();
@@ -112,6 +117,18 @@ FsckReport VerifyDfs(const DistributedFileSystem& dfs) {
   FsckReport report;
   VerifyDfs(dfs, &report);
   return report;
+}
+
+void AppendLockdep(FsckReport* report) {
+  if (!lockdep::Enabled()) return;
+  report->lock_sites_checked += lockdep::Stats().size();
+  const lockdep::LockdepReport lockdep_report = lockdep::Report();
+  for (const lockdep::LockdepViolation& v : lockdep_report.violations) {
+    // Preserve the detector's own stable id ("lock-cycle" /
+    // "lock-same-rank") in the detail; fsck classifies everything
+    // concurrency-related under the one `lock-order` invariant.
+    report->Add(kLockOrder, v.object, "[" + v.violation + "] " + v.detail);
+  }
 }
 
 }  // namespace check
@@ -363,6 +380,11 @@ check::FsckReport SpateFramework::Fsck() const {
                  "persisted day summary disagrees with the index");
     }
   }
+
+  // --- Concurrency layer: fold in the runtime lock-order detector's
+  // findings (cycles / same-rank inversions observed anywhere in this
+  // process). No-op unless the build is lockdep-instrumented. ---
+  check::AppendLockdep(&report);
 
   return report;
 }

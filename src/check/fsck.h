@@ -28,6 +28,10 @@ inline constexpr std::string_view kIndexShape = "index-shape";
 inline constexpr std::string_view kHighlightConsistency =
     "highlight-consistency";
 inline constexpr std::string_view kDecayOrder = "decay-order";
+/// Concurrency layer (only ever emitted in lockdep-instrumented builds;
+/// mirrors spate::lockdep's own `lock-cycle` / `lock-same-rank` ids —
+/// see AppendLockdep and docs/LOCK_ORDER.md):
+inline constexpr std::string_view kLockOrder = "lock-order";
 
 /// One detected invariant violation.
 struct FsckViolation {
@@ -53,6 +57,9 @@ struct FsckReport {
   uint64_t leaves_checked = 0;
   uint64_t containers_checked = 0;
   uint64_t summaries_checked = 0;
+  /// Mutex sites whose acquisition history the lockdep pass examined
+  /// (0 in uninstrumented builds — the pass is then a no-op).
+  uint64_t lock_sites_checked = 0;
 
   bool clean() const { return violations.empty(); }
 
@@ -82,6 +89,15 @@ void VerifyDfs(const DistributedFileSystem& dfs, FsckReport* report);
 
 /// Convenience wrapper returning a fresh report.
 FsckReport VerifyDfs(const DistributedFileSystem& dfs);
+
+/// Folds the runtime lock-order detector's findings (spate::lockdep) into
+/// `*report`: every cycle or same-rank inversion observed since process
+/// start (or the last `lockdep::ResetForTest`) becomes a `lock-order`
+/// violation whose detail preserves the detector's stable violation id and
+/// acquisition path. No-op in uninstrumented builds beyond leaving
+/// `lock_sites_checked` at 0. Called by `SpateFramework::Fsck()` so a
+/// routine fsck surfaces deadlock potential alongside data corruption.
+void AppendLockdep(FsckReport* report);
 
 }  // namespace check
 }  // namespace spate

@@ -39,7 +39,10 @@ class CountdownLatch {
   }
 
  private:
-  Mutex mu_;
+  /// Rank "CountdownLatch.mu" (docs/LOCK_ORDER.md): the innermost leaf of
+  /// the hierarchy — a completion signal may be raised from under any of
+  /// the scheduling/storage locks, and nothing is ever acquired under it.
+  Mutex mu_ ACQUIRED_AFTER("ThreadPool.mu", "Dfs.mu") {"CountdownLatch.mu"};
   CondVar cv_;
   size_t count_ GUARDED_BY(mu_);
 };

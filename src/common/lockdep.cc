@@ -1,0 +1,389 @@
+#include "common/lockdep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace spate {
+namespace lockdep {
+namespace {
+
+constexpr int kUnnamedSite = 0;
+
+/// One currently-held mutex on this thread's stack.
+struct Held {
+  const void* handle = nullptr;
+  int site = kUnnamedSite;
+  std::chrono::steady_clock::time_point since;
+};
+
+struct ThreadState {
+  std::vector<Held> held;
+};
+
+ThreadState& LocalState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+/// Mutable per-site accumulators (snapshotted into `LockStats`).
+struct SiteAccum {
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  uint64_t wait_ns = 0;
+  uint64_t hold_ns = 0;
+  uint64_t max_hold_ns = 0;
+};
+
+/// Global detector state. The registry guards itself with a raw
+/// `std::mutex` — the one deliberate exception to the spate::Mutex rule
+/// (tools/lint.py exempts this file): instrumenting the detector's own lock
+/// would recurse straight back into the detector.
+class Registry {
+ public:
+  static Registry& Instance() {
+    // Leaked on purpose: mutexes with static storage duration may unlock
+    // during program teardown, after function-local statics are destroyed.
+    static Registry& instance = *new Registry();
+    return instance;
+  }
+
+  int RegisterSite(const char* name) {
+    const std::string key = name == nullptr ? "<unnamed>" : name;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const int id = static_cast<int>(names_.size());
+    names_.push_back(key);
+    stats_.emplace_back();
+    ids_.emplace(key, id);
+    return id;
+  }
+
+  std::string SiteName(int site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return NameLocked(site);
+  }
+
+  /// Order check for acquiring `site` while `held` sites are on the stack.
+  void CheckOrder(const std::vector<Held>& held, int site) {
+    if (site == kUnnamedSite) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Held& h : held) {
+      if (h.site == kUnnamedSite) continue;
+      if (h.site == site) {
+        ReportSameRankLocked(site);
+      } else {
+        AddEdgeLocked(h.site, site);
+      }
+    }
+  }
+
+  void ChargeAcquire(int site, bool contended, uint64_t wait_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteAccum& accum = stats_[static_cast<size_t>(site)];
+    ++accum.acquisitions;
+    if (contended) {
+      ++accum.contended;
+      accum.wait_ns += wait_ns;
+    }
+  }
+
+  void ChargeRelease(int site, uint64_t hold_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteAccum& accum = stats_[static_cast<size_t>(site)];
+    accum.hold_ns += hold_ns;
+    accum.max_hold_ns = std::max(accum.max_hold_ns, hold_ns);
+  }
+
+  LockdepReport Report() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    LockdepReport report;
+    report.violations = violations_;
+    return report;
+  }
+
+  std::vector<LockStats> Stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<LockStats> out;
+    out.reserve(names_.size());
+    for (size_t id = 0; id < names_.size(); ++id) {
+      const SiteAccum& accum = stats_[id];
+      LockStats s;
+      s.site = names_[id];
+      s.acquisitions = accum.acquisitions;
+      s.contended = accum.contended;
+      s.wait_seconds = static_cast<double>(accum.wait_ns) * 1e-9;
+      s.hold_seconds = static_cast<double>(accum.hold_ns) * 1e-9;
+      s.max_hold_seconds = static_cast<double>(accum.max_hold_ns) * 1e-9;
+      out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LockStats& a, const LockStats& b) {
+                return a.site < b.site;
+              });
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> Edges() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& [from, tos] : adjacency_) {
+      for (int to : tos) {
+        out.emplace_back(NameLocked(from), NameLocked(to));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void ResetForTest() {
+    std::lock_guard<std::mutex> lock(mu_);
+    adjacency_.clear();
+    cyclic_edges_.clear();
+    same_rank_reported_.clear();
+    violations_.clear();
+    std::fill(stats_.begin(), stats_.end(), SiteAccum{});
+  }
+
+ private:
+  Registry() { RegisterSiteLocked("<unnamed>"); }
+
+  int RegisterSiteLocked(const std::string& key) {
+    const int id = static_cast<int>(names_.size());
+    names_.push_back(key);
+    stats_.emplace_back();
+    ids_.emplace(key, id);
+    return id;
+  }
+
+  std::string NameLocked(int site) const {
+    if (site < 0 || site >= static_cast<int>(names_.size())) {
+      return "<site " + std::to_string(site) + ">";
+    }
+    return names_[static_cast<size_t>(site)];
+  }
+
+  /// True if `to` is reachable from `from` over the established edges.
+  /// Deterministic: adjacency sets iterate in sorted order.
+  bool ReachesLocked(int from, int to) const {
+    std::vector<int> stack{from};
+    std::set<int> visited;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!visited.insert(node).second) continue;
+      auto it = adjacency_.find(node);
+      if (it == adjacency_.end()) continue;
+      for (int next : it->second) stack.push_back(next);
+    }
+    return false;
+  }
+
+  /// Shortest established path `from` → … → `to` (BFS over sorted
+  /// adjacency), for the cycle diagnostic. Both ends included.
+  std::vector<int> PathLocked(int from, int to) const {
+    std::map<int, int> parent;
+    std::vector<int> queue{from};
+    parent[from] = from;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const int node = queue[head];
+      if (node == to) break;
+      auto it = adjacency_.find(node);
+      if (it == adjacency_.end()) continue;
+      for (int next : it->second) {
+        if (parent.emplace(next, node).second) queue.push_back(next);
+      }
+    }
+    std::vector<int> path;
+    if (!parent.count(to)) return path;
+    for (int node = to; node != from; node = parent[node]) {
+      path.push_back(node);
+    }
+    path.push_back(from);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  void ReportSameRankLocked(int site) {
+    if (!same_rank_reported_.insert(site).second) return;
+    violations_.push_back(LockdepViolation{
+        std::string(kLockSameRank), NameLocked(site),
+        "two distinct mutexes of rank \"" + NameLocked(site) +
+            "\" held at once; intra-rank order is undeclared"});
+  }
+
+  /// Records held → acquired, reporting (once) any edge that would close a
+  /// cycle instead of inserting it — the graph itself stays a DAG, so every
+  /// later check remains deterministic.
+  void AddEdgeLocked(int held, int acquired) {
+    auto it = adjacency_.find(held);
+    if (it != adjacency_.end() && it->second.count(acquired)) return;
+    if (cyclic_edges_.count({held, acquired})) return;
+    if (ReachesLocked(acquired, held)) {
+      cyclic_edges_.insert({held, acquired});
+      const std::vector<int> path = PathLocked(acquired, held);
+      std::ostringstream detail;
+      detail << "lock-order cycle: ";
+      for (int node : path) detail << NameLocked(node) << " -> ";
+      detail << NameLocked(acquired)
+             << " (established order inverted by acquiring \""
+             << NameLocked(acquired) << "\" while holding \""
+             << NameLocked(held) << "\")";
+      violations_.push_back(LockdepViolation{
+          std::string(kLockCycle),
+          NameLocked(held) + " -> " + NameLocked(acquired), detail.str()});
+      return;
+    }
+    adjacency_[held].insert(acquired);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::map<std::string, int> ids_;
+  std::vector<SiteAccum> stats_;
+  /// Established (acyclic) order graph: held site → sites acquired under it.
+  std::map<int, std::set<int>> adjacency_;
+  /// Edges already reported as cycle-closing (kept out of the graph).
+  std::set<std::pair<int, int>> cyclic_edges_;
+  /// Sites already reported for same-rank nesting.
+  std::set<int> same_rank_reported_;
+  std::vector<LockdepViolation> violations_;
+};
+
+}  // namespace
+
+std::vector<const LockdepViolation*> LockdepReport::ViolationsFor(
+    std::string_view violation) const {
+  std::vector<const LockdepViolation*> out;
+  for (const LockdepViolation& v : violations) {
+    if (v.violation == violation) out.push_back(&v);
+  }
+  return out;
+}
+
+std::string LockdepReport::ToString() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "lockdep: clean (0 violations)\n";
+    return os.str();
+  }
+  std::map<std::string, size_t> tally;
+  for (const LockdepViolation& v : violations) ++tally[v.violation];
+  os << "lockdep: " << violations.size() << " violation(s):\n";
+  for (const auto& [violation, count] : tally) {
+    os << "  [" << violation << "] x" << count << "\n";
+  }
+  for (const LockdepViolation& v : violations) {
+    os << "  " << v.violation << ": " << v.object << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+bool Enabled() { return SPATE_LOCKDEP_ENABLED != 0; }
+
+int RegisterSite(const char* name) {
+  return Registry::Instance().RegisterSite(name);
+}
+
+std::string SiteName(int site) { return Registry::Instance().SiteName(site); }
+
+void BeforeAcquire(const void* handle, int site) {
+  ThreadState& state = LocalState();
+  for (const Held& h : state.held) {
+    if (h.handle == handle) {
+      // Re-acquiring a non-recursive mutex this thread already holds can
+      // only ever hang, so there is no report to hand back — fail fast.
+      std::fprintf(stderr,
+                   "lockdep: self-deadlock: thread already holds \"%s\" and "
+                   "is acquiring it again\n",
+                   Registry::Instance().SiteName(site).c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+  if (state.held.empty()) return;
+  Registry::Instance().CheckOrder(state.held, site);
+}
+
+void AfterAcquire(const void* handle, int site, bool contended,
+                  uint64_t wait_ns) {
+  ThreadState& state = LocalState();
+  state.held.push_back(Held{handle, site, std::chrono::steady_clock::now()});
+  Registry::Instance().ChargeAcquire(site, contended, wait_ns);
+}
+
+void OnRelease(const void* handle, int site) {
+  ThreadState& state = LocalState();
+  for (size_t i = state.held.size(); i > 0; --i) {
+    const Held& h = state.held[i - 1];
+    if (h.handle != handle) continue;
+    const auto hold = std::chrono::steady_clock::now() - h.since;
+    state.held.erase(state.held.begin() + static_cast<ptrdiff_t>(i - 1));
+    Registry::Instance().ChargeRelease(
+        site, static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(hold)
+                      .count()));
+    return;
+  }
+  // Unmatched release (e.g. a mutex locked before a test reset): ignore.
+}
+
+// The query API promises *empty* data when instrumentation is compiled out
+// (not even the pre-registered "<unnamed>" site), so callers can treat
+// "no sites" as "no instrumentation" without consulting Enabled().
+
+LockdepReport Report() {
+  if (!Enabled()) return LockdepReport{};
+  return Registry::Instance().Report();
+}
+
+std::vector<LockStats> Stats() {
+  if (!Enabled()) return {};
+  return Registry::Instance().Stats();
+}
+
+std::vector<std::pair<std::string, std::string>> Edges() {
+  if (!Enabled()) return {};
+  return Registry::Instance().Edges();
+}
+
+std::string Dump() {
+  std::ostringstream os;
+  if (!Enabled()) {
+    os << "lockdep: disabled in this build (Debug builds or "
+          "-DSPATE_LOCKDEP=ON enable it)\n";
+    return os.str();
+  }
+  os << "lockdep: enabled\n";
+  const auto edges = Edges();
+  os << "observed order edges: " << edges.size() << "\n";
+  for (const auto& [from, to] : edges) {
+    os << "  " << from << " -> " << to << "\n";
+  }
+  os << "lock sites:\n";
+  for (const LockStats& s : Stats()) {
+    std::ostringstream line;
+    line << "  " << s.site << ": acquisitions=" << s.acquisitions
+         << " contended=" << s.contended;
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  " wait_ms=%.3f hold_ms=%.3f max_hold_ms=%.3f",
+                  s.wait_seconds * 1e3, s.hold_seconds * 1e3,
+                  s.max_hold_seconds * 1e3);
+    os << line.str() << buffer << "\n";
+  }
+  os << Report().ToString();
+  return os.str();
+}
+
+void ResetForTest() { Registry::Instance().ResetForTest(); }
+
+}  // namespace lockdep
+}  // namespace spate

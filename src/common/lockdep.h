@@ -1,0 +1,163 @@
+#ifndef SPATE_COMMON_LOCKDEP_H_
+#define SPATE_COMMON_LOCKDEP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// spate::lockdep — runtime lock-order analysis for `spate::Mutex`.
+///
+/// Every named mutex belongs to a *site* (its rank in docs/LOCK_ORDER.md,
+/// e.g. "Dfs.mu"). In instrumented builds each thread keeps a stack of the
+/// sites it currently holds; acquiring mutex B while holding mutex A adds
+/// the directed edge A → B to a global lock-order graph. An edge that would
+/// close a cycle is a *potential deadlock* and is reported deterministically
+/// at acquire time — on the first run that merely takes the two locks in
+/// both orders, not on the unlucky schedule where two threads interleave
+/// into an actual hang (the case TSan needs to get lucky to see).
+///
+/// Alongside the graph, lockdep keeps per-site contention profiles:
+/// acquisition counts, how many acquisitions had to block, cumulative wait
+/// and hold times. `spate_cli locks` dumps all of it; `SpateFramework::
+/// Fsck()` folds any violations into its report under the `lock-order`
+/// invariant id.
+///
+/// Instrumentation is compiled in when `SPATE_LOCKDEP` is defined (the
+/// CMake `-DSPATE_LOCKDEP=ON` option) or in plain debug builds (no
+/// `NDEBUG`), and compiled out to the bare `std::mutex` wrapper everywhere
+/// else — Release builds pay zero overhead. The query API below exists in
+/// every build; with instrumentation off it reports empty data and
+/// `Enabled()` returns false.
+///
+/// The static half of the same discipline lives in `tools/lockgraph.py`,
+/// which extracts the *declared* hierarchy (`ACQUIRED_AFTER` /
+/// `ACQUIRED_BEFORE` annotations on the ranked mutex members) and
+/// cross-checks it against the committed `docs/LOCK_ORDER.md` manifest in
+/// CI. The runtime graph observes what actually happens; the manifest
+/// declares what is allowed; each validates the other.
+
+#if !defined(SPATE_LOCKDEP) && !defined(NDEBUG) && !defined(SPATE_NO_LOCKDEP)
+#define SPATE_LOCKDEP 1
+#endif
+
+#if defined(SPATE_LOCKDEP) && SPATE_LOCKDEP
+#define SPATE_LOCKDEP_ENABLED 1
+#else
+#define SPATE_LOCKDEP_ENABLED 0
+#endif
+
+namespace spate {
+namespace lockdep {
+
+/// Stable violation identifiers (the `lockdep` analogue of the fsck
+/// invariant ids in `src/check/fsck.h`) — tests assert on these exact
+/// strings; treat them as a wire format.
+///
+/// Acquiring a mutex whose site is reachable from the acquired site in the
+/// established order graph (an inversion: some thread may hold them in the
+/// opposite order and deadlock).
+inline constexpr std::string_view kLockCycle = "lock-cycle";
+/// Two *distinct* mutexes of the same rank held at once: the order between
+/// instances of one site is undeclared, so nesting them is a latent A/B
+/// inversion between peers.
+inline constexpr std::string_view kLockSameRank = "lock-same-rank";
+
+/// One detected lock-order violation.
+struct LockdepViolation {
+  /// One of the violation ids above.
+  std::string violation;
+  /// The offending edge, "<held-site> -> <acquired-site>" (for
+  /// `lock-same-rank`, the shared site name).
+  std::string object;
+  /// Human-readable specifics: the established path the edge inverts.
+  std::string detail;
+};
+
+/// Structured outcome of the detector so far (violations accumulate for the
+/// life of the process; `ResetForTest` clears them).
+struct LockdepReport {
+  std::vector<LockdepViolation> violations;
+
+  bool clean() const { return violations.empty(); }
+
+  /// Violations recorded against one violation id.
+  std::vector<const LockdepViolation*> ViolationsFor(
+      std::string_view violation) const;
+
+  /// True if at least one violation carries this id.
+  bool Detected(std::string_view violation) const {
+    return !ViolationsFor(violation).empty();
+  }
+
+  /// Multi-line operator-facing rendering.
+  std::string ToString() const;
+};
+
+/// Per-site contention / hold-time profile (the `IoStats` of locking).
+/// Wait time is measured only for acquisitions that had to block; hold time
+/// covers every acquisition. A `CondVar::Wait` releases and reacquires its
+/// mutex through the instrumented path, so waits split hold intervals
+/// exactly as they do in the machine.
+struct LockStats {
+  std::string site;
+  uint64_t acquisitions = 0;
+  /// Acquisitions that found the mutex held and had to block.
+  uint64_t contended = 0;
+  double wait_seconds = 0;
+  double hold_seconds = 0;
+  double max_hold_seconds = 0;
+};
+
+/// True when the instrumentation is compiled into this build.
+bool Enabled();
+
+/// Interns `name` (nullptr → the shared "<unnamed>" site, which is profiled
+/// but excluded from the order graph) and returns its site id. Called by
+/// the `spate::Mutex` constructor; id stays valid for the process lifetime.
+int RegisterSite(const char* name);
+
+/// Renders the site name for an id (diagnostics).
+std::string SiteName(int site);
+
+// --- Instrumentation hooks (called by spate::Mutex; instrumented builds
+// only). `handle` is the mutex identity, `site` its registered site. ---
+
+/// Order check, called *before* blocking on the mutex — a cycle is reported
+/// here, deterministically, not after a hang. Re-acquiring a mutex this
+/// thread already holds is a guaranteed self-deadlock and aborts.
+void BeforeAcquire(const void* handle, int site);
+
+/// Acquisition bookkeeping: pushes the held record, charges stats.
+void AfterAcquire(const void* handle, int site, bool contended,
+                  uint64_t wait_ns);
+
+/// Release bookkeeping: pops the held record, charges hold time.
+void OnRelease(const void* handle, int site);
+
+// --- Query API (available in every build; empty when instrumentation is
+// compiled out). ---
+
+/// Violations accumulated so far.
+LockdepReport Report();
+
+/// Per-site profiles, sorted by site name.
+std::vector<LockStats> Stats();
+
+/// Observed order edges (held-site, acquired-site), sorted, cycle-closing
+/// edges excluded (they are in `Report()` instead).
+std::vector<std::pair<std::string, std::string>> Edges();
+
+/// Operator dump for `spate_cli locks`: enabled-ness, observed edges,
+/// per-site profiles and any violations.
+std::string Dump();
+
+/// Clears the order graph, violations and profiles (registered sites
+/// survive — live mutexes keep their ids). Test isolation only.
+void ResetForTest();
+
+}  // namespace lockdep
+}  // namespace spate
+
+#endif  // SPATE_COMMON_LOCKDEP_H_

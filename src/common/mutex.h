@@ -4,25 +4,67 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lockdep.h"
 #include "common/thread_annotations.h"
+
+#if SPATE_LOCKDEP_ENABLED
+#include <chrono>
+#include <cstdint>
+#endif
 
 namespace spate {
 
-/// Capability-annotated mutex: a zero-cost wrapper over `std::mutex` that
-/// Clang's thread-safety analysis can reason about (the std type carries no
+/// Capability-annotated mutex: a wrapper over `std::mutex` that Clang's
+/// thread-safety analysis can reason about (the std type carries no
 /// capability attributes, so `GUARDED_BY(std::mutex)` checks nothing).
 /// Every internally synchronized SPATE class guards its state with one of
 /// these; the `static-analysis` CI job then proves the lock discipline at
 /// compile time with `-Wthread-safety -Werror`.
 ///
+/// Naming and ranks: long-lived mutexes are constructed with their site
+/// name — `Mutex mu_{"Dfs.mu"}` — which is the lock's *rank* in the
+/// declared hierarchy (docs/LOCK_ORDER.md, `ACQUIRED_AFTER` /
+/// `ACQUIRED_BEFORE` annotations, checked statically by
+/// `tools/lockgraph.py`). In instrumented builds (`SPATE_LOCKDEP`, auto-on
+/// without `NDEBUG`) every acquire/release also feeds `spate::lockdep`
+/// (`common/lockdep.h`): per-thread held stacks maintain a global
+/// lock-order graph, a cycle — a potential deadlock — is reported
+/// deterministically at acquire time, and per-site contention/hold-time
+/// profiles accumulate for `spate_cli locks`. Release builds compile all of
+/// that out and keep the zero-cost plain wrapper.
+///
 /// Lowercase `lock()`/`unlock()` aliases satisfy the standard BasicLockable
 /// concept so `spate::CondVar` (a `std::condition_variable_any`) can wait
-/// on the annotated type directly.
+/// on the annotated type directly (in instrumented builds the wait's
+/// release/reacquire goes through the same hooks, keeping held stacks and
+/// hold times exact).
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() : Mutex(nullptr) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
+
+#if SPATE_LOCKDEP_ENABLED
+  /// Named mutex: `site` is the rank under which lockdep tracks ordering
+  /// and contention (interned; must outlive the call, so pass a literal).
+  explicit Mutex(const char* site) : site_(lockdep::RegisterSite(site)) {}
+
+  void Lock() ACQUIRE() { InstrumentedLock(); }
+  void Unlock() RELEASE() {
+    lockdep::OnRelease(this, site_);
+    mu_.unlock();
+  }
+
+  // BasicLockable interface (std interop; same annotations).
+  void lock() ACQUIRE() { InstrumentedLock(); }
+  void unlock() RELEASE() {
+    lockdep::OnRelease(this, site_);
+    mu_.unlock();
+  }
+#else
+  /// Named mutex; the rank only matters to lockdep, which is compiled out
+  /// of this build, so the name is dropped.
+  explicit Mutex(const char*) {}
 
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
@@ -30,8 +72,31 @@ class CAPABILITY("mutex") Mutex {
   // BasicLockable interface (std interop; same annotations).
   void lock() ACQUIRE() { mu_.lock(); }
   void unlock() RELEASE() { mu_.unlock(); }
+#endif
 
  private:
+#if SPATE_LOCKDEP_ENABLED
+  /// Order check *before* blocking (a potential deadlock is reported even
+  /// if this acquisition would hang), then the lock, with contention and
+  /// wait time measured via the try-lock fast path.
+  void InstrumentedLock() {
+    lockdep::BeforeAcquire(this, site_);
+    if (mu_.try_lock()) {
+      lockdep::AfterAcquire(this, site_, /*contended=*/false, 0);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto wait = std::chrono::steady_clock::now() - start;
+    lockdep::AfterAcquire(
+        this, site_, /*contended=*/true,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+                .count()));
+  }
+
+  const int site_;
+#endif
   std::mutex mu_;
 };
 

@@ -67,6 +67,29 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   SPATE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 
+/// Declarative lock-hierarchy annotations on ranked mutex members, e.g.
+///
+///   mutable Mutex mu_ ACQUIRED_AFTER("ThreadPool.mu")
+///       ACQUIRED_BEFORE("CountdownLatch.mu") {"Dfs.mu"};
+///
+/// `ACQUIRED_AFTER(ranks...)` names the ranks that may already be held when
+/// this mutex is acquired; `ACQUIRED_BEFORE(ranks...)` the ranks that may
+/// be acquired while this one is held. Together with the mutex's own rank
+/// (the string it is constructed with) they declare the ordering DAG in
+/// docs/LOCK_ORDER.md.
+///
+/// They expand to *nothing* on every compiler: Clang's native
+/// `acquired_after`/`acquired_before` attributes only accept capability
+/// expressions visible in the same scope, so cross-class ordering cannot be
+/// expressed to the compiler. Instead `tools/lockgraph.py` parses these
+/// macros out of the sources, cross-checks the edges against the committed
+/// docs/LOCK_ORDER.md manifest, and fails CI on any undeclared edge or
+/// cycle; the runtime half of the same check is `spate::lockdep`
+/// (common/lockdep.h), which observes actual acquisition order in
+/// instrumented builds.
+#define ACQUIRED_AFTER(...)
+#define ACQUIRED_BEFORE(...)
+
 /// Declarative marker (expands to nothing): the class is safe only under
 /// the caller's synchronization discipline, documented in its header and
 /// in DESIGN.md's contract table. Satisfies the lint rule that contracts

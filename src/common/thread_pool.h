@@ -62,7 +62,12 @@ class ThreadPool {
   void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  Mutex mu_;
+  /// Rank "ThreadPool.mu" (docs/LOCK_ORDER.md): scheduling sits below the
+  /// web tier's cache and above the storage/completion locks a task may
+  /// take — though workers drop this lock before running tasks, so the
+  /// inner edges are reserved, never observed.
+  Mutex mu_ ACQUIRED_AFTER("ResultCache.mu")
+      ACQUIRED_BEFORE("Dfs.mu", "CountdownLatch.mu") {"ThreadPool.mu"};
   CondVar work_cv_;
   CondVar idle_cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

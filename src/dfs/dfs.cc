@@ -7,16 +7,27 @@
 
 namespace spate {
 
-DistributedFileSystem::DistributedFileSystem(DfsOptions options)
-    : options_(options), fault_(FaultOptions{}, 1) {
-  if (options_.num_datanodes < 1) options_.num_datanodes = 1;
-  if (options_.replication < 1) options_.replication = 1;
-  if (options_.replication > options_.num_datanodes) {
-    options_.replication = options_.num_datanodes;
+namespace {
+
+/// Clamps the options into a valid configuration before any member uses
+/// them (the fault injector is constructed from the *normalized* node
+/// count — it carries a mutex now, so it cannot be re-assigned afterwards).
+DfsOptions NormalizeDfsOptions(DfsOptions options) {
+  if (options.num_datanodes < 1) options.num_datanodes = 1;
+  if (options.replication < 1) options.replication = 1;
+  if (options.replication > options.num_datanodes) {
+    options.replication = options.num_datanodes;
   }
-  if (options_.block_size == 0) options_.block_size = 64ull << 20;
+  if (options.block_size == 0) options.block_size = 64ull << 20;
+  return options;
+}
+
+}  // namespace
+
+DistributedFileSystem::DistributedFileSystem(DfsOptions options)
+    : options_(NormalizeDfsOptions(options)),
+      fault_(options_.fault, options_.num_datanodes) {
   datanode_bytes_.assign(options_.num_datanodes, 0);
-  fault_ = FaultInjector(options_.fault, options_.num_datanodes);
 }
 
 std::vector<int> DistributedFileSystem::PickLiveNodes(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/thread_annotations.h"
 
@@ -30,9 +31,12 @@ struct FaultOptions {
 /// Deterministic fault state of a DFS cluster: per-datanode liveness and
 /// slowdown factors plus a seeded transient-error stream.
 ///
-/// Not internally synchronized — `DistributedFileSystem` owns one and
-/// accesses it under its own mutex; tests drive it through the DFS wrappers
-/// (`KillDatanode`, `SetDatanodeSlowdown`, ...).
+/// Thread-safety: fully thread-safe. Every accessor takes the internal
+/// annotated mutex (rank "FaultInjector.mu", acquired under "Dfs.mu" — the
+/// DFS consults fault state while holding its own lock, which is the one
+/// always-exercised nesting edge in the lock hierarchy; see
+/// docs/LOCK_ORDER.md). `options()` needs no lock: options are immutable
+/// after construction.
 ///
 /// Determinism caveat under concurrency: the transient-error stream is one
 /// shared seeded RNG consumed per read *attempt*, so which attempt observes
@@ -43,7 +47,7 @@ struct FaultOptions {
 /// stream to race on and stay deterministic at any worker count; tests that
 /// assert serial/parallel equivalence use only those (see
 /// tests/core/parallel_pipeline_test.cc).
-class SPATE_EXTERNALLY_SYNCHRONIZED FaultInjector {
+class FaultInjector {
  public:
   FaultInjector(FaultOptions options, int num_datanodes)
       : options_(options),
@@ -56,36 +60,54 @@ class SPATE_EXTERNALLY_SYNCHRONIZED FaultInjector {
     }
   }
 
-  bool ValidNode(int node) const {
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  bool ValidNode(int node) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return node >= 0 && node < static_cast<int>(down_.size());
   }
 
-  void KillDatanode(int node) { down_[static_cast<size_t>(node)] = true; }
-  void ReviveDatanode(int node) { down_[static_cast<size_t>(node)] = false; }
-  bool IsDown(int node) const { return down_[static_cast<size_t>(node)]; }
+  void KillDatanode(int node) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    down_[static_cast<size_t>(node)] = true;
+  }
+  void ReviveDatanode(int node) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    down_[static_cast<size_t>(node)] = false;
+  }
+  bool IsDown(int node) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return down_[static_cast<size_t>(node)];
+  }
 
-  int NumLive() const {
+  int NumLive() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     int live = 0;
     for (bool d : down_) live += d ? 0 : 1;
     return live;
   }
 
   /// Multiplies the datanode's simulated disk time (>= 0; 1 = nominal).
-  void SetSlowdown(int node, double factor) {
+  void SetSlowdown(int node, double factor) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     slowdown_[static_cast<size_t>(node)] = factor < 0 ? 0 : factor;
   }
-  double SlowdownFor(int node) const {
+  double SlowdownFor(int node) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return slowdown_[static_cast<size_t>(node)];
   }
 
   /// Draws the next value of the seeded transient-error stream: true if the
   /// current replica read attempt should fail.
-  bool NextReadAttemptFails() {
+  bool NextReadAttemptFails() EXCLUDES(mu_) {
     if (options_.transient_read_error_rate <= 0) return false;
+    MutexLock lock(&mu_);
     return rng_.Bernoulli(options_.transient_read_error_rate);
   }
 
   /// Simulated backoff before retry number `retry` (0-based), in seconds.
+  /// Pure function of the immutable options — no lock.
   double BackoffSeconds(int retry) const {
     return options_.retry_backoff_ms * 1e-3 *
            static_cast<double>(1ull << (retry < 62 ? retry : 62));
@@ -94,10 +116,15 @@ class SPATE_EXTERNALLY_SYNCHRONIZED FaultInjector {
   const FaultOptions& options() const { return options_; }
 
  private:
+  /// Immutable after construction (the constructor clamps, nothing writes
+  /// later), so reads need no lock.
   FaultOptions options_;
-  std::vector<bool> down_;
-  std::vector<double> slowdown_;
-  Rng rng_;
+  /// Rank "FaultInjector.mu" (docs/LOCK_ORDER.md): innermost storage-side
+  /// lock, only ever acquired under "Dfs.mu" (or standalone in tests).
+  mutable Mutex mu_ ACQUIRED_AFTER("Dfs.mu") {"FaultInjector.mu"};
+  std::vector<bool> down_ GUARDED_BY(mu_);
+  std::vector<double> slowdown_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
 };
 
 }  // namespace spate

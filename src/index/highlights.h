@@ -10,6 +10,7 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "telco/snapshot.h"
 
 namespace spate {
@@ -97,7 +98,13 @@ struct Highlight {
 /// month or year): per-cell metric aggregates plus categorical histograms.
 /// Mergeable bottom-up; serializable so non-leaf nodes can live on the DFS
 /// and survive leaf decay.
-class NodeSummary {
+///
+/// Thread-safety: externally synchronized, like the index that owns it —
+/// mutated only on the ingestion thread (`AddSnapshot`/`Merge`), read
+/// concurrently by scan workers through `const` references once ingestion
+/// for the window is quiescent. Holds no mutex, so it carries no rank in
+/// docs/LOCK_ORDER.md and cannot participate in a lock cycle.
+class SPATE_EXTERNALLY_SYNCHRONIZED NodeSummary {
  public:
   NodeSummary() = default;
 

@@ -69,7 +69,12 @@ class ResultCache {
                      const ExplorationQuery& inner);
 
   size_t capacity_;
-  mutable Mutex mu_;
+  /// Rank "ResultCache.mu" (docs/LOCK_ORDER.md): the web tier's outermost
+  /// lock. Today's code never holds it across a framework call, but the
+  /// manifest reserves cache-above-storage so a future write-through path
+  /// cannot invert it.
+  mutable Mutex mu_ ACQUIRED_BEFORE("ThreadPool.mu", "Dfs.mu")
+      {"ResultCache.mu"};
   std::list<Entry> entries_ GUARDED_BY(mu_);  // front = most recently used
   uint64_t hits_ GUARDED_BY(mu_) = 0;
   uint64_t misses_ GUARDED_BY(mu_) = 0;

@@ -16,7 +16,12 @@ Checks, over src/ (and headers' include guards):
      synchronized classes, or the explicit SPATE_EXTERNALLY_SYNCHRONIZED
      marker for externally synchronized ones;
   4. include-guard hygiene: every header under src/ uses the canonical
-     SPATE_<PATH>_H_ guard with a matching #endif comment.
+     SPATE_<PATH>_H_ guard with a matching #endif comment;
+  5. no raw std:: synchronization primitives (std::mutex, lock_guard,
+     unique_lock, scoped_lock, condition_variable, shared_mutex, ...)
+     outside the spate::Mutex wrapper and the lockdep registry — every
+     lock must be a ranked `spate::Mutex` so the thread-safety analysis,
+     the runtime lock-order detector and tools/lockgraph.py all see it.
 
 Exit code 0 when clean, 1 with findings on stderr otherwise.
 """
@@ -31,6 +36,21 @@ SRC = os.path.join(REPO, "src")
 # Rule 1 exemptions: the check library itself.
 ASSERT_EXEMPT = {os.path.join("src", "common", "check.h")}
 
+# Rule 5 exemptions: the wrapper that owns the one real std::mutex, and the
+# lockdep registry (the detector cannot guard itself with the mutex it
+# instruments — see lockdep.cc).
+RAW_SYNC_EXEMPT = {
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "lockdep.h"),
+    os.path.join("src", "common", "lockdep.cc"),
+}
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_|shared_timed_)?"
+    r"mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+
 # Rule 3: headers that define a class with a concurrency contract
 # (mirrors DESIGN.md "Concurrency model" per-class table).
 CONTRACT_HEADERS = [
@@ -41,6 +61,7 @@ CONTRACT_HEADERS = [
     os.path.join("src", "dfs", "fault_injector.h"),
     os.path.join("src", "query", "result_cache.h"),
     os.path.join("src", "index", "temporal_index.h"),
+    os.path.join("src", "index", "highlights.h"),
     os.path.join("src", "core", "spate_framework.h"),
     os.path.join("src", "telco", "assembler.h"),
 ]
@@ -55,9 +76,10 @@ NAKED_DELETE_RE = re.compile(r"(?<![_A-Za-z0-9])delete(\[\])?\s")
 SMART_WRAP_RE = re.compile(
     r"\b(unique_ptr|shared_ptr|make_unique|make_shared)\b"
 )
-# The leaky-singleton idiom (`static const T& x = *new T(...)`) is allowed:
-# the leak is deliberate — it sidesteps static destruction order.
-LEAKY_SINGLETON_RE = re.compile(r"\bstatic\s+const\b.*\*\s*new\b")
+# The leaky-singleton idiom (`static [const] T& x = *new T(...)`) is
+# allowed: the leak is deliberate — it sidesteps static destruction order
+# (non-const flavor: the lockdep registry mutates its singleton).
+LEAKY_SINGLETON_RE = re.compile(r"\bstatic\b[^;]*=\s*\*\s*new\b")
 
 
 def strip_comments_and_strings(line):
@@ -124,6 +146,14 @@ def main():
                 findings.append(
                     f"{rel}:{number}: naked `delete` — ownership must be"
                     " RAII-managed")
+            if rel not in RAW_SYNC_EXEMPT:
+                raw_sync = RAW_SYNC_RE.search(code)
+                if raw_sync:
+                    findings.append(
+                        f"{rel}:{number}: raw `{raw_sync.group(0)}` — use"
+                        " spate::Mutex / MutexLock / CondVar"
+                        " (src/common/mutex.h) so the lock is ranked and"
+                        " visible to lockdep and tools/lockgraph.py")
 
         if rel.endswith(".h"):
             guard = expected_guard(rel)

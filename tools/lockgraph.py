@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Static lock-hierarchy gate (the compile-time half of spate::lockdep).
+
+Extracts the declared lock hierarchy from the sources — every ranked
+`spate::Mutex` declaration, i.e.
+
+    mutable Mutex mu_ ACQUIRED_AFTER("ThreadPool.mu")
+        ACQUIRED_BEFORE("CountdownLatch.mu") {"Dfs.mu"};
+
+contributes its rank (the construction string) as a node and its
+ACQUIRED_AFTER / ACQUIRED_BEFORE lists as directed edges (outer rank ->
+inner rank) — and cross-checks the result against the committed manifest in
+docs/LOCK_ORDER.md (the ```lock-order fenced block). CI fails on:
+
+  * an edge declared in a header but missing from the manifest (undeclared
+    edge: the hierarchy changed without review);
+  * a manifest edge no header declares (stale manifest);
+  * rank sets that disagree between sources and manifest;
+  * an unranked `Mutex` declaration in src/ (every mutex must name its
+    rank so the runtime detector and this gate see the same graph);
+  * a cycle in the declared order graph (the whole point).
+
+The runtime half (`src/common/lockdep.h`) observes the *actual* acquisition
+order in instrumented builds; this tool pins the *allowed* order. Each
+validates the other.
+
+Usage:
+  tools/lockgraph.py             human-readable summary
+  tools/lockgraph.py --check     gate mode: exit 1 on any finding
+  tools/lockgraph.py --dot FILE  write the declared graph as Graphviz dot
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+MANIFEST = os.path.join(REPO, "docs", "LOCK_ORDER.md")
+
+# Files allowed to declare no rank: the wrapper itself and the detector
+# (whose internal lock is deliberately a raw std::mutex).
+RANK_EXEMPT = {
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "lockdep.h"),
+    os.path.join("src", "common", "lockdep.cc"),
+}
+
+# A Mutex member/local declaration: name, optional ACQUIRED_* annotation
+# run, then either the rank initializer or a bare terminator.
+DECL_RE = re.compile(
+    r"\bMutex\s+(\w+)\s*"
+    r"((?:ACQUIRED_(?:AFTER|BEFORE)\s*\([^)]*\)\s*)*)"
+    r"(\{\s*\"[^\"]+\"\s*\}|\{\s*\}|;|=)",
+    re.S,
+)
+ANNOT_RE = re.compile(r"ACQUIRED_(AFTER|BEFORE)\s*\(([^)]*)\)", re.S)
+RANK_RE = re.compile(r"\{\s*\"([^\"]+)\"\s*\}")
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (string literals survive; the grammar
+    we parse never hides inside one)."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def source_files():
+    for root, _, names in os.walk(SRC):
+        for name in sorted(names):
+            if name.endswith((".cc", ".h")):
+                yield os.path.join(root, name)
+
+
+def parse_sources():
+    """Returns (ranks, edges, findings): ranks maps rank -> declaring file,
+    edges is a set of (outer, inner) pairs."""
+    ranks = {}
+    edges = set()
+    findings = []
+    for path in source_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for match in DECL_RE.finditer(text):
+            name, annotations, tail = match.groups()
+            line = text[: match.start()].count("\n") + 1
+            rank_match = RANK_RE.match(tail)
+            if rank_match is None:
+                if rel in RANK_EXEMPT:
+                    continue
+                findings.append(
+                    f"{rel}:{line}: unranked Mutex `{name}` — construct it"
+                    " with its rank, e.g. Mutex"
+                    f" {name}{{\"<Class>.{name.rstrip('_')}\"}}, and declare"
+                    " its order with ACQUIRED_AFTER/ACQUIRED_BEFORE")
+                continue
+            rank = rank_match.group(1)
+            if rank in ranks:
+                findings.append(
+                    f"{rel}:{line}: rank \"{rank}\" already declared in"
+                    f" {ranks[rank]} — one declaration owns each rank")
+            else:
+                ranks[rank] = rel
+            for direction, args in ANNOT_RE.findall(annotations):
+                for other in re.findall(r"\"([^\"]+)\"", args):
+                    if direction == "AFTER":
+                        edges.add((other, rank))
+                    else:
+                        edges.add((rank, other))
+    for outer, inner in sorted(edges):
+        for endpoint in (outer, inner):
+            if endpoint not in ranks:
+                findings.append(
+                    f"docs: edge {outer} -> {inner} references rank"
+                    f" \"{endpoint}\" that no Mutex declares")
+    return ranks, edges, findings
+
+
+def parse_manifest(path):
+    """Returns (ranks, edges, findings) from the ```lock-order block."""
+    ranks = set()
+    edges = set()
+    findings = []
+    rel = os.path.relpath(path, REPO)
+    if not os.path.exists(path):
+        return ranks, edges, [f"{rel}: manifest missing"]
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    in_block = False
+    block_seen = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if not in_block and stripped == "```lock-order":
+                in_block = True
+                block_seen = True
+            elif in_block:
+                in_block = False
+            continue
+        if not in_block or not stripped or stripped.startswith("#"):
+            continue
+        if "->" in stripped:
+            parts = [p.strip() for p in stripped.split("->")]
+            if len(parts) != 2 or not all(parts):
+                findings.append(f"{rel}:{number}: malformed edge line"
+                                f" `{stripped}`")
+                continue
+            edges.add((parts[0], parts[1]))
+        elif re.fullmatch(r"[\w.<>-]+", stripped):
+            ranks.add(stripped)
+        else:
+            findings.append(
+                f"{rel}:{number}: unparseable manifest line `{stripped}`"
+                " (expected `Rank` or `Outer -> Inner`)")
+    if not block_seen:
+        findings.append(f"{rel}: no ```lock-order fenced block found")
+    for outer, inner in sorted(edges):
+        for endpoint in (outer, inner):
+            if endpoint not in ranks:
+                findings.append(
+                    f"{rel}: edge {outer} -> {inner} references rank"
+                    f" \"{endpoint}\" not listed in the manifest")
+    return ranks, edges, findings
+
+
+def find_cycle(edges):
+    """Returns one cycle as a list of ranks, or None (iterative DFS with
+    tri-color marking, deterministic over sorted adjacency)."""
+    adjacency = {}
+    for outer, inner in sorted(edges):
+        adjacency.setdefault(outer, []).append(inner)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    for start in sorted(adjacency):
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack = [(start, iter(adjacency.get(start, ())))]
+        color[start] = GRAY
+        path = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    return path[path.index(nxt):] + [nxt]
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    path.append(nxt)
+                    stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: exit 1 on any finding")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="write the declared graph as Graphviz dot"
+                             " ('-' for stdout)")
+    parser.add_argument("--manifest", default=MANIFEST,
+                        help="manifest path (default docs/LOCK_ORDER.md)")
+    args = parser.parse_args()
+
+    src_ranks, src_edges, findings = parse_sources()
+    man_ranks, man_edges, man_findings = parse_manifest(args.manifest)
+    findings += man_findings
+
+    manifest_rel = os.path.relpath(args.manifest, REPO)
+    for edge in sorted(src_edges - man_edges):
+        findings.append(
+            f"undeclared edge {edge[0]} -> {edge[1]}: declared in sources"
+            f" but missing from {manifest_rel} — a hierarchy change must"
+            " update the reviewed manifest")
+    for edge in sorted(man_edges - src_edges):
+        findings.append(
+            f"stale manifest edge {edge[0]} -> {edge[1]}: no source"
+            " declaration carries it")
+    for rank in sorted(set(src_ranks) - man_ranks):
+        findings.append(
+            f"rank \"{rank}\" ({src_ranks[rank]}) missing from"
+            f" {manifest_rel}")
+    for rank in sorted(man_ranks - set(src_ranks)):
+        findings.append(
+            f"stale manifest rank \"{rank}\": no Mutex declares it")
+
+    for label, edges in (("declared", src_edges), ("manifest", man_edges)):
+        cycle = find_cycle(edges)
+        if cycle:
+            findings.append(
+                f"cycle in the {label} lock order: " + " -> ".join(cycle))
+
+    if args.dot:
+        dot_lines = ["digraph lock_order {", "  rankdir=LR;"]
+        for rank in sorted(src_ranks):
+            dot_lines.append(f'  "{rank}";')
+        for outer, inner in sorted(src_edges):
+            dot_lines.append(f'  "{outer}" -> "{inner}";')
+        dot_lines.append("}")
+        dot = "\n".join(dot_lines) + "\n"
+        if args.dot == "-":
+            sys.stdout.write(dot)
+        else:
+            with open(args.dot, "w", encoding="utf-8") as f:
+                f.write(dot)
+
+    if findings:
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print(f"lockgraph: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+
+    print(f"lockgraph: clean — {len(src_ranks)} ranks, {len(src_edges)}"
+          " edges, declared hierarchy matches the manifest, no cycles")
+    if not args.check and not args.dot:
+        for outer, inner in sorted(src_edges):
+            print(f"  {outer} -> {inner}")
+        leaves = sorted(set(src_ranks) -
+                        {outer for outer, _ in src_edges} -
+                        {inner for _, inner in src_edges})
+        for rank in leaves:
+            print(f"  {rank} (isolated leaf)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
