@@ -1,0 +1,191 @@
+// Projection & spatial pushdown in the scan path: full-decode row leaves
+// vs the columnar leaf layout (`SpateOptions::leaf_layout = kColumnar`).
+//
+// The paper's exploration tasks touch a handful of the ~200 CDR attributes
+// (T1/T2 read three, T4/T5 read three or four); with row leaves every query
+// decompresses every byte of every in-window leaf anyway. Columnar leaves
+// store one independently compressed chunk per attribute, so a narrow query
+// decodes only the columns it names — `ScanStats::bytes_decoded` makes the
+// saving directly observable — and bounding-box queries additionally skip
+// whole leaves proven disjoint from the box by their summary cell-id sets.
+//
+// Grid: layout {row, columnar} x attributes {1, 5, all} x box {none, SW
+// quadrant}, each over the same 12-hour window. Targets (>= 4-core hosts):
+// the 1- and 5-attribute columnar scans decode >= 3x fewer bytes than the
+// same query on row leaves, and win wall-clock.
+//
+// Capture for the perf trajectory (see EXPERIMENTS.md "Bench catalog"):
+//   ./bench/bench_query_projection | grep '^BENCH_JSON' | cut -d' ' -f2-
+//   (redirect into BENCH_projection.json)
+//
+// Flags: --days N (default 2), --cells N (default 360), --iters N
+// (default 3) — the CI smoke run uses --days 1 --cells 60 --iters 1.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+struct ProjectionRow {
+  const char* layout = "";
+  const char* attrs = "";
+  bool boxed = false;
+  double seconds = 0;
+  uint64_t bytes_decoded = 0;
+  size_t leaves_skipped = 0;
+  size_t result_rows = 0;
+};
+
+struct AttrSet {
+  const char* label;
+  std::vector<std::string> attributes;
+};
+
+ProjectionRow RunQuery(SpateFramework& framework, const char* layout,
+                       const AttrSet& attrs, const ExplorationQuery& query,
+                       int iters) {
+  ProjectionRow row;
+  row.layout = layout;
+  row.attrs = attrs.label;
+  row.boxed = query.has_box;
+  row.seconds = 1e30;
+  for (int i = 0; i < iters; ++i) {
+    size_t rows = 0;
+    const double seconds = MeasureResponse(framework, [&] {
+      auto result = framework.Execute(query);
+      if (result.ok()) {
+        rows = result->cdr_rows.size() + result->nms_rows.size();
+      } else {
+        fprintf(stderr, "query failed: %s\n",
+                result.status().ToString().c_str());
+      }
+    });
+    if (seconds < row.seconds) row.seconds = seconds;
+    row.bytes_decoded = framework.last_scan_stats().bytes_decoded;
+    row.leaves_skipped = framework.last_scan_stats().leaves_skipped_spatial;
+    row.result_rows = rows;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main(int argc, char** argv) {
+  using namespace spate;
+  using namespace spate::bench;
+
+  TraceConfig config = BenchTrace();
+  config.days = 2;
+  int64_t iters = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    int64_t v = 0;
+    if (strcmp(argv[i], "--days") == 0 && ParseInt64(argv[i + 1], &v)) {
+      config.days = static_cast<int>(v);
+    } else if (strcmp(argv[i], "--cells") == 0 && ParseInt64(argv[i + 1], &v)) {
+      config.num_cells = static_cast<int>(v);
+      config.num_antennas = static_cast<int>(v) / 3;
+    } else if (strcmp(argv[i], "--iters") == 0 && ParseInt64(argv[i + 1], &v)) {
+      iters = v;
+    }
+  }
+
+  const TraceGenerator generator(config);
+  printf("# Projection & spatial pushdown: row vs columnar leaves\n");
+  printf("# %d day(s), %d cells, best of %lld run(s) per point\n",
+         config.days, config.num_cells, static_cast<long long>(iters));
+
+  SpateOptions row_options;
+  SpateFramework row_store(row_options, generator.cells());
+  SpateOptions columnar_options;
+  columnar_options.leaf_layout = LeafLayout::kColumnar;
+  SpateFramework columnar_store(columnar_options, generator.cells());
+  for (Timestamp epoch : generator.EpochStarts()) {
+    const Snapshot snapshot = generator.GenerateSnapshot(epoch);
+    if (!row_store.Ingest(snapshot).ok() ||
+        !columnar_store.Ingest(snapshot).ok()) {
+      fprintf(stderr, "ingest failed at %s\n", FormatCompact(epoch).c_str());
+    }
+  }
+  printf("# Storage: row %.2f MB, columnar %.2f MB (%+.1f%%)\n",
+         row_store.StorageBytes() / (1024.0 * 1024.0),
+         columnar_store.StorageBytes() / (1024.0 * 1024.0),
+         100.0 * (static_cast<double>(columnar_store.StorageBytes()) /
+                      static_cast<double>(row_store.StorageBytes()) -
+                  1.0));
+
+  // CDR-only attribute names: a query naming no NMS column skips the NMS
+  // table wholesale (`TableProjection::skip`), like a real CDR-focused
+  // task. "ts"/"cell_id" would resolve in both tables and pull NMS columns
+  // back in.
+  const std::vector<AttrSet> attr_sets = {
+      {"1", {"upflux"}},
+      {"5", {"caller_id", "call_type", "duration", "upflux", "downflux"}},
+      {"all", {}},
+  };
+  const BoundingBox extent = row_store.cells().extent();
+  const BoundingBox sw_quadrant{extent.min_x, extent.min_y,
+                                (extent.min_x + extent.max_x) / 2,
+                                (extent.min_y + extent.max_y) / 2};
+
+  std::vector<ProjectionRow> rows;
+  for (const bool boxed : {false, true}) {
+    for (const AttrSet& attrs : attr_sets) {
+      ExplorationQuery query;
+      query.attributes = attrs.attributes;
+      query.window_begin = config.start + 8 * 3600;
+      query.window_end = config.start + 20 * 3600;
+      query.has_box = boxed;
+      query.box = sw_quadrant;
+      rows.push_back(RunQuery(row_store, "row", attrs, query,
+                              static_cast<int>(iters)));
+      rows.push_back(RunQuery(columnar_store, "columnar", attrs, query,
+                              static_cast<int>(iters)));
+    }
+  }
+
+  PrintSeriesHeader("Projection pushdown (12h window)",
+                    "attributes x box x layout",
+                    "response time (sec) / decoded MB");
+  printf("%-6s %-9s %-5s %12s %14s %10s %10s\n", "attrs", "layout", "box",
+         "seconds", "decoded MB", "skipped", "rows");
+  for (const ProjectionRow& row : rows) {
+    printf("%-6s %-9s %-5s %12.4f %14.2f %10zu %10zu\n", row.attrs,
+           row.layout, row.boxed ? "SW" : "none", row.seconds,
+           row.bytes_decoded / (1024.0 * 1024.0), row.leaves_skipped,
+           row.result_rows);
+  }
+  // Headline ratios: same narrow query, row vs columnar store.
+  for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+    if (rows[i].bytes_decoded == 0 || rows[i + 1].bytes_decoded == 0) {
+      continue;
+    }
+    printf("# attrs=%s box=%s: columnar decodes %.1fx fewer bytes, "
+           "%.2fx wall-clock\n",
+           rows[i].attrs, rows[i].boxed ? "SW" : "none",
+           static_cast<double>(rows[i].bytes_decoded) /
+               static_cast<double>(rows[i + 1].bytes_decoded),
+           rows[i].seconds / rows[i + 1].seconds);
+  }
+
+  printf("\nBENCH_JSON {\"bench\":\"projection\",\"rows\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    printf("%s{\"layout\":\"%s\",\"attrs\":\"%s\",\"box\":%s,"
+           "\"seconds\":%.4f,\"bytes_decoded\":%llu,"
+           "\"leaves_skipped_spatial\":%zu,\"rows\":%zu}",
+           i ? "," : "", rows[i].layout, rows[i].attrs,
+           rows[i].boxed ? "true" : "false", rows[i].seconds,
+           static_cast<unsigned long long>(rows[i].bytes_decoded),
+           rows[i].leaves_skipped, rows[i].result_rows);
+  }
+  printf("]}\n");
+  return 0;
+}

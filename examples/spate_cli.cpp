@@ -245,6 +245,14 @@ int main(int argc, char** argv) {
       printf("index: %zu leaves (%zu decayed), newest epoch %s\n",
              spate.index().num_leaves(), spate.index().num_decayed(),
              FormatIso(spate.index().newest_epoch()).c_str());
+      const ResultCache::CacheStats cache_stats = explorer.cache().stats();
+      printf("cache: %llu hits / %llu misses, %s of decode work saved\n",
+             static_cast<unsigned long long>(cache_stats.hits),
+             static_cast<unsigned long long>(cache_stats.misses),
+             HumanBytes(cache_stats.bytes_decoded_saved).c_str());
+      printf("last scan: %s decoded, %zu leaves skipped spatially\n",
+             HumanBytes(spate.last_scan_stats().bytes_decoded).c_str(),
+             spate.last_scan_stats().leaves_skipped_spatial);
       continue;
     }
     if (command == "decay") {

@@ -7,9 +7,12 @@
 #include "common/clock.h"
 #include "common/lockdep.h"
 #include "compress/chunked.h"
+#include "compress/columnar.h"
+#include "core/columnar_leaf.h"
 #include "core/spate_framework.h"
 #include "dfs/dfs.h"
 #include "index/temporal_index.h"
+#include "telco/schema.h"
 #include "telco/snapshot.h"
 
 namespace spate {
@@ -141,6 +144,29 @@ bool MustBeDecayed(const LeafNode& leaf, Timestamp decayed_until) {
   return leaf.epoch_start + kEpochSeconds <= decayed_until;
 }
 
+/// Cross-checks the columnar projected-read path on one leaf: a narrow
+/// projected decode (one CDR metric + one NMS metric, the shape T1-T5
+/// issue) must equal the reference restriction of the full decode.
+Status CheckColumnarProjection(Slice blob, const Snapshot& full) {
+  const std::vector<std::string> attrs = {"upflux", "rssi"};
+  const TableProjection cdr =
+      ScanProjection(CdrSchema(), attrs, kCdrTs, kCdrCellId);
+  const TableProjection nms =
+      ScanProjection(NmsSchema(), attrs, kNmsTs, kNmsCellId);
+  Snapshot projected;
+  SPATE_RETURN_IF_ERROR(DecodeColumnarLeaf(blob, cdr, nms,
+                                           /*wanted_cells=*/nullptr,
+                                           &projected,
+                                           /*bytes_decoded=*/nullptr));
+  const Snapshot expected = RestrictSnapshot(full, cdr, nms, nullptr);
+  if (projected.epoch_start != expected.epoch_start ||
+      projected.cdr != expected.cdr || projected.nms != expected.nms) {
+    return Status::Corruption(
+        "projected decode disagrees with the restricted full decode");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 check::FsckReport SpateFramework::Fsck() const {
@@ -203,8 +229,10 @@ check::FsckReport SpateFramework::Fsck() const {
                            " stored bytes, DFS holds " +
                            std::to_string(blob->size()));
           }
-          if (IsChunkedBlob(*blob)) ++report.containers_checked;
-          Status framing = VerifyChunkedFraming(*blob);
+          const bool columnar = !leaf.delta && IsColumnarBlob(*blob);
+          if (IsChunkedBlob(*blob) || columnar) ++report.containers_checked;
+          Status framing = columnar ? VerifyColumnarFraming(*blob)
+                                    : VerifyChunkedFraming(*blob);
           if (!framing.ok()) {
             report.Add(check::kContainerFraming, object,
                        framing.ToString());
@@ -212,6 +240,8 @@ check::FsckReport SpateFramework::Fsck() const {
 
           std::string text;
           Status decode;
+          Snapshot snapshot;
+          bool have_snapshot = false;
           if (leaf.delta) {
             if (prev_epoch != leaf.epoch_start - kEpochSeconds) {
               decode = Status::Corruption(
@@ -224,18 +254,39 @@ check::FsckReport SpateFramework::Fsck() const {
                            : codec->DecompressWithDictionary(prev_text,
                                                              *blob, &text);
             }
+          } else if (columnar) {
+            // Columnar leaf: reassemble the full snapshot from its chunks,
+            // then cross-check the projected-read path against the
+            // reference restriction — a chunk that decodes but lies (or a
+            // reader bug) surfaces here, not just hard decode failures.
+            const TableProjection all;
+            decode = DecodeColumnarLeaf(*blob, all, all,
+                                        /*wanted_cells=*/nullptr, &snapshot,
+                                        /*bytes_decoded=*/nullptr);
+            if (decode.ok()) {
+              have_snapshot = true;
+              text = SerializeSnapshot(snapshot);
+              Status projection_check =
+                  CheckColumnarProjection(*blob, snapshot);
+              if (!projection_check.ok()) {
+                report.Add(check::kColumnarChunk, object,
+                           projection_check.ToString());
+              }
+            }
           } else {
             decode = ChunkedDecompress(*blob, nullptr, &text);
           }
           if (!decode.ok()) {
-            report.Add(check::kEnvelopeDecode, object, decode.ToString());
+            report.Add(columnar ? check::kColumnarChunk
+                                : check::kEnvelopeDecode,
+                       object, decode.ToString());
             prev_epoch = -1;
             prev_text.clear();
             continue;
           }
 
-          Snapshot snapshot;
-          Status parse = ParseSnapshot(text, &snapshot);
+          Status parse =
+              have_snapshot ? Status::OK() : ParseSnapshot(text, &snapshot);
           if (!parse.ok()) {
             report.Add(check::kEnvelopeDecode, object,
                        "decoded text does not parse: " + parse.ToString());

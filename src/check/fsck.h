@@ -23,6 +23,10 @@ inline constexpr std::string_view kDfsMetadata = "dfs-metadata";
 /// Compression layer:
 inline constexpr std::string_view kContainerFraming = "container-framing";
 inline constexpr std::string_view kEnvelopeDecode = "envelope-decode";
+/// Columnar leaves only: a 0xCD container frames correctly but a column
+/// chunk fails to decode, the reassembled snapshot is inconsistent, or a
+/// projected decode disagrees with the restriction of the full decode.
+inline constexpr std::string_view kColumnarChunk = "columnar-chunk";
 /// Index layer:
 inline constexpr std::string_view kIndexShape = "index-shape";
 inline constexpr std::string_view kHighlightConsistency =

@@ -1,5 +1,7 @@
 #include "core/framework.h"
 
+#include <algorithm>
+
 #include "telco/schema.h"
 
 namespace spate {
@@ -13,24 +15,145 @@ bool CellInBox(const std::string& cell_id, const ExplorationQuery& query,
   return info != nullptr && query.box.Contains(info->x, info->y);
 }
 
+/// Restricts one table's rows (row-order preserving) for RestrictSnapshot.
+void RestrictTable(const std::vector<Record>& rows,
+                   const TableProjection& projection, int cell_column,
+                   const std::unordered_set<std::string>* wanted_cells,
+                   std::vector<Record>* out) {
+  if (projection.skip) return;
+  for (const Record& row : rows) {
+    if (wanted_cells != nullptr &&
+        wanted_cells->count(FieldAsString(row, cell_column)) == 0) {
+      continue;
+    }
+    out->push_back(ProjectRecord(row, projection));
+  }
+}
+
 }  // namespace
+
+bool TableProjection::Keeps(int column) const {
+  if (skip) return false;
+  if (all) return true;
+  return std::binary_search(columns.begin(), columns.end(), column);
+}
+
+TableProjection ResolveProjection(
+    const TableSchema& schema, const std::vector<std::string>& attributes) {
+  TableProjection projection;
+  if (attributes.empty()) return projection;  // all
+  for (const std::string& name : attributes) {
+    const int column = schema.IndexOf(name);
+    if (column >= 0) projection.columns.push_back(column);
+  }
+  std::sort(projection.columns.begin(), projection.columns.end());
+  projection.columns.erase(
+      std::unique(projection.columns.begin(), projection.columns.end()),
+      projection.columns.end());
+  if (projection.columns.empty()) {
+    projection.all = false;
+    projection.skip = true;
+  } else if (projection.columns.size() == schema.num_attributes()) {
+    projection.columns.clear();  // every column named: same as all
+  } else {
+    projection.all = false;
+  }
+  return projection;
+}
+
+TableProjection ScanProjection(const TableSchema& schema,
+                               const std::vector<std::string>& attributes,
+                               int ts_column, int cell_column) {
+  TableProjection projection = ResolveProjection(schema, attributes);
+  if (projection.all || projection.skip) return projection;
+  for (int forced : {ts_column, cell_column}) {
+    auto it = std::lower_bound(projection.columns.begin(),
+                               projection.columns.end(), forced);
+    if (it == projection.columns.end() || *it != forced) {
+      projection.columns.insert(it, forced);
+    }
+  }
+  if (projection.columns.size() == schema.num_attributes()) {
+    projection.columns.clear();
+    projection.all = true;
+  }
+  return projection;
+}
+
+Record ProjectRecord(const Record& row, const TableProjection& projection) {
+  if (projection.all) return row;
+  Record projected(row.size());
+  if (projection.skip) return projected;
+  for (int column : projection.columns) {
+    const size_t i = static_cast<size_t>(column);
+    if (i < row.size()) projected[i] = row[i];
+  }
+  return projected;
+}
+
+Snapshot RestrictSnapshot(
+    const Snapshot& snapshot, const TableProjection& cdr,
+    const TableProjection& nms,
+    const std::unordered_set<std::string>* wanted_cells) {
+  Snapshot restricted;
+  restricted.epoch_start = snapshot.epoch_start;
+  RestrictTable(snapshot.cdr, cdr, kCdrCellId, wanted_cells,
+                &restricted.cdr);
+  RestrictTable(snapshot.nms, nms, kNmsCellId, wanted_cells,
+                &restricted.nms);
+  return restricted;
+}
+
+Status Framework::ScanWindowProjected(
+    const ExplorationQuery& query,
+    const std::function<void(const Snapshot&)>& fn) {
+  const TableProjection cdr =
+      ScanProjection(CdrSchema(), query.attributes, kCdrTs, kCdrCellId);
+  const TableProjection nms =
+      ScanProjection(NmsSchema(), query.attributes, kNmsTs, kNmsCellId);
+  if (cdr.all && nms.all && !query.has_box) {
+    // Nothing to restrict: stream the snapshots untouched (bit-identical
+    // to ScanWindow, no copies).
+    return ScanWindow(query.window_begin, query.window_end, fn);
+  }
+  std::unordered_set<std::string> wanted;
+  if (query.has_box) {
+    for (const std::string& cell_id : cells().CellsInBox(query.box)) {
+      wanted.insert(cell_id);
+    }
+  }
+  const std::unordered_set<std::string>* wanted_cells =
+      query.has_box ? &wanted : nullptr;
+  return ScanWindow(query.window_begin, query.window_end,
+                    [&](const Snapshot& snapshot) {
+                      fn(RestrictSnapshot(snapshot, cdr, nms, wanted_cells));
+                    });
+}
 
 void FilterSnapshotRows(const Snapshot& snapshot,
                         const ExplorationQuery& query,
                         const CellDirectory& cells,
                         std::vector<Record>* cdr_out,
                         std::vector<Record>* nms_out) {
-  for (const Record& row : snapshot.cdr) {
-    const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
-    if (ts < query.window_begin || ts >= query.window_end) continue;
-    if (!CellInBox(FieldAsString(row, kCdrCellId), query, cells)) continue;
-    cdr_out->push_back(row);
+  const TableProjection cdr_projection =
+      ResolveProjection(CdrSchema(), query.attributes);
+  const TableProjection nms_projection =
+      ResolveProjection(NmsSchema(), query.attributes);
+  if (!cdr_projection.skip) {
+    for (const Record& row : snapshot.cdr) {
+      const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
+      if (ts < query.window_begin || ts >= query.window_end) continue;
+      if (!CellInBox(FieldAsString(row, kCdrCellId), query, cells)) continue;
+      cdr_out->push_back(ProjectRecord(row, cdr_projection));
+    }
   }
-  for (const Record& row : snapshot.nms) {
-    const Timestamp ts = ParseCompact(FieldAsString(row, kNmsTs));
-    if (ts < query.window_begin || ts >= query.window_end) continue;
-    if (!CellInBox(FieldAsString(row, kNmsCellId), query, cells)) continue;
-    nms_out->push_back(row);
+  if (!nms_projection.skip) {
+    for (const Record& row : snapshot.nms) {
+      const Timestamp ts = ParseCompact(FieldAsString(row, kNmsTs));
+      if (ts < query.window_begin || ts >= query.window_end) continue;
+      if (!CellInBox(FieldAsString(row, kNmsCellId), query, cells)) continue;
+      nms_out->push_back(ProjectRecord(row, nms_projection));
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -14,6 +15,8 @@
 #include "telco/snapshot.h"
 
 namespace spate {
+
+class TableSchema;
 
 /// A data exploration query Q(a, b, w): attribute selection `a`, spatial
 /// bounding box `b` and temporal window `w` (Section VI-A).
@@ -55,6 +58,15 @@ struct QueryResult {
 struct ScanStats {
   size_t leaves_scanned = 0;
   std::vector<Timestamp> skipped_epochs;
+  /// Leaves proven disjoint from the query box by their summary's cell-id
+  /// set and skipped before any decompression (spatial pushdown; never
+  /// counts toward `complete()` — skipping is exact, not degradation).
+  size_t leaves_skipped_spatial = 0;
+  /// Bytes actually produced by decompression during the scan (cache hits
+  /// and skipped leaves contribute nothing). The projection-pushdown win of
+  /// the columnar leaf layout shows up here: a narrow query decodes only
+  /// the column chunks it needs.
+  uint64_t bytes_decoded = 0;
 
   bool complete() const { return skipped_epochs.empty(); }
 };
@@ -70,6 +82,53 @@ struct IngestStats {
     return compress_seconds + store_seconds + index_seconds;
   }
 };
+
+/// `ExplorationQuery::attributes` resolved against one table's schema: which
+/// columns a projected read must materialize. Projection is
+/// position-preserving — a projected row keeps its original width with
+/// non-selected fields left empty — so the `kCdr*`/`kNms*` index constants
+/// keep working on projected rows and results are byte-comparable across
+/// row and columnar leaf layouts.
+struct TableProjection {
+  /// Materialize every column (`attributes` empty, or every name resolved).
+  bool all = true;
+  /// The attribute list names no column of this table: the table
+  /// contributes no rows at all (a projected scan skips it wholesale).
+  bool skip = false;
+  /// Sorted, de-duplicated column indices to materialize (unused when
+  /// `all` or `skip`).
+  std::vector<int> columns;
+
+  bool Keeps(int column) const;
+};
+
+/// Resolves `attributes` against `schema`. Unknown names are ignored; an
+/// empty list selects every column; a list resolving to no column of this
+/// table yields `skip`.
+TableProjection ResolveProjection(const TableSchema& schema,
+                                  const std::vector<std::string>& attributes);
+
+/// Like `ResolveProjection`, but always force-includes `ts_column` and
+/// `cell_column` — the scan-side materialization projection, so window and
+/// box predicates can still be evaluated on the projected rows.
+TableProjection ScanProjection(const TableSchema& schema,
+                               const std::vector<std::string>& attributes,
+                               int ts_column, int cell_column);
+
+/// Applies `projection` to one row: the identity when `all`, otherwise a
+/// same-width record with only the projected fields copied.
+Record ProjectRecord(const Record& row, const TableProjection& projection);
+
+/// Restricts a snapshot for a projected scan: drops rows of skipped tables
+/// and (when `wanted_cells` is non-null) rows whose cell id is not in the
+/// set, preserving row order; surviving rows are projected. This is the
+/// reference semantics every `ScanWindowProjected` implementation must
+/// match byte for byte — the columnar leaf reader produces the same
+/// snapshot without ever materializing the dropped columns.
+Snapshot RestrictSnapshot(const Snapshot& snapshot,
+                          const TableProjection& cdr,
+                          const TableProjection& nms,
+                          const std::unordered_set<std::string>* wanted_cells);
 
 /// Common surface of the three compared frameworks (RAW / SHAHED / SPATE),
 /// so every task and benchmark runs unchanged against each.
@@ -95,6 +154,18 @@ class Framework {
   virtual Status ScanWindow(
       Timestamp begin, Timestamp end,
       const std::function<void(const Snapshot&)>& fn) = 0;
+
+  /// Projection-pushdown variant of `ScanWindow`: streams every in-window
+  /// snapshot restricted to the query's attribute selection and bounding
+  /// box (`RestrictSnapshot` semantics — same-width rows with non-selected
+  /// fields empty, skipped tables contributing no rows). The default
+  /// implementation decodes fully and restricts in memory; SPATE's
+  /// columnar leaf layout overrides it to decode only the needed column
+  /// chunks and to skip leaves provably disjoint from the box (for which
+  /// `fn` is then not called at all — restriction would have emptied them).
+  virtual Status ScanWindowProjected(
+      const ExplorationQuery& query,
+      const std::function<void(const Snapshot&)>& fn);
 
   /// Skip accounting of the most recent `ScanWindow`. The default (used by
   /// the baselines, which fail hard instead of degrading) reports an empty,
@@ -124,7 +195,10 @@ class Framework {
 };
 
 /// Filters `snapshot` rows to those inside the window and (optionally) the
-/// box's cells, appending to the result vectors. Shared by implementations.
+/// box's cells, appending to the result vectors; when the query selects
+/// attributes, surviving rows are projected (`ProjectRecord`) and tables
+/// the selection does not touch contribute no rows. Shared by
+/// implementations, so all three frameworks agree byte for byte.
 void FilterSnapshotRows(const Snapshot& snapshot,
                         const ExplorationQuery& query,
                         const CellDirectory& cells,

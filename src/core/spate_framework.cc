@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "compress/columnar.h"
+#include "core/columnar_leaf.h"
 #include "index/leaf_spatial.h"
 #include "telco/schema.h"
 
@@ -19,6 +21,21 @@ namespace {
 bool DegradableFailure(const Status& status) {
   return status.IsUnavailable() || status.IsCorruption() ||
          status.IsNotFound();
+}
+
+/// True when the leaf can hold rows of at least one wanted cell. The leaf
+/// summary carries a per-cell entry for every cell id appearing in the
+/// leaf's rows, so a negative answer is exact — skipping the leaf loses
+/// nothing. Decayed leaves report true: they must still reach the fold so
+/// the scan degrades instead of silently claiming completeness.
+bool LeafIntersectsCells(const LeafNode& leaf,
+                         const std::unordered_set<std::string>& wanted) {
+  if (leaf.decayed) return true;
+  for (const auto& [cell_id, stats] : leaf.summary.per_cell()) {
+    (void)stats;
+    if (wanted.count(cell_id) != 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -153,6 +170,8 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
     Status status;
     std::string text;
     std::string blob;
+    Snapshot snapshot;
+    bool have_snapshot = false;
     auto blob_read = framework->dfs_->ReadFile(path);
     if (!blob_read.ok()) {
       status = blob_read.status();
@@ -165,14 +184,23 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
           status = framework->codec_->DecompressWithDictionary(prev_text, blob,
                                                                &text);
         }
+      } else if (IsColumnarBlob(blob)) {
+        // Columnar leaf: reassemble the full snapshot, then re-serialize it
+        // so a delta following it in a mixed store still finds chain text.
+        const TableProjection all;
+        status = DecodeColumnarLeaf(blob, all, all, /*wanted_cells=*/nullptr,
+                                    &snapshot, /*bytes_decoded=*/nullptr);
+        if (status.ok()) {
+          have_snapshot = true;
+          text = SerializeSnapshot(snapshot);
+        }
       } else {
         // Plain (possibly chunked) leaf blob; recovery itself walks the
         // leaves serially, but chunk parts of one blob may fan out.
         status = ChunkedDecompress(blob, framework->pool_.get(), &text);
       }
     }
-    Snapshot snapshot;
-    if (status.ok()) status = ParseSnapshot(text, &snapshot);
+    if (status.ok() && !have_snapshot) status = ParseSnapshot(text, &snapshot);
 
     if (!status.ok()) {
       if (!tolerate || !DegradableFailure(status)) return status;
@@ -232,30 +260,41 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
   // text; a gap in the stream forces a keyframe (the chain must be
   // contiguous).
   Stopwatch compress_timer;
-  const std::string text = SerializeSnapshot(snapshot);
-  const bool try_delta = options_.differential &&
-                         codec_->SupportsDictionary() &&
-                         !IsKeyframe(snapshot.epoch_start) &&
-                         last_ingest_epoch_ ==
-                             snapshot.epoch_start - kEpochSeconds;
-  // Ingest fan-out: the snapshot text is partitioned into independent
-  // compression jobs (content-driven, so the stored bytes do not depend on
-  // the worker count) and compressed on the shared pool when one exists.
+  const bool columnar = options_.leaf_layout == LeafLayout::kColumnar;
   std::string compressed;
-  SPATE_RETURN_IF_ERROR(ChunkedCompress(*codec_, text,
-                                        options_.parallelism.ingest_chunk_bytes,
-                                        pool_.get(), &compressed));
   bool delta = false;
-  if (try_delta) {
-    // Deltas only pay off when cross-snapshot redundancy beats the
-    // within-snapshot redundancy the plain codec already captures; keep
-    // whichever encoding is smaller (the leaf records which one won).
-    std::string delta_blob;
+  std::string text;
+  if (columnar) {
+    // Columnar layout: shred the snapshot into per-attribute chunks (each
+    // compressed independently, in parallel on the pool when one exists —
+    // the stored bytes never depend on the worker count). Columnar leaves
+    // are always full keyframes; differential deltas apply only to row text.
     SPATE_RETURN_IF_ERROR(
-        codec_->CompressWithDictionary(last_ingest_text_, text, &delta_blob));
-    if (delta_blob.size() < compressed.size()) {
-      compressed = std::move(delta_blob);
-      delta = true;
+        EncodeColumnarLeaf(*codec_, snapshot, pool_.get(), &compressed));
+  } else {
+    text = SerializeSnapshot(snapshot);
+    const bool try_delta = options_.differential &&
+                           codec_->SupportsDictionary() &&
+                           !IsKeyframe(snapshot.epoch_start) &&
+                           last_ingest_epoch_ ==
+                               snapshot.epoch_start - kEpochSeconds;
+    // Ingest fan-out: the snapshot text is partitioned into independent
+    // compression jobs (content-driven, so the stored bytes do not depend on
+    // the worker count) and compressed on the shared pool when one exists.
+    SPATE_RETURN_IF_ERROR(
+        ChunkedCompress(*codec_, text, options_.parallelism.ingest_chunk_bytes,
+                        pool_.get(), &compressed));
+    if (try_delta) {
+      // Deltas only pay off when cross-snapshot redundancy beats the
+      // within-snapshot redundancy the plain codec already captures; keep
+      // whichever encoding is smaller (the leaf records which one won).
+      std::string delta_blob;
+      SPATE_RETURN_IF_ERROR(
+          codec_->CompressWithDictionary(last_ingest_text_, text, &delta_blob));
+      if (delta_blob.size() < compressed.size()) {
+        compressed = std::move(delta_blob);
+        delta = true;
+      }
     }
   }
   last_ingest_.compress_seconds = compress_timer.ElapsedSeconds();
@@ -310,8 +349,15 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
   SPATE_RETURN_IF_ERROR(add);
 
   if (options_.differential) {
-    last_ingest_text_ = text;
-    last_ingest_epoch_ = snapshot.epoch_start;
+    if (columnar) {
+      // A columnar leaf never serves as a delta dictionary: drop the chain
+      // state so the next row-layout epoch starts a fresh keyframe.
+      last_ingest_text_.clear();
+      last_ingest_epoch_ = -1;
+    } else {
+      last_ingest_text_ = text;
+      last_ingest_epoch_ = snapshot.epoch_start;
+    }
   }
   if (options_.auto_decay) RunDecay(snapshot.epoch_start + kEpochSeconds);
   return Status::OK();
@@ -327,11 +373,22 @@ Result<std::string> SpateFramework::MaterializeLeafWith(
   }
   SPATE_ASSIGN_OR_RETURN(std::string blob, dfs_->ReadFile(leaf.dfs_path));
   std::string text;
-  if (!leaf.delta) {
+  if (!leaf.delta && IsColumnarBlob(blob)) {
+    // Columnar leaf: a full materialization reassembles every column and
+    // re-serializes to row text, so the delta-chain and parse paths above
+    // this call work unchanged on mixed stores.
+    Snapshot decoded;
+    const TableProjection all;
+    SPATE_RETURN_IF_ERROR(DecodeColumnarLeaf(blob, all, all,
+                                             /*wanted_cells=*/nullptr,
+                                             &decoded, &ctx->bytes_decoded));
+    text = SerializeSnapshot(decoded);
+  } else if (!leaf.delta) {
     // Plain (possibly chunked) blob; chunk parts may decode on the pool,
     // unless this context belongs to a scan worker that is itself one arm
     // of a fan-out (then decode_pool is null — no nested fan-out).
     SPATE_RETURN_IF_ERROR(ChunkedDecompress(blob, ctx->decode_pool, &text));
+    ctx->bytes_decoded += text.size();
   } else {
     // Resolve the chain: the delta decodes against the previous epoch's
     // text (cached when scanning sequentially; otherwise at most
@@ -346,6 +403,7 @@ Result<std::string> SpateFramework::MaterializeLeafWith(
                            MaterializeLeafWith(*prev, ctx));
     SPATE_RETURN_IF_ERROR(
         codec_->DecompressWithDictionary(prev_text, blob, &text));
+    ctx->bytes_decoded += text.size();
   }
   // The one-entry cache exists to resolve delta chains against the
   // previous epoch in O(1); outside differential mode (and off any delta
@@ -360,6 +418,51 @@ Result<std::string> SpateFramework::MaterializeLeafWith(
 
 Result<std::string> SpateFramework::MaterializeLeaf(const LeafNode& leaf) {
   return MaterializeLeafWith(leaf, &materialize_ctx_);
+}
+
+Status SpateFramework::DecodeLeafWith(const LeafNode& leaf,
+                                      const LeafScanOptions& opts,
+                                      DecodeContext* ctx,
+                                      Snapshot* snapshot) const {
+  if (!opts.restricted()) {
+    // Unrestricted scan: the classic path, bit for bit.
+    SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeafWith(leaf, ctx));
+    return ParseSnapshot(text, snapshot);
+  }
+  if (leaf.decayed) {
+    return Status::NotFound("leaf decayed: " + leaf.dfs_path);
+  }
+  // Restriction via the reference semantics, for every path that has to
+  // materialize full row text anyway.
+  auto restrict_text = [&](const std::string& text) -> Status {
+    Snapshot full;
+    SPATE_RETURN_IF_ERROR(ParseSnapshot(text, &full));
+    *snapshot = RestrictSnapshot(full, opts.cdr, opts.nms, opts.wanted_cells);
+    return Status::OK();
+  };
+  if (leaf.delta || ctx->cache_epoch == leaf.epoch_start) {
+    // Delta chains (and cache hits) only exist as full row text.
+    SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeafWith(leaf, ctx));
+    return restrict_text(text);
+  }
+  SPATE_ASSIGN_OR_RETURN(std::string blob, dfs_->ReadFile(leaf.dfs_path));
+  if (IsColumnarBlob(blob)) {
+    // The pushdown proper: decode only the column chunks the projections
+    // call for, and with a cell restriction only the matching rows.
+    return DecodeColumnarLeaf(blob, opts.cdr, opts.nms, opts.wanted_cells,
+                              snapshot, &ctx->bytes_decoded);
+  }
+  // Row leaf: full decode, then restrict in memory. Cache the text under
+  // the same policy as MaterializeLeafWith, so a later delta in the scan
+  // still resolves against this leaf in O(1).
+  std::string text;
+  SPATE_RETURN_IF_ERROR(ChunkedDecompress(blob, ctx->decode_pool, &text));
+  ctx->bytes_decoded += text.size();
+  if (options_.differential) {
+    ctx->cache_epoch = leaf.epoch_start;
+    ctx->cache_text = text;
+  }
+  return restrict_text(text);
 }
 
 size_t SpateFramework::RunDecay(Timestamp now) {
@@ -412,16 +515,22 @@ Result<QueryResult> SpateFramework::Execute(const ExplorationQuery& query) {
     result.exact = true;
     result.served_from = IndexLevel::kEpoch;
     Status scan;
-    if (options_.leaf_spatial_index && query.has_box) {
+    if (options_.leaf_spatial_index && query.has_box &&
+        options_.leaf_layout == LeafLayout::kRow) {
+      // Row-store sidecar path. On columnar stores the embedded "@spidx"
+      // chunk supersedes the sidecar, so the projected scan wins below.
       last_scan_ = ScanStats();
       scan = ExecuteExactWithLeafIndex(query, &result);
     } else {
-      scan = ScanWindow(
-          query.window_begin, query.window_end,
-          [&](const Snapshot& snapshot) {
-            FilterSnapshotRows(snapshot, query, cells_, &result.cdr_rows,
-                               &result.nms_rows);
-          });
+      // Projected scan: columnar leaves decode only the needed column
+      // chunks / rows and box-disjoint leaves are skipped outright; the
+      // streamed snapshots are already restricted, and FilterSnapshotRows
+      // composes with that restriction to the same bytes the full-decode
+      // path produces.
+      scan = ScanWindowProjected(query, [&](const Snapshot& snapshot) {
+        FilterSnapshotRows(snapshot, query, cells_, &result.cdr_rows,
+                           &result.nms_rows);
+      });
     }
     if (!scan.ok()) return scan;
     if (last_scan_.complete()) {
@@ -461,8 +570,15 @@ Status SpateFramework::ExecuteExactWithLeafIndex(
   // lost every replica.
   const std::vector<std::string> in_box = cells_.CellsInBox(query.box);
   const std::unordered_set<std::string> wanted(in_box.begin(), in_box.end());
+  // The sidecar's row positions index the full snapshot, so the leaves
+  // materialize unrestricted; projection applies to the result rows only.
+  const TableProjection cdr_projection =
+      ResolveProjection(CdrSchema(), query.attributes);
+  const TableProjection nms_projection =
+      ResolveProjection(NmsSchema(), query.attributes);
   return ScanLeaves(
       index_.LeavesInWindow(query.window_begin, query.window_end),
+      LeafScanOptions{},
       [&](const LeafNode& leaf, const Snapshot& snapshot) -> Status {
         SPATE_ASSIGN_OR_RETURN(
             std::string sidecar_blob,
@@ -475,21 +591,22 @@ Status SpateFramework::ExecuteExactWithLeafIndex(
 
         auto take = [&](const std::vector<Record>& rows,
                         const std::vector<uint32_t>* positions, int ts_column,
+                        const TableProjection& projection,
                         std::vector<Record>* out) {
-          if (positions == nullptr) return;
+          if (positions == nullptr || projection.skip) return;
           for (uint32_t row : *positions) {
             if (row >= rows.size()) continue;
             const Timestamp ts =
                 ParseCompact(FieldAsString(rows[row], ts_column));
             if (ts < query.window_begin || ts >= query.window_end) continue;
-            out->push_back(rows[row]);
+            out->push_back(ProjectRecord(rows[row], projection));
           }
         };
         for (const std::string& cell_id : in_box) {
           if (!wanted.count(cell_id)) continue;
-          take(snapshot.cdr, sidecar.CdrRows(cell_id), kCdrTs,
+          take(snapshot.cdr, sidecar.CdrRows(cell_id), kCdrTs, cdr_projection,
                &result->cdr_rows);
-          take(snapshot.nms, sidecar.NmsRows(cell_id), kNmsTs,
+          take(snapshot.nms, sidecar.NmsRows(cell_id), kNmsTs, nms_projection,
                &result->nms_rows);
         }
         return Status::OK();
@@ -498,7 +615,25 @@ Status SpateFramework::ExecuteExactWithLeafIndex(
 
 Status SpateFramework::ScanLeaves(
     const std::vector<const LeafNode*>& leaves,
+    const LeafScanOptions& opts,
     const std::function<Status(const LeafNode&, const Snapshot&)>& fn) {
+  // Spatial leaf skipping: drop leaves whose summary proves them disjoint
+  // from the wanted cells before any DFS read or decompression. The filter
+  // runs up front on the calling thread, so the surviving scan — batching,
+  // fold order, stats — is identical at every worker count.
+  std::vector<const LeafNode*> surviving;
+  if (opts.skip_leaves && opts.wanted_cells != nullptr) {
+    surviving.reserve(leaves.size());
+    for (const LeafNode* leaf : leaves) {
+      if (LeafIntersectsCells(*leaf, *opts.wanted_cells)) {
+        surviving.push_back(leaf);
+      } else {
+        ++last_scan_.leaves_skipped_spatial;
+      }
+    }
+  }
+  const std::vector<const LeafNode*>& scan_leaves =
+      (opts.skip_leaves && opts.wanted_cells != nullptr) ? surviving : leaves;
   // Folds one leaf's outcome into the scan, in timestamp order, on the
   // calling thread. A degradable failure — every replica of the leaf (or of
   // its delta chain, or of its sidecar) unreadable — skips the epoch and
@@ -530,18 +665,16 @@ Status SpateFramework::ScanLeaves(
 
   const bool parallel =
       pool_ != nullptr &&
-      leaves.size() >= static_cast<size_t>(std::max(
-                           2, options_.parallelism.min_parallel_epochs));
+      scan_leaves.size() >= static_cast<size_t>(std::max(
+                                2, options_.parallelism.min_parallel_epochs));
   if (!parallel) {
-    for (const LeafNode* leaf : leaves) {
+    for (const LeafNode* leaf : scan_leaves) {
       Snapshot snapshot;
-      Status status;
-      auto materialized = MaterializeLeaf(*leaf);
-      if (!materialized.ok()) {
-        status = materialized.status();
-      } else {
-        status = ParseSnapshot(*materialized, &snapshot);
-      }
+      const uint64_t bytes_before = materialize_ctx_.bytes_decoded;
+      const Status status =
+          DecodeLeafWith(*leaf, opts, &materialize_ctx_, &snapshot);
+      last_scan_.bytes_decoded +=
+          materialize_ctx_.bytes_decoded - bytes_before;
       SPATE_ASSIGN_OR_RETURN(bool ok, fold(*leaf, status, snapshot));
       (void)ok;
     }
@@ -558,26 +691,28 @@ Status SpateFramework::ScanLeaves(
   struct Slot {
     Status status;
     Snapshot snapshot;
+    uint64_t bytes = 0;
   };
   const size_t batch =
       static_cast<size_t>(options_.parallelism.worker_count) * 4;
-  for (size_t base = 0; base < leaves.size(); base += batch) {
-    const size_t count = std::min(batch, leaves.size() - base);
+  for (size_t base = 0; base < scan_leaves.size(); base += batch) {
+    const size_t count = std::min(batch, scan_leaves.size() - base);
     std::vector<Slot> slots(count);
     pool_->ParallelFor(count, [&](size_t begin, size_t end) {
       DecodeContext ctx;  // per-worker buffer; no nested fan-out
       for (size_t i = begin; i < end; ++i) {
-        auto materialized = MaterializeLeafWith(*leaves[base + i], &ctx);
-        if (!materialized.ok()) {
-          slots[i].status = materialized.status();
-          continue;
-        }
-        slots[i].status = ParseSnapshot(*materialized, &slots[i].snapshot);
+        const uint64_t bytes_before = ctx.bytes_decoded;
+        slots[i].status =
+            DecodeLeafWith(*scan_leaves[base + i], opts, &ctx,
+                           &slots[i].snapshot);
+        slots[i].bytes = ctx.bytes_decoded - bytes_before;
       }
     });
     for (size_t i = 0; i < count; ++i) {
+      last_scan_.bytes_decoded += slots[i].bytes;
       SPATE_ASSIGN_OR_RETURN(
-          bool ok, fold(*leaves[base + i], slots[i].status, slots[i].snapshot));
+          bool ok,
+          fold(*scan_leaves[base + i], slots[i].status, slots[i].snapshot));
       (void)ok;
     }
   }
@@ -588,11 +723,33 @@ Status SpateFramework::ScanWindow(
     Timestamp begin, Timestamp end,
     const std::function<void(const Snapshot&)>& fn) {
   last_scan_ = ScanStats();
-  return ScanLeaves(index_.LeavesInWindow(begin, end),
+  return ScanLeaves(index_.LeavesInWindow(begin, end), LeafScanOptions{},
                     [&fn](const LeafNode&, const Snapshot& snapshot) {
                       fn(snapshot);
                       return Status::OK();
                     });
+}
+
+Status SpateFramework::ScanWindowProjected(
+    const ExplorationQuery& query,
+    const std::function<void(const Snapshot&)>& fn) {
+  last_scan_ = ScanStats();
+  LeafScanOptions opts;
+  opts.cdr = ScanProjection(CdrSchema(), query.attributes, kCdrTs, kCdrCellId);
+  opts.nms = ScanProjection(NmsSchema(), query.attributes, kNmsTs, kNmsCellId);
+  std::unordered_set<std::string> wanted;
+  if (query.has_box) {
+    const std::vector<std::string> in_box = cells_.CellsInBox(query.box);
+    wanted.insert(in_box.begin(), in_box.end());
+    opts.wanted_cells = &wanted;
+    opts.skip_leaves = options_.spatial_leaf_skip;
+  }
+  return ScanLeaves(
+      index_.LeavesInWindow(query.window_begin, query.window_end), opts,
+      [&fn](const LeafNode&, const Snapshot& snapshot) {
+        fn(snapshot);
+        return Status::OK();
+      });
 }
 
 Result<NodeSummary> SpateFramework::AggregateWindow(Timestamp begin,

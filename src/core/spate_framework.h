@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -35,6 +36,19 @@ struct ParallelismOptions {
   size_t ingest_chunk_bytes = kDefaultChunkBytes;
 };
 
+/// On-DFS layout of a leaf (one epoch's snapshot).
+enum class LeafLayout {
+  /// Serialized row text through the codec envelope / 0xCF chunked
+  /// container — the original format, bit-compatible with every existing
+  /// store.
+  kRow,
+  /// 0xCD columnar container (core/columnar_leaf.h): per-attribute column
+  /// chunks compressed independently, so projected scans decode only the
+  /// columns covering `ExplorationQuery::attributes` and bounding-box
+  /// scans jump via the embedded row-position lists.
+  kColumnar,
+};
+
 /// Configuration of the SPATE framework.
 struct SpateOptions {
   /// Storage-layer codec name ("deflate" is the paper's pick, Section IV-C).
@@ -58,9 +72,28 @@ struct SpateOptions {
   bool differential = false;
   int keyframe_interval = 8;
 
+  /// Storage layout of newly written leaves. `kRow` (the default) stays
+  /// bit-compatible with existing stores; `kColumnar` enables projection
+  /// pushdown in the scan path. Readers dispatch on each blob's leading
+  /// byte, so mixed stores (e.g. a recovered row store continued in
+  /// columnar mode) work transparently. Columnar leaves are always full
+  /// keyframes: `differential` deltas apply only to row-layout leaves.
+  LeafLayout leaf_layout = LeafLayout::kRow;
+
+  /// Whole-leaf spatial skipping: a bounding-box scan consults each leaf's
+  /// in-memory summary cell-id set (exact: the summary carries an entry for
+  /// every cell appearing in the leaf's rows) and skips leaves proven
+  /// disjoint from the box before any DFS read or decompression. Applies
+  /// to both leaf layouts; `ScanStats::leaves_skipped_spatial` counts the
+  /// wins.
+  bool spatial_leaf_skip = true;
+
   /// Optional per-leaf spatial index (Section V-A's discussed-and-rejected
   /// design): writes a per-snapshot cell->rows sidecar so bounding-box
   /// queries skip non-matching rows, at the price of extra storage.
+  /// Superseded by the embedded "@spidx" chunk when `leaf_layout` is
+  /// `kColumnar` (the exact-query sidecar path only engages on row
+  /// stores).
   bool leaf_spatial_index = false;
 
   /// Degraded reads: when a leaf's every replica is unreadable (datanodes
@@ -142,6 +175,17 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
   Status ScanWindow(
       Timestamp begin, Timestamp end,
       const std::function<void(const Snapshot&)>& fn) override;
+  /// Projection + spatial pushdown: columnar leaves decode only the column
+  /// chunks covering the query's attributes (plus ts/cell id for the
+  /// predicates) and, with a box, materialize only the matching rows via
+  /// the embedded row-position lists; row leaves decode fully and restrict
+  /// in memory. Either way the streamed snapshots are byte-identical to
+  /// the default implementation's, except that leaves proven disjoint from
+  /// the box are skipped outright (`fn` not called;
+  /// `last_scan_stats().leaves_skipped_spatial` counts them).
+  Status ScanWindowProjected(
+      const ExplorationQuery& query,
+      const std::function<void(const Snapshot&)>& fn) override;
   const ScanStats& last_scan_stats() const override { return last_scan_; }
   Result<NodeSummary> AggregateWindow(Timestamp begin,
                                       Timestamp end) override;
@@ -195,26 +239,57 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
     Timestamp cache_epoch = -1;
     std::string cache_text;
     ThreadPool* decode_pool = nullptr;
+    /// Cumulative decompressed bytes this context produced (cache hits add
+    /// nothing); scans fold per-leaf deltas into
+    /// `ScanStats::bytes_decoded`.
+    uint64_t bytes_decoded = 0;
+  };
+
+  /// What a scan materializes per leaf: the per-table column projections
+  /// (scan-level, i.e. always including ts and cell id), an optional cell
+  /// restriction, and whether whole leaves may be skipped on their
+  /// summary's cell-id set. The default decodes everything — bit-identical
+  /// to the pre-columnar scan path.
+  struct LeafScanOptions {
+    TableProjection cdr;
+    TableProjection nms;
+    /// When non-null, only rows of these cells are materialized.
+    const std::unordered_set<std::string>* wanted_cells = nullptr;
+    /// Skip leaves whose summary shares no cell with `wanted_cells`.
+    bool skip_leaves = false;
+
+    bool restricted() const {
+      return !cdr.all || !nms.all || wanted_cells != nullptr;
+    }
   };
 
   /// Reads + decodes the raw text of one leaf into `ctx`'s cache, resolving
-  /// delta chains back to their keyframe. Touches no framework state except
-  /// `ctx`, the (thread-safe) DFS and the const index/codec — the parallel
-  /// scan path calls it concurrently with per-worker contexts.
+  /// delta chains back to their keyframe (columnar blobs decode fully and
+  /// re-serialize, so a delta can chain off a columnar predecessor in a
+  /// mixed store). Touches no framework state except `ctx`, the
+  /// (thread-safe) DFS and the const index/codec — the parallel scan path
+  /// calls it concurrently with per-worker contexts.
   Result<std::string> MaterializeLeafWith(const LeafNode& leaf,
                                           DecodeContext* ctx) const;
 
   /// Serial-path wrapper over the framework-owned context.
   Result<std::string> MaterializeLeaf(const LeafNode& leaf);
 
-  /// Decodes every leaf in `leaves` and hands (leaf, snapshot) pairs to
-  /// `fn` on the calling thread, in timestamp order. Fans the decode out on
-  /// the pool when it exists and the window spans at least
+  /// Decodes one leaf into a (possibly projected/restricted) snapshot per
+  /// `opts`. Columnar blobs decode exactly the chunks the options call
+  /// for; row blobs materialize their full text and restrict in memory.
+  Status DecodeLeafWith(const LeafNode& leaf, const LeafScanOptions& opts,
+                        DecodeContext* ctx, Snapshot* snapshot) const;
+
+  /// Decodes every leaf in `leaves` per `opts` and hands (leaf, snapshot)
+  /// pairs to `fn` on the calling thread, in timestamp order. Fans the
+  /// decode out on the pool when it exists and the window spans at least
   /// `min_parallel_epochs` leaves; decode failures and degradable `fn`
   /// statuses feed `last_scan_` via per-worker counters folded in leaf
   /// order. `fn` returning a degradable status skips that epoch.
   Status ScanLeaves(
       const std::vector<const LeafNode*>& leaves,
+      const LeafScanOptions& opts,
       const std::function<Status(const LeafNode&, const Snapshot&)>& fn);
 
   /// True if the snapshot at `epoch_start` starts a keyframe group.

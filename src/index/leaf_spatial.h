@@ -44,18 +44,18 @@ class LeafSpatialIndex {
   std::string Serialize() const;
   static Status Parse(Slice data, LeafSpatialIndex* index);
 
-  bool operator==(const LeafSpatialIndex& other) const {
-    return cells_ == other.cells_;
-  }
+  /// Memberwise equality. The comparison bottoms out in `CellRows`'s
+  /// defaulted `operator==` — both tables' row-position lists participate,
+  /// so two indexes differing only in (say) an NMS row list compare
+  /// unequal in both directions.
+  bool operator==(const LeafSpatialIndex& other) const = default;
 
  private:
   struct CellRows {
     std::vector<uint32_t> cdr;
     std::vector<uint32_t> nms;
 
-    bool operator==(const CellRows& other) const {
-      return cdr == other.cdr && nms == other.nms;
-    }
+    bool operator==(const CellRows& other) const = default;
   };
   std::map<std::string, CellRows> cells_;
 };

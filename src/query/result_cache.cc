@@ -21,10 +21,34 @@ void NarrowRows(const std::vector<Record>& rows, int ts_column,
   }
 }
 
+/// Applies an attribute projection to served rows, in place.
+void ProjectRows(const TableProjection& projection,
+                 std::vector<Record>* rows) {
+  if (projection.skip) {
+    rows->clear();
+    return;
+  }
+  if (projection.all) return;
+  for (Record& row : *rows) row = ProjectRecord(row, projection);
+}
+
 }  // namespace
 
 bool ResultCache::Covers(const ExplorationQuery& outer,
                          const ExplorationQuery& inner) {
+  if (!outer.attributes.empty()) {
+    // A projected result lacks the predicate columns (ts/cell id unless
+    // selected), so it cannot be re-filtered: serve identical queries only.
+    return outer.attributes == inner.attributes &&
+           outer.window_begin == inner.window_begin &&
+           outer.window_end == inner.window_end &&
+           outer.has_box == inner.has_box &&
+           (!outer.has_box ||
+            (outer.box.min_x == inner.box.min_x &&
+             outer.box.min_y == inner.box.min_y &&
+             outer.box.max_x == inner.box.max_x &&
+             outer.box.max_y == inner.box.max_y));
+  }
   if (outer.window_begin > inner.window_begin ||
       outer.window_end < inner.window_end) {
     return false;
@@ -46,6 +70,13 @@ std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,
     // Move to front (most recently used).
     entries_.splice(entries_.begin(), entries_, it);
     const Entry& entry = entries_.front();
+    bytes_decoded_saved_ += entry.bytes_decoded;
+
+    if (!entry.query.attributes.empty()) {
+      // Projected entry: Covers only matched an identical query, so the
+      // stored result is the answer verbatim.
+      return entry.result;
+    }
 
     QueryResult narrowed;
     narrowed.exact = true;
@@ -54,12 +85,21 @@ std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,
                &narrowed.cdr_rows);
     NarrowRows(entry.result.nms_rows, kNmsTs, kNmsCellId, query, cells,
                &narrowed.nms_rows);
-    // Rebuild the aggregate view from the narrowed rows.
+    // Rebuild the aggregate view from the narrowed (still full-width,
+    // unprojected) rows, then project for the caller if the incoming query
+    // selects attributes — projection last, so the summary metrics see the
+    // metric columns even when the selection drops them.
     Snapshot pseudo;
     pseudo.cdr = narrowed.cdr_rows;
     pseudo.nms = narrowed.nms_rows;
     narrowed.summary.AddSnapshot(pseudo);
     narrowed.highlights = narrowed.summary.ExtractHighlights(0.05);
+    if (!query.attributes.empty()) {
+      ProjectRows(ResolveProjection(CdrSchema(), query.attributes),
+                  &narrowed.cdr_rows);
+      ProjectRows(ResolveProjection(NmsSchema(), query.attributes),
+                  &narrowed.nms_rows);
+    }
     return narrowed;
   }
   ++misses_;
@@ -67,10 +107,10 @@ std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,
 }
 
 void ResultCache::Insert(const ExplorationQuery& query,
-                         const QueryResult& result) {
+                         const QueryResult& result, uint64_t bytes_decoded) {
   if (capacity_ == 0) return;
   MutexLock lock(&mu_);
-  entries_.push_front(Entry{query, result});
+  entries_.push_front(Entry{query, result, bytes_decoded});
   while (entries_.size() > capacity_) entries_.pop_back();
 }
 
@@ -79,7 +119,11 @@ Result<QueryResult> CachedExplorer::Execute(const ExplorationQuery& query) {
     return *std::move(cached);
   }
   SPATE_ASSIGN_OR_RETURN(QueryResult result, framework_->Execute(query));
-  if (result.exact) cache_.Insert(query, result);
+  if (result.exact) {
+    // Remember what the execution cost in decompressed bytes, so future
+    // hits can report the decode work the cache saved.
+    cache_.Insert(query, result, framework_->last_scan_stats().bytes_decoded);
+  }
   return result;
 }
 

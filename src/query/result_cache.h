@@ -18,8 +18,16 @@ namespace spate {
 ///
 /// A cached *exact* result serves any query whose temporal window and
 /// bounding box are contained in the cached ones; the cached rows are then
-/// re-filtered to the narrower predicate (cheap, in-memory). Aggregate-only
-/// results are served for identical queries only.
+/// re-filtered to the narrower predicate (cheap, in-memory) and, when the
+/// incoming query selects attributes, projected to them. Aggregate-only
+/// results are served for identical queries only. A cached *projected*
+/// result (the cached query itself selected attributes) lacks the predicate
+/// columns, so it is served verbatim for identical queries only.
+///
+/// Each entry remembers the decompressed bytes its original execution cost
+/// (`ScanStats::bytes_decoded`); every hit credits them to
+/// `CacheStats::bytes_decoded_saved`, so cache wins and projection wins are
+/// observable side by side (`spate_cli` stats prints both).
 ///
 /// Thread-safety: fully thread-safe. The web tier serves many user sessions
 /// at once, so the LRU list and hit counters live behind one internal
@@ -29,6 +37,14 @@ namespace spate {
 /// synchronized contract — only the cache itself may be shared freely.
 class ResultCache {
  public:
+  /// Hit accounting, including the decode work hits avoided: the sum of
+  /// `bytes_decoded` recorded at insert time over every hit served.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bytes_decoded_saved = 0;
+  };
+
   explicit ResultCache(size_t capacity = 16) : capacity_(capacity) {}
 
   /// Returns the narrowed result if some cached entry covers `query`.
@@ -36,13 +52,17 @@ class ResultCache {
                                     const CellDirectory& cells) EXCLUDES(mu_);
 
   /// Caches `result` for `query` (evicting the least recently used entry).
-  void Insert(const ExplorationQuery& query, const QueryResult& result)
-      EXCLUDES(mu_);
+  /// `bytes_decoded` is what executing the query cost in decompressed bytes
+  /// (`ScanStats::bytes_decoded`); hits on this entry credit it to
+  /// `stats().bytes_decoded_saved`.
+  void Insert(const ExplorationQuery& query, const QueryResult& result,
+              uint64_t bytes_decoded = 0) EXCLUDES(mu_);
 
   void Clear() EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     entries_.clear();
     hits_ = misses_ = 0;
+    bytes_decoded_saved_ = 0;
   }
 
   size_t size() const EXCLUDES(mu_) {
@@ -57,11 +77,17 @@ class ResultCache {
     MutexLock lock(&mu_);
     return misses_;
   }
+  CacheStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return CacheStats{hits_, misses_, bytes_decoded_saved_};
+  }
 
  private:
   struct Entry {
     ExplorationQuery query;
     QueryResult result;
+    /// Decompressed bytes the original execution cost (0 if unknown).
+    uint64_t bytes_decoded = 0;
   };
 
   /// True if `outer` (an entry's query) covers `inner`.
@@ -78,6 +104,7 @@ class ResultCache {
   std::list<Entry> entries_ GUARDED_BY(mu_);  // front = most recently used
   uint64_t hits_ GUARDED_BY(mu_) = 0;
   uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_decoded_saved_ GUARDED_BY(mu_) = 0;
 };
 
 /// Convenience wrapper running exploration queries through a `ResultCache`

@@ -1,0 +1,154 @@
+#include "compress/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "compress/chunked.h"
+#include "compress/codec.h"
+
+namespace spate {
+namespace {
+
+const Codec& Deflate() {
+  const Codec* codec = CodecRegistry::Get("deflate");
+  EXPECT_NE(codec, nullptr);
+  return *codec;
+}
+
+/// A handful of chunks shaped like shredded columns: repetitive values,
+/// one empty chunk, one high-entropy-ish chunk.
+std::vector<ColumnChunk> SampleChunks() {
+  std::vector<ColumnChunk> chunks;
+  chunks.push_back({"@meta", "epoch+widths"});
+  std::string repetitive;
+  for (int i = 0; i < 2000; ++i) repetitive += "VOICE\n";
+  chunks.push_back({"c:call_type", std::move(repetitive)});
+  chunks.push_back({"c:opt_042", ""});
+  std::string varied;
+  for (int i = 0; i < 2000; ++i) varied += std::to_string(i * 2654435761u) + "\n";
+  chunks.push_back({"c:duration", std::move(varied)});
+  return chunks;
+}
+
+TEST(ColumnarContainerTest, PackOpenDecodeRoundTrip) {
+  const std::vector<ColumnChunk> chunks = SampleChunks();
+  std::string blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), chunks, nullptr, &blob).ok());
+  ASSERT_TRUE(IsColumnarBlob(blob));
+  EXPECT_EQ(static_cast<uint8_t>(blob[0]), kColumnarMagic);
+  EXPECT_EQ(static_cast<uint8_t>(blob[1]), kColumnarVersion);
+
+  ColumnarReader reader;
+  ASSERT_TRUE(ColumnarReader::Open(blob, &reader).ok());
+  ASSERT_EQ(reader.chunks().size(), chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(reader.chunks()[i].name, chunks[i].name);
+    std::string decoded;
+    ASSERT_TRUE(ColumnarReader::Decode(reader.chunks()[i], &decoded).ok());
+    EXPECT_EQ(decoded, chunks[i].data) << chunks[i].name;
+  }
+  EXPECT_TRUE(VerifyColumnarFraming(blob).ok());
+}
+
+TEST(ColumnarContainerTest, FindLocatesChunksByName) {
+  std::string blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), SampleChunks(), nullptr, &blob).ok());
+  ColumnarReader reader;
+  ASSERT_TRUE(ColumnarReader::Open(blob, &reader).ok());
+  ASSERT_NE(reader.Find("c:duration"), nullptr);
+  EXPECT_EQ(reader.Find("c:duration")->name, "c:duration");
+  EXPECT_EQ(reader.Find("c:no_such_column"), nullptr);
+}
+
+TEST(ColumnarContainerTest, EmptyContainerIsValid) {
+  std::string blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), {}, nullptr, &blob).ok());
+  ASSERT_TRUE(IsColumnarBlob(blob));
+  ColumnarReader reader;
+  ASSERT_TRUE(ColumnarReader::Open(blob, &reader).ok());
+  EXPECT_TRUE(reader.chunks().empty());
+  EXPECT_TRUE(VerifyColumnarFraming(blob).ok());
+}
+
+TEST(ColumnarContainerTest, BytesIdenticalAcrossWorkerCounts) {
+  const std::vector<ColumnChunk> chunks = SampleChunks();
+  std::string serial_blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), chunks, nullptr, &serial_blob).ok());
+  for (size_t workers : {2, 3, 8}) {
+    ThreadPool pool(workers);
+    std::string pool_blob;
+    ASSERT_TRUE(ColumnarPack(Deflate(), chunks, &pool, &pool_blob).ok());
+    EXPECT_EQ(serial_blob, pool_blob) << workers << " workers";
+  }
+}
+
+TEST(ColumnarContainerTest, DuplicateNamesKeepFirstMatchSemantics) {
+  std::vector<ColumnChunk> chunks;
+  chunks.push_back({"c:dup", "first"});
+  chunks.push_back({"c:dup", "second"});
+  std::string blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), chunks, nullptr, &blob).ok());
+  ColumnarReader reader;
+  ASSERT_TRUE(ColumnarReader::Open(blob, &reader).ok());
+  ASSERT_EQ(reader.chunks().size(), 2u);
+  std::string decoded;
+  ASSERT_TRUE(ColumnarReader::Decode(*reader.Find("c:dup"), &decoded).ok());
+  EXPECT_EQ(decoded, "first");
+}
+
+TEST(ColumnarContainerTest, OpenRejectsMangledHeaders) {
+  std::string blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), SampleChunks(), nullptr, &blob).ok());
+  ColumnarReader reader;
+  // Wrong magic.
+  std::string bad_magic = blob;
+  bad_magic[0] = static_cast<char>(0xCE);
+  EXPECT_FALSE(IsColumnarBlob(bad_magic));
+  EXPECT_TRUE(ColumnarReader::Open(bad_magic, &reader).IsCorruption());
+  // Unknown version.
+  std::string bad_version = blob;
+  bad_version[1] = 9;
+  EXPECT_TRUE(ColumnarReader::Open(bad_version, &reader).IsCorruption());
+  // Truncated directory and truncated payload.
+  EXPECT_TRUE(
+      ColumnarReader::Open(Slice(blob.data(), 3), &reader).IsCorruption());
+  std::string truncated = blob.substr(0, blob.size() - 5);
+  EXPECT_TRUE(ColumnarReader::Open(truncated, &reader).IsCorruption());
+}
+
+TEST(ColumnarContainerTest, FlippedChunkByteFailsCrcAndFraming) {
+  std::string blob;
+  ASSERT_TRUE(ColumnarPack(Deflate(), SampleChunks(), nullptr, &blob).ok());
+  // Flip a byte near the end: inside the last chunk's compressed payload.
+  std::string flipped = blob;
+  flipped[flipped.size() - 2] ^= 0x40;
+  // The directory still parses (it sits up front) but the stored chunk
+  // bytes no longer match their directory CRC.
+  ColumnarReader reader;
+  ASSERT_TRUE(ColumnarReader::Open(flipped, &reader).ok());
+  std::string decoded;
+  EXPECT_TRUE(ColumnarReader::Decode(reader.chunks().back(), &decoded)
+                  .IsCorruption());
+  EXPECT_TRUE(VerifyColumnarFraming(flipped).IsCorruption());
+}
+
+TEST(ColumnarContainerTest, OtherLeafFormatsAreNotColumnar) {
+  const Codec& codec = Deflate();
+  std::string envelope;
+  ASSERT_TRUE(codec.Compress("plain row text", &envelope).ok());
+  EXPECT_FALSE(IsColumnarBlob(envelope));
+  std::string chunked;
+  std::string big_text(200000, 'r');
+  ASSERT_TRUE(ChunkedCompress(codec, big_text, 8192, nullptr, &chunked).ok());
+  ASSERT_TRUE(IsChunkedBlob(chunked));
+  EXPECT_FALSE(IsColumnarBlob(chunked));
+  ColumnarReader reader;
+  EXPECT_TRUE(ColumnarReader::Open(envelope, &reader).IsCorruption());
+  EXPECT_TRUE(ColumnarReader::Open(chunked, &reader).IsCorruption());
+}
+
+}  // namespace
+}  // namespace spate

@@ -68,8 +68,63 @@ TEST(LeafSpatialIndexTest, SerializeParseRoundTrip) {
   const std::string blob = index.Serialize();
   LeafSpatialIndex parsed;
   ASSERT_TRUE(LeafSpatialIndex::Parse(blob, &parsed).ok());
+  // Equality must hold in both directions (it is memberwise: both tables'
+  // row lists participate, not just the cell-id key set).
   EXPECT_TRUE(parsed == index);
+  EXPECT_TRUE(index == parsed);
+  EXPECT_FALSE(parsed != index);
   EXPECT_EQ(parsed.Serialize(), blob);
+}
+
+TEST(LeafSpatialIndexTest, EmptyIndexRoundTrips) {
+  const LeafSpatialIndex empty = LeafSpatialIndex::Build(Snapshot());
+  const std::string blob = empty.Serialize();
+  LeafSpatialIndex parsed;
+  ASSERT_TRUE(LeafSpatialIndex::Parse(blob, &parsed).ok());
+  EXPECT_TRUE(parsed == empty);
+  EXPECT_TRUE(empty == parsed);
+  EXPECT_EQ(parsed.num_cells(), 0u);
+  EXPECT_EQ(parsed.Serialize(), blob);
+}
+
+TEST(LeafSpatialIndexTest, SingleCellRoundTrips) {
+  // One cell, rows in one table only — the smallest non-empty index.
+  Snapshot snapshot;
+  snapshot.cdr.push_back(
+      {"201601221530", "u1", "u2", "c0042", "VOICE", "10"});
+  snapshot.cdr.push_back(
+      {"201601221531", "u3", "u4", "c0042", "SMS", "0"});
+  LeafSpatialIndex index = LeafSpatialIndex::Build(snapshot);
+  EXPECT_EQ(index.num_cells(), 1u);
+  ASSERT_NE(index.CdrRows("c0042"), nullptr);
+  EXPECT_EQ(*index.CdrRows("c0042"), (std::vector<uint32_t>{0, 1}));
+  // The cell is known, so the NMS list exists — it is just empty.
+  ASSERT_NE(index.NmsRows("c0042"), nullptr);
+  EXPECT_TRUE(index.NmsRows("c0042")->empty());
+
+  const std::string blob = index.Serialize();
+  LeafSpatialIndex parsed;
+  ASSERT_TRUE(LeafSpatialIndex::Parse(blob, &parsed).ok());
+  EXPECT_TRUE(parsed == index);
+  EXPECT_TRUE(index == parsed);
+  EXPECT_EQ(parsed.Serialize(), blob);
+}
+
+TEST(LeafSpatialIndexTest, DifferingRowListsCompareUnequalBothWays) {
+  // Same cell-id key set, different NMS row lists: a key-set-only (or
+  // one-sided subset) comparison would wrongly call these equal.
+  Snapshot a;
+  a.cdr.push_back({"201601221530", "u1", "u2", "c0001", "VOICE", "10"});
+  a.nms.push_back({"201601221530", "c0001", "0", "5", "60", "9.5", "-80"});
+  Snapshot b = a;
+  b.nms.push_back({"201601221545", "c0001", "1", "6", "55", "8.0", "-82"});
+
+  const LeafSpatialIndex index_a = LeafSpatialIndex::Build(a);
+  const LeafSpatialIndex index_b = LeafSpatialIndex::Build(b);
+  EXPECT_FALSE(index_a == index_b);
+  EXPECT_FALSE(index_b == index_a);
+  EXPECT_TRUE(index_a != index_b);
+  EXPECT_TRUE(index_b != index_a);
 }
 
 TEST(LeafSpatialIndexTest, ParseRejectsTruncation) {

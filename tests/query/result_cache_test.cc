@@ -110,6 +110,89 @@ TEST_F(ResultCacheTest, BoxedEntryDoesNotServeUnboxedQuery) {
   EXPECT_EQ(explorer.cache().hits(), 0u);
 }
 
+TEST_F(ResultCacheTest, HitsCreditBytesDecodedSaved) {
+  CachedExplorer explorer(spate_);
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());  // miss: scans + inserts
+  const uint64_t scan_cost = spate_->last_scan_stats().bytes_decoded;
+  ASSERT_GT(scan_cost, 0u);
+  EXPECT_EQ(explorer.cache().stats().bytes_decoded_saved, 0u);
+
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());
+  const ResultCache::CacheStats stats = explorer.cache().stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  // Every hit credits the decompressed bytes the original execution cost.
+  EXPECT_EQ(stats.bytes_decoded_saved, 2 * scan_cost);
+}
+
+TEST_F(ResultCacheTest, ProjectedQueryServedVerbatimWhenIdentical) {
+  CachedExplorer explorer(spate_);
+  ExplorationQuery projected = DayQuery();
+  projected.attributes = {"ts", "upflux", "downflux"};
+  auto first = explorer.Execute(projected);
+  ASSERT_TRUE(first.ok());
+  auto second = explorer.Execute(projected);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(explorer.cache().hits(), 1u);
+  EXPECT_EQ(second->cdr_rows, first->cdr_rows);
+  EXPECT_EQ(second->nms_rows, first->nms_rows);
+  EXPECT_GT(explorer.cache().stats().bytes_decoded_saved, 0u);
+}
+
+TEST_F(ResultCacheTest, ProjectedEntryNeverServesDifferentQuery) {
+  CachedExplorer explorer(spate_);
+  ExplorationQuery projected = DayQuery();
+  projected.attributes = {"ts", "upflux", "downflux"};
+  ASSERT_TRUE(explorer.Execute(projected).ok());
+
+  // A projected entry lacks the predicate columns, so even a sub-window of
+  // the same projection cannot be re-filtered from it.
+  ExplorationQuery narrower = projected;
+  narrower.window_end -= 3600;
+  ASSERT_TRUE(explorer.Execute(narrower).ok());
+  // And a different attribute list is a different result shape.
+  ExplorationQuery other = projected;
+  other.attributes = {"ts", "duration"};
+  ASSERT_TRUE(explorer.Execute(other).ok());
+  EXPECT_EQ(explorer.cache().hits(), 0u);
+  EXPECT_EQ(explorer.cache().misses(), 3u);
+}
+
+TEST_F(ResultCacheTest, UnprojectedEntryServesProjectedSubQuery) {
+  CachedExplorer explorer(spate_);
+  ASSERT_TRUE(explorer.Execute(DayQuery()).ok());  // full-width entry
+
+  ExplorationQuery projected = DayQuery();
+  projected.attributes = {"ts", "upflux", "downflux"};
+  projected.window_begin += 3600;
+  auto cached = explorer.Execute(projected);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(explorer.cache().hits(), 1u);
+
+  // The served rows must match a direct projected execution byte for byte
+  // (projection applied after re-filtering, summary built before it).
+  auto direct = spate_->Execute(projected);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cached->cdr_rows, direct->cdr_rows);
+  EXPECT_EQ(cached->nms_rows, direct->nms_rows);
+  EXPECT_EQ(cached->summary.cdr_rows(), direct->summary.cdr_rows());
+}
+
+TEST_F(ResultCacheTest, ClearResetsBytesDecodedSaved) {
+  ResultCache cache(4);
+  QueryResult dummy;
+  dummy.exact = true;
+  cache.Insert(DayQuery(), dummy, /*bytes_decoded=*/12345);
+  ASSERT_TRUE(cache.Lookup(DayQuery(), spate_->cells()).has_value());
+  ASSERT_EQ(cache.stats().bytes_decoded_saved, 12345u);
+  cache.Clear();
+  const ResultCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.bytes_decoded_saved, 0u);
+}
+
 TEST_F(ResultCacheTest, LruEviction) {
   ResultCache cache(2);
   QueryResult dummy;
