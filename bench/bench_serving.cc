@@ -1,0 +1,307 @@
+// Closed-loop overload sweep of the sharded serving tier (src/serve/):
+// synthetic client threads issue exploration queries back-to-back against a
+// `QueryServer` while the offered load is stepped past saturation.
+//
+// What the sweep must show (the robustness story, not a speed contest):
+//   - throughput saturates at some client count (the knee) and then holds —
+//     no latency collapse past it;
+//   - past the knee the extra load surfaces as `shed` (admission refusals)
+//     and `degraded` (highlight-only fallbacks), not as queue backlog;
+//   - p99/p999 stay bounded by the request deadline at every load point;
+//   - zero requests hang past their deadline (the `overdue` column counts
+//     responses slower than deadline + a generous scheduling-slack; it must
+//     print 0 everywhere).
+//
+// Capture for the perf trajectory (see EXPERIMENTS.md "Bench catalog"):
+//   ./bench/bench_serving | grep '^BENCH_JSON' | cut -d' ' -f2-
+//   (redirect into BENCH_serving.json)
+//
+// Flags: --clients N (cap of the sweep, default 320), --point-ms N
+// (measured seconds per load point, default 700 ms), --days N, --cells N.
+// The CI smoke run uses --clients 24 --point-ms 250 --cells 60.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "serve/server.h"
+#include "telco/generator.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+/// Per-request wall-clock budget. Small enough that a full sweep finishes
+/// in seconds, large enough that exact answers win comfortably off-knee.
+constexpr double kDeadlineSeconds = 0.15;
+
+/// A response may run past its deadline only by scheduling delay (the
+/// gather wait is deadline-bounded; the merge after it is index-speed
+/// work). Anything beyond the slack counts as a hang — the bench's
+/// headline invariant is that the `overdue` column is 0 everywhere. The
+/// slack scales with thread oversubscription: a closed loop running
+/// hundreds of client threads over a handful of cores deschedules threads
+/// for whole scheduler quanta, which is noise, not a hang (a real hang —
+/// a wait that ignores the deadline — parks the client for the remainder
+/// of the load point and still trips any slack).
+double OverdueSlackSeconds(int clients) {
+  const double cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  return 0.20 + 0.005 * static_cast<double>(clients) / cores;
+}
+
+struct ClientTally {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+  uint64_t retries = 0;
+  uint64_t overdue = 0;
+};
+
+struct LoadPoint {
+  int clients = 0;
+  double seconds = 0;
+  double throughput_rps = 0;  ///< all classified responses per second
+  double goodput_rps = 0;     ///< ok + degraded per second
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  ClientTally totals;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// One client's closed loop: random 1-3 hour windows inside the trace day,
+/// half of them restricted to a random quadrant of the cell extent.
+void RunClient(QueryServer& server, const TraceConfig& config, uint64_t seed,
+               int tenant, double until_steady, double overdue_slack,
+               ClientTally* tally) {
+  Rng rng(seed);
+  const BoundingBox extent = server.cells().extent();
+  const double mid_x = (extent.min_x + extent.max_x) / 2;
+  const double mid_y = (extent.min_y + extent.max_y) / 2;
+  while (SteadySeconds() < until_steady) {
+    ServeRequest request;
+    request.tenant = "tenant-" + std::to_string(tenant);
+    request.deadline_seconds = kDeadlineSeconds;
+    const int64_t hour = rng.UniformInt(0, 21);
+    request.query.window_begin = config.start + hour * 3600;
+    request.query.window_end =
+        request.query.window_begin + rng.UniformInt(1, 3) * 3600;
+    if (rng.Bernoulli(0.5)) {
+      request.query.has_box = true;
+      request.query.box =
+          rng.Bernoulli(0.5)
+              ? BoundingBox{extent.min_x, extent.min_y, mid_x, mid_y}
+              : BoundingBox{mid_x, mid_y, extent.max_x, extent.max_y};
+    }
+    Stopwatch watch;
+    const ServeResponse response = server.Query(request);
+    const double elapsed = watch.ElapsedSeconds();
+    tally->latencies_ms.push_back(elapsed * 1e3);
+    tally->retries += static_cast<uint64_t>(response.retries);
+    if (elapsed > kDeadlineSeconds + overdue_slack) ++tally->overdue;
+    switch (response.outcome) {
+      case ServeOutcome::kOk: ++tally->ok; break;
+      case ServeOutcome::kDegraded: ++tally->degraded; break;
+      case ServeOutcome::kShed:
+        ++tally->shed;
+        // Real clients back off on a refusal; without this the rejected
+        // closed loop spins on the admission check and the throughput
+        // column measures the shed path's speed, not the server's.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rng.UniformInt(1, 5)));
+        break;
+      case ServeOutcome::kDeadlineExceeded: ++tally->deadline_exceeded; break;
+      case ServeOutcome::kError: ++tally->errors; break;
+    }
+  }
+}
+
+LoadPoint RunPoint(QueryServer& server, const TraceConfig& config,
+                   int clients, double point_seconds, uint64_t seed) {
+  LoadPoint point;
+  point.clients = clients;
+  std::vector<ClientTally> tallies(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const double until = SteadySeconds() + point_seconds;
+  const double slack = OverdueSlackSeconds(clients);
+  Stopwatch watch;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, std::ref(server), std::cref(config),
+                         seed ^ (0x9e3779b97f4a7c15ull * (c + 1)), c % 3,
+                         until, slack, &tallies[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  point.seconds = watch.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const ClientTally& tally : tallies) {
+    all.insert(all.end(), tally.latencies_ms.begin(),
+               tally.latencies_ms.end());
+    point.totals.ok += tally.ok;
+    point.totals.degraded += tally.degraded;
+    point.totals.shed += tally.shed;
+    point.totals.deadline_exceeded += tally.deadline_exceeded;
+    point.totals.errors += tally.errors;
+    point.totals.retries += tally.retries;
+    point.totals.overdue += tally.overdue;
+  }
+  std::sort(all.begin(), all.end());
+  point.p50_ms = Percentile(all, 0.50);
+  point.p99_ms = Percentile(all, 0.99);
+  point.p999_ms = Percentile(all, 0.999);
+  const double completed = static_cast<double>(all.size());
+  point.throughput_rps = completed / point.seconds;
+  point.goodput_rps =
+      static_cast<double>(point.totals.ok + point.totals.degraded) /
+      point.seconds;
+  return point;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main(int argc, char** argv) {
+  using namespace spate;
+  using namespace spate::bench;
+
+  TraceConfig config;
+  config.days = 1;
+  config.num_cells = 90;
+  config.num_antennas = 30;
+  config.num_users = 400;
+  int64_t max_clients = 320;
+  int64_t point_ms = 700;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    int64_t v = 0;
+    if (strcmp(argv[i], "--clients") == 0 && ParseInt64(argv[i + 1], &v)) {
+      max_clients = v;
+    } else if (strcmp(argv[i], "--point-ms") == 0 &&
+               ParseInt64(argv[i + 1], &v)) {
+      point_ms = v;
+    } else if (strcmp(argv[i], "--days") == 0 && ParseInt64(argv[i + 1], &v)) {
+      config.days = static_cast<int>(v);
+    } else if (strcmp(argv[i], "--cells") == 0 && ParseInt64(argv[i + 1], &v)) {
+      config.num_cells = static_cast<int>(v);
+      config.num_antennas = static_cast<int>(v) / 3;
+    }
+  }
+  const double point_seconds = static_cast<double>(point_ms) / 1e3;
+
+  const TraceGenerator generator(config);
+  ServeOptions options;
+  options.num_shards = 4;
+  options.default_deadline_seconds = kDeadlineSeconds;
+  // Shedding in this sweep comes from concurrency, not request rate: each
+  // tenant (clients round-robin over three) may hold 24 requests in flight;
+  // past ~72 concurrent clients the admission queue starts refusing.
+  options.quota.tokens_per_second = 0;
+  options.quota.max_in_flight = 24;
+  QueryServer server(options, generator.cells());
+  for (Timestamp epoch : generator.EpochStarts()) {
+    if (!server.Ingest(generator.GenerateSnapshot(epoch)).ok()) {
+      fprintf(stderr, "ingest failed at %s\n", FormatCompact(epoch).c_str());
+    }
+  }
+
+  printf("# Serving tier under overload: closed-loop sweep, %d shard(s), "
+         "%lld ms per point\n",
+         static_cast<int>(options.num_shards),
+         static_cast<long long>(point_ms));
+  printf("# deadline %.0f ms, 3 tenants x %llu in-flight cap, shard queue "
+         "depth %zu\n",
+         kDeadlineSeconds * 1e3,
+         static_cast<unsigned long long>(options.quota.max_in_flight),
+         options.tuning.queue_capacity);
+  printf("# Expected shape: goodput saturates at the knee and holds; past "
+         "it the surplus\n");
+  printf("# load sheds (admission) or degrades (highlight fallback); p99 "
+         "stays bounded by\n");
+  printf("# the deadline; the overdue column is 0 at every point.\n\n");
+
+  std::vector<int> sweep;
+  for (int c : {4, 16, 48, 96, 192, 320}) {
+    if (c < max_clients) sweep.push_back(c);
+  }
+  sweep.push_back(static_cast<int>(max_clients));
+
+  // Unrecorded warm-up: fills the shard result caches' hot entries and
+  // faults in the decompression paths so point 1 is not measuring cold
+  // start.
+  RunPoint(server, config, std::min(4, static_cast<int>(max_clients)), 0.2,
+           0xfeedu);
+
+  std::vector<LoadPoint> points;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    points.push_back(RunPoint(server, config, sweep[i], point_seconds,
+                              0xabcdefull * (i + 1)));
+  }
+
+  printf("%8s %10s %10s %8s %8s %8s %7s %8s %6s %9s %7s %8s %7s\n",
+         "clients", "rps", "goodput", "p50ms", "p99ms", "p999ms", "ok",
+         "degraded", "shed", "deadline", "error", "retries", "overdue");
+  for (const LoadPoint& p : points) {
+    printf("%8d %10.1f %10.1f %8.1f %8.1f %8.1f %7llu %8llu %6llu %9llu "
+           "%7llu %8llu %7llu\n",
+           p.clients, p.throughput_rps, p.goodput_rps, p.p50_ms, p.p99_ms,
+           p.p999_ms, static_cast<unsigned long long>(p.totals.ok),
+           static_cast<unsigned long long>(p.totals.degraded),
+           static_cast<unsigned long long>(p.totals.shed),
+           static_cast<unsigned long long>(p.totals.deadline_exceeded),
+           static_cast<unsigned long long>(p.totals.errors),
+           static_cast<unsigned long long>(p.totals.retries),
+           static_cast<unsigned long long>(p.totals.overdue));
+  }
+
+  double saturation = 0;
+  uint64_t total_overdue = 0, total_errors = 0;
+  for (const LoadPoint& p : points) {
+    saturation = std::max(saturation, p.goodput_rps);
+    total_overdue += p.totals.overdue;
+    total_errors += p.totals.errors;
+  }
+  printf("\n# saturation goodput: %.1f responses/s; overdue responses: "
+         "%llu; unclassified errors: %llu\n",
+         saturation, static_cast<unsigned long long>(total_overdue),
+         static_cast<unsigned long long>(total_errors));
+
+  printf("\nBENCH_JSON {\"bench\":\"serving\","
+         "\"deadline_ms\":%.0f,\"saturation_goodput_rps\":%.1f,\"rows\":[",
+         kDeadlineSeconds * 1e3, saturation);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    printf("%s{\"clients\":%d,\"throughput_rps\":%.1f,\"goodput_rps\":%.1f,"
+           "\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"p999_ms\":%.2f,"
+           "\"ok\":%llu,\"degraded\":%llu,\"shed\":%llu,"
+           "\"deadline_exceeded\":%llu,\"errors\":%llu,\"retries\":%llu,"
+           "\"overdue\":%llu}",
+           i ? "," : "", p.clients, p.throughput_rps, p.goodput_rps,
+           p.p50_ms, p.p99_ms, p.p999_ms,
+           static_cast<unsigned long long>(p.totals.ok),
+           static_cast<unsigned long long>(p.totals.degraded),
+           static_cast<unsigned long long>(p.totals.shed),
+           static_cast<unsigned long long>(p.totals.deadline_exceeded),
+           static_cast<unsigned long long>(p.totals.errors),
+           static_cast<unsigned long long>(p.totals.retries),
+           static_cast<unsigned long long>(p.totals.overdue));
+  }
+  printf("]}\n");
+  return total_errors == 0 ? 0 : 1;
+}

@@ -17,6 +17,11 @@
 //                          observed so far (spate::lockdep; populated in
 //                          instrumented builds — -DSPATE_LOCKDEP=ON or
 //                          Debug)
+//   serve-stats [n]        drive n demo requests (default 60) through a
+//                          sharded QueryServer over the same trace, then
+//                          print per-tenant admission counters and
+//                          per-shard breaker/queue/fallback state (the
+//                          serving tier, src/serve/)
 //   help / quit
 //
 // Non-interactive use:  echo "sql SELECT COUNT(*) FROM CDR" | spate_cli
@@ -26,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -36,6 +42,7 @@
 #include "common/strings.h"
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
+#include "serve/server.h"
 #include "sql/executor.h"
 #include "telco/generator.h"
 #include "telco/schema.h"
@@ -68,6 +75,79 @@ bool ParseWindow(std::istringstream& in, Timestamp* begin, Timestamp* end) {
   *begin = ParseCompact(from);
   *end = ParseCompact(to);
   return *begin >= 0 && *end >= 0 && *begin < *end;
+}
+
+/// `serve-stats [n]`: drives a small deterministic mixed-tenant workload
+/// through a lazily built 4-shard QueryServer over the same trace, then
+/// prints the serving tier's two counter tables. Three tenants exercise
+/// the admission paths: "interactive" runs within quota on a workable
+/// deadline, "batch" runs the same load on a deadline too tight for exact
+/// answers (degrades, and its repeated deadline failures can trip shard
+/// breakers), and "greedy" carries a tiny token bucket (sheds).
+void RunServeStats(const TraceGenerator& generator, int requests) {
+  static std::unique_ptr<QueryServer> server;
+  if (server == nullptr) {
+    fprintf(stderr, "building the 4-shard serving tier (one-time)... ");
+    ServeOptions options;
+    options.num_shards = 4;
+    options.default_deadline_seconds = 0.05;
+    server = std::make_unique<QueryServer>(options, generator.cells());
+    for (Timestamp epoch : generator.EpochStarts()) {
+      if (!server->Ingest(generator.GenerateSnapshot(epoch)).ok()) {
+        fprintf(stderr, "shard ingest failed\n");
+        server.reset();
+        return;
+      }
+    }
+    TenantQuota tiny;
+    tiny.tokens_per_second = 0.1;
+    tiny.burst = 3;
+    server->SetQuota("greedy", tiny);
+    fprintf(stderr, "done.\n");
+  }
+
+  const TraceConfig& trace = generator.config();
+  const char* tenants[] = {"interactive", "batch", "greedy"};
+  for (int i = 0; i < requests; ++i) {
+    ServeRequest request;
+    request.tenant = tenants[i % 3];
+    // "batch" gets a deadline no exact decode can meet: its answers come
+    // from the highlight ladder and its shards record deadline failures.
+    request.deadline_seconds = request.tenant == "batch" ? 1e-4 : 0.05;
+    request.query.window_begin = trace.start + (i % 20) * 3600;
+    request.query.window_end = request.query.window_begin + 3600;
+    server->Query(request);
+  }
+
+  const ServerStats stats = server->Stats();
+  printf("%-13s %9s %9s %6s %9s %6s %9s %6s\n", "tenant", "admitted",
+         "in-flight", "ok", "degraded", "shed", "deadline", "error");
+  for (const auto& [tenant, t] : stats.tenants) {
+    printf("%-13s %9llu %9llu %6llu %9llu %6llu %9llu %6llu\n",
+           tenant.c_str(), static_cast<unsigned long long>(t.admitted),
+           static_cast<unsigned long long>(t.in_flight),
+           static_cast<unsigned long long>(t.ok),
+           static_cast<unsigned long long>(t.degraded),
+           static_cast<unsigned long long>(t.shed),
+           static_cast<unsigned long long>(t.deadline_exceeded),
+           static_cast<unsigned long long>(t.errors));
+  }
+  printf("\n%5s %-9s %6s %8s %9s %9s %8s %9s %12s\n", "shard", "breaker",
+         "trips", "shorted", "q-reject", "executed", "retries", "fallback",
+         "cache h/m");
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStats& s = stats.shards[i];
+    printf("%5zu %-9s %6llu %8llu %9llu %9llu %8llu %9llu %6llu/%llu\n", i,
+           std::string(CircuitBreaker::StateName(s.breaker_state)).c_str(),
+           static_cast<unsigned long long>(s.breaker_trips),
+           static_cast<unsigned long long>(s.short_circuits),
+           static_cast<unsigned long long>(s.queue_rejections),
+           static_cast<unsigned long long>(s.executed),
+           static_cast<unsigned long long>(s.retries),
+           static_cast<unsigned long long>(s.fallbacks),
+           static_cast<unsigned long long>(s.cache.hits),
+           static_cast<unsigned long long>(s.cache.misses));
+  }
 }
 
 }  // namespace
@@ -115,7 +195,8 @@ int main(int argc, char** argv) {
              "  top callers|cells|devices <from> <to> [k]\n"
              "  hist rssi|throughput|duration <from> <to>\n"
              "  stats | decay <days> | quit\n"
-             "  fsck | corrupt <seed> | repair | locks\n");
+             "  fsck | corrupt <seed> | repair | locks\n"
+             "  serve-stats [n]         serving-tier tenant/shard counters\n");
       continue;
     }
     if (command == "top") {
@@ -297,6 +378,16 @@ int main(int argc, char** argv) {
     }
     if (command == "locks") {
       printf("%s", lockdep::Dump().c_str());
+      continue;
+    }
+    if (command == "serve-stats") {
+      int64_t requests = 60;
+      std::string count_text;
+      if (in >> count_text && !ParseInt64(count_text, &requests)) {
+        printf("usage: serve-stats [requests]\n");
+        continue;
+      }
+      RunServeStats(generator, static_cast<int>(requests));
       continue;
     }
     if (command == "repair") {

@@ -1,6 +1,7 @@
 #ifndef SPATE_COMMON_LATCH_H_
 #define SPATE_COMMON_LATCH_H_
 
+#include <chrono>
 #include <cstddef>
 
 #include "common/mutex.h"
@@ -36,6 +37,28 @@ class CountdownLatch {
   void Wait() EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     while (count_ != 0) cv_.Wait(&mu_);
+  }
+
+  /// Blocks until the count reaches zero or `timeout_seconds` elapse on the
+  /// steady clock. Returns true when the count hit zero in time. The
+  /// deadline-bounded scatter/gather uses this so a stuck shard can never
+  /// hold a request past its deadline; a false return means some jobs are
+  /// still in flight, so the latch must stay alive for them (the serving
+  /// tier keeps it in shared scatter state owned by the last finisher).
+  bool WaitFor(double timeout_seconds) EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_seconds);
+    MutexLock lock(&mu_);
+    while (count_ != 0) {
+      const double remaining =
+          std::chrono::duration<double>(deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0 || !cv_.WaitFor(&mu_, remaining)) {
+        return count_ == 0;
+      }
+    }
+    return true;
   }
 
  private:

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <type_traits>
 
 namespace spate {
 namespace lockdep {
@@ -22,9 +23,28 @@ struct Held {
   std::chrono::steady_clock::time_point since;
 };
 
+/// Deepest simultaneous lock nesting one thread may reach. The declared
+/// hierarchy is three ranks deep; sixteen held mutexes on one thread is a
+/// design failure, and the detector fails fast on it (see AfterAcquire).
+constexpr int kMaxHeldDepth = 16;
+
+/// Per-thread held-mutex stack. Deliberately a fixed-capacity aggregate and
+/// NOT a std::vector: this must stay trivially destructible. The main
+/// thread's C++ thread_local destructors run *before* static/atexit
+/// destructors during exit(), so a mutex acquired by a static object's
+/// destructor (a ThreadPool joining its workers, say) would push into an
+/// already-destroyed vector — a write into freed heap that glibc reports as
+/// "malloc_consolidate(): unaligned fastbin chunk detected" at exit. A
+/// trivially-destructible state registers no TLS destructor at all, so the
+/// stack stays valid for the whole lifetime of its thread, teardown
+/// included — the same reasoning that leaks the Registry below.
 struct ThreadState {
-  std::vector<Held> held;
+  Held held[kMaxHeldDepth];
+  int depth = 0;
 };
+static_assert(std::is_trivially_destructible_v<ThreadState>,
+              "ThreadState must not register a TLS destructor: lockdep hooks "
+              "run from static destructors, after thread_local teardown");
 
 ThreadState& LocalState() {
   thread_local ThreadState state;
@@ -70,11 +90,13 @@ class Registry {
     return NameLocked(site);
   }
 
-  /// Order check for acquiring `site` while `held` sites are on the stack.
-  void CheckOrder(const std::vector<Held>& held, int site) {
+  /// Order check for acquiring `site` while `held[0..depth)` are on the
+  /// stack.
+  void CheckOrder(const Held* held, int depth, int site) {
     if (site == kUnnamedSite) return;
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Held& h : held) {
+    for (int i = 0; i < depth; ++i) {
+      const Held& h = held[i];
       if (h.site == kUnnamedSite) continue;
       if (h.site == site) {
         ReportSameRankLocked(site);
@@ -296,8 +318,8 @@ std::string SiteName(int site) { return Registry::Instance().SiteName(site); }
 
 void BeforeAcquire(const void* handle, int site) {
   ThreadState& state = LocalState();
-  for (const Held& h : state.held) {
-    if (h.handle == handle) {
+  for (int i = 0; i < state.depth; ++i) {
+    if (state.held[i].handle == handle) {
       // Re-acquiring a non-recursive mutex this thread already holds can
       // only ever hang, so there is no report to hand back — fail fast.
       std::fprintf(stderr,
@@ -308,24 +330,36 @@ void BeforeAcquire(const void* handle, int site) {
       std::abort();
     }
   }
-  if (state.held.empty()) return;
-  Registry::Instance().CheckOrder(state.held, site);
+  if (state.depth == 0) return;
+  Registry::Instance().CheckOrder(state.held, state.depth, site);
 }
 
 void AfterAcquire(const void* handle, int site, bool contended,
                   uint64_t wait_ns) {
   ThreadState& state = LocalState();
-  state.held.push_back(Held{handle, site, std::chrono::steady_clock::now()});
+  if (state.depth == kMaxHeldDepth) {
+    // Deeper nesting than the fixed stack tracks cannot be checked; a
+    // silent drop here would quietly blind the detector, so fail fast.
+    std::fprintf(stderr,
+                 "lockdep: held-stack overflow: thread holds %d mutexes at "
+                 "once while acquiring \"%s\"\n",
+                 state.depth, Registry::Instance().SiteName(site).c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  state.held[state.depth++] =
+      Held{handle, site, std::chrono::steady_clock::now()};
   Registry::Instance().ChargeAcquire(site, contended, wait_ns);
 }
 
 void OnRelease(const void* handle, int site) {
   ThreadState& state = LocalState();
-  for (size_t i = state.held.size(); i > 0; --i) {
+  for (int i = state.depth; i > 0; --i) {
     const Held& h = state.held[i - 1];
     if (h.handle != handle) continue;
     const auto hold = std::chrono::steady_clock::now() - h.since;
-    state.held.erase(state.held.begin() + static_cast<ptrdiff_t>(i - 1));
+    for (int j = i; j < state.depth; ++j) state.held[j - 1] = state.held[j];
+    --state.depth;
     Registry::Instance().ChargeRelease(
         site, static_cast<uint64_t>(
                   std::chrono::duration_cast<std::chrono::nanoseconds>(hold)

@@ -1,6 +1,7 @@
 #ifndef SPATE_COMMON_MUTEX_H_
 #define SPATE_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -127,6 +128,17 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex* mu) REQUIRES(mu) { cv_.wait(*mu); }
+
+  /// Like `Wait` but gives up after `timeout_seconds` on the steady clock.
+  /// Returns false on timeout, true when notified — but callers re-check
+  /// their predicate either way (spurious wakeups; the deadline-bounded
+  /// gather in the serving tier loops on remaining budget).
+  bool WaitFor(Mutex* mu, double timeout_seconds) REQUIRES(mu) {
+    if (timeout_seconds <= 0) return false;
+    return cv_.wait_for(*mu, std::chrono::duration<double>(timeout_seconds)) ==
+           std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -22,7 +22,19 @@ enum class StatusCode {
   /// Data exists but no replica can currently be read (e.g. every datanode
   /// holding it is down). Unlike `kCorruption` the condition may clear once
   /// nodes return or `RepairScan()` runs; callers may degrade gracefully.
+  /// This is a *state* condition (retry later, possibly against another
+  /// replica/shard) — overload rejections use `kResourceExhausted` and
+  /// cancelled/expired work uses `kDeadlineExceeded` instead.
   kUnavailable,
+  /// The operation's deadline passed (or its `CancelToken` was cancelled)
+  /// before it completed. Retrying immediately is pointless — the budget is
+  /// spent; callers answer from coarser summaries or give up.
+  kDeadlineExceeded,
+  /// A bounded resource refused the work: a full admission queue, an empty
+  /// per-tenant token bucket, a rejecting bounded `ThreadPool`. The request
+  /// was shed *before* consuming capacity; retrying after backoff is valid
+  /// and the serving tier's clients are expected to.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "Corruption").
@@ -69,6 +81,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +95,12 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }

@@ -6,7 +6,10 @@
 
 namespace spate {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads) : ThreadPool(num_threads, {}) {}
+
+ThreadPool::ThreadPool(size_t num_threads, const Options& options)
+    : max_queue_(options.max_queue) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -20,15 +23,29 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   work_cv_.NotifyAll();
+  space_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(&mu_);
+    while (max_queue_ != 0 && queue_.size() >= max_queue_ && !shutdown_) {
+      space_cv_.Wait(&mu_);
+    }
     queue_.push_back(std::move(task));
   }
   work_cv_.NotifyOne();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    MutexLock lock(&mu_);
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
@@ -73,6 +90,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (max_queue_ != 0) space_cv_.NotifyOne();
     }
     task();
     {

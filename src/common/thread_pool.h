@@ -33,8 +33,18 @@ namespace spate {
 /// CI job proves the lock discipline with Clang `-Wthread-safety`.
 class ThreadPool {
  public:
+  struct Options {
+    /// Maximum queued (not yet running) tasks; 0 = unbounded (the default,
+    /// and the pre-serving behaviour). When bounded, `Submit` blocks for
+    /// space (backpressure) and `TrySubmit` rejects (load-shedding) — the
+    /// serving tier's shards use a bound of a few requests so backlogs
+    /// surface as `kResourceExhausted` instead of unbounded queueing.
+    size_t max_queue = 0;
+  };
+
   /// Starts `num_threads` workers (>= 1).
   explicit ThreadPool(size_t num_threads);
+  ThreadPool(size_t num_threads, const Options& options);
 
   /// Drains outstanding work, then joins all workers.
   ~ThreadPool();
@@ -42,8 +52,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
+  /// Enqueues `task` for execution on some worker. On a bounded pool this
+  /// blocks until the queue has space (backpressure). Must not be called
+  /// from inside a pool task of the same bounded pool: a worker blocking on
+  /// its own queue's space can deadlock the pool (`ParallelFor`'s existing
+  /// no-nesting contract already forbids the problematic case).
   void Submit(std::function<void()> task) EXCLUDES(mu_);
+
+  /// Non-blocking enqueue: returns false — dropping `task` — when a bounded
+  /// queue is full (the admission path's load-shedding primitive). On an
+  /// unbounded pool it always succeeds.
+  [[nodiscard]] bool TrySubmit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have completed.
   void WaitIdle() EXCLUDES(mu_);
@@ -70,9 +89,15 @@ class ThreadPool {
       ACQUIRED_BEFORE("Dfs.mu", "CountdownLatch.mu") {"ThreadPool.mu"};
   CondVar work_cv_;
   CondVar idle_cv_;
+  /// Signalled when a bounded queue frees a slot (popped by a worker);
+  /// blocking `Submit` calls wait on it.
+  CondVar space_cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   size_t active_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
+  /// Queue bound from `Options::max_queue`; 0 = unbounded. Immutable after
+  /// construction.
+  const size_t max_queue_;
 };
 
 }  // namespace spate

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "dfs/dfs.h"
@@ -192,6 +193,15 @@ class Framework {
 
   /// The raw CELL table rows (for SQL over the CELL table).
   virtual const std::vector<Record>& cell_rows() const = 0;
+
+  /// Installs a cooperative cancellation/deadline token that subsequent
+  /// `Execute`/`ScanWindow` calls poll between leaf decodes, unwinding with
+  /// `kDeadlineExceeded` when it expires (never mid-leaf, so observed state
+  /// stays consistent). `nullptr` detaches. The token must outlive every
+  /// call made while installed; like the rest of the surface this setter is
+  /// externally synchronized with those calls. The baselines ignore it —
+  /// they fail or finish, which is itself a measured difference.
+  virtual void SetCancelToken(const CancelToken* token) { (void)token; }
 };
 
 /// Filters `snapshot` rows to those inside the window and (optionally) the

@@ -509,6 +509,8 @@ Result<QueryResult> SpateFramework::Execute(const ExplorationQuery& query) {
   if (query.window_begin >= query.window_end) {
     return Status::InvalidArgument("query window is empty");
   }
+  // A request that arrives already expired must not touch storage at all.
+  if (cancel_ != nullptr) SPATE_RETURN_IF_ERROR(cancel_->Check());
 
   if (index_.WindowFullyResolved(query.window_begin, query.window_end)) {
     // Exact path: decompress the covered leaves and filter.
@@ -669,6 +671,10 @@ Status SpateFramework::ScanLeaves(
                                 2, options_.parallelism.min_parallel_epochs));
   if (!parallel) {
     for (const LeafNode* leaf : scan_leaves) {
+      // Cancellation check between leaf decodes: an expired token unwinds
+      // here with kDeadlineExceeded — not a degradable failure, so the scan
+      // aborts instead of marking the rest of the window skipped.
+      if (cancel_ != nullptr) SPATE_RETURN_IF_ERROR(cancel_->Check());
       Snapshot snapshot;
       const uint64_t bytes_before = materialize_ctx_.bytes_decoded;
       const Status status =
@@ -696,11 +702,20 @@ Status SpateFramework::ScanLeaves(
   const size_t batch =
       static_cast<size_t>(options_.parallelism.worker_count) * 4;
   for (size_t base = 0; base < scan_leaves.size(); base += batch) {
+    // Between-batch cancellation check on the calling thread; workers also
+    // poll per leaf below, so a mid-batch expiry stops further decodes and
+    // surfaces through the serial fold as kDeadlineExceeded (which is not
+    // degradable — the scan aborts rather than degrade).
+    if (cancel_ != nullptr) SPATE_RETURN_IF_ERROR(cancel_->Check());
     const size_t count = std::min(batch, scan_leaves.size() - base);
     std::vector<Slot> slots(count);
     pool_->ParallelFor(count, [&](size_t begin, size_t end) {
       DecodeContext ctx;  // per-worker buffer; no nested fan-out
       for (size_t i = begin; i < end; ++i) {
+        if (cancel_ != nullptr) {
+          slots[i].status = cancel_->Check();
+          if (!slots[i].status.ok()) continue;  // skip decode, fold aborts
+        }
         const uint64_t bytes_before = ctx.bytes_decoded;
         slots[i].status =
             DecodeLeafWith(*scan_leaves[base + i], opts, &ctx,

@@ -195,6 +195,12 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
   const std::vector<Record>& cell_rows() const override {
     return cell_rows_;
   }
+  /// Cooperative cancellation: scans poll the token between leaf decodes
+  /// (serial path) / between batches and inside workers (parallel path) and
+  /// unwind with `kDeadlineExceeded` — which is deliberately *not* a
+  /// degradable failure, so an expired query aborts instead of skipping the
+  /// rest of its window as "degraded".
+  void SetCancelToken(const CancelToken* token) override { cancel_ = token; }
 
   /// The underlying temporal index (inspection / advanced exploration).
   const TemporalIndex& index() const { return index_; }
@@ -316,6 +322,8 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
   ScanStats last_scan_;
   RecoveryReport recovery_report_;
   Timestamp last_day_persisted_ = -1;
+  /// Installed by `SetCancelToken`; polled by scans. Not owned.
+  const CancelToken* cancel_ = nullptr;
   // Differential-mode state.
   std::string last_ingest_text_;
   Timestamp last_ingest_epoch_ = -1;

@@ -1,0 +1,101 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace spate {
+
+std::string_view ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kOk:
+      return "ok";
+    case ServeOutcome::kDegraded:
+      return "degraded";
+    case ServeOutcome::kShed:
+      return "shed";
+    case ServeOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void AdmissionQueue::SetQuota(const std::string& tenant,
+                              const TenantQuota& quota) {
+  MutexLock lock(&mu_);
+  Tenant& t = GetTenant(tenant);
+  t.quota = quota;
+  // Re-seed the bucket at the new capacity on the next Admit.
+  t.seeded = false;
+}
+
+AdmissionQueue::Tenant& AdmissionQueue::GetTenant(const std::string& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) it->second.quota = default_quota_;
+  return it->second;
+}
+
+Status AdmissionQueue::Admit(const std::string& tenant, double now_seconds) {
+  MutexLock lock(&mu_);
+  Tenant& t = GetTenant(tenant);
+  if (t.quota.tokens_per_second > 0) {
+    if (!t.seeded) {
+      t.tokens = t.quota.burst;
+      t.refilled_at = now_seconds;
+      t.seeded = true;
+    } else if (now_seconds > t.refilled_at) {
+      t.tokens = std::min(
+          t.quota.burst,
+          t.tokens + (now_seconds - t.refilled_at) * t.quota.tokens_per_second);
+      t.refilled_at = now_seconds;
+    }
+    if (t.tokens < 1.0) {
+      ++t.stats.shed;
+      return Status::ResourceExhausted("admission: tenant '" + tenant +
+                                       "' over quota");
+    }
+  }
+  if (t.quota.max_in_flight != 0 &&
+      t.stats.in_flight >= t.quota.max_in_flight) {
+    ++t.stats.shed;
+    return Status::ResourceExhausted("admission: tenant '" + tenant +
+                                     "' at in-flight cap");
+  }
+  if (t.quota.tokens_per_second > 0) t.tokens -= 1.0;
+  ++t.stats.admitted;
+  ++t.stats.in_flight;
+  return Status::OK();
+}
+
+void AdmissionQueue::Finish(const std::string& tenant, ServeOutcome outcome) {
+  MutexLock lock(&mu_);
+  Tenant& t = GetTenant(tenant);
+  if (t.stats.in_flight > 0) --t.stats.in_flight;
+  switch (outcome) {
+    case ServeOutcome::kOk:
+      ++t.stats.ok;
+      break;
+    case ServeOutcome::kDegraded:
+      ++t.stats.degraded;
+      break;
+    case ServeOutcome::kShed:
+      // Shed requests are counted at Admit time and never reach Finish;
+      // tolerate the call anyway so callers can Finish unconditionally.
+      break;
+    case ServeOutcome::kDeadlineExceeded:
+      ++t.stats.deadline_exceeded;
+      break;
+    case ServeOutcome::kError:
+      ++t.stats.errors;
+      break;
+  }
+}
+
+std::map<std::string, TenantStats> AdmissionQueue::Stats() const {
+  MutexLock lock(&mu_);
+  std::map<std::string, TenantStats> out;
+  for (const auto& [name, tenant] : tenants_) out.emplace(name, tenant.stats);
+  return out;
+}
+
+}  // namespace spate

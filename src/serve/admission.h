@@ -1,0 +1,109 @@
+#ifndef SPATE_SERVE_ADMISSION_H_
+#define SPATE_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace spate {
+
+/// How the serving tier ultimately disposed of one admitted request — the
+/// closed set the combined fault+overload test asserts over: every request
+/// ends in exactly one of these, never a hang or a crash.
+enum class ServeOutcome {
+  /// Full-fidelity answer (exact or the framework's normal summary answer).
+  kOk = 0,
+  /// Answered, but degraded: storage faults, a tripped breaker or a spent
+  /// deadline forced highlight-only data for part of the window.
+  kDegraded,
+  /// Rejected at admission (`kResourceExhausted`): quota or queue bound.
+  kShed,
+  /// Admitted but the deadline expired before a degradable answer existed
+  /// (or the caller opted out of degraded answers).
+  kDeadlineExceeded,
+  /// Hard failure (anything else — logic errors, bad arguments).
+  kError,
+};
+
+std::string_view ServeOutcomeName(ServeOutcome outcome);
+
+/// Per-tenant admission policy: a token bucket plus an in-flight cap.
+struct TenantQuota {
+  /// Sustained admission rate (token refill); <= 0 disables rate limiting.
+  double tokens_per_second = 100.0;
+  /// Bucket capacity: the burst a previously idle tenant may fire at once.
+  double burst = 20.0;
+  /// Concurrent admitted-but-unfinished requests allowed; 0 = unlimited.
+  uint64_t max_in_flight = 64;
+};
+
+/// Counters the `serve-stats` CLI prints per tenant.
+struct TenantStats {
+  uint64_t admitted = 0;
+  uint64_t shed = 0;  // rejected at admission (quota or in-flight cap)
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+  uint64_t in_flight = 0;
+};
+
+/// Bounded multi-tenant admission control at the serving tier's front door:
+/// a token-bucket quota and an in-flight cap per tenant, refusing excess
+/// work with `kResourceExhausted` *before* it consumes shard capacity —
+/// load-shedding instead of unbounded queueing, so a misbehaving tenant
+/// saturates its own quota and nothing else.
+///
+/// Time is passed in explicitly (steady-clock seconds, `SteadySeconds()`)
+/// so tests drive the bucket deterministically.
+///
+/// Thread-safety: fully thread-safe; one internal mutex (rank
+/// "AdmissionQueue.mu", the serving tier's outermost lock) guards the
+/// tenant table. `Admit`/`Finish` are cheap map-and-arithmetic critical
+/// sections — never held across a shard call.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(TenantQuota default_quota = {})
+      : default_quota_(default_quota) {}
+
+  /// Installs a per-tenant override of the default quota.
+  void SetQuota(const std::string& tenant, const TenantQuota& quota)
+      EXCLUDES(mu_);
+
+  /// Admits one request for `tenant` at time `now_seconds`, or refuses it
+  /// with `kResourceExhausted` (bucket empty or in-flight cap reached).
+  /// Every successful admission must be paired with exactly one `Finish`.
+  Status Admit(const std::string& tenant, double now_seconds) EXCLUDES(mu_);
+
+  /// Completes an admitted request, recording its outcome.
+  void Finish(const std::string& tenant, ServeOutcome outcome) EXCLUDES(mu_);
+
+  /// Snapshot of every tenant's counters.
+  std::map<std::string, TenantStats> Stats() const EXCLUDES(mu_);
+
+ private:
+  struct Tenant {
+    TenantQuota quota;
+    double tokens = 0;
+    double refilled_at = 0;  // steady seconds of the last refill
+    bool seeded = false;     // bucket starts full on first sight
+    TenantStats stats;
+  };
+
+  Tenant& GetTenant(const std::string& tenant) REQUIRES(mu_);
+
+  const TenantQuota default_quota_;
+  /// Rank "AdmissionQueue.mu" (docs/LOCK_ORDER.md): outermost serving-tier
+  /// lock — admission decides before any shard is involved, so it orders
+  /// before "Shard.mu" (reserved: today's code never nests them).
+  mutable Mutex mu_ ACQUIRED_BEFORE("Shard.mu") {"AdmissionQueue.mu"};
+  std::map<std::string, Tenant> tenants_ GUARDED_BY(mu_);
+};
+
+}  // namespace spate
+
+#endif  // SPATE_SERVE_ADMISSION_H_

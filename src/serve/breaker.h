@@ -1,0 +1,112 @@
+#ifndef SPATE_SERVE_BREAKER_H_
+#define SPATE_SERVE_BREAKER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/thread_annotations.h"
+
+namespace spate {
+
+/// Circuit-breaker tuning. Times are steady-clock seconds, always passed in
+/// explicitly so tests can trip and cool the breaker deterministically.
+struct BreakerOptions {
+  /// Consecutive failures that trip a closed breaker open.
+  int failure_threshold = 4;
+  /// How long an open breaker refuses work before probing again.
+  double open_seconds = 0.25;
+};
+
+/// Per-shard circuit breaker: after `failure_threshold` consecutive
+/// failures (per-shard timeout or `kUnavailable`) the breaker opens and the
+/// front-end stops sending the shard work — short-circuiting straight to
+/// the shard's highlight-only fallback instead of burning the request's
+/// deadline on a dead shard. After `open_seconds` it half-opens: one probe
+/// request goes through; success closes it, failure re-opens it for another
+/// cooldown.
+///
+/// Thread-safety: externally synchronized. The owning `Shard` keeps it
+/// `GUARDED_BY` its mutex (rank "Shard.mu"), so this class holds no lock of
+/// its own and cannot participate in a lock cycle.
+class SPATE_EXTERNALLY_SYNCHRONIZED CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const BreakerOptions& options = {})
+      : options_(options) {}
+
+  /// May a request proceed at time `now`? An open breaker transitions to
+  /// half-open once the cooldown elapses and admits exactly one probe;
+  /// further requests are refused until the probe reports back.
+  bool Allow(double now) {
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now < open_until_) return false;
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      case State::kHalfOpen:
+        if (probe_in_flight_) return false;
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  /// The shard answered: reset to closed.
+  void RecordSuccess() {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+  }
+
+  /// Rolls back a probe reservation that never ran (e.g. `Allow` said yes
+  /// but the shard queue refused the request). Without this a half-open
+  /// breaker would wait forever for a probe verdict that is never coming.
+  void CancelProbe() {
+    if (state_ == State::kHalfOpen) probe_in_flight_ = false;
+  }
+
+  /// The shard timed out or was unavailable at time `now`.
+  void RecordFailure(double now) {
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen ||
+        consecutive_failures_ >= options_.failure_threshold) {
+      if (state_ != State::kOpen) ++trips_;
+      state_ = State::kOpen;
+      open_until_ = now + options_.open_seconds;
+      probe_in_flight_ = false;
+    }
+  }
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Times the breaker went closed/half-open -> open.
+  uint64_t trips() const { return trips_; }
+
+  static std::string_view StateName(State state) {
+    switch (state) {
+      case State::kClosed:
+        return "closed";
+      case State::kOpen:
+        return "open";
+      case State::kHalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+  }
+
+ private:
+  const BreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  double open_until_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_SERVE_BREAKER_H_

@@ -1,0 +1,119 @@
+#ifndef SPATE_SERVE_SERVER_H_
+#define SPATE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/shard.h"
+
+namespace spate {
+
+/// Configuration of the sharded serving tier.
+struct ServeOptions {
+  /// Number of shards; cells hash onto them with a platform-stable FNV-1a,
+  /// so a given cell id always lands on the same shard.
+  size_t num_shards = 4;
+  /// Template for every shard's framework (each gets its own DFS).
+  SpateOptions shard;
+  /// Default per-tenant admission policy (override with `SetQuota`).
+  TenantQuota quota;
+  /// Retry/backoff/breaker/queue tuning shared by the shards.
+  ShardTuning tuning;
+  /// Deadline applied when a request does not carry one.
+  double default_deadline_seconds = 0.25;
+};
+
+/// One front-end request: who is asking, what, and on what budget.
+struct ServeRequest {
+  std::string tenant = "default";
+  ExplorationQuery query;
+  /// <= 0 picks `ServeOptions::default_deadline_seconds`.
+  double deadline_seconds = 0;
+  /// Accept highlight-only answers for shards that missed the deadline or
+  /// sit behind an open breaker. When false such a request fails instead
+  /// (`kDeadlineExceeded` / the shard's error).
+  bool allow_degraded = true;
+};
+
+/// One front-end answer, always classified into exactly one `ServeOutcome`.
+struct ServeResponse {
+  ServeOutcome outcome = ServeOutcome::kError;
+  /// OK for `kOk`/`kDegraded`; the refusal or failure otherwise.
+  Status status;
+  /// Populated for `kOk` and `kDegraded`.
+  QueryResult result;
+  /// Shards the query was scattered to / that answered in full fidelity.
+  size_t shards_asked = 0;
+  size_t shards_answered = 0;
+  /// Shards answered from the highlight mirror (breaker open, queue full,
+  /// deadline spent or hard shard failure, with `allow_degraded`).
+  size_t shards_fallback = 0;
+  /// Total backoff retries the shards spent on this request.
+  int retries = 0;
+};
+
+/// Snapshot of every counter the serving tier keeps.
+struct ServerStats {
+  std::map<std::string, TenantStats> tenants;
+  std::vector<ShardStats> shards;
+};
+
+/// The sharded, multi-tenant query front-end over `SpateFramework` (the
+/// ROADMAP's serving-tier item): N hash-partitioned shards, token-bucket
+/// admission at the front door, deadline-bounded scatter/gather with
+/// cooperative cancellation into the leaf decode loops, jittered-backoff
+/// retries behind per-shard circuit breakers, and a graceful-degradation
+/// ladder (exact -> cached -> framework summary -> highlight mirror ->
+/// shed) so overload bends fidelity before it breaks latency.
+///
+/// Thread-safety: fully thread-safe — `Query` may be called from any number
+/// of client threads concurrently; `Ingest` may run concurrently with
+/// queries (each shard's single worker serializes them per shard). The
+/// lock order is AdmissionQueue.mu -> Shard.mu -> ThreadPool.mu
+/// (docs/LOCK_ORDER.md).
+class QueryServer {
+ public:
+  QueryServer(const ServeOptions& options,
+              const std::vector<Record>& cell_rows);
+
+  /// Splits `snapshot` by cell hash and ingests each slice into its shard
+  /// (every shard sees every epoch, so shard indexes stay window-aligned).
+  /// Blocking — ingest applies backpressure rather than shedding.
+  Status Ingest(const Snapshot& snapshot);
+
+  /// Serves one request end to end: admission, scatter to the owning
+  /// shards, deadline-bounded gather, degradation, outcome accounting.
+  /// Never blocks past the request's deadline by more than scheduling
+  /// noise, and never returns an unclassified response.
+  ServeResponse Query(const ServeRequest& request);
+
+  void SetQuota(const std::string& tenant, const TenantQuota& quota) {
+    admission_.SetQuota(tenant, quota);
+  }
+
+  ServerStats Stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Which shard owns `cell_id` (stable FNV-1a hash, not `std::hash`).
+  size_t ShardOf(const std::string& cell_id) const;
+
+  /// Test access to one shard (see `Shard::framework` for the contract).
+  Shard& shard(size_t index) { return *shards_[index]; }
+
+  const CellDirectory& cells() const { return cells_; }
+
+ private:
+  const ServeOptions options_;
+  CellDirectory cells_;
+  AdmissionQueue admission_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace spate
+
+#endif  // SPATE_SERVE_SERVER_H_

@@ -1,0 +1,165 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/latch.h"
+
+namespace spate {
+
+Shard::Shard(size_t index, const SpateOptions& options,
+             const std::vector<Record>& cell_rows, const ShardTuning& tuning)
+    : index_(index),
+      tuning_(tuning),
+      theta_(options.theta_day),
+      framework_(std::make_unique<SpateFramework>(options, cell_rows)),
+      explorer_(framework_.get()),
+      breaker_(tuning.breaker),
+      jitter_(tuning.seed ^ (0x9e3779b97f4a7c15ull * (index + 1))),
+      pool_(1, ThreadPool::Options{tuning.queue_capacity}) {}
+
+Status Shard::Ingest(const Snapshot& snapshot) {
+  // The mirror summary is computed up front on the calling thread — pure
+  // function of the sub-snapshot, no framework involved.
+  NodeSummary summary;
+  summary.AddSnapshot(snapshot);
+
+  Status status;
+  CountdownLatch done(1);
+  // Blocking Submit: ingest applies backpressure instead of shedding.
+  pool_.Submit([this, &snapshot, &summary, &status, &done] {
+    status = framework_->Ingest(snapshot);
+    if (status.ok()) {
+      MutexLock lock(&mu_);
+      mirror_[snapshot.epoch_start] = std::move(summary);
+    }
+    done.CountDown();
+  });
+  done.Wait();
+  return status;
+}
+
+Status Shard::Dispatch(
+    const ExplorationQuery& query, std::shared_ptr<CancelToken> cancel,
+    std::function<void(Result<QueryResult>, int retries)> on_done) {
+  MutexLock lock(&mu_);
+  if (!breaker_.Allow(SteadySeconds())) {
+    ++short_circuits_;
+    return Status::Unavailable("shard " + std::to_string(index_) +
+                               ": circuit breaker open");
+  }
+  // TrySubmit under Shard.mu: the declared (and observed) Shard.mu ->
+  // ThreadPool.mu edge. Rejection must roll back a half-open breaker's
+  // probe reservation, or the probe slot would leak and wedge the breaker.
+  const bool queued = pool_.TrySubmit(
+      [this, query, cancel = std::move(cancel),
+       on_done = std::move(on_done)]() mutable {
+        RunQuery(query, std::move(cancel), std::move(on_done));
+      });
+  if (!queued) {
+    ++queue_rejections_;
+    breaker_.CancelProbe();
+    return Status::ResourceExhausted("shard " + std::to_string(index_) +
+                                     ": request queue full");
+  }
+  return Status::OK();
+}
+
+void Shard::RunQuery(
+    const ExplorationQuery& query, std::shared_ptr<CancelToken> cancel,
+    std::function<void(Result<QueryResult>, int retries)> on_done) {
+  Status failure = Status::Internal("shard retry loop made no attempt");
+  int retries = 0;
+  for (int attempt = 0; attempt < std::max(1, tuning_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      // Jittered exponential backoff, truncated to the remaining deadline
+      // budget (sleeping past the deadline would only delay the verdict).
+      double backoff = tuning_.backoff_base_seconds;
+      for (int i = 1; i < attempt; ++i) backoff *= 2;
+      backoff = std::min(backoff, tuning_.backoff_max_seconds);
+      {
+        MutexLock lock(&mu_);
+        backoff *= 0.5 + 0.5 * jitter_.NextDouble();
+      }
+      backoff = std::min(backoff, cancel->RemainingSeconds());
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      ++retries;
+      MutexLock lock(&mu_);
+      ++retries_;
+    }
+    const Status live = cancel->Check();
+    if (!live.ok()) {
+      failure = live;
+      break;
+    }
+    framework_->SetCancelToken(cancel.get());
+    Result<QueryResult> result = explorer_.Execute(query);
+    framework_->SetCancelToken(nullptr);
+    {
+      MutexLock lock(&mu_);
+      ++executed_;
+    }
+    if (result.ok()) {
+      {
+        MutexLock lock(&mu_);
+        breaker_.RecordSuccess();
+      }
+      on_done(std::move(result), retries);
+      return;
+    }
+    failure = result.status();
+    if (failure.IsUnavailable() || failure.IsDeadlineExceeded()) {
+      // Per-shard timeout or unreachable storage: the breaker's food.
+      MutexLock lock(&mu_);
+      breaker_.RecordFailure(SteadySeconds());
+    }
+    // Only kUnavailable is worth retrying: the replica may come back or
+    // another one may serve. A spent deadline or a logic error will not
+    // improve on attempt two.
+    if (!failure.IsUnavailable()) break;
+  }
+  on_done(Result<QueryResult>(failure), retries);
+}
+
+QueryResult Shard::HighlightFallback(const ExplorationQuery& query,
+                                     const CellDirectory& cells) const {
+  NodeSummary merged;
+  {
+    MutexLock lock(&mu_);
+    ++fallbacks_;
+    // std::map iterates in key (timestamp) order — the float-stable merge
+    // order every roll-up in the codebase uses.
+    for (auto it = mirror_.lower_bound(TruncateToEpoch(query.window_begin));
+         it != mirror_.end() && it->first < query.window_end; ++it) {
+      merged.Merge(it->second);
+    }
+  }
+  QueryResult result;
+  result.exact = false;
+  result.degraded = true;
+  result.served_from = IndexLevel::kEpoch;
+  result.summary = RestrictSummaryToBox(merged, query, cells);
+  result.highlights = result.summary.ExtractHighlights(theta_);
+  return result;
+}
+
+ShardStats Shard::Stats() const {
+  MutexLock lock(&mu_);
+  ShardStats stats;
+  stats.breaker_state = breaker_.state();
+  stats.breaker_trips = breaker_.trips();
+  stats.short_circuits = short_circuits_;
+  stats.queue_rejections = queue_rejections_;
+  stats.executed = executed_;
+  stats.retries = retries_;
+  stats.fallbacks = fallbacks_;
+  stats.cache = explorer_.cache().stats();
+  return stats;
+}
+
+}  // namespace spate

@@ -33,6 +33,25 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(StatusTest, ServingTierCodes) {
+  const Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+  EXPECT_FALSE(deadline.IsUnavailable());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: budget spent");
+
+  const Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_FALSE(shed.IsDeadlineExceeded());
+  EXPECT_EQ(shed.ToString(), "ResourceExhausted: queue full");
 }
 
 TEST(ResultTest, HoldsValue) {

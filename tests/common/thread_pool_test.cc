@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -123,6 +124,100 @@ TEST(ThreadPoolTest, ParallelForDoesNotWaitForUnrelatedTasks) {
   EXPECT_EQ(covered.load(), 100);  // returned while the parked task blocks
   release.CountDown();
   pool.WaitIdle();
+}
+
+TEST(BoundedThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1, ThreadPool::Options{2});
+  CountdownLatch release(1);
+  CountdownLatch running(1);
+  pool.Submit([&] {
+    running.CountDown();
+    release.Wait();
+  });
+  running.Wait();  // the worker is parked; queued tasks now pile up
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  // Queue bound reached: the overflow task is rejected, not queued.
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  release.CountDown();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);
+  // Space freed: accepted again.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(BoundedThreadPoolTest, SubmitBlocksUntilSpaceFrees) {
+  ThreadPool pool(1, ThreadPool::Options{1});
+  CountdownLatch release(1);
+  CountdownLatch running(1);
+  pool.Submit([&] {
+    running.CountDown();
+    release.Wait();
+  });
+  running.Wait();
+  ASSERT_TRUE(pool.TrySubmit([] {}));  // fills the one queue slot
+  std::atomic<bool> submitted{false};
+  std::atomic<int> ran{0};
+  std::thread blocked([&] {
+    pool.Submit([&ran] { ran.fetch_add(1); });  // must block: queue is full
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load());  // still waiting for space
+  release.CountDown();
+  blocked.join();
+  EXPECT_TRUE(submitted.load());
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(BoundedThreadPoolTest, UnboundedTrySubmitAlwaysAccepts) {
+  ThreadPool pool(1);
+  CountdownLatch release(1);
+  pool.Submit([&release] { release.Wait(); });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([] {}));
+  }
+  release.CountDown();
+  pool.WaitIdle();
+}
+
+TEST(BoundedThreadPoolTest, ParallelForWorksOnBoundedPool) {
+  // ParallelFor uses the blocking Submit, so a queue bound smaller than the
+  // chunk count must not drop chunks — it just applies backpressure.
+  ThreadPool pool(4, ThreadPool::Options{2});
+  std::atomic<int> covered{0};
+  pool.ParallelFor(10000, [&covered](size_t begin, size_t end) {
+    covered.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(covered.load(), 10000);
+}
+
+TEST(LatchTest, WaitForTimesOutWhileHeld) {
+  CountdownLatch latch(1);
+  EXPECT_FALSE(latch.WaitFor(0.01));
+  latch.CountDown();
+  EXPECT_TRUE(latch.WaitFor(0.01));
+}
+
+TEST(LatchTest, WaitForReturnsOnceCountReachesZero) {
+  CountdownLatch latch(2);
+  std::thread t([&latch] {
+    latch.CountDown();
+    latch.CountDown();
+  });
+  EXPECT_TRUE(latch.WaitFor(30.0));
+  t.join();
+}
+
+TEST(LatchTest, WaitForZeroTimeoutReportsCurrentState) {
+  CountdownLatch pending(1);
+  EXPECT_FALSE(pending.WaitFor(0));
+  CountdownLatch done(0);
+  EXPECT_TRUE(done.WaitFor(0));
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

@@ -1,0 +1,169 @@
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/breaker.h"
+
+namespace spate {
+namespace {
+
+// Admission time is passed in explicitly, so every bucket transition here
+// is exact arithmetic — no sleeps, no clock reads.
+
+TenantQuota SmallQuota() {
+  TenantQuota quota;
+  quota.tokens_per_second = 8.0;
+  quota.burst = 2.0;
+  quota.max_in_flight = 8;
+  return quota;
+}
+
+TEST(AdmissionQueueTest, BurstThenShedThenRefill) {
+  AdmissionQueue admission(SmallQuota());
+  // The bucket starts full at `burst`: two admissions, then shed.
+  EXPECT_TRUE(admission.Admit("alice", 100.0).ok());
+  EXPECT_TRUE(admission.Admit("alice", 100.0).ok());
+  const Status shed = admission.Admit("alice", 100.0);
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  // 0.125 s at 8 tokens/s refills exactly one token (both values are exact
+  // in binary, so the bucket lands on 1.0, not 0.999...).
+  EXPECT_TRUE(admission.Admit("alice", 100.125).ok());
+  EXPECT_TRUE(admission.Admit("alice", 100.125).IsResourceExhausted());
+}
+
+TEST(AdmissionQueueTest, BucketCapsAtBurst) {
+  AdmissionQueue admission(SmallQuota());
+  EXPECT_TRUE(admission.Admit("t", 0.0).ok());
+  // A long idle period refills to `burst` (2), not to rate * idle.
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(admission.Admit("t", 1000.0).ok());
+  EXPECT_TRUE(admission.Admit("t", 1000.0).IsResourceExhausted());
+}
+
+TEST(AdmissionQueueTest, TenantsAreIsolated) {
+  AdmissionQueue admission(SmallQuota());
+  EXPECT_TRUE(admission.Admit("noisy", 0.0).ok());
+  EXPECT_TRUE(admission.Admit("noisy", 0.0).ok());
+  EXPECT_TRUE(admission.Admit("noisy", 0.0).IsResourceExhausted());
+  // The noisy tenant burned its own bucket, not quiet's.
+  EXPECT_TRUE(admission.Admit("quiet", 0.0).ok());
+}
+
+TEST(AdmissionQueueTest, InFlightCapSheds) {
+  TenantQuota quota;
+  quota.tokens_per_second = 0;  // disable rate limiting; cap only
+  quota.max_in_flight = 2;
+  AdmissionQueue admission(quota);
+  EXPECT_TRUE(admission.Admit("t", 0.0).ok());
+  EXPECT_TRUE(admission.Admit("t", 0.0).ok());
+  EXPECT_TRUE(admission.Admit("t", 0.0).IsResourceExhausted());
+  admission.Finish("t", ServeOutcome::kOk);
+  EXPECT_TRUE(admission.Admit("t", 0.0).ok());
+}
+
+TEST(AdmissionQueueTest, CountersClassifyOutcomes) {
+  TenantQuota quota;
+  quota.tokens_per_second = 0;
+  quota.max_in_flight = 0;  // unlimited
+  AdmissionQueue admission(quota);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(admission.Admit("t", 0.0).ok());
+  admission.Finish("t", ServeOutcome::kOk);
+  admission.Finish("t", ServeOutcome::kDegraded);
+  admission.Finish("t", ServeOutcome::kDeadlineExceeded);
+  admission.Finish("t", ServeOutcome::kError);
+  const auto stats = admission.Stats();
+  ASSERT_EQ(stats.count("t"), 1u);
+  const TenantStats& t = stats.at("t");
+  EXPECT_EQ(t.admitted, 4u);
+  EXPECT_EQ(t.ok, 1u);
+  EXPECT_EQ(t.degraded, 1u);
+  EXPECT_EQ(t.deadline_exceeded, 1u);
+  EXPECT_EQ(t.errors, 1u);
+  EXPECT_EQ(t.in_flight, 0u);
+  EXPECT_EQ(t.shed, 0u);
+}
+
+TEST(AdmissionQueueTest, SetQuotaOverridesDefault) {
+  AdmissionQueue admission(SmallQuota());
+  TenantQuota wide = SmallQuota();
+  wide.burst = 5.0;
+  admission.SetQuota("vip", wide);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(admission.Admit("vip", 0.0).ok());
+  EXPECT_TRUE(admission.Admit("vip", 0.0).IsResourceExhausted());
+}
+
+TEST(ServeOutcomeTest, NamesAreStable) {
+  EXPECT_EQ(ServeOutcomeName(ServeOutcome::kOk), "ok");
+  EXPECT_EQ(ServeOutcomeName(ServeOutcome::kDegraded), "degraded");
+  EXPECT_EQ(ServeOutcomeName(ServeOutcome::kShed), "shed");
+  EXPECT_EQ(ServeOutcomeName(ServeOutcome::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(ServeOutcomeName(ServeOutcome::kError), "error");
+}
+
+BreakerOptions FastBreaker() {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_seconds = 1.0;
+  return options;
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(FastBreaker());
+  EXPECT_TRUE(breaker.Allow(0.0));
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(0.0));
+  breaker.RecordFailure(0.0);  // third strike
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow(0.5));  // cooldown running
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  CircuitBreaker breaker(FastBreaker());
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(0.0);
+  breaker.RecordSuccess();
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(0.0);
+  // Never three in a row: still closed.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbe) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Cooldown elapsed: exactly one probe goes through.
+  EXPECT_TRUE(breaker.Allow(1.5));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(1.5));  // probe still in flight
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(1.5));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0.0);
+  EXPECT_TRUE(breaker.Allow(1.5));  // probe
+  breaker.RecordFailure(1.5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.Allow(2.0));   // new cooldown from 1.5
+  EXPECT_TRUE(breaker.Allow(2.6));    // elapsed: next probe
+}
+
+TEST(CircuitBreakerTest, CancelProbeFreesTheSlot) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0.0);
+  EXPECT_TRUE(breaker.Allow(1.5));
+  // The probe was never dispatched (shard queue full): roll it back, or no
+  // probe could ever run again.
+  breaker.CancelProbe();
+  EXPECT_TRUE(breaker.Allow(1.5));
+}
+
+}  // namespace
+}  // namespace spate
