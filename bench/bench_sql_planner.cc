@@ -1,0 +1,211 @@
+// Cost-based SQL planner vs the naive executor: same statements, same
+// stores, planned access paths against the always-full-scan baseline.
+//
+// The planner's whole value proposition is decoding less: projection
+// pushdown on columnar leaves, spatial leaf-skip from a pinned cell,
+// highlight-only answers for summary-shaped aggregates, and result-cache
+// reuse. Each statement below exercises one of those decisions; the
+// baseline runs the identical statement through `ExecuteSql`, which scans
+// and decompresses every in-window byte regardless.
+//
+// Grid: statement shape {narrow, narrow+cell, star, aligned aggregate} x
+// layout {row, columnar}. Target (the PR's acceptance bar): at least one
+// SELECT shape decodes >= 3x fewer bytes planned than naive — the narrow
+// columnar projection clears it by an order of magnitude, and the summary
+// aggregate decodes nothing at all.
+//
+// Capture for the perf trajectory (see EXPERIMENTS.md "Bench catalog"):
+//   ./bench/bench_sql_planner | grep '^BENCH_JSON' | cut -d' ' -f2-
+//   (redirect into BENCH_sql_planner.json)
+//
+// Flags: --days N (default 2), --cells N (default 360), --iters N
+// (default 3) — the CI smoke run uses --days 1 --cells 60 --iters 1.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace spate {
+namespace bench {
+namespace {
+
+struct PlannerRow {
+  const char* stmt = "";
+  const char* layout = "";
+  const char* plan = "";
+  double naive_seconds = 0;
+  double planned_seconds = 0;
+  uint64_t naive_bytes = 0;
+  uint64_t planned_bytes = 0;
+  size_t result_rows = 0;
+};
+
+PlannerRow RunStatement(SpateFramework& store, const char* layout,
+                        const char* label, const std::string& sql,
+                        int iters) {
+  PlannerRow row;
+  row.stmt = label;
+  row.layout = layout;
+  row.naive_seconds = 1e30;
+  row.planned_seconds = 1e30;
+
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) {
+    fprintf(stderr, "parse failed: %s\n", parsed.status().ToString().c_str());
+    return row;
+  }
+
+  for (int i = 0; i < iters; ++i) {
+    const double seconds = MeasureResponse(store, [&] {
+      auto result = ExecuteSql(store, *parsed);
+      if (!result.ok()) {
+        fprintf(stderr, "naive failed: %s\n",
+                result.status().ToString().c_str());
+      }
+    });
+    if (seconds < row.naive_seconds) row.naive_seconds = seconds;
+    row.naive_bytes = store.last_scan_stats().bytes_decoded;
+  }
+
+  for (int i = 0; i < iters; ++i) {
+    uint64_t bytes = 0;
+    const double seconds = MeasureResponse(store, [&] {
+      auto plan = PlanSelect(store, *parsed);
+      if (!plan.ok()) {
+        fprintf(stderr, "plan failed: %s\n", plan.status().ToString().c_str());
+        return;
+      }
+      row.plan = PlanScanKindName(plan->scan);
+      auto result = ExecutePlan(store, *plan, nullptr, &bytes);
+      if (result.ok()) {
+        row.result_rows = result->rows.size();
+      } else {
+        fprintf(stderr, "planned failed: %s\n",
+                result.status().ToString().c_str());
+      }
+    });
+    if (seconds < row.planned_seconds) row.planned_seconds = seconds;
+    row.planned_bytes = bytes;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spate
+
+int main(int argc, char** argv) {
+  using namespace spate;
+  using namespace spate::bench;
+
+  TraceConfig config = BenchTrace();
+  config.days = 2;
+  int64_t iters = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    int64_t v = 0;
+    if (strcmp(argv[i], "--days") == 0 && ParseInt64(argv[i + 1], &v)) {
+      config.days = static_cast<int>(v);
+    } else if (strcmp(argv[i], "--cells") == 0 && ParseInt64(argv[i + 1], &v)) {
+      config.num_cells = static_cast<int>(v);
+      config.num_antennas = static_cast<int>(v) / 3;
+    } else if (strcmp(argv[i], "--iters") == 0 && ParseInt64(argv[i + 1], &v)) {
+      iters = v;
+    }
+  }
+
+  const TraceGenerator generator(config);
+  printf("# Cost-based SQL planner vs naive full-scan executor\n");
+  printf("# %d day(s), %d cells, best of %lld run(s) per point\n",
+         config.days, config.num_cells, static_cast<long long>(iters));
+
+  SpateOptions row_options;
+  SpateFramework row_store(row_options, generator.cells());
+  SpateOptions columnar_options;
+  columnar_options.leaf_layout = LeafLayout::kColumnar;
+  SpateFramework columnar_store(columnar_options, generator.cells());
+  for (Timestamp epoch : generator.EpochStarts()) {
+    const Snapshot snapshot = generator.GenerateSnapshot(epoch);
+    if (!row_store.Ingest(snapshot).ok() ||
+        !columnar_store.Ingest(snapshot).ok()) {
+      fprintf(stderr, "ingest failed at %s\n", FormatCompact(epoch).c_str());
+    }
+  }
+
+  // A 12-hour, epoch-aligned window on day 1, and a busy real cell for the
+  // spatial-pushdown statement.
+  const std::string begin = FormatCompact(config.start + 8 * 3600);
+  const std::string end = FormatCompact(config.start + 20 * 3600);
+  const std::string window =
+      "ts >= '" + begin + "' AND ts < '" + end + "'";
+  const std::string cell = generator.cells().front()[0];
+
+  const std::vector<std::pair<const char*, std::string>> statements = {
+      {"narrow",
+       "SELECT caller_id, duration, upflux FROM CDR WHERE " + window},
+      {"narrow_cell",
+       "SELECT caller_id, duration FROM CDR WHERE " + window +
+           " AND cell_id = '" + cell + "'"},
+      {"star", "SELECT * FROM CDR WHERE " + window},
+      {"aggregate",
+       "SELECT cell_id, COUNT(*), SUM(duration) FROM CDR WHERE " + window +
+           " GROUP BY cell_id"},
+  };
+
+  std::vector<PlannerRow> rows;
+  for (const auto& [label, sql] : statements) {
+    rows.push_back(RunStatement(row_store, "row", label, sql,
+                                static_cast<int>(iters)));
+    rows.push_back(RunStatement(columnar_store, "columnar", label, sql,
+                                static_cast<int>(iters)));
+  }
+
+  PrintSeriesHeader("SQL planner vs naive executor (12h window)",
+                    "statement x layout",
+                    "decoded MB / response time (sec)");
+  printf("%-12s %-9s %-14s %12s %12s %12s %12s %8s\n", "stmt", "layout",
+         "plan", "naive MB", "planned MB", "naive sec", "planned sec",
+         "rows");
+  for (const PlannerRow& row : rows) {
+    printf("%-12s %-9s %-14s %12.2f %12.2f %12.4f %12.4f %8zu\n", row.stmt,
+           row.layout, row.plan, row.naive_bytes / (1024.0 * 1024.0),
+           row.planned_bytes / (1024.0 * 1024.0), row.naive_seconds,
+           row.planned_seconds, row.result_rows);
+  }
+  for (const PlannerRow& row : rows) {
+    if (row.naive_bytes == 0) continue;
+    if (row.planned_bytes == 0) {
+      printf("# stmt=%s layout=%s: plan %s decodes nothing (naive decodes "
+             "%.2f MB)\n",
+             row.stmt, row.layout, row.plan,
+             row.naive_bytes / (1024.0 * 1024.0));
+    } else {
+      printf("# stmt=%s layout=%s: plan %s decodes %.1fx fewer bytes, "
+             "%.2fx wall-clock\n",
+             row.stmt, row.layout, row.plan,
+             static_cast<double>(row.naive_bytes) /
+                 static_cast<double>(row.planned_bytes),
+             row.naive_seconds / row.planned_seconds);
+    }
+  }
+
+  printf("\nBENCH_JSON {\"bench\":\"sql_planner\",\"rows\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    printf("%s{\"stmt\":\"%s\",\"layout\":\"%s\",\"plan\":\"%s\","
+           "\"naive_seconds\":%.4f,\"planned_seconds\":%.4f,"
+           "\"naive_bytes\":%llu,\"planned_bytes\":%llu,\"rows\":%zu}",
+           i ? "," : "", rows[i].stmt, rows[i].layout, rows[i].plan,
+           rows[i].naive_seconds, rows[i].planned_seconds,
+           static_cast<unsigned long long>(rows[i].naive_bytes),
+           static_cast<unsigned long long>(rows[i].planned_bytes),
+           rows[i].result_rows);
+  }
+  printf("]}\n");
+  return 0;
+}

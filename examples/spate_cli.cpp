@@ -4,6 +4,12 @@
 // Loads a configurable synthetic trace, then reads commands from stdin:
 //
 //   sql <statement>        run a SPATE-SQL statement (tables CDR/NMS/CELL)
+//                          through the cost-based planner and a session
+//                          result cache; prefix the statement with EXPLAIN
+//                          to also print the chosen plan
+//   explain <statement>    shorthand for `sql EXPLAIN <statement>`: print
+//                          the plan tree and predicted-vs-actual decoded
+//                          bytes, then the result
 //   explore <from> <to>    exploration query Q(a,b,w) with compact
 //                          timestamps, e.g. `explore 20160118 20160119`
 //   highlights <from> <to> only the highlight list for the window
@@ -43,7 +49,8 @@
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
 #include "serve/server.h"
-#include "sql/executor.h"
+#include "sql/explain.h"
+#include "sql/parser.h"
 #include "telco/generator.h"
 #include "telco/schema.h"
 
@@ -178,6 +185,9 @@ int main(int argc, char** argv) {
           HumanBytes(spate.StorageBytes()).c_str());
 
   CachedExplorer explorer(&spate);
+  // Session cache for SQL: planned statements probe it (`CacheServe`) and
+  // completed scans feed it, so a repeated statement decodes nothing.
+  ResultCache sql_cache;
   std::string line;
   while (true) {
     fprintf(stderr, "spate> ");
@@ -190,6 +200,7 @@ int main(int argc, char** argv) {
     if (command == "help") {
       printf("commands:\n"
              "  sql <statement>         e.g. sql SELECT COUNT(*) FROM CDR\n"
+             "  explain <statement>     plan tree + predicted/actual bytes\n"
              "  explore <from> <to>     e.g. explore 201601181200 20160119\n"
              "  highlights <from> <to>\n"
              "  top callers|cells|devices <from> <to> [k]\n"
@@ -270,10 +281,30 @@ int main(int argc, char** argv) {
                                              hist.overflow()));
       continue;
     }
-    if (command == "sql") {
-      std::string statement;
-      std::getline(in, statement);
-      auto result = ExecuteSql(spate, statement);
+    if (command == "sql" || command == "explain") {
+      std::string statement_text;
+      std::getline(in, statement_text);
+      auto parsed = ParseSql(statement_text);
+      if (!parsed.ok()) {
+        printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      if (command == "explain" || parsed->explain) {
+        auto explained = ExplainSelect(spate, *parsed, &sql_cache);
+        if (!explained.ok()) {
+          printf("error: %s\n", explained.status().ToString().c_str());
+          continue;
+        }
+        printf("%s\n", explained->text.c_str());
+        PrintSqlResult(explained->result);
+        continue;
+      }
+      auto plan = PlanSelect(spate, *parsed, &sql_cache);
+      if (!plan.ok()) {
+        printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      auto result = ExecutePlan(spate, *plan, &sql_cache);
       if (!result.ok()) {
         printf("error: %s\n", result.status().ToString().c_str());
       } else {

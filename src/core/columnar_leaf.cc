@@ -186,18 +186,13 @@ Status MaterializeTable(const ColumnarReader& reader,
   return Status::OK();
 }
 
-}  // namespace
-
-std::string CdrColumnChunkName(int column) {
-  return ColumnChunkName(CdrSchema(), 'c', column);
-}
-
-std::string NmsColumnChunkName(int column) {
-  return ColumnChunkName(NmsSchema(), 'n', column);
-}
-
-Status EncodeColumnarLeaf(const Codec& codec, const Snapshot& snapshot,
-                          ThreadPool* pool, std::string* blob) {
+/// Builds the full chunk set of the columnar container in its canonical
+/// order: "@meta", "@spidx", then one chunk per CDR column and one per NMS
+/// column. Shared by the encoder and the stats recomputation so both see
+/// identical plaintext sizes.
+std::vector<ColumnChunk> BuildColumnarChunks(const Snapshot& snapshot,
+                                             size_t* cdr_width_out,
+                                             size_t* nms_width_out) {
   std::vector<ColumnChunk> chunks;
   size_t cdr_width = 0;
   for (const Record& row : snapshot.cdr) {
@@ -240,8 +235,59 @@ Status EncodeColumnarLeaf(const Codec& codec, const Snapshot& snapshot,
   };
   shred(snapshot.cdr, cdr_width, CdrSchema(), 'c', &chunks);
   shred(snapshot.nms, nms_width, NmsSchema(), 'n', &chunks);
+  if (cdr_width_out != nullptr) *cdr_width_out = cdr_width;
+  if (nms_width_out != nullptr) *nms_width_out = nms_width;
+  return chunks;
+}
 
+/// Fills `stats` from the canonical chunk sequence of `BuildColumnarChunks`.
+void FillStatsFromChunks(const std::vector<ColumnChunk>& chunks,
+                         size_t cdr_width, size_t nms_width,
+                         LeafDecodeStats* stats) {
+  *stats = LeafDecodeStats{};
+  stats->columnar = true;
+  stats->meta_bytes = chunks[0].data.size();
+  stats->spidx_bytes = chunks[1].data.size();
+  stats->cdr_column_bytes.reserve(cdr_width);
+  for (size_t c = 0; c < cdr_width; ++c) {
+    stats->cdr_column_bytes.push_back(chunks[2 + c].data.size());
+  }
+  stats->nms_column_bytes.reserve(nms_width);
+  for (size_t c = 0; c < nms_width; ++c) {
+    stats->nms_column_bytes.push_back(chunks[2 + cdr_width + c].data.size());
+  }
+}
+
+}  // namespace
+
+std::string CdrColumnChunkName(int column) {
+  return ColumnChunkName(CdrSchema(), 'c', column);
+}
+
+std::string NmsColumnChunkName(int column) {
+  return ColumnChunkName(NmsSchema(), 'n', column);
+}
+
+Status EncodeColumnarLeaf(const Codec& codec, const Snapshot& snapshot,
+                          ThreadPool* pool, std::string* blob,
+                          LeafDecodeStats* stats) {
+  size_t cdr_width = 0;
+  size_t nms_width = 0;
+  const std::vector<ColumnChunk> chunks =
+      BuildColumnarChunks(snapshot, &cdr_width, &nms_width);
+  if (stats != nullptr) {
+    FillStatsFromChunks(chunks, cdr_width, nms_width, stats);
+  }
   return ColumnarPack(codec, chunks, pool, blob);
+}
+
+void ComputeColumnarLeafStats(const Snapshot& snapshot,
+                              LeafDecodeStats* stats) {
+  size_t cdr_width = 0;
+  size_t nms_width = 0;
+  const std::vector<ColumnChunk> chunks =
+      BuildColumnarChunks(snapshot, &cdr_width, &nms_width);
+  FillStatsFromChunks(chunks, cdr_width, nms_width, stats);
 }
 
 Status DecodeColumnarLeaf(Slice blob, const TableProjection& cdr,

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "compress/codec.h"
 #include "core/framework.h"
+#include "index/temporal_index.h"
 #include "telco/schema.h"
 #include "telco/snapshot.h"
 
@@ -55,8 +56,17 @@ std::string NmsColumnChunkName(int column);
 /// Shreds `snapshot` into the columnar container, compressing each chunk
 /// with `codec` (in parallel on `pool` when given — the stored bytes are
 /// identical at every worker count) and appending the blob to `*blob`.
+/// When `stats` is non-null it is filled with the exact plaintext size of
+/// every chunk (the SQL planner's cost-model input, see `LeafDecodeStats`).
 Status EncodeColumnarLeaf(const Codec& codec, const Snapshot& snapshot,
-                          ThreadPool* pool, std::string* blob);
+                          ThreadPool* pool, std::string* blob,
+                          LeafDecodeStats* stats = nullptr);
+
+/// Recomputes the per-chunk decode statistics of `snapshot` without
+/// encoding anything — the recovery path rebuilds `LeafNode::decode_stats`
+/// with this after decoding a columnar blob; the sizes equal what
+/// `EncodeColumnarLeaf` would report for the same snapshot.
+void ComputeColumnarLeafStats(const Snapshot& snapshot, LeafDecodeStats* stats);
 
 /// Reassembles (part of) a snapshot from a columnar blob.
 ///

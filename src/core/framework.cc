@@ -107,10 +107,12 @@ Snapshot RestrictSnapshot(
 Status Framework::ScanWindowProjected(
     const ExplorationQuery& query,
     const std::function<void(const Snapshot&)>& fn) {
-  const TableProjection cdr =
+  TableProjection cdr =
       ScanProjection(CdrSchema(), query.attributes, kCdrTs, kCdrCellId);
-  const TableProjection nms =
+  TableProjection nms =
       ScanProjection(NmsSchema(), query.attributes, kNmsTs, kNmsCellId);
+  if (!query.want_cdr) cdr = TableProjection{/*all=*/false, /*skip=*/true, {}};
+  if (!query.want_nms) nms = TableProjection{/*all=*/false, /*skip=*/true, {}};
   if (cdr.all && nms.all && !query.has_box) {
     // Nothing to restrict: stream the snapshots untouched (bit-identical
     // to ScanWindow, no copies).
@@ -139,7 +141,7 @@ void FilterSnapshotRows(const Snapshot& snapshot,
       ResolveProjection(CdrSchema(), query.attributes);
   const TableProjection nms_projection =
       ResolveProjection(NmsSchema(), query.attributes);
-  if (!cdr_projection.skip) {
+  if (query.want_cdr && !cdr_projection.skip) {
     for (const Record& row : snapshot.cdr) {
       const Timestamp ts = ParseCompact(FieldAsString(row, kCdrTs));
       if (ts < query.window_begin || ts >= query.window_end) continue;
@@ -147,7 +149,7 @@ void FilterSnapshotRows(const Snapshot& snapshot,
       cdr_out->push_back(ProjectRecord(row, cdr_projection));
     }
   }
-  if (!nms_projection.skip) {
+  if (query.want_nms && !nms_projection.skip) {
     for (const Record& row : snapshot.nms) {
       const Timestamp ts = ParseCompact(FieldAsString(row, kNmsTs));
       if (ts < query.window_begin || ts >= query.window_end) continue;

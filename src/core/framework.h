@@ -30,6 +30,11 @@ struct ExplorationQuery {
   /// Temporal window [begin, end) (`w`).
   Timestamp window_begin = 0;
   Timestamp window_end = 0;
+  /// Which fact tables the query reads. `Q(a, b, w)` reads both; the SQL
+  /// planner lowers a single-table SELECT with the other table masked off,
+  /// so projected scans skip its chunks entirely.
+  bool want_cdr = true;
+  bool want_nms = true;
 };
 
 /// Answer to an exploration query. When the window is still at full
@@ -70,6 +75,35 @@ struct ScanStats {
   uint64_t bytes_decoded = 0;
 
   bool complete() const { return skipped_epochs.empty(); }
+};
+
+/// One in-window leaf as the SQL planner sees it: enough to predict the
+/// decode cost of every access path without touching the DFS. The pointers
+/// alias index-owned state and follow the scan-time lifetime contract
+/// (valid while no ingest/decay runs — see TemporalIndex's header).
+struct PlannerLeafInfo {
+  Timestamp epoch_start = 0;
+  /// Differential leaf: decoding materializes the delta chain, so the
+  /// prediction (the leaf's own text size) is a floor, not exact.
+  bool delta = false;
+  const LeafDecodeStats* stats = nullptr;
+  const NodeSummary* summary = nullptr;
+};
+
+/// Per-leaf statistics for the cost-based SQL planner
+/// (`Framework::CollectPlannerStatistics`). Frameworks without an index
+/// return `available == false` and the planner falls back to the naive
+/// full-scan path.
+struct PlannerStatistics {
+  bool available = false;
+  /// Every in-window leaf is still at full resolution — exact row answers
+  /// are possible and summary answering matches them.
+  bool window_fully_resolved = false;
+  /// The framework's projected scan skips leaves provably disjoint from the
+  /// query box (`SpateOptions::spatial_leaf_skip`).
+  bool spatial_leaf_skip = false;
+  /// Non-decayed leaves intersecting the window, in time order.
+  std::vector<PlannerLeafInfo> leaves;
 };
 
 /// Ingestion cost breakdown for one snapshot (Fig. 7/9's metric).
@@ -180,6 +214,18 @@ class Framework {
   /// materialized node summaries; RAW scans and re-aggregates.
   virtual Result<NodeSummary> AggregateWindow(Timestamp begin,
                                               Timestamp end) = 0;
+
+  /// Plan-visible statistics of [begin, end) for the cost-based SQL
+  /// planner: per-leaf layout, decode costs and spatial summaries. The
+  /// default (baselines) reports `available == false`; SPATE overrides it
+  /// from the temporal index. Same external-synchronization contract as
+  /// `ScanWindow` — the returned pointers are valid until the next mutator.
+  virtual PlannerStatistics CollectPlannerStatistics(Timestamp begin,
+                                                     Timestamp end) const {
+    (void)begin;
+    (void)end;
+    return {};
+  }
 
   /// Total logical bytes this framework occupies on its DFS (data + index):
   /// the S' = Sc + Si of the paper's Space metric.

@@ -227,6 +227,13 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
     leaf.stored_bytes = blob.size();
     leaf.delta = delta;
     leaf.summary.AddSnapshot(snapshot);
+    // Rebuild the planner's decode-cost statistics from the decoded
+    // snapshot; the sizes equal what the original ingest recorded.
+    if (have_snapshot) {
+      ComputeColumnarLeafStats(snapshot, &leaf.decode_stats);
+    } else {
+      leaf.decode_stats.raw_bytes = text.size();
+    }
     SPATE_RETURN_IF_ERROR(framework->index_.AddLeaf(std::move(leaf)));
     framework->last_day_persisted_ = TruncateToDay(epoch);
     ++report.leaves_recovered;
@@ -264,15 +271,17 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
   std::string compressed;
   bool delta = false;
   std::string text;
+  LeafDecodeStats decode_stats;
   if (columnar) {
     // Columnar layout: shred the snapshot into per-attribute chunks (each
     // compressed independently, in parallel on the pool when one exists —
     // the stored bytes never depend on the worker count). Columnar leaves
     // are always full keyframes; differential deltas apply only to row text.
-    SPATE_RETURN_IF_ERROR(
-        EncodeColumnarLeaf(*codec_, snapshot, pool_.get(), &compressed));
+    SPATE_RETURN_IF_ERROR(EncodeColumnarLeaf(*codec_, snapshot, pool_.get(),
+                                             &compressed, &decode_stats));
   } else {
     text = SerializeSnapshot(snapshot);
+    decode_stats.raw_bytes = text.size();
     const bool try_delta = options_.differential &&
                            codec_->SupportsDictionary() &&
                            !IsKeyframe(snapshot.epoch_start) &&
@@ -325,6 +334,7 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
   leaf.stored_bytes = compressed.size();
   leaf.delta = delta;
   leaf.summary.AddSnapshot(snapshot);
+  leaf.decode_stats = std::move(decode_stats);
 
   // Day rollover: persist the completed day's summary (the index bytes S_i).
   const Timestamp day = TruncateToDay(snapshot.epoch_start);
@@ -752,6 +762,12 @@ Status SpateFramework::ScanWindowProjected(
   LeafScanOptions opts;
   opts.cdr = ScanProjection(CdrSchema(), query.attributes, kCdrTs, kCdrCellId);
   opts.nms = ScanProjection(NmsSchema(), query.attributes, kNmsTs, kNmsCellId);
+  if (!query.want_cdr) {
+    opts.cdr = TableProjection{/*all=*/false, /*skip=*/true, {}};
+  }
+  if (!query.want_nms) {
+    opts.nms = TableProjection{/*all=*/false, /*skip=*/true, {}};
+  }
   std::unordered_set<std::string> wanted;
   if (query.has_box) {
     const std::vector<std::string> in_box = cells_.CellsInBox(query.box);
@@ -770,6 +786,23 @@ Status SpateFramework::ScanWindowProjected(
 Result<NodeSummary> SpateFramework::AggregateWindow(Timestamp begin,
                                                     Timestamp end) {
   return index_.SummarizeWindow(begin, end);
+}
+
+PlannerStatistics SpateFramework::CollectPlannerStatistics(
+    Timestamp begin, Timestamp end) const {
+  PlannerStatistics stats;
+  stats.available = true;
+  stats.window_fully_resolved = index_.WindowFullyResolved(begin, end);
+  stats.spatial_leaf_skip = options_.spatial_leaf_skip;
+  const std::vector<const LeafNode*> leaves =
+      index_.LeavesInWindow(begin, end);
+  stats.leaves.reserve(leaves.size());
+  for (const LeafNode* leaf : leaves) {
+    stats.leaves.push_back(PlannerLeafInfo{leaf->epoch_start, leaf->delta,
+                                           &leaf->decode_stats,
+                                           &leaf->summary});
+  }
+  return stats;
 }
 
 uint64_t SpateFramework::StorageBytes() const {

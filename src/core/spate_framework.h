@@ -189,6 +189,11 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
   const ScanStats& last_scan_stats() const override { return last_scan_; }
   Result<NodeSummary> AggregateWindow(Timestamp begin,
                                       Timestamp end) override;
+  /// Planner statistics straight from the temporal index: one entry per
+  /// non-decayed in-window leaf with its layout, exact per-chunk decode
+  /// costs (recorded at ingest / recovery) and spatial summary.
+  PlannerStatistics CollectPlannerStatistics(Timestamp begin,
+                                             Timestamp end) const override;
   uint64_t StorageBytes() const override;
   DistributedFileSystem& dfs() override { return *dfs_; }
   const CellDirectory& cells() const override { return cells_; }

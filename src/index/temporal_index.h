@@ -19,6 +19,38 @@ enum class IndexLevel { kEpoch, kDay, kMonth, kYear, kRoot };
 
 std::string_view IndexLevelName(IndexLevel level);
 
+/// Exact decode-cost statistics of one leaf, recorded at ingest (or
+/// recomputed during recovery) for the SQL planner's cost model: how many
+/// plaintext bytes each kind of read of this leaf produces. For a row leaf
+/// only `raw_bytes` is meaningful (any read decompresses the full text);
+/// for a columnar leaf the per-chunk sizes predict a projected read
+/// exactly — "@meta" plus the selected column chunks, plus "@spidx" when a
+/// bounding box restricts rows (`ScanStats::bytes_decoded` counts the
+/// same quantities on the decode side).
+struct LeafDecodeStats {
+  /// The leaf is a 0xCD columnar container (per-chunk fields below apply).
+  bool columnar = false;
+  /// Row layout: serialized snapshot text size (the cost of any decode).
+  uint64_t raw_bytes = 0;
+  /// Columnar layout: plaintext size of the "@meta" / "@spidx" chunks.
+  uint64_t meta_bytes = 0;
+  uint64_t spidx_bytes = 0;
+  /// Columnar layout: plaintext size of each per-column chunk, indexed by
+  /// column position (CDR and NMS tables respectively).
+  std::vector<uint64_t> cdr_column_bytes;
+  std::vector<uint64_t> nms_column_bytes;
+
+  /// Bytes of a full (unprojected, unrestricted) decode: the row text, or
+  /// "@meta" plus every column chunk ("@spidx" is not decoded then).
+  uint64_t FullDecodeBytes() const {
+    if (!columnar) return raw_bytes;
+    uint64_t total = meta_bytes;
+    for (uint64_t b : cdr_column_bytes) total += b;
+    for (uint64_t b : nms_column_bytes) total += b;
+    return total;
+  }
+};
+
 /// Leaf of the index: one ingested snapshot. The raw (compressed) bytes live
 /// on the DFS at `dfs_path`; the leaf keeps only the materialized summary.
 /// After decay the DFS file is gone (`decayed`), but the summary — and all
@@ -32,6 +64,8 @@ struct LeafNode {
   /// Differential storage: the blob is a delta against the previous epoch's
   /// text (decoding requires materializing the chain back to a keyframe).
   bool delta = false;
+  /// Plaintext sizes a decode of this leaf produces (SQL planner input).
+  LeafDecodeStats decode_stats;
 };
 
 struct DayNode {

@@ -36,6 +36,12 @@ void ProjectRows(const TableProjection& projection,
 
 bool ResultCache::Covers(const ExplorationQuery& outer,
                          const ExplorationQuery& inner) {
+  // The table mask is part of the entry's identity: rows of a masked-off
+  // table were never collected, so an entry cannot serve a query wanting
+  // them (nor vice versa — the narrowed summary would see extra rows).
+  if (outer.want_cdr != inner.want_cdr || outer.want_nms != inner.want_nms) {
+    return false;
+  }
   if (!outer.attributes.empty()) {
     // A projected result lacks the predicate columns (ts/cell id unless
     // selected), so it cannot be re-filtered: serve identical queries only.
@@ -59,6 +65,14 @@ bool ResultCache::Covers(const ExplorationQuery& outer,
          outer.box.min_y <= inner.box.min_y &&
          outer.box.max_x >= inner.box.max_x &&
          outer.box.max_y >= inner.box.max_y;
+}
+
+bool ResultCache::WouldServe(const ExplorationQuery& query) const {
+  MutexLock lock(&mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.result.exact && Covers(entry.query, query)) return true;
+  }
+  return false;
 }
 
 std::optional<QueryResult> ResultCache::Lookup(const ExplorationQuery& query,

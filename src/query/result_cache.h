@@ -51,6 +51,11 @@ class ResultCache {
   std::optional<QueryResult> Lookup(const ExplorationQuery& query,
                                     const CellDirectory& cells) EXCLUDES(mu_);
 
+  /// Pure peek for the SQL planner's cost model: true when a `Lookup` of
+  /// `query` would hit right now. Touches no LRU order and no counters, so
+  /// planning a query does not perturb the cache it is costing.
+  bool WouldServe(const ExplorationQuery& query) const EXCLUDES(mu_);
+
   /// Caches `result` for `query` (evicting the least recently used entry).
   /// `bytes_decoded` is what executing the query cost in decompressed bytes
   /// (`ScanStats::bytes_decoded`); hits on this entry credit it to

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/latch.h"
+#include "sql/parser.h"
 #include "telco/schema.h"
 
 namespace spate {
@@ -49,7 +50,10 @@ struct ScatterState {
 
 QueryServer::QueryServer(const ServeOptions& options,
                          const std::vector<Record>& cell_rows)
-    : options_(options), cells_(cell_rows), admission_(options.quota) {
+    : options_(options),
+      cells_(cell_rows),
+      cell_rows_(cell_rows),
+      admission_(options.quota) {
   const size_t n = std::max<size_t>(1, options_.num_shards);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -215,6 +219,139 @@ ServeResponse QueryServer::Query(const ServeRequest& request) {
                          ? ServeOutcome::kDegraded
                          : ServeOutcome::kOk;
   admission_.Finish(request.tenant, response.outcome);
+  return response;
+}
+
+Status QueryServer::PrepareSql(const std::string& name,
+                               std::string_view sql) {
+  SPATE_ASSIGN_OR_RETURN(PreparedStatement prepared, PrepareStatement(sql));
+  MutexLock lock(&prepared_mu_);
+  prepared_[name] = std::move(prepared);
+  return Status::OK();
+}
+
+SqlServeResponse QueryServer::QuerySql(const SqlServeRequest& request) {
+  SqlServeResponse response;
+
+  // Resolve the statement: bind a registered prepared statement, or parse
+  // the raw text. Both fail as kError before any admission cost.
+  SelectStatement statement;
+  if (!request.prepared.empty()) {
+    PreparedStatement prepared;
+    {
+      MutexLock lock(&prepared_mu_);
+      const auto it = prepared_.find(request.prepared);
+      if (it == prepared_.end()) {
+        response.status = Status::NotFound("sql: no prepared statement named " +
+                                           request.prepared);
+        return response;
+      }
+      prepared = it->second;
+    }
+    Result<SelectStatement> bound = BindParams(prepared, request.params);
+    if (!bound.ok()) {
+      response.status = bound.status();
+      return response;
+    }
+    statement = std::move(bound).value();
+  } else {
+    Result<SelectStatement> parsed = ParseSql(request.sql);
+    if (!parsed.ok()) {
+      response.status = parsed.status();
+      return response;
+    }
+    statement = std::move(parsed).value();
+  }
+
+  Result<SqlEvaluation> prepared_eval =
+      SqlEvaluation::Prepare(statement, cell_rows_);
+  if (!prepared_eval.ok()) {
+    response.status = prepared_eval.status();
+    return response;
+  }
+  SqlEvaluation eval = std::move(prepared_eval).value();
+
+  // Statements that touch no shard (CELL inventory, contradictory window)
+  // are answered locally — still through admission, so tenants cannot
+  // bypass their quota with cheap statements.
+  if (eval.from_cell() || eval.window_begin() >= eval.window_end()) {
+    const Status admitted = admission_.Admit(request.tenant, SteadySeconds());
+    if (!admitted.ok()) {
+      response.outcome = ServeOutcome::kShed;
+      response.status = admitted;
+      return response;
+    }
+    if (eval.from_cell()) {
+      for (const Record& row : cell_rows_) eval.ConsumeRow(row);
+    }
+    Result<SqlResult> finished = eval.Finish();
+    if (finished.ok()) {
+      response.result = std::move(finished).value();
+      response.outcome = ServeOutcome::kOk;
+    } else {
+      response.status = finished.status();
+      response.outcome = ServeOutcome::kError;
+    }
+    admission_.Finish(request.tenant, response.outcome);
+    return response;
+  }
+
+  // Lower to the restricted exploration query (the planner's pushdown:
+  // referenced columns, fact-table mask, optional pinned cell) and ride
+  // the ordinary scatter/gather path, admission and deadline included.
+  ServeRequest serve;
+  serve.tenant = request.tenant;
+  serve.query = LowerToExploration(eval, cells_);
+  serve.deadline_seconds = request.deadline_seconds;
+  serve.allow_degraded = request.allow_degraded;
+  ServeResponse scatter = Query(serve);
+  response.status = scatter.status;
+  response.shards_asked = scatter.shards_asked;
+  response.shards_answered = scatter.shards_answered;
+  response.shards_fallback = scatter.shards_fallback;
+  response.retries = scatter.retries;
+  if (scatter.outcome != ServeOutcome::kOk &&
+      scatter.outcome != ServeOutcome::kDegraded) {
+    response.outcome = scatter.outcome;
+    return response;
+  }
+
+  if (scatter.outcome == ServeOutcome::kOk && scatter.result.exact) {
+    // Full-fidelity rows: fold them through the evaluation. Shards merge
+    // in shard-index order, so the row stream — and therefore any
+    // non-aggregate result — is deterministic for a fixed shard map (only
+    // a single-shard tier reproduces the single-node row *order*; integer
+    // aggregates are order-independent and match at any shard count).
+    const std::vector<Record>& rows =
+        eval.is_cdr() ? scatter.result.cdr_rows : scatter.result.nms_rows;
+    for (const Record& row : rows) eval.ConsumeRow(row);
+    Result<SqlResult> finished = eval.Finish();
+    if (finished.ok()) {
+      response.result = std::move(finished).value();
+      response.outcome = ServeOutcome::kOk;
+    } else {
+      response.status = finished.status();
+      response.outcome = ServeOutcome::kError;
+    }
+    return response;
+  }
+
+  // Degraded gather: the exact rows are incomplete. Summary-shaped
+  // aggregates still have a faithful answer in the merged (partly
+  // highlight-mirror) summaries; any other shape degrades to an empty
+  // result that says so.
+  response.degraded = true;
+  response.outcome = ServeOutcome::kDegraded;
+  if (eval.summary_eligible()) {
+    Result<SqlResult> summarized =
+        eval.AnswerFromSummary(scatter.result.summary);
+    if (summarized.ok()) {
+      response.result = std::move(summarized).value();
+      return response;
+    }
+  }
+  Result<SqlResult> empty = eval.Finish();
+  if (empty.ok()) response.result = std::move(empty).value();
   return response;
 }
 

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/admission.h"
 #include "serve/shard.h"
+#include "sql/planner.h"
 
 namespace spate {
 
@@ -37,6 +39,43 @@ struct ServeRequest {
   /// sit behind an open breaker. When false such a request fails instead
   /// (`kDeadlineExceeded` / the shard's error).
   bool allow_degraded = true;
+};
+
+/// One SQL request against the serving tier: SPATE-SQL text (or the name
+/// of a statement registered with `PrepareSql` plus its positional
+/// parameters), on the same tenant/deadline/degradation contract as a
+/// `ServeRequest` — the statement is lowered to the exploration query it
+/// needs and rides the ordinary admission, scatter and gather path.
+struct SqlServeRequest {
+  std::string tenant = "default";
+  /// The statement text; ignored when `prepared` is set.
+  std::string sql;
+  /// Name of a statement registered with `PrepareSql`; empty = parse `sql`.
+  std::string prepared;
+  /// Positional bindings for the prepared statement's `?` placeholders.
+  std::vector<std::string> params;
+  /// <= 0 picks `ServeOptions::default_deadline_seconds`.
+  double deadline_seconds = 0;
+  /// Accept a degraded answer (summary-derived aggregates, or an empty
+  /// degraded result for row shapes) when some shard missed its deadline.
+  bool allow_degraded = true;
+};
+
+/// Answer to a `QuerySql` request.
+struct SqlServeResponse {
+  ServeOutcome outcome = ServeOutcome::kError;
+  /// OK for `kOk`/`kDegraded`; the parse/bind/refusal/failure otherwise.
+  Status status;
+  /// Populated for `kOk` and `kDegraded`.
+  SqlResult result;
+  /// The rows behind the result were incomplete: aggregates were answered
+  /// from merged summaries (when the statement's shape allows) or the
+  /// result is empty. Never set on `kOk`.
+  bool degraded = false;
+  size_t shards_asked = 0;
+  size_t shards_answered = 0;
+  size_t shards_fallback = 0;
+  int retries = 0;
 };
 
 /// One front-end answer, always classified into exactly one `ServeOutcome`.
@@ -91,6 +130,22 @@ class QueryServer {
   /// noise, and never returns an unclassified response.
   ServeResponse Query(const ServeRequest& request);
 
+  /// Parses and registers a (possibly parameterized) statement under
+  /// `name` for later `QuerySql` calls; re-registering replaces it. The
+  /// parse cost is paid once, here.
+  Status PrepareSql(const std::string& name, std::string_view sql);
+
+  /// Serves one SQL statement end to end: parse-or-bind, lower to the
+  /// exploration query it needs (`LowerToExploration` — same restriction
+  /// the single-node planner pushes down), scatter through `Query`'s
+  /// admission/deadline/degradation path, and fold the gathered rows
+  /// through the statement's evaluation. FROM CELL and empty-window
+  /// statements are answered locally (admission still applies). Degraded
+  /// gathers answer summary-shaped aggregates from the merged summaries
+  /// and everything else with an empty degraded result — fidelity bends
+  /// before latency breaks, like `Query` itself.
+  SqlServeResponse QuerySql(const SqlServeRequest& request);
+
   void SetQuota(const std::string& tenant, const TenantQuota& quota) {
     admission_.SetQuota(tenant, quota);
   }
@@ -110,8 +165,15 @@ class QueryServer {
  private:
   const ServeOptions options_;
   CellDirectory cells_;
+  /// The CELL table rows (SQL's dimension join and FROM CELL scans).
+  std::vector<Record> cell_rows_;
   AdmissionQueue admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Rank "PreparedSql.mu" (docs/LOCK_ORDER.md): guards only the prepared
+  /// statement registry; never held across admission, shard or framework
+  /// calls (statements are copied out under the lock).
+  mutable Mutex prepared_mu_{"PreparedSql.mu"};
+  std::map<std::string, PreparedStatement> prepared_ GUARDED_BY(prepared_mu_);
 };
 
 }  // namespace spate

@@ -25,11 +25,14 @@ struct SelectItem {
 /// Comparison operators of the WHERE conjunction.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
-/// One `column op literal` predicate.
+/// One `column op literal` predicate. In a prepared statement the literal
+/// may be a `?` placeholder: `param` is then its 0-based ordinal and
+/// `literal` stays empty until `BindParams` (sql/planner.h) fills it in.
 struct Predicate {
   std::string column;
   CompareOp op = CompareOp::kEq;
   std::string literal;
+  int param = -1;
 };
 
 /// Dimension join: `FROM <fact> JOIN CELL ON <fact_col> = <cell_col>`
@@ -58,6 +61,11 @@ struct SelectStatement {
   std::optional<std::string> group_by;
   std::optional<OrderBy> order_by;
   std::optional<uint64_t> limit;
+  /// Statement was prefixed with EXPLAIN: show the plan instead of (or
+  /// alongside) executing it.
+  bool explain = false;
+  /// Number of `?` placeholders in `where` (prepared statements).
+  int num_params = 0;
 };
 
 }  // namespace spate

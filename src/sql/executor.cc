@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
-#include <limits>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <utility>
 
+#include "common/clock.h"
+#include "common/strings.h"
 #include "sql/parser.h"
 #include "telco/schema.h"
 
@@ -42,36 +42,6 @@ bool TsPeriod(const std::string& literal, Timestamp* lo, Timestamp* hi) {
   *hi = FromCivil(ct);
   return true;
 }
-
-struct Accumulator {
-  uint64_t count = 0;
-  std::set<std::string> distinct_values;
-  double sum = 0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  std::string min_text, max_text;
-  bool numeric = true;
-
-  void Add(const std::string& value) {
-    ++count;
-    double v = 0;
-    if (ParseDouble(value, &v)) {
-      sum += v;
-      if (v < min) {
-        min = v;
-        min_text = value;
-      }
-      if (v > max) {
-        max = v;
-        max_text = value;
-      }
-    } else {
-      numeric = false;
-      if (min_text.empty() || value < min_text) min_text = value;
-      if (max_text.empty() || value > max_text) max_text = value;
-    }
-  }
-};
 
 std::string FormatDouble(double v) {
   char buf[32];
@@ -137,45 +107,50 @@ const TableSchema* SchemaFor(const std::string& table) {
   return nullptr;
 }
 
-/// A column resolved against the (fact, optional dimension) pair.
-struct ColumnBinding {
-  int source = 0;  // 0 = fact table, 1 = joined dimension
-  int index = -1;
-};
-
-/// Resolves a possibly-qualified column name ("cell_id", "CELL.region").
-Result<ColumnBinding> Resolve(const std::string& name,
-                              const std::string& fact_table,
-                              const TableSchema& fact,
-                              const TableSchema* dim) {
-  const size_t dot = name.find('.');
-  if (dot != std::string::npos) {
-    std::string table = name.substr(0, dot);
-    for (char& c : table) {
-      c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+/// Maps a fact column to the node-summary metric the highlights module
+/// materializes for it (index/highlights.cc AddSnapshot). `integral` says
+/// the metric is fed through FieldAsInt — its sums are exact in a double at
+/// any merge order, so SUM/AVG from summaries is bit-identical to the row
+/// path; the two double metrics (throughput, rssi) support only the
+/// order-independent MIN/MAX.
+bool MetricFor(bool cdr_table, int column, Metric* metric, bool* integral) {
+  *integral = true;
+  if (cdr_table) {
+    switch (column) {
+      case kCdrDuration:
+        *metric = Metric::kDuration;
+        return true;
+      case kCdrUpflux:
+        *metric = Metric::kUpflux;
+        return true;
+      case kCdrDownflux:
+        *metric = Metric::kDownflux;
+        return true;
+      default:
+        return false;
     }
-    const std::string column = name.substr(dot + 1);
-    if (table == fact_table) {
-      const int idx = fact.IndexOf(column);
-      if (idx < 0) return Status::InvalidArgument("sql: unknown column " + name);
-      return ColumnBinding{0, idx};
-    }
-    if (dim != nullptr && table == dim->name()) {
-      const int idx = dim->IndexOf(column);
-      if (idx < 0) return Status::InvalidArgument("sql: unknown column " + name);
-      return ColumnBinding{1, idx};
-    }
-    return Status::InvalidArgument("sql: unknown table qualifier " + name);
   }
-  const int fact_idx = fact.IndexOf(name);
-  const int dim_idx = dim != nullptr ? dim->IndexOf(name) : -1;
-  if (fact_idx >= 0 && dim_idx >= 0) {
-    return Status::InvalidArgument("sql: ambiguous column " + name +
-                                   " (qualify with a table name)");
+  switch (column) {
+    case kNmsDropCalls:
+      *metric = Metric::kDropCalls;
+      return true;
+    case kNmsCallAttempts:
+      *metric = Metric::kCallAttempts;
+      return true;
+    case kNmsHandoverFails:
+      *metric = Metric::kHandoverFails;
+      return true;
+    case kNmsThroughput:
+      *metric = Metric::kThroughput;
+      *integral = false;
+      return true;
+    case kNmsRssi:
+      *metric = Metric::kRssi;
+      *integral = false;
+      return true;
+    default:
+      return false;
   }
-  if (fact_idx >= 0) return ColumnBinding{0, fact_idx};
-  if (dim_idx >= 0) return ColumnBinding{1, dim_idx};
-  return Status::InvalidArgument("sql: unknown column " + name);
 }
 
 }  // namespace
@@ -199,15 +174,86 @@ std::string SelectItem::DisplayName() const {
   return column;
 }
 
-Result<SqlResult> ExecuteSql(Framework& framework,
-                             const SelectStatement& statement) {
-  const TableSchema* fact = SchemaFor(statement.table);
-  if (fact == nullptr) {
+void SqlEvaluation::Accumulator::Add(const std::string& value) {
+  ++count;
+  double v = 0;
+  if (ParseDouble(value, &v)) {
+    sum += v;
+    if (v < min) {
+      min = v;
+      min_text = value;
+    }
+    if (v > max) {
+      max = v;
+      max_text = value;
+    }
+  } else {
+    numeric = false;
+    if (min_text.empty() || value < min_text) min_text = value;
+    if (max_text.empty() || value > max_text) max_text = value;
+  }
+}
+
+Status SqlEvaluation::Resolve(const std::string& name,
+                              ColumnBinding* binding) const {
+  const size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    std::string table = name.substr(0, dot);
+    for (char& c : table) {
+      c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+    }
+    const std::string column = name.substr(dot + 1);
+    if (table == statement_->table) {
+      const int idx = fact_->IndexOf(column);
+      if (idx < 0) return Status::InvalidArgument("sql: unknown column " + name);
+      *binding = ColumnBinding{0, idx};
+      return Status::OK();
+    }
+    if (dim_ != nullptr && table == dim_->name()) {
+      const int idx = dim_->IndexOf(column);
+      if (idx < 0) return Status::InvalidArgument("sql: unknown column " + name);
+      *binding = ColumnBinding{1, idx};
+      return Status::OK();
+    }
+    return Status::InvalidArgument("sql: unknown table qualifier " + name);
+  }
+  const int fact_idx = fact_->IndexOf(name);
+  const int dim_idx = dim_ != nullptr ? dim_->IndexOf(name) : -1;
+  if (fact_idx >= 0 && dim_idx >= 0) {
+    return Status::InvalidArgument("sql: ambiguous column " + name +
+                                   " (qualify with a table name)");
+  }
+  if (fact_idx >= 0) {
+    *binding = ColumnBinding{0, fact_idx};
+    return Status::OK();
+  }
+  if (dim_idx >= 0) {
+    *binding = ColumnBinding{1, dim_idx};
+    return Status::OK();
+  }
+  return Status::InvalidArgument("sql: unknown column " + name);
+}
+
+Result<SqlEvaluation> SqlEvaluation::Prepare(
+    const SelectStatement& statement, const std::vector<Record>& cell_rows) {
+  SqlEvaluation eval;
+  eval.statement_ = &statement;
+  eval.fact_ = SchemaFor(statement.table);
+  if (eval.fact_ == nullptr) {
     return Status::InvalidArgument("sql: unknown table " + statement.table);
   }
+  eval.from_cell_ = statement.table == "CELL";
+  eval.is_cdr_ = statement.table == "CDR";
+
+  for (const Predicate& pred : statement.where) {
+    if (pred.param >= 0) {
+      return Status::InvalidArgument(
+          "sql: unbound parameter ?" + std::to_string(pred.param + 1) +
+          " (bind prepared-statement parameters before executing)");
+    }
+  }
+
   // Dimension join (CELL only — the static star-schema dimension).
-  const TableSchema* dim = nullptr;
-  ColumnBinding join_left, join_right;
   if (statement.join.has_value()) {
     if (statement.join->table != "CELL") {
       return Status::NotSupported("sql: only JOIN CELL is supported");
@@ -215,213 +261,351 @@ Result<SqlResult> ExecuteSql(Framework& framework,
     if (statement.table == "CELL") {
       return Status::NotSupported("sql: CELL cannot join itself");
     }
-    dim = &CellSchema();
-    SPATE_ASSIGN_OR_RETURN(
-        join_left,
-        Resolve(statement.join->left_column, statement.table, *fact, dim));
-    SPATE_ASSIGN_OR_RETURN(
-        join_right,
-        Resolve(statement.join->right_column, statement.table, *fact, dim));
+    eval.dim_ = &CellSchema();
+    SPATE_RETURN_IF_ERROR(
+        eval.Resolve(statement.join->left_column, &eval.join_left_));
+    SPATE_RETURN_IF_ERROR(
+        eval.Resolve(statement.join->right_column, &eval.join_right_));
     // Normalize: left on the fact side, right on the dimension side.
-    if (join_left.source == 1 && join_right.source == 0) {
-      std::swap(join_left, join_right);
+    if (eval.join_left_.source == 1 && eval.join_right_.source == 0) {
+      std::swap(eval.join_left_, eval.join_right_);
     }
-    if (join_left.source != 0 || join_right.source != 1) {
+    if (eval.join_left_.source != 0 || eval.join_right_.source != 1) {
       return Status::InvalidArgument(
           "sql: join condition must relate the fact table to CELL");
     }
   }
 
   // Expand '*' and validate columns.
-  struct Item {
-    SelectItem item;
-    ColumnBinding binding;  // invalid for COUNT(*)
-  };
-  std::vector<Item> items;
-  bool has_aggregate = false;
   for (const SelectItem& item : statement.items) {
     if (item.aggregate == AggregateFn::kNone && item.column == "*") {
-      for (const AttributeSpec& attr : fact->attributes()) {
-        items.push_back(
+      for (const AttributeSpec& attr : eval.fact_->attributes()) {
+        eval.items_.push_back(
             Item{SelectItem{AggregateFn::kNone, false, attr.name},
-                 ColumnBinding{0, fact->IndexOf(attr.name)}});
+                 ColumnBinding{0, eval.fact_->IndexOf(attr.name)}});
       }
-      if (dim != nullptr) {
-        for (const AttributeSpec& attr : dim->attributes()) {
-          items.push_back(
+      if (eval.dim_ != nullptr) {
+        for (const AttributeSpec& attr : eval.dim_->attributes()) {
+          eval.items_.push_back(
               Item{SelectItem{AggregateFn::kNone, false, attr.name},
-                   ColumnBinding{1, dim->IndexOf(attr.name)}});
+                   ColumnBinding{1, eval.dim_->IndexOf(attr.name)}});
         }
       }
+      eval.all_fact_columns_ = true;
       continue;
     }
     Item entry;
     entry.item = item;
     if (!(item.aggregate == AggregateFn::kCount && item.column == "*")) {
-      SPATE_ASSIGN_OR_RETURN(
-          entry.binding, Resolve(item.column, statement.table, *fact, dim));
+      SPATE_RETURN_IF_ERROR(eval.Resolve(item.column, &entry.binding));
     }
-    has_aggregate |= (item.aggregate != AggregateFn::kNone);
-    items.push_back(std::move(entry));
+    eval.has_aggregate_ |= (item.aggregate != AggregateFn::kNone);
+    eval.items_.push_back(std::move(entry));
   }
-  if (items.empty()) {
+  if (eval.items_.empty()) {
     return Status::InvalidArgument("sql: empty select list");
   }
-  ColumnBinding group_binding;
-  bool has_group = false;
   if (statement.group_by.has_value()) {
-    SPATE_ASSIGN_OR_RETURN(
-        group_binding,
-        Resolve(*statement.group_by, statement.table, *fact, dim));
-    has_group = true;
-    has_aggregate = true;
+    SPATE_RETURN_IF_ERROR(
+        eval.Resolve(*statement.group_by, &eval.group_binding_));
+    eval.has_group_ = true;
+    eval.has_aggregate_ = true;
   }
 
   // Validate predicates; extract the temporal window from fact-ts
   // predicates.
-  const int ts_col = fact->IndexOf("ts");
-  Timestamp window_begin = 0;
-  Timestamp window_end = std::numeric_limits<Timestamp>::max();
-  struct TsBound {
-    const Predicate* pred;
-    Timestamp lo, hi;
-  };
-  std::vector<TsBound> ts_preds;
-  struct BoundPred {
-    const Predicate* pred;
-    ColumnBinding binding;
-  };
-  std::vector<BoundPred> other_preds;
+  eval.ts_col_ = eval.fact_->IndexOf("ts");
+  eval.cell_col_ = eval.fact_->IndexOf("cell_id");
   for (const Predicate& pred : statement.where) {
-    SPATE_ASSIGN_OR_RETURN(
-        ColumnBinding binding,
-        Resolve(pred.column, statement.table, *fact, dim));
-    if (binding.source == 0 && binding.index == ts_col && ts_col >= 0) {
+    ColumnBinding binding;
+    SPATE_RETURN_IF_ERROR(eval.Resolve(pred.column, &binding));
+    if (binding.source == 0 && binding.index == eval.ts_col_ &&
+        eval.ts_col_ >= 0) {
       Timestamp lo, hi;
       if (!TsPeriod(pred.literal, &lo, &hi)) {
         return Status::InvalidArgument("sql: bad ts literal " + pred.literal);
       }
-      ts_preds.push_back(TsBound{&pred, lo, hi});
+      eval.ts_preds_.push_back(TsBound{&pred, lo, hi});
       switch (pred.op) {
         case CompareOp::kEq:
-          window_begin = std::max(window_begin, lo);
-          window_end = std::min(window_end, hi);
+          eval.window_begin_ = std::max(eval.window_begin_, lo);
+          eval.window_end_ = std::min(eval.window_end_, hi);
           break;
         case CompareOp::kGe:
-          window_begin = std::max(window_begin, lo);
+          eval.window_begin_ = std::max(eval.window_begin_, lo);
           break;
         case CompareOp::kGt:
-          window_begin = std::max(window_begin, hi);
+          eval.window_begin_ = std::max(eval.window_begin_, hi);
           break;
         case CompareOp::kLe:
-          window_end = std::min(window_end, hi);
+          eval.window_end_ = std::min(eval.window_end_, hi);
           break;
         case CompareOp::kLt:
-          window_end = std::min(window_end, lo);
+          eval.window_end_ = std::min(eval.window_end_, lo);
           break;
         case CompareOp::kNe:
           break;
       }
     } else {
-      other_preds.push_back(BoundPred{&pred, binding});
+      eval.other_preds_.push_back(BoundPred{&pred, binding});
     }
   }
 
   // Dimension hash table for the join.
-  std::unordered_map<std::string, const Record*> dim_by_key;
-  if (dim != nullptr) {
-    for (const Record& row : framework.cell_rows()) {
-      dim_by_key.emplace(FieldAsString(row, join_right.index), &row);
+  if (eval.dim_ != nullptr) {
+    for (const Record& row : cell_rows) {
+      eval.dim_by_key_.emplace(FieldAsString(row, eval.join_right_.index),
+                               &row);
     }
   }
 
-  SqlResult result;
-  for (const Item& entry : items) {
-    result.columns.push_back(entry.item.DisplayName());
+  for (const Item& entry : eval.items_) {
+    eval.result_.columns.push_back(entry.item.DisplayName());
   }
 
-  auto field = [&](const Record& fact_row, const Record* dim_row,
-                   const ColumnBinding& binding) -> const std::string& {
-    if (binding.source == 0) return FieldAsString(fact_row, binding.index);
-    static const std::string& empty = *new std::string();
-    return dim_row != nullptr ? FieldAsString(*dim_row, binding.index)
-                              : empty;
-  };
+  eval.AnalyzeForPlanner();
+  return eval;
+}
 
-  // Aggregation state: group key -> (representative key text, accumulators).
-  std::map<std::string, std::vector<Accumulator>> groups;
-  auto consume = [&](const Record& fact_row) {
-    // Join (inner): resolve the dimension row first.
-    const Record* dim_row = nullptr;
-    if (dim != nullptr) {
-      auto it = dim_by_key.find(FieldAsString(fact_row, join_left.index));
-      if (it == dim_by_key.end()) return;
-      dim_row = it->second;
-    }
-    // Predicates.
-    if (ts_col >= 0 && !ts_preds.empty()) {
-      const Timestamp ts = ParseCompact(FieldAsString(fact_row, ts_col));
-      for (const TsBound& b : ts_preds) {
-        if (!EvalTsPredicate(ts, *b.pred, b.lo, b.hi)) return;
+void SqlEvaluation::AnalyzeForPlanner() {
+  // Joined statements probe the dimension with full-width rows and plain
+  // '*' selects need every column; everything else reads a known set.
+  all_fact_columns_ |= dim_ != nullptr;
+  if (!all_fact_columns_) {
+    auto add = [&](const ColumnBinding& binding) {
+      if (binding.source != 0 || binding.index < 0) return;
+      const auto& attrs = fact_->attributes();
+      if (static_cast<size_t>(binding.index) < attrs.size()) {
+        fact_columns_.push_back(attrs[static_cast<size_t>(binding.index)].name);
+      }
+    };
+    for (const Item& entry : items_) add(entry.binding);
+    for (const BoundPred& bp : other_preds_) add(bp.binding);
+    if (has_group_) add(group_binding_);
+    // ts and cell id always ride along: the scan-side projection forces
+    // them anyway (ScanProjection) and re-filtering cached rows needs them.
+    for (int forced : {ts_col_, cell_col_}) add(ColumnBinding{0, forced});
+    std::sort(fact_columns_.begin(), fact_columns_.end());
+    fact_columns_.erase(
+        std::unique(fact_columns_.begin(), fact_columns_.end()),
+        fact_columns_.end());
+  }
+
+  // Spatial pushdown: exactly one distinct literal pinned by fact
+  // `cell_id =` equalities. (Two distinct literals are NOT a contradiction
+  // — '01' and '1' compare equal numerically — so pushdown just declines.)
+  if (cell_col_ >= 0) {
+    bool multiple = false;
+    for (const BoundPred& bp : other_preds_) {
+      if (bp.binding.source != 0 || bp.binding.index != cell_col_ ||
+          bp.pred->op != CompareOp::kEq) {
+        continue;
+      }
+      if (pushdown_cell_.empty()) {
+        pushdown_cell_ = bp.pred->literal;
+      } else if (pushdown_cell_ != bp.pred->literal) {
+        multiple = true;
       }
     }
-    for (const BoundPred& bp : other_preds) {
-      if (!EvalPredicate(field(fact_row, dim_row, bp.binding), *bp.pred)) {
-        return;
+    if (multiple) pushdown_cell_.clear();
+  }
+
+  // Summary answering: the statement's answer is derivable bit-identically
+  // from NodeSummary aggregates. Requirements (each tied to an exactness
+  // argument — see docs/SQL.md "Planner decision table"):
+  //   - fact table, no join (summaries know nothing of dimension columns);
+  //   - aggregates only, each mapping onto a materialized metric; SUM/AVG
+  //     restricted to integer-fed metrics (exact in a double at any merge
+  //     order), MIN/MAX allowed on any metric (order-independent);
+  //     COUNT(DISTINCT) excluded;
+  //   - plain select item only as the GROUP BY key echo;
+  //   - grouping absent or by the fact cell-id column (the summaries' key);
+  //   - residual predicates only on the fact cell-id column — evaluated
+  //     per summary key with the same EvalPredicate the row path uses;
+  //   - no `ts !=` predicate, and the window epoch-aligned, so the window's
+  //     leaves contain exactly the predicate-satisfying rows.
+  // The planner additionally checks the window is fully resolved (decayed
+  // leaves are in the summaries but not in a row scan).
+  summary_eligible_ = !from_cell_ && dim_ == nullptr && has_aggregate_;
+  if (summary_eligible_) {
+    for (const TsBound& b : ts_preds_) {
+      if (b.pred->op == CompareOp::kNe) summary_eligible_ = false;
+    }
+    if (window_begin_ % kEpochSeconds != 0) summary_eligible_ = false;
+    if (window_end_ != std::numeric_limits<Timestamp>::max() &&
+        window_end_ % kEpochSeconds != 0) {
+      summary_eligible_ = false;
+    }
+    for (const BoundPred& bp : other_preds_) {
+      if (bp.binding.source != 0 || bp.binding.index != cell_col_ ||
+          cell_col_ < 0) {
+        summary_eligible_ = false;
       }
     }
-    if (!has_aggregate) {
-      std::vector<std::string> out;
-      out.reserve(items.size());
-      for (const Item& entry : items) {
-        out.push_back(field(fact_row, dim_row, entry.binding));
+    if (has_group_ && (group_binding_.source != 0 ||
+                       group_binding_.index != cell_col_ || cell_col_ < 0)) {
+      summary_eligible_ = false;
+    }
+  }
+  if (summary_eligible_) {
+    for (const Item& entry : items_) {
+      SummaryItem out;
+      Metric metric = Metric::kDropCalls;
+      bool integral = false;
+      switch (entry.item.aggregate) {
+        case AggregateFn::kNone:
+          if (!(has_group_ && statement_->group_by.has_value() &&
+                entry.item.column == *statement_->group_by)) {
+            summary_eligible_ = false;
+          }
+          out.source = SummarySource::kGroupKey;
+          break;
+        case AggregateFn::kCount:
+          // COUNT(*) and COUNT(col) both count consumed rows (Add always
+          // increments); COUNT(DISTINCT) is not derivable.
+          if (entry.item.distinct) summary_eligible_ = false;
+          out.source = SummarySource::kRowCount;
+          break;
+        case AggregateFn::kSum:
+        case AggregateFn::kAvg:
+          if (entry.binding.source != 0 ||
+              !MetricFor(is_cdr_, entry.binding.index, &metric, &integral) ||
+              !integral) {
+            summary_eligible_ = false;
+          }
+          out.source = SummarySource::kMetric;
+          out.fn = entry.item.aggregate;
+          out.metric = metric;
+          break;
+        case AggregateFn::kMin:
+        case AggregateFn::kMax:
+          if (entry.binding.source != 0 ||
+              !MetricFor(is_cdr_, entry.binding.index, &metric, &integral)) {
+            summary_eligible_ = false;
+          }
+          out.source = SummarySource::kMetric;
+          out.fn = entry.item.aggregate;
+          out.metric = metric;
+          break;
       }
-      result.rows.push_back(std::move(out));
+      summary_items_.push_back(out);
+    }
+  }
+  if (!summary_eligible_) summary_items_.clear();
+}
+
+const std::string& SqlEvaluation::Field(const Record& fact_row,
+                                        const Record* dim_row,
+                                        const ColumnBinding& binding) const {
+  if (binding.source == 0) return FieldAsString(fact_row, binding.index);
+  static const std::string& empty = *new std::string();
+  return dim_row != nullptr ? FieldAsString(*dim_row, binding.index) : empty;
+}
+
+void SqlEvaluation::ConsumeRow(const Record& fact_row) {
+  // Join (inner): resolve the dimension row first.
+  const Record* dim_row = nullptr;
+  if (dim_ != nullptr) {
+    auto it = dim_by_key_.find(FieldAsString(fact_row, join_left_.index));
+    if (it == dim_by_key_.end()) return;
+    dim_row = it->second;
+  }
+  // Predicates.
+  if (ts_col_ >= 0 && !ts_preds_.empty()) {
+    const Timestamp ts = ParseCompact(FieldAsString(fact_row, ts_col_));
+    for (const TsBound& b : ts_preds_) {
+      if (!EvalTsPredicate(ts, *b.pred, b.lo, b.hi)) return;
+    }
+  }
+  for (const BoundPred& bp : other_preds_) {
+    if (!EvalPredicate(Field(fact_row, dim_row, bp.binding), *bp.pred)) {
       return;
     }
-    const std::string key =
-        has_group ? field(fact_row, dim_row, group_binding) : "";
-    auto [it, inserted] =
-        groups.try_emplace(key, std::vector<Accumulator>(items.size()));
-    std::vector<Accumulator>& accs = it->second;
-    for (size_t i = 0; i < items.size(); ++i) {
-      const Item& entry = items[i];
-      if (entry.item.aggregate == AggregateFn::kCount &&
-          entry.item.column == "*") {
-        ++accs[i].count;
-      } else if (entry.item.aggregate == AggregateFn::kCount &&
-                 entry.item.distinct) {
-        accs[i].distinct_values.insert(field(fact_row, dim_row, entry.binding));
-      } else {
-        accs[i].Add(field(fact_row, dim_row, entry.binding));
+  }
+  if (!has_aggregate_) {
+    std::vector<std::string> out;
+    out.reserve(items_.size());
+    for (const Item& entry : items_) {
+      out.push_back(Field(fact_row, dim_row, entry.binding));
+    }
+    result_.rows.push_back(std::move(out));
+    return;
+  }
+  const std::string key =
+      has_group_ ? Field(fact_row, dim_row, group_binding_) : "";
+  auto [it, inserted] =
+      groups_.try_emplace(key, std::vector<Accumulator>(items_.size()));
+  std::vector<Accumulator>& accs = it->second;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    const Item& entry = items_[i];
+    if (entry.item.aggregate == AggregateFn::kCount &&
+        entry.item.column == "*") {
+      ++accs[i].count;
+    } else if (entry.item.aggregate == AggregateFn::kCount &&
+               entry.item.distinct) {
+      accs[i].distinct_values.insert(Field(fact_row, dim_row, entry.binding));
+    } else {
+      accs[i].Add(Field(fact_row, dim_row, entry.binding));
+    }
+  }
+}
+
+void SqlEvaluation::ConsumeSnapshot(const Snapshot& snapshot) {
+  const std::vector<Record>& rows = is_cdr_ ? snapshot.cdr : snapshot.nms;
+  for (const Record& row : rows) ConsumeRow(row);
+}
+
+Status SqlEvaluation::ShapeResult(SqlResult* result) const {
+  // ORDER BY: match the operand against output display names.
+  if (statement_->order_by.has_value()) {
+    const auto& order = *statement_->order_by;
+    int column = -1;
+    for (size_t i = 0; i < result->columns.size(); ++i) {
+      if (result->columns[i] == order.column) {
+        column = static_cast<int>(i);
+        break;
       }
     }
-  };
-
-  if (statement.table == "CELL") {
-    for (const Record& row : framework.cell_rows()) consume(row);
-  } else if (window_begin < window_end) {
-    const bool is_cdr = statement.table == "CDR";
-    SPATE_RETURN_IF_ERROR(framework.ScanWindow(
-        window_begin, window_end, [&](const Snapshot& snapshot) {
-          const std::vector<Record>& rows =
-              is_cdr ? snapshot.cdr : snapshot.nms;
-          for (const Record& row : rows) consume(row);
-        }));
+    if (column < 0) {
+      return Status::InvalidArgument("sql: ORDER BY column " + order.column +
+                                     " is not in the select list");
+    }
+    const bool desc = order.descending;
+    std::stable_sort(
+        result->rows.begin(), result->rows.end(),
+        [column, desc](const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+          double av = 0, bv = 0;
+          int cmp;
+          if (ParseDouble(a[column], &av) && ParseDouble(b[column], &bv)) {
+            cmp = av < bv ? -1 : (av > bv ? 1 : 0);
+          } else {
+            const int c = a[column].compare(b[column]);
+            cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+          }
+          return desc ? cmp > 0 : cmp < 0;
+        });
   }
+  if (statement_->limit.has_value() &&
+      result->rows.size() > *statement_->limit) {
+    result->rows.resize(*statement_->limit);
+  }
+  return Status::OK();
+}
 
-  if (has_aggregate) {
-    for (const auto& [key, accs] : groups) {
+Result<SqlResult> SqlEvaluation::Finish() {
+  if (has_aggregate_) {
+    for (const auto& [key, accs] : groups_) {
       std::vector<std::string> out;
-      out.reserve(items.size());
-      for (size_t i = 0; i < items.size(); ++i) {
-        const SelectItem& item = items[i].item;
+      out.reserve(items_.size());
+      for (size_t i = 0; i < items_.size(); ++i) {
+        const SelectItem& item = items_[i].item;
         const Accumulator& acc = accs[i];
         switch (item.aggregate) {
           case AggregateFn::kNone:
             // Plain column next to aggregates: the group key (or first
             // seen value for non-grouped columns).
-            out.push_back(has_group && item.column == *statement.group_by
+            out.push_back(has_group_ && item.column == *statement_->group_by
                               ? key
                               : acc.min_text);
             break;
@@ -447,45 +631,104 @@ Result<SqlResult> ExecuteSql(Framework& framework,
             break;
         }
       }
-      result.rows.push_back(std::move(out));
+      result_.rows.push_back(std::move(out));
     }
   }
+  SPATE_RETURN_IF_ERROR(ShapeResult(&result_));
+  return std::move(result_);
+}
 
-  // ORDER BY: match the operand against output display names.
-  if (statement.order_by.has_value()) {
-    const auto& order = *statement.order_by;
-    int column = -1;
-    for (size_t i = 0; i < result.columns.size(); ++i) {
-      if (result.columns[i] == order.column) {
-        column = static_cast<int>(i);
-        break;
+Result<SqlResult> SqlEvaluation::AnswerFromSummary(
+    const NodeSummary& summary) const {
+  if (!summary_eligible_) {
+    return Status::Internal("sql: statement is not summary-answerable");
+  }
+  SqlResult out;
+  out.columns = result_.columns;
+
+  auto cell_passes = [&](const std::string& cell_id) {
+    for (const BoundPred& bp : other_preds_) {
+      if (!EvalPredicate(cell_id, *bp.pred)) return false;
+    }
+    return true;
+  };
+  auto emit = [&](const std::string& key, uint64_t row_count,
+                  const CellStats& stats) {
+    std::vector<std::string> row;
+    row.reserve(summary_items_.size());
+    for (const SummaryItem& item : summary_items_) {
+      switch (item.source) {
+        case SummarySource::kGroupKey:
+          row.push_back(key);
+          break;
+        case SummarySource::kRowCount:
+          row.push_back(std::to_string(row_count));
+          break;
+        case SummarySource::kMetric: {
+          const MetricAggregate& m =
+              stats.metrics[static_cast<int>(item.metric)];
+          switch (item.fn) {
+            case AggregateFn::kSum:
+              row.push_back(FormatDouble(m.sum));
+              break;
+            case AggregateFn::kAvg:
+              row.push_back(FormatDouble(m.count ? m.sum / m.count : 0.0));
+              break;
+            case AggregateFn::kMin:
+              row.push_back(FormatDouble(m.min));
+              break;
+            case AggregateFn::kMax:
+              row.push_back(FormatDouble(m.max));
+              break;
+            default:
+              row.push_back("");
+              break;
+          }
+          break;
+        }
       }
     }
-    if (column < 0) {
-      return Status::InvalidArgument("sql: ORDER BY column " + order.column +
-                                     " is not in the select list");
+    out.rows.push_back(std::move(row));
+  };
+
+  // per_cell() is a sorted map, matching the row path's sorted group map;
+  // without GROUP BY the row path would have one "" group iff any row
+  // matched.
+  if (has_group_) {
+    for (const auto& [cell_id, stats] : summary.per_cell()) {
+      const uint64_t row_count = is_cdr_ ? stats.cdr_rows : stats.nms_rows;
+      if (row_count == 0 || !cell_passes(cell_id)) continue;
+      emit(cell_id, row_count, stats);
     }
-    const bool desc = order.descending;
-    std::stable_sort(
-        result.rows.begin(), result.rows.end(),
-        [column, desc](const std::vector<std::string>& a,
-                       const std::vector<std::string>& b) {
-          double av = 0, bv = 0;
-          int cmp;
-          if (ParseDouble(a[column], &av) && ParseDouble(b[column], &bv)) {
-            cmp = av < bv ? -1 : (av > bv ? 1 : 0);
-          } else {
-            const int c = a[column].compare(b[column]);
-            cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
-          }
-          return desc ? cmp > 0 : cmp < 0;
-        });
+  } else {
+    uint64_t total = 0;
+    CellStats merged;
+    for (const auto& [cell_id, stats] : summary.per_cell()) {
+      const uint64_t row_count = is_cdr_ ? stats.cdr_rows : stats.nms_rows;
+      if (row_count == 0 || !cell_passes(cell_id)) continue;
+      total += row_count;
+      merged.Merge(stats);
+    }
+    if (total > 0) emit("", total, merged);
   }
 
-  if (statement.limit.has_value() && result.rows.size() > *statement.limit) {
-    result.rows.resize(*statement.limit);
+  SPATE_RETURN_IF_ERROR(ShapeResult(&out));
+  return out;
+}
+
+Result<SqlResult> ExecuteSql(Framework& framework,
+                             const SelectStatement& statement) {
+  SPATE_ASSIGN_OR_RETURN(
+      SqlEvaluation eval,
+      SqlEvaluation::Prepare(statement, framework.cell_rows()));
+  if (eval.from_cell()) {
+    for (const Record& row : framework.cell_rows()) eval.ConsumeRow(row);
+  } else if (eval.window_begin() < eval.window_end()) {
+    SPATE_RETURN_IF_ERROR(framework.ScanWindow(
+        eval.window_begin(), eval.window_end(),
+        [&eval](const Snapshot& snapshot) { eval.ConsumeSnapshot(snapshot); }));
   }
-  return result;
+  return eval.Finish();
 }
 
 Result<SqlResult> ExecuteSql(Framework& framework, std::string_view sql) {

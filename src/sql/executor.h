@@ -1,7 +1,12 @@
 #ifndef SPATE_SQL_EXECUTOR_H_
 #define SPATE_SQL_EXECUTOR_H_
 
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/framework.h"
@@ -16,10 +21,155 @@ struct SqlResult {
   std::vector<std::vector<std::string>> rows;
 };
 
-/// Executes a parsed statement against a framework. Time predicates on the
-/// `ts` column use compact-timestamp prefix semantics ("2016" = the whole
-/// year) and drive temporal pruning through the framework's index before
-/// any rows are decompressed.
+/// One SELECT statement resolved against the schemas and ready to consume
+/// rows: the shared evaluation engine under both the naive executor and
+/// every plan the cost-based planner (sql/planner.h) can choose. The split
+/// is what makes planned execution bit-identical to the unplanned path —
+/// whatever access path produced the rows, the same evaluation folds them.
+///
+/// Lifetime: holds pointers into `statement` and `cell_rows`; both must
+/// outlive the evaluation. Single-use: stream rows via `ConsumeSnapshot` /
+/// `ConsumeRow`, then call `Finish` exactly once (or answer without rows
+/// via `AnswerFromSummary`).
+///
+/// Thread-safety: a plain single-threaded value, like the executor it was
+/// factored from.
+class SqlEvaluation {
+ public:
+  /// Resolves `statement` (columns, join, predicates, temporal window) or
+  /// fails with the same diagnostics the executor always produced.
+  /// Statements with unbound `?` placeholders are rejected — bind them
+  /// first (`BindParams`, sql/planner.h).
+  static Result<SqlEvaluation> Prepare(const SelectStatement& statement,
+                                       const std::vector<Record>& cell_rows);
+
+  // -- Analysis the planner reads (all derived in Prepare) -----------------
+
+  const SelectStatement& statement() const { return *statement_; }
+  /// FROM CELL: answered from the static inventory, no scan at all.
+  bool from_cell() const { return from_cell_; }
+  /// Fact table is CDR (else NMS); meaningless when `from_cell`.
+  bool is_cdr() const { return is_cdr_; }
+  /// Temporal window [begin, end) implied by the ts predicates.
+  Timestamp window_begin() const { return window_begin_; }
+  Timestamp window_end() const { return window_end_; }
+  bool has_aggregate() const { return has_aggregate_; }
+  bool has_group() const { return has_group_; }
+  /// The statement needs every fact column ('*', or a join is present —
+  /// joined rows must keep their full width for the dimension probe).
+  bool references_all_fact_columns() const { return all_fact_columns_; }
+  /// Canonical fact-schema names of every column the evaluation reads
+  /// (select items, predicates, group key, join key) plus `ts` and
+  /// `cell_id` — always includable, so cached/projected rows stay
+  /// re-filterable. Meaningful when `!references_all_fact_columns()`.
+  const std::vector<std::string>& fact_columns() const {
+    return fact_columns_;
+  }
+  /// Literal of a `cell_id = '<literal>'` equality on the fact table, when
+  /// exactly one distinct literal is pinned (the spatial pushdown
+  /// opportunity); empty otherwise.
+  const std::string& pushdown_cell() const { return pushdown_cell_; }
+  /// The statement can be answered bit-identically from node summaries
+  /// alone (see docs/SQL.md "Planner decision table" for the exact rules);
+  /// still requires a fully-resolved, epoch-aligned window at plan time.
+  bool summary_eligible() const { return summary_eligible_; }
+
+  // -- Row consumption -----------------------------------------------------
+
+  /// Folds one fact-table row through join, predicates and aggregation.
+  void ConsumeRow(const Record& fact_row);
+  /// Folds the statement's fact table of `snapshot`.
+  void ConsumeSnapshot(const Snapshot& snapshot);
+  /// Final result shaping (aggregate output, ORDER BY, LIMIT). Call once.
+  Result<SqlResult> Finish();
+  /// Answers the statement from a window summary instead of rows (the
+  /// highlight-only plan). Only valid when `summary_eligible()`.
+  Result<SqlResult> AnswerFromSummary(const NodeSummary& summary) const;
+
+ private:
+  /// A column resolved against the (fact, optional dimension) pair.
+  struct ColumnBinding {
+    int source = 0;  // 0 = fact table, 1 = joined dimension
+    int index = -1;
+  };
+  struct Item {
+    SelectItem item;
+    ColumnBinding binding;  // invalid for COUNT(*)
+  };
+  struct TsBound {
+    const Predicate* pred;
+    Timestamp lo, hi;
+  };
+  struct BoundPred {
+    const Predicate* pred;
+    ColumnBinding binding;
+  };
+  /// Streaming aggregation state of one select item within one group.
+  struct Accumulator {
+    uint64_t count = 0;
+    std::set<std::string> distinct_values;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::string min_text, max_text;
+    bool numeric = true;
+
+    void Add(const std::string& value);
+  };
+  /// How one select item is answered from a `NodeSummary`.
+  enum class SummarySource { kGroupKey, kRowCount, kMetric };
+  struct SummaryItem {
+    SummarySource source = SummarySource::kRowCount;
+    AggregateFn fn = AggregateFn::kCount;  // for kMetric
+    Metric metric = Metric::kDropCalls;    // for kMetric
+  };
+
+  SqlEvaluation() = default;
+
+  Status Resolve(const std::string& name, ColumnBinding* binding) const;
+  const std::string& Field(const Record& fact_row, const Record* dim_row,
+                           const ColumnBinding& binding) const;
+  /// Derives `fact_columns_` / `pushdown_cell_` / `summary_eligible_`.
+  void AnalyzeForPlanner();
+  /// ORDER BY + LIMIT, shared by `Finish` and `AnswerFromSummary`.
+  Status ShapeResult(SqlResult* result) const;
+
+  const SelectStatement* statement_ = nullptr;
+  const TableSchema* fact_ = nullptr;
+  const TableSchema* dim_ = nullptr;  // CELL when joined
+  ColumnBinding join_left_, join_right_;
+  std::vector<Item> items_;
+  bool has_aggregate_ = false;
+  ColumnBinding group_binding_;
+  bool has_group_ = false;
+  bool from_cell_ = false;
+  bool is_cdr_ = false;
+  int ts_col_ = -1;
+  int cell_col_ = -1;
+  Timestamp window_begin_ = 0;
+  Timestamp window_end_ = std::numeric_limits<Timestamp>::max();
+  std::vector<TsBound> ts_preds_;
+  std::vector<BoundPred> other_preds_;
+  std::unordered_map<std::string, const Record*> dim_by_key_;
+
+  // Planner analysis.
+  bool all_fact_columns_ = false;
+  std::vector<std::string> fact_columns_;
+  std::string pushdown_cell_;
+  bool summary_eligible_ = false;
+  std::vector<SummaryItem> summary_items_;
+
+  // Consumption state.
+  SqlResult result_;
+  std::map<std::string, std::vector<Accumulator>> groups_;
+};
+
+/// Executes a parsed statement against a framework with the naive
+/// full-window scan (no planning). Time predicates on the `ts` column use
+/// compact-timestamp prefix semantics ("2016" = the whole year) and drive
+/// temporal pruning through the framework's index before any rows are
+/// decompressed. The cost-based alternative is `ExecutePlannedSql`
+/// (sql/planner.h), which must return bit-identical rows.
 Result<SqlResult> ExecuteSql(Framework& framework,
                              const SelectStatement& statement);
 

@@ -1,0 +1,187 @@
+#include "sql/explain.h"
+
+#include <limits>
+
+#include "common/clock.h"
+#include "sql/parser.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "=";
+}
+
+std::string WindowText(const ExplorationQuery& query) {
+  std::string out = "[" + FormatCompact(query.window_begin) + ", ";
+  out += query.window_end == std::numeric_limits<Timestamp>::max()
+             ? "inf"
+             : FormatCompact(query.window_end);
+  out += ")";
+  return out;
+}
+
+/// Emits the tree line by line: each `Node` call nests one level deeper
+/// under the previous node, `Detail` lines sit under the last node.
+class TreeWriter {
+ public:
+  void Node(const std::string& label) {
+    if (first_) {
+      out_ += label;
+      first_ = false;
+    } else {
+      out_ += "\n" + indent_ + "└─ " + label;
+      indent_ += "   ";
+    }
+  }
+  void Detail(const std::string& line) {
+    out_ += "\n" + indent_ + "   " + line;
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  std::string indent_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string RenderPlan(const QueryPlan& plan) {
+  const SelectStatement& stmt = plan.statement;
+  TreeWriter tree;
+  tree.Node("Result");
+  if (stmt.limit.has_value()) {
+    tree.Node("Limit " + std::to_string(*stmt.limit));
+  }
+  if (stmt.order_by.has_value()) {
+    tree.Node("Sort (" + stmt.order_by->column +
+              (stmt.order_by->descending ? " DESC)" : ")"));
+  }
+  bool aggregated = stmt.group_by.has_value();
+  for (const SelectItem& item : stmt.items) {
+    aggregated |= item.aggregate != AggregateFn::kNone;
+  }
+  if (aggregated) {
+    tree.Node(stmt.group_by.has_value()
+                  ? "Aggregate (GROUP BY " + *stmt.group_by + ")"
+                  : "Aggregate");
+  }
+  if (!stmt.where.empty()) {
+    std::string label = "Filter (";
+    for (size_t i = 0; i < stmt.where.size(); ++i) {
+      if (i > 0) label += " AND ";
+      const Predicate& pred = stmt.where[i];
+      label += pred.column;
+      label += ' ';
+      label += OpText(pred.op);
+      label += ' ';
+      label += pred.param >= 0 ? "?" + std::to_string(pred.param + 1)
+                               : pred.literal;
+    }
+    label += ")";
+    tree.Node(label);
+  }
+  if (stmt.join.has_value()) {
+    tree.Node("Join CELL (" + stmt.join->left_column + " = " +
+              stmt.join->right_column + ")");
+  }
+
+  const std::string on_table = std::string(PlanScanKindName(plan.scan)) +
+                               " on " + stmt.table;
+  switch (plan.scan) {
+    case PlanScanKind::kCellScan:
+      tree.Node(on_table);
+      break;
+    case PlanScanKind::kEmptyScan:
+      tree.Node(std::string(PlanScanKindName(plan.scan)) + " (empty window)");
+      break;
+    case PlanScanKind::kSummaryAnswer:
+      tree.Node(on_table);
+      tree.Detail("window: " + WindowText(plan.query));
+      tree.Detail("leaves: " + std::to_string(plan.leaves) +
+                  " in window, all answered from summaries");
+      tree.Detail("predicted decode: 0 bytes");
+      break;
+    case PlanScanKind::kCacheServe:
+      tree.Node(on_table);
+      tree.Detail("window: " + WindowText(plan.query));
+      tree.Detail("predicted decode: 0 bytes");
+      break;
+    case PlanScanKind::kProjectedScan:
+    case PlanScanKind::kRowScan: {
+      tree.Node(on_table);
+      tree.Detail("window: " + WindowText(plan.query));
+      const bool projected = plan.scan == PlanScanKind::kProjectedScan;
+      std::string columns = "columns: ";
+      if (!projected || plan.query.attributes.empty()) {
+        columns += "all";
+      } else {
+        const TableSchema& fact =
+            stmt.table == "CDR" ? CdrSchema() : NmsSchema();
+        columns += std::to_string(plan.query.attributes.size()) + "/" +
+                   std::to_string(fact.num_attributes());
+      }
+      columns += ", cells: ";
+      columns += projected && !plan.cell_restrict.empty() ? plan.cell_restrict
+                                                          : "all";
+      tree.Detail(columns);
+      std::string leaves = "leaves: " + std::to_string(plan.leaves) +
+                           " in window, " +
+                           std::to_string(projected ? plan.leaves_skipped : 0) +
+                           " skipped";
+      tree.Detail(leaves);
+      if (plan.stats_available) {
+        tree.Detail("cost: projected=" + std::to_string(plan.cost_projected) +
+                    ", row=" + std::to_string(plan.cost_row) + " bytes");
+        tree.Detail("predicted decode: " +
+                    std::to_string(plan.predicted_bytes) + " bytes");
+      } else {
+        tree.Detail("cost: no statistics (unplanned framework)");
+      }
+      break;
+    }
+  }
+  return tree.Take();
+}
+
+Result<ExplainResult> ExplainSelect(Framework& framework,
+                                    const SelectStatement& statement,
+                                    ResultCache* cache) {
+  ExplainResult out;
+  SPATE_ASSIGN_OR_RETURN(out.plan,
+                         PlanSelect(framework, statement, cache));
+  SPATE_ASSIGN_OR_RETURN(
+      out.result,
+      ExecutePlan(framework, out.plan, cache, &out.actual_bytes_decoded));
+  out.text = RenderPlan(out.plan);
+  out.text += "\n\npredicted bytes decoded: " +
+              std::to_string(out.plan.predicted_bytes);
+  out.text +=
+      "\nactual bytes decoded:    " + std::to_string(out.actual_bytes_decoded);
+  out.text += "\n";
+  return out;
+}
+
+Result<ExplainResult> ExplainSql(Framework& framework, std::string_view sql,
+                                 ResultCache* cache) {
+  SPATE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  return ExplainSelect(framework, statement, cache);
+}
+
+}  // namespace spate

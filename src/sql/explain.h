@@ -1,0 +1,44 @@
+#ifndef SPATE_SQL_EXPLAIN_H_
+#define SPATE_SQL_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sql/planner.h"
+
+namespace spate {
+
+/// Renders a plan as the stable EXPLAIN text tree (golden-tested —
+/// tests/sql/golden/): the shaping nodes the statement implies stacked over
+/// the scan node, whose detail lines carry the planner's evidence (window,
+/// column/cell restriction, leaf counts, predicted decode bytes). Node
+/// names come from `kPlanNodeNames`.
+std::string RenderPlan(const QueryPlan& plan);
+
+/// What `EXPLAIN SELECT ...` produces: the rendered tree plus — because
+/// SPATE's EXPLAIN also *runs* the statement — the execution's result and
+/// the predicted-vs-actual decode footer.
+struct ExplainResult {
+  /// Rendered tree + footer (`predicted/actual bytes decoded`).
+  std::string text;
+  QueryPlan plan;
+  /// The statement's result (EXPLAIN executes to measure actual cost).
+  SqlResult result;
+  uint64_t actual_bytes_decoded = 0;
+};
+
+/// Plans and executes `sql` (with or without a leading EXPLAIN keyword),
+/// returning the rendered plan, the result and both cost numbers.
+Result<ExplainResult> ExplainSql(Framework& framework, std::string_view sql,
+                                 ResultCache* cache = nullptr);
+
+/// Plans and executes an already-parsed statement (prepared-statement
+/// path).
+Result<ExplainResult> ExplainSelect(Framework& framework,
+                                    const SelectStatement& statement,
+                                    ResultCache* cache = nullptr);
+
+}  // namespace spate
+
+#endif  // SPATE_SQL_EXPLAIN_H_

@@ -54,7 +54,7 @@ class Lexer {
         }
       }
       if (matched) continue;
-      if (std::string_view("=<>(),*;.").find(c) != std::string_view::npos) {
+      if (std::string_view("=<>(),*;.?").find(c) != std::string_view::npos) {
         tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), pos_});
         ++pos_;
         continue;
@@ -121,6 +121,7 @@ class Parser {
 
   Result<SelectStatement> Parse() {
     SelectStatement stmt;
+    if (AcceptKeyword("EXPLAIN")) stmt.explain = true;
     SPATE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     SPATE_RETURN_IF_ERROR(ParseSelectList(&stmt));
     SPATE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
@@ -328,12 +329,17 @@ class Parser {
         return Error("unknown operator " + op);
       }
       Advance();
-      if (Current().type != TokenType::kNumber &&
-          Current().type != TokenType::kString) {
-        return Error("expected literal");
+      if (Current().type == TokenType::kSymbol && Current().text == "?") {
+        // Prepared-statement placeholder; bound positionally at execution.
+        pred.param = stmt->num_params++;
+        Advance();
+      } else if (Current().type == TokenType::kNumber ||
+                 Current().type == TokenType::kString) {
+        pred.literal = Current().text;
+        Advance();
+      } else {
+        return Error("expected literal or ?");
       }
-      pred.literal = Current().text;
-      Advance();
       stmt->where.push_back(std::move(pred));
     } while (AcceptKeyword("AND"));
     return Status::OK();

@@ -8,16 +8,21 @@
 
 namespace spate {
 
-/// Parses one SPATE-SQL statement:
+/// Parses one SPATE-SQL statement (the grammar docs/SQL.md documents):
 ///
-///   SELECT <item> [, <item>...]
+///   [EXPLAIN] SELECT <item> [, <item>...]
 ///   FROM <CDR|NMS|CELL>
-///   [WHERE <col> <op> <literal> [AND ...]]
-///   [GROUP BY <col>]  [;]
+///   [JOIN CELL ON <col> = <col>]
+///   [WHERE <col> <op> (<literal> | ?) [AND ...]]
+///   [GROUP BY <col>]
+///   [ORDER BY <item> [ASC|DESC]]
+///   [LIMIT <n>]  [;]
 ///
-/// where <item> is `*`, a column, or COUNT(*) / SUM(col) / AVG(col) /
-/// MIN(col) / MAX(col); <op> is = != <> < <= > >=; literals are numbers or
-/// quoted strings ('...' or "..."). Keywords are case-insensitive.
+/// where <item> is `*`, a column, or COUNT(*) / COUNT(DISTINCT col) /
+/// SUM(col) / AVG(col) / MIN(col) / MAX(col); <op> is = != <> < <= > >=;
+/// literals are numbers or quoted strings ('...' or "..."); `?` marks a
+/// prepared-statement placeholder bound positionally at execution time
+/// (`BindParams`, sql/planner.h). Keywords are case-insensitive.
 /// Returns InvalidArgument with a position-bearing message on bad input.
 Result<SelectStatement> ParseSql(std::string_view sql);
 

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spate_framework.h"
+#include "serve/server.h"
+#include "sql/executor.h"
+#include "telco/schema.h"
+
+namespace spate {
+namespace {
+
+// The serving tier's SQL front door must answer exactly like a single-node
+// framework holding the same data: the statement is lowered, scattered,
+// gathered, and folded through the same evaluation the local executor uses.
+// Fixture: the same deterministic four-epoch, three-cell trace as
+// tests/sql/planner_test.cc, rebuilt here against a sharded server.
+constexpr int kEpochs = 4;
+const char kWindow[] = "ts >= '201603140000' AND ts < '201603140200'";
+
+Timestamp Base() { return ParseCompact("201603140000"); }
+
+Record CellRow(const std::string& id, double x, double y) {
+  return {id,   "a1",  std::to_string(x), std::to_string(y), "LTE",
+          "90", "500", "r1",              "vend",            "32"};
+}
+
+std::vector<Record> CellRows() {
+  return {CellRow("alpha", 10, 10), CellRow("beta", 500, 500),
+          CellRow("gamma", 900, 900)};
+}
+
+Record Cdr(Timestamp ts, const std::string& cell, int k) {
+  Record row(kCdrNumAttributes);
+  row[kCdrTs] = FormatCompact(ts);
+  row[1] = "u" + cell + std::to_string(k);
+  row[2] = "v" + cell + std::to_string(k);
+  row[kCdrCellId] = cell;
+  row[4] = "voice";
+  row[5] = std::to_string(30 + 10 * k + (cell == "beta" ? 5 : 0));
+  row[6] = std::to_string(100 * (k + 1));
+  row[7] = std::to_string(200 * (k + 1));
+  row[8] = "ok";
+  row[9] = "imei" + std::to_string(k);
+  return row;
+}
+
+Record Nms(Timestamp ts, const std::string& cell, int epoch) {
+  return {FormatCompact(ts),
+          cell,
+          std::to_string(epoch + 1),
+          std::to_string(10 + epoch),
+          "30.5",
+          cell == "alpha" ? "110.25" : "90.5",
+          cell == "alpha" ? "-90.5" : "-95.25",
+          std::to_string(epoch)};
+}
+
+Snapshot Epoch(int i) {
+  Snapshot snap;
+  snap.epoch_start = Base() + i * kEpochSeconds;
+  auto add = [&](const std::string& cell, int count) {
+    for (int k = 0; k < count; ++k) {
+      snap.cdr.push_back(Cdr(snap.epoch_start + 60 * (k + 1), cell, k));
+    }
+    snap.nms.push_back(Nms(snap.epoch_start + 120, cell, i));
+  };
+  if (i == 0 || i == 1 || i == 3) add("alpha", i == 3 ? 2 : 3);
+  if (i == 0 || i == 2 || i == 3) add("beta", i == 2 ? 3 : 2);
+  return snap;
+}
+
+std::unique_ptr<QueryServer> MakeServer(size_t shards) {
+  ServeOptions options;
+  options.num_shards = shards;
+  options.quota.tokens_per_second = 0;  // no rate limit in tests
+  options.quota.max_in_flight = 0;
+  options.default_deadline_seconds = 30.0;
+  options.tuning.queue_capacity = 16;
+  auto server = std::make_unique<QueryServer>(options, CellRows());
+  for (int i = 0; i < kEpochs; ++i) {
+    Status st = server->Ingest(Epoch(i));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return server;
+}
+
+std::unique_ptr<SpateFramework> MakeLocal() {
+  auto local = std::make_unique<SpateFramework>(SpateOptions(), CellRows());
+  for (int i = 0; i < kEpochs; ++i) {
+    Status st = local->Ingest(Epoch(i));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return local;
+}
+
+std::vector<std::vector<std::string>> Sorted(
+    std::vector<std::vector<std::string>> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+SqlServeRequest SqlReq(const std::string& sql) {
+  SqlServeRequest request;
+  request.sql = sql;
+  return request;
+}
+
+TEST(SqlServeTest, SingleShardMatchesLocalExecutorExactly) {
+  auto server = MakeServer(1);
+  auto local = MakeLocal();
+  const std::vector<std::string> statements = {
+      std::string("SELECT caller_id, duration FROM CDR WHERE ") + kWindow,
+      std::string("SELECT cell_id, drop_calls FROM NMS WHERE ") + kWindow +
+          " AND cell_id = 'beta'",
+      std::string("SELECT cell_id, COUNT(*), SUM(duration) FROM CDR WHERE ") +
+          kWindow + " GROUP BY cell_id ORDER BY cell_id",
+  };
+  for (const std::string& sql : statements) {
+    SCOPED_TRACE(sql);
+    SqlServeResponse response = server->QuerySql(SqlReq(sql));
+    ASSERT_EQ(response.outcome, ServeOutcome::kOk)
+        << response.status.ToString();
+    EXPECT_FALSE(response.degraded);
+    auto expected = ExecuteSql(*local, sql);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    EXPECT_EQ(response.result.columns, expected->columns);
+    EXPECT_EQ(response.result.rows, expected->rows);
+  }
+}
+
+TEST(SqlServeTest, ShardedAggregatesMatchLocal) {
+  auto server = MakeServer(3);
+  auto local = MakeLocal();
+  const std::vector<std::string> statements = {
+      std::string("SELECT COUNT(*), SUM(duration), MIN(duration), "
+                  "MAX(upflux) FROM CDR WHERE ") +
+          kWindow,
+      std::string("SELECT cell_id, COUNT(*), AVG(duration) FROM CDR WHERE ") +
+          kWindow + " GROUP BY cell_id ORDER BY cell_id",
+  };
+  for (const std::string& sql : statements) {
+    SCOPED_TRACE(sql);
+    SqlServeResponse response = server->QuerySql(SqlReq(sql));
+    ASSERT_EQ(response.outcome, ServeOutcome::kOk)
+        << response.status.ToString();
+    auto expected = ExecuteSql(*local, sql);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(response.result.rows, expected->rows);
+  }
+}
+
+TEST(SqlServeTest, ShardedRowShapesMatchLocalAsMultisets) {
+  // Shards answer in shard-index order, which need not equal the local
+  // single-store scan order — compare as sorted multisets.
+  auto server = MakeServer(3);
+  auto local = MakeLocal();
+  const std::string sql =
+      std::string("SELECT caller_id, cell_id, duration FROM CDR WHERE ") +
+      kWindow;
+  SqlServeResponse response = server->QuerySql(SqlReq(sql));
+  ASSERT_EQ(response.outcome, ServeOutcome::kOk) << response.status.ToString();
+  auto expected = ExecuteSql(*local, sql);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Sorted(response.result.rows), Sorted(expected->rows));
+  EXPECT_EQ(response.result.rows.size(), expected->rows.size());
+}
+
+TEST(SqlServeTest, FromCellAnswersLocally) {
+  auto server = MakeServer(2);
+  SqlServeResponse response =
+      server->QuerySql(SqlReq("SELECT cell_id, region FROM CELL ORDER BY "
+                              "cell_id"));
+  ASSERT_EQ(response.outcome, ServeOutcome::kOk) << response.status.ToString();
+  ASSERT_EQ(response.result.rows.size(), 3u);
+  EXPECT_EQ(response.result.rows[0][0], "alpha");
+  EXPECT_EQ(response.result.rows[2][0], "gamma");
+}
+
+TEST(SqlServeTest, PreparedStatementRoundTrip) {
+  auto server = MakeServer(2);
+  ASSERT_TRUE(server
+                  ->PrepareSql("by_cell",
+                               "SELECT caller_id, duration FROM CDR WHERE "
+                               "cell_id = ? AND ts >= ? AND ts < ?")
+                  .ok());
+  SqlServeRequest request;
+  request.prepared = "by_cell";
+  request.params = {"beta", "201603140000", "201603140200"};
+  SqlServeResponse via_prepared = server->QuerySql(request);
+  ASSERT_EQ(via_prepared.outcome, ServeOutcome::kOk)
+      << via_prepared.status.ToString();
+  SqlServeResponse via_text = server->QuerySql(
+      SqlReq(std::string("SELECT caller_id, duration FROM CDR WHERE "
+                         "cell_id = 'beta' AND ") +
+             kWindow));
+  ASSERT_EQ(via_text.outcome, ServeOutcome::kOk);
+  EXPECT_EQ(Sorted(via_prepared.result.rows), Sorted(via_text.result.rows));
+}
+
+TEST(SqlServeTest, PreparedStatementErrorsAreClassified) {
+  auto server = MakeServer(1);
+
+  SqlServeRequest unknown;
+  unknown.prepared = "nope";
+  SqlServeResponse response = server->QuerySql(unknown);
+  EXPECT_EQ(response.outcome, ServeOutcome::kError);
+  EXPECT_NE(response.status.ToString().find("no prepared statement"),
+            std::string::npos);
+
+  ASSERT_TRUE(
+      server->PrepareSql("one", "SELECT duration FROM CDR WHERE cell_id = ?")
+          .ok());
+  SqlServeRequest wrong_arity;
+  wrong_arity.prepared = "one";
+  wrong_arity.params = {"beta", "extra"};
+  response = server->QuerySql(wrong_arity);
+  EXPECT_EQ(response.outcome, ServeOutcome::kError);
+  EXPECT_FALSE(response.status.ok());
+
+  response = server->QuerySql(SqlReq("SELEKT nope"));
+  EXPECT_EQ(response.outcome, ServeOutcome::kError);
+  EXPECT_FALSE(response.status.ok());
+
+  Status bad = server->PrepareSql("bad", "SELECT FROM WHERE");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SqlServeTest, AdmissionShedsSqlLikeAnyOtherRequest) {
+  auto server = MakeServer(1);
+  TenantQuota starved;
+  starved.tokens_per_second = 1e-9;  // effectively never refills
+  starved.burst = 0;                 // and starts empty: always refused
+  starved.max_in_flight = 0;
+  server->SetQuota("starved", starved);
+  SqlServeRequest request =
+      SqlReq(std::string("SELECT COUNT(*) FROM CDR WHERE ") + kWindow);
+  request.tenant = "starved";
+  SqlServeResponse response = server->QuerySql(request);
+  EXPECT_EQ(response.outcome, ServeOutcome::kShed);
+  EXPECT_FALSE(response.status.ok());
+
+  // FROM CELL is answered locally but still pays admission.
+  request.sql = "SELECT cell_id FROM CELL";
+  response = server->QuerySql(request);
+  EXPECT_EQ(response.outcome, ServeOutcome::kShed);
+}
+
+}  // namespace
+}  // namespace spate

@@ -21,7 +21,13 @@ Checks, over src/ (and headers' include guards):
      unique_lock, scoped_lock, condition_variable, shared_mutex, ...)
      outside the spate::Mutex wrapper and the lockdep registry — every
      lock must be a ranked `spate::Mutex` so the thread-safety analysis,
-     the runtime lock-order detector and tools/lockgraph.py all see it.
+     the runtime lock-order detector and tools/lockgraph.py all see it;
+  6. docs/SQL.md stays consistent with the SQL surface it documents:
+     every plan node in src/sql/planner.h's kPlanNodeNames registry
+     appears in the doc's "Plan nodes" table (and vice versa — no
+     documented node the code no longer produces), and the "Grammar"
+     section covers every aggregate function of src/sql/ast.h's
+     AggregateFn, every comparison operator, and every statement clause.
 
 Exit code 0 when clean, 1 with findings on stderr otherwise.
 """
@@ -67,11 +73,13 @@ CONTRACT_HEADERS = [
     os.path.join("src", "serve", "admission.h"),
     os.path.join("src", "serve", "breaker.h"),
     os.path.join("src", "serve", "shard.h"),
-    # serve/server.h and common/cancel.h are deliberately absent: the
-    # QueryServer is thread-safe purely by composition and the CancelToken
-    # is lock-free, so neither carries a lock annotation to machine-check
-    # (their contracts live in DESIGN.md "Per-class thread-safety
-    # contracts").
+    # The QueryServer was once absent here (thread-safe purely by
+    # composition); its prepared-statement registry now carries a real
+    # GUARDED_BY contract.
+    os.path.join("src", "serve", "server.h"),
+    # common/cancel.h is deliberately absent: the CancelToken is lock-free,
+    # so it carries no lock annotation to machine-check (its contract lives
+    # in DESIGN.md "Per-class thread-safety contracts").
 ]
 ANNOTATION_RE = re.compile(
     r"\b(GUARDED_BY|PT_GUARDED_BY|CAPABILITY|REQUIRES|EXCLUDES|"
@@ -108,6 +116,79 @@ def source_files():
 def expected_guard(rel_path):
     stem = rel_path[len("src" + os.sep):]
     return "SPATE_" + re.sub(r"[/\\.]", "_", stem).upper() + "_"
+
+
+def check_sql_docs(findings):
+    """Rule 6: docs/SQL.md vs the code's own SQL surface."""
+    doc_rel = os.path.join("docs", "SQL.md")
+    doc_path = os.path.join(REPO, doc_rel)
+    planner_path = os.path.join(REPO, "src", "sql", "planner.h")
+    ast_path = os.path.join(REPO, "src", "sql", "ast.h")
+    if not os.path.exists(doc_path):
+        findings.append(f"{doc_rel}:1: missing — the SQL surface must stay"
+                        " documented (rule 6)")
+        return
+    with open(doc_path, encoding="utf-8") as f:
+        doc = f.read()
+
+    # Plan nodes: the registry in planner.h is the source of truth; the
+    # doc's "Plan nodes" table must match it exactly in both directions.
+    with open(planner_path, encoding="utf-8") as f:
+        planner = f.read()
+    registry_match = re.search(r"kPlanNodeNames\[\]\s*=\s*\{(.*?)\}",
+                               planner, re.S)
+    if not registry_match:
+        findings.append("src/sql/planner.h:1: kPlanNodeNames registry not"
+                        " found — rule 6 cannot cross-check docs/SQL.md")
+        return
+    registry = set(re.findall(r'"([^"]+)"', registry_match.group(1)))
+    nodes_section = re.search(r"## Plan nodes(.*?)(?:\n## |\Z)", doc, re.S)
+    if not nodes_section:
+        findings.append(f"{doc_rel}:1: missing '## Plan nodes' section"
+                        " (rule 6)")
+        documented = set()
+    else:
+        documented = set(re.findall(r"^\|\s*`(\w+)`",
+                                    nodes_section.group(1), re.M))
+    for name in sorted(registry - documented):
+        findings.append(
+            f"{doc_rel}:1: plan node `{name}` (kPlanNodeNames,"
+            " src/sql/planner.h) is missing from the plan-node table")
+    for name in sorted(documented - registry):
+        findings.append(
+            f"{doc_rel}:1: plan-node table documents `{name}`, which is not"
+            " in kPlanNodeNames (src/sql/planner.h)")
+
+    # Grammar: every aggregate function, comparison operator and statement
+    # clause the AST can represent must appear in the grammar section.
+    with open(ast_path, encoding="utf-8") as f:
+        ast = f.read()
+    grammar_section = re.search(r"## Grammar(.*?)(?:\n## |\Z)", doc, re.S)
+    if not grammar_section:
+        findings.append(f"{doc_rel}:1: missing '## Grammar' section"
+                        " (rule 6)")
+        return
+    grammar = grammar_section.group(1)
+    agg_match = re.search(r"enum class AggregateFn\s*\{([^}]*)\}", ast)
+    aggregates = [name.upper() for name in
+                  re.findall(r"\bk(\w+)", agg_match.group(1) if agg_match
+                             else "") if name != "None"]
+    for fn in aggregates:
+        if fn not in grammar:
+            findings.append(
+                f"{doc_rel}:1: aggregate {fn} (AggregateFn, src/sql/ast.h)"
+                " is missing from the grammar")
+    for op in ["=", "!=", "<", "<=", ">", ">="]:
+        if op not in grammar:
+            findings.append(
+                f"{doc_rel}:1: comparison operator {op} (CompareOp,"
+                " src/sql/ast.h) is missing from the grammar")
+    for clause in ["EXPLAIN", "SELECT", "FROM", "JOIN", "WHERE", "GROUP BY",
+                   "ORDER BY", "LIMIT", "DISTINCT"]:
+        if clause not in grammar:
+            findings.append(
+                f"{doc_rel}:1: clause {clause} (SelectStatement,"
+                " src/sql/ast.h) is missing from the grammar")
 
 
 def main():
@@ -187,6 +268,8 @@ def main():
                     f"{rel}:1: concurrency-contract header carries no"
                     " thread-safety annotation (GUARDED_BY / CAPABILITY /"
                     " SPATE_EXTERNALLY_SYNCHRONIZED)")
+
+    check_sql_docs(findings)
 
     if findings:
         for finding in findings:
