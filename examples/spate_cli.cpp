@@ -32,10 +32,20 @@
 //
 // Non-interactive use:  echo "sql SELECT COUNT(*) FROM CDR" | spate_cli
 //
+// Subcommands (no trace is loaded):
+//
+//   spate_cli verify-blob <file>   run one stored-format blob (a corpus
+//                                  file or fuzz crash artifact) through
+//                                  the envelope/chunked/columnar decoders
+//                                  and print each Status — the offline
+//                                  reproducer for fuzz/ findings (see
+//                                  DESIGN.md "Adversarial bytes")
+//
 // Flags: --days N (default 2), --cells N (default 120).
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -46,6 +56,9 @@
 #include "check/fsck.h"
 #include "common/lockdep.h"
 #include "common/strings.h"
+#include "compress/chunked.h"
+#include "compress/codec.h"
+#include "compress/columnar.h"
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
 #include "serve/server.h"
@@ -159,7 +172,72 @@ void RunServeStats(const TraceGenerator& generator, int requests) {
 
 }  // namespace
 
+/// `spate_cli verify-blob <file>`: run one stored-format blob through the
+/// exact Status paths the fuzz/ harnesses exercise — envelope decode,
+/// chunked/columnar framing + decode — and print every verdict. This is
+/// how a fuzz finding (a corpus file or libFuzzer crash artifact) is
+/// reproduced outside the fuzzing engine: same decoders, same bounds,
+/// human-readable statuses. Exits 0 when every applicable decoder returns
+/// OK, 1 when any reports corruption (reporting IS the success mode for a
+/// crash artifact), 2 on usage/IO errors.
+int VerifyBlobCommand(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fprintf(stderr, "verify-blob: cannot read %s\n", path);
+    return 2;
+  }
+  const std::string blob((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  printf("verify-blob: %s (%zu bytes)\n", path, blob.size());
+  bool all_ok = true;
+  auto report = [&all_ok](const char* what, const Status& status) {
+    printf("  %-22s %s\n", what, status.ok() ? "OK" : status.ToString().c_str());
+    all_ok = all_ok && status.ok();
+  };
+
+  if (IsColumnarBlob(blob)) {
+    printf("  format: columnar container (0xCD)\n");
+    report("framing", VerifyColumnarFraming(blob));
+    ColumnarReader reader;
+    const Status open = ColumnarReader::Open(blob, &reader);
+    report("directory", open);
+    if (open.ok()) {
+      for (const ColumnarReader::ChunkRef& chunk : reader.chunks()) {
+        std::string decoded;
+        report(("chunk '" + std::string(chunk.name) + "'").c_str(),
+               ColumnarReader::Decode(chunk, &decoded));
+      }
+    }
+  } else if (IsChunkedBlob(blob)) {
+    printf("  format: chunked container (0xCF)\n");
+    report("framing", VerifyChunkedFraming(blob));
+    std::string text;
+    report("decode", ChunkedDecompress(blob, nullptr, &text));
+  } else {
+    const Codec* codec =
+        blob.empty() ? nullptr
+                     : CodecRegistry::GetById(static_cast<uint8_t>(blob[0]));
+    if (codec == nullptr) {
+      printf("  format: unknown leading byte — not a SPATE blob\n");
+      report("decode", Status::Corruption("unknown codec id / magic"));
+    } else {
+      printf("  format: %s envelope\n", std::string(codec->Name()).c_str());
+      std::string text;
+      report("decode", codec->Decompress(blob, &text));
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
+  if (argc >= 2 && strcmp(argv[1], "verify-blob") == 0) {
+    if (argc != 3) {
+      fprintf(stderr, "usage: spate_cli verify-blob <file>\n");
+      return 2;
+    }
+    return VerifyBlobCommand(argv[2]);
+  }
+
   TraceConfig trace;
   trace.days = 2;
   trace.num_cells = 120;

@@ -1,0 +1,31 @@
+// Fuzz target: the 0xCF chunked container. Arbitrary bytes go through both
+// the decoding path (`ChunkedDecompress`, which also handles plain
+// envelopes when the magic is absent) and the framing verifier that
+// `spate::check`'s fsck runs. Cross-checked invariant: a blob that fully
+// decodes must also pass framing verification — the verifier checks a
+// strict subset of what decoding enforces, so a disagreement means one of
+// the two walked the directory differently (exactly the class of bug that
+// turns into an out-of-bounds slice on hostile input).
+//
+// FUZZ-COVERS: chunked.h:ChunkedDecompress
+// FUZZ-COVERS: chunked.h:VerifyChunkedFraming
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "compress/chunked.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const spate::Slice blob(reinterpret_cast<const char*>(data), size);
+
+  std::string text;
+  const spate::Status decode = spate::ChunkedDecompress(blob, nullptr, &text);
+  const spate::Status framing = spate::VerifyChunkedFraming(blob);
+  if (decode.ok() && !framing.ok()) {
+    __builtin_trap();  // decoder and fsck verifier disagree on framing
+  }
+  return 0;
+}

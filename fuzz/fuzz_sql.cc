@@ -1,0 +1,102 @@
+// Fuzz target: the SQL front door — parser, prepared-statement binding,
+// planner and EXPLAIN rendering — over a small in-memory store. Statements
+// are planned and rendered but NEVER executed: the serving tier parses and
+// plans untrusted query text before any admission decision, so this is the
+// byte boundary; execution behind it only sees planner-validated
+// statements. Contract: arbitrary query text yields a Status (usually
+// InvalidArgument with a position) or a renderable plan — never a crash.
+//
+// FUZZ-COVERS: sql/parser.h:ParseSql
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/spate_framework.h"
+#include "sql/explain.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "telco/schema.h"
+
+namespace {
+
+using namespace spate;  // NOLINT — harness-local brevity
+
+/// Tiny two-epoch store (same shape as tests/sql/planner_test.cc) so the
+/// planner has real statistics, leaves and a cell inventory to plan
+/// against. Built once per process; the fuzzer only ever reads it.
+Framework* SharedStore() {
+  static Framework* store = [] {
+    SpateOptions options;
+    options.leaf_layout = LeafLayout::kColumnar;
+    auto cell = [](const std::string& id, double x, double y) -> Record {
+      return {id,   "a1",  std::to_string(x), std::to_string(y), "LTE",
+              "90", "500", "r1",              "vend",            "32"};
+    };
+    auto* framework = new SpateFramework(
+        options, {cell("alpha", 10, 10), cell("beta", 500, 500)});
+    const Timestamp base = ParseCompact("201603140000");
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      Snapshot snap;
+      snap.epoch_start = base + epoch * kEpochSeconds;
+      for (int k = 0; k < 3; ++k) {
+        Record row(kCdrNumAttributes);
+        row[kCdrTs] = FormatCompact(snap.epoch_start + 60 * (k + 1));
+        row[1] = "caller" + std::to_string(k);
+        row[2] = "callee" + std::to_string(k);
+        row[kCdrCellId] = k % 2 == 0 ? "alpha" : "beta";
+        row[4] = "voice";
+        row[5] = std::to_string(30 + k);
+        row[6] = "100";
+        row[7] = "200";
+        row[8] = "ok";
+        row[9] = "imei" + std::to_string(k);
+        snap.cdr.push_back(std::move(row));
+      }
+      snap.nms.push_back({FormatCompact(snap.epoch_start + 120), "alpha", "1",
+                          "10", "30.5", "110.25", "-90.5", "0"});
+      if (!framework->Ingest(snap).ok()) __builtin_trap();
+    }
+    return framework;
+  }();
+  return store;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Pathological statements (thousands of predicates) are a parser perf
+  // question, not a byte-safety one; keep each input interactive-sized.
+  if (size > 4096) return 0;
+  const std::string_view sql(reinterpret_cast<const char*>(data), size);
+
+  Result<SelectStatement> parsed = ParseSql(sql);
+  if (!parsed.ok()) return 0;
+
+  Framework& framework = *SharedStore();
+  Result<QueryPlan> plan = PlanSelect(framework, *parsed);
+  if (plan.ok()) {
+    // EXPLAIN surface: rendering must hold for every plannable statement.
+    const std::string rendered = RenderPlan(*plan);
+    if (rendered.empty()) __builtin_trap();
+  }
+
+  // Prepared-statement path: bind deterministic literals to however many
+  // placeholders the statement declared, then plan the bound statement.
+  if (parsed->num_params > 0) {
+    Result<PreparedStatement> prepared = PrepareStatement(sql);
+    if (!prepared.ok()) return 0;  // must agree with ParseSql, but cheap
+    std::vector<std::string> params;
+    for (int i = 0; i < prepared->num_params; ++i) {
+      params.push_back(i % 2 == 0 ? std::to_string(40 + i) : "alpha");
+    }
+    Result<SelectStatement> bound = BindParams(*prepared, params);
+    if (bound.ok()) {
+      Result<QueryPlan> bound_plan = PlanSelect(framework, *bound);
+      if (bound_plan.ok()) (void)RenderPlan(*bound_plan);
+    }
+  }
+  return 0;
+}

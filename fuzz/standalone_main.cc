@@ -1,0 +1,70 @@
+// Standalone driver for the fuzz harnesses: lets every `fuzz_*` target build
+// and run without libFuzzer (GCC builds, or reproducing a crash artifact
+// outside the fuzzing engine). Each argument is a corpus file or a directory
+// of corpus files; every file is fed once through `LLVMFuzzerTestOneInput`.
+// With no arguments, stdin is read once. Exit 0 means every input was
+// processed without crashing — the same "no input may crash a decoder"
+// contract the real fuzzer enforces.
+//
+// Under Clang with -DSPATE_FUZZ=ON this file is NOT linked; libFuzzer
+// provides main() and drives coverage-guided mutation instead.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fprintf(stderr, "fuzz: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t executed = 0;
+  if (argc < 2) {
+    std::string bytes((std::istreambuf_iterator<char>(std::cin)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++executed;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      // Deterministic order regardless of directory enumeration.
+      std::sort(files.begin(), files.end());
+      for (const std::string& file : files) {
+        if (RunFile(file) != 0) return 1;
+        ++executed;
+      }
+    } else {
+      if (RunFile(path.string()) != 0) return 1;
+      ++executed;
+    }
+  }
+  fprintf(stderr, "fuzz: %zu input(s) executed, no crashes\n", executed);
+  return 0;
+}

@@ -25,6 +25,17 @@ inline void PutFixed64(std::string* dst, uint64_t value) {
   dst->append(buf, 8);
 }
 
+/// Reads 4 bytes at `p` as a little-endian uint32 without a raw memcpy from
+/// caller-controlled input. The caller must guarantee 4 readable bytes; the
+/// byte-assembly form is endian-explicit and keeps unaligned/hostile-input
+/// loads in one audited place (lint rule 7 bans open-coded memcpy in the
+/// decoder sources).
+inline uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
 inline bool GetFixed32(Slice* input, uint32_t* value) {
   if (input->size() < 4) return false;
   memcpy(value, input->data(), 4);

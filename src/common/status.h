@@ -45,7 +45,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// SPATE is compiled without exception-based error handling: functions that
 /// can fail return a `Status` (or a `Result<T>`), and callers are expected to
 /// check it. The class is cheap to copy in the OK case (no allocation).
-class Status {
+///
+/// `[[nodiscard]]`: ignoring a returned Status is a compile error under the
+/// repo's -Werror CI — a dropped decode/ingest error is exactly how
+/// corruption propagates silently. A caller that genuinely cannot act on a
+/// failure states so with an explicit `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -120,7 +125,7 @@ class Status {
 /// undefined behaviour, so callers must check `ok()` first (the
 /// `SPATE_ASSIGN_OR_RETURN` macro does this).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Error result. `status` must not be OK.
   Result(Status status)  // NOLINT(google-explicit-constructor)

@@ -90,6 +90,9 @@ Status ChunkedDecompress(Slice blob, ThreadPool* pool, std::string* text) {
       !GetVarint64(&input, &num_parts)) {
     return Status::Corruption("chunked: truncated container header");
   }
+  if (original_size > kMaxDecodedBlobBytes) {
+    return Status::Corruption("chunked: implausible container size");
+  }
   // Every part needs at least a varint length byte plus a minimal envelope;
   // reject counts the remaining bytes cannot possibly hold before sizing
   // any allocation off them.
@@ -102,21 +105,52 @@ Status ChunkedDecompress(Slice blob, ThreadPool* pool, std::string* text) {
     if (!GetVarint64(&input, &len)) {
       return Status::Corruption("chunked: truncated part-length table");
     }
+    // Bound every directory-declared length against the remaining input as
+    // it is read: the accumulated total can then never overflow (each
+    // addend is <= input.size()), and a hostile table cannot describe
+    // slices past the payload however its entries wrap.
+    if (len > input.size() || total + len > input.size()) {
+      return Status::Corruption("chunked: part length exceeds payload");
+    }
     total += len;
   }
   if (total != input.size()) {
     return Status::Corruption("chunked: part lengths disagree with payload");
   }
 
+  // Pre-decode validation pass: every part must be a parseable envelope, and
+  // the sizes the part headers declare must sum to the container's declared
+  // size. Rejecting here bounds the decode work below by `original_size`
+  // (already capped) *before* any codec output is produced — without this, a
+  // container of many small RLE-style envelopes could legitimately pass each
+  // per-part check yet expand without bound (decompression bomb).
+  std::vector<Slice> part_blobs(lengths.size());
+  {
+    size_t offset = 0;
+    uint64_t recorded_total = 0;
+    for (size_t i = 0; i < lengths.size(); ++i) {
+      part_blobs[i] =
+          Slice(input.data() + offset, static_cast<size_t>(lengths[i]));
+      offset += static_cast<size_t>(lengths[i]);
+      uint64_t part_size = 0;
+      uint32_t part_crc = 0;
+      Slice payload;
+      if (part_blobs[i].empty()) {
+        return Status::Corruption("chunked: empty part");
+      }
+      SPATE_RETURN_IF_ERROR(compress_internal::GetEnvelope(
+          static_cast<uint8_t>(part_blobs[i][0]), part_blobs[i], &payload,
+          &part_size, &part_crc));
+      recorded_total += part_size;  // each addend capped by GetEnvelope
+    }
+    if (recorded_total != original_size) {
+      return Status::Corruption(
+          "chunked: part envelope sizes disagree with container size");
+    }
+  }
+
   // Per-part decode into indexed slots; each envelope verifies its own size
   // and CRC, and the slot order restores the original byte order.
-  std::vector<Slice> part_blobs(lengths.size());
-  size_t offset = 0;
-  for (size_t i = 0; i < lengths.size(); ++i) {
-    part_blobs[i] = Slice(input.data() + offset,
-                          static_cast<size_t>(lengths[i]));
-    offset += static_cast<size_t>(lengths[i]);
-  }
   std::vector<std::string> decoded(lengths.size());
   std::vector<Status> statuses(lengths.size());
   auto decode_range = [&](size_t begin, size_t end) {
@@ -155,6 +189,9 @@ Status VerifyChunkedFraming(Slice blob) {
       !GetVarint64(&input, &num_parts)) {
     return Status::Corruption("chunked: truncated container header");
   }
+  if (original_size > kMaxDecodedBlobBytes) {
+    return Status::Corruption("chunked: implausible container size");
+  }
   if (num_parts == 0 || num_parts > input.size()) {
     return Status::Corruption("chunked: implausible part count");
   }
@@ -163,6 +200,11 @@ Status VerifyChunkedFraming(Slice blob) {
   for (uint64_t& len : lengths) {
     if (!GetVarint64(&input, &len)) {
       return Status::Corruption("chunked: truncated part-length table");
+    }
+    // Same bound-as-you-read rule as `ChunkedDecompress`: no entry may
+    // exceed the remaining payload, so the sum cannot overflow.
+    if (len > input.size() || total + len > input.size()) {
+      return Status::Corruption("chunked: part length exceeds payload");
     }
     total += len;
   }

@@ -47,6 +47,9 @@ Status GetEnvelope(uint8_t expected_codec_id, Slice input, Slice* payload,
   if (!GetVarint64(&input, original_size)) {
     return Status::Corruption("truncated envelope: missing original size");
   }
+  if (*original_size > kMaxDecodedBlobBytes) {
+    return Status::Corruption("envelope declares implausible original size");
+  }
   if (!GetFixed32(&input, crc)) {
     return Status::Corruption("truncated envelope: missing checksum");
   }

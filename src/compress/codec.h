@@ -15,6 +15,15 @@ namespace spate {
 /// validated against a checksum (decompression of untrusted blobs).
 inline constexpr uint64_t kMaxUntrustedReserve = 16ull << 20;
 
+/// Hard ceiling on the original (decompressed) size an envelope or container
+/// header may declare. Everything SPATE stores through these codecs is leaf-
+/// or chunk-granular (64 KiB chunked slices, per-column chunks, snapshot
+/// texts of a few MiB), so a header claiming more than this is hostile bytes,
+/// not data — `GetEnvelope` rejects it before any decode loop runs, which
+/// bounds how much memory adversarial input can make a decoder commit
+/// (decompression-bomb defense; see DESIGN.md "Adversarial bytes").
+inline constexpr uint64_t kMaxDecodedBlobBytes = 256ull << 20;
+
 /// Lossless compression codec interface (the SPATE storage layer's pluggable
 /// compression point, Section IV of the paper).
 ///

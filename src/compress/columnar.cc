@@ -1,5 +1,7 @@
 #include "compress/columnar.h"
 
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/coding.h"
@@ -36,6 +38,18 @@ bool IsColumnarBlob(Slice blob) {
 
 Status ColumnarPack(const Codec& codec, const std::vector<ColumnChunk>& chunks,
                     ThreadPool* pool, std::string* blob) {
+  // Names are the reader's lookup key: a container with a duplicate would be
+  // rejected by `ColumnarReader::Open`, so refuse to write one.
+  {
+    std::unordered_set<std::string_view> names;
+    names.reserve(chunks.size());
+    for (const ColumnChunk& chunk : chunks) {
+      if (!names.insert(chunk.name).second) {
+        return Status::InvalidArgument("columnar: duplicate chunk name '" +
+                                       chunk.name + "'");
+      }
+    }
+  }
   // Compress every chunk into an indexed slot; nothing here may depend on
   // the worker count (the bit-identity invariant of the ingest pipeline).
   std::vector<std::string> envelopes(chunks.size());
@@ -93,17 +107,31 @@ Status ColumnarReader::Open(Slice blob, ColumnarReader* reader) {
   std::vector<ChunkRef> chunks(static_cast<size_t>(num_chunks));
   uint64_t total = 0;
   std::vector<uint64_t> sizes(chunks.size());
+  std::unordered_set<std::string_view> seen_names;
+  seen_names.reserve(chunks.size());
   for (size_t i = 0; i < chunks.size(); ++i) {
     Slice name;
     if (!GetLengthPrefixed(&input, &name)) {
       return Status::Corruption("columnar: truncated chunk name");
     }
     chunks[i].name = name.ToStringView();
+    // Two directory entries with one name would make `Find`-routed reads
+    // ambiguous (and give hostile bytes a shadowing primitive): reject.
+    if (!seen_names.insert(chunks[i].name).second) {
+      return Status::Corruption("columnar: duplicate chunk name '" +
+                                std::string(chunks[i].name) + "'");
+    }
     if (!GetVarint64(&input, &sizes[i])) {
       return Status::Corruption("columnar: truncated chunk size");
     }
     if (!GetFixed32(&input, &chunks[i].crc)) {
       return Status::Corruption("columnar: truncated chunk CRC");
+    }
+    // Bound every directory-declared size against the remaining input as it
+    // is read, so the accumulated total cannot overflow and cannot describe
+    // chunk slices past the payload.
+    if (sizes[i] > input.size() || total + sizes[i] > input.size()) {
+      return Status::Corruption("columnar: chunk size exceeds payload");
     }
     total += sizes[i];
   }

@@ -64,9 +64,11 @@ bool IsColumnarBlob(Slice blob);
 
 /// Compresses `chunks` with `codec` into the columnar container, appending
 /// to `*blob`. Chunks are compressed on `pool` when given (inline
-/// otherwise); the output bytes are identical either way. Names need not be
-/// unique (the reader's `Find` returns the first match); an empty chunk
-/// list yields a valid empty container.
+/// otherwise); the output bytes are identical either way. Chunk names must
+/// be unique — `ColumnarReader::Open` rejects containers with duplicate
+/// directory names as corrupt, because a duplicate would let hostile bytes
+/// shadow the chunk a `Find`-routed read resolves. An empty chunk list
+/// yields a valid empty container.
 Status ColumnarPack(const Codec& codec, const std::vector<ColumnChunk>& chunks,
                     ThreadPool* pool, std::string* blob);
 
@@ -85,13 +87,16 @@ class ColumnarReader {
   ColumnarReader() = default;
 
   /// Parses the container header and directory; fails with Corruption on
-  /// any framing violation (bad magic/version, truncated directory, chunk
-  /// sizes disagreeing with the payload bytes).
+  /// any framing violation (bad magic/version, truncated directory, a
+  /// duplicate chunk name, chunk sizes disagreeing with the payload bytes).
+  /// Every directory-declared size is bounded against the remaining input
+  /// as it is read, so no allocation or slice is sized from an unvalidated
+  /// field.
   static Status Open(Slice blob, ColumnarReader* reader);
 
   const std::vector<ChunkRef>& chunks() const { return chunks_; }
 
-  /// First chunk named `name`, or nullptr.
+  /// The chunk named `name`, or nullptr (names are unique per container).
   const ChunkRef* Find(std::string_view name) const;
 
   /// Decompresses one chunk, appending the original bytes to `*data`.

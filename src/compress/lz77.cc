@@ -1,7 +1,8 @@
 #include "compress/lz77.h"
 
 #include <algorithm>
-#include <cstring>
+
+#include "common/coding.h"
 
 namespace spate {
 namespace {
@@ -11,9 +12,7 @@ constexpr uint32_t kHashSize = 1u << kHashBits;
 
 // Multiplicative hash over the next 4 bytes.
 inline uint32_t Hash4(const unsigned char* p) {
-  uint32_t v;
-  memcpy(&v, p, 4);
-  return (v * 2654435761u) >> (32 - kHashBits);
+  return (LoadLe32(p) * 2654435761u) >> (32 - kHashBits);
 }
 
 }  // namespace

@@ -72,12 +72,19 @@ Status TansCodec::Decompress(Slice input, std::string* output) const {
   if (!GetVarint64(&payload, &num_tokens)) {
     return Status::Corruption("tans codec: missing token count");
   }
-  // Each token covers >= 1 output byte and serializes to >= 2 varint
-  // bytes, so both streams are bounded by small multiples of the recorded
-  // original size.
+  // Each token covers >= 1 output byte, so a count above the recorded
+  // original size is hostile — reject before it sizes any decode bound.
+  if (num_tokens > original_size) {
+    return Status::Corruption("tans codec: token count exceeds recorded size");
+  }
+  // Each token covers >= 1 output byte and serializes to <= 15 varint
+  // bytes, so both streams are bounded by small multiples of the (already
+  // validated) token count. The global blob ceiling caps what a hostile
+  // header can make the RLE/tANS block paths allocate.
   std::string token_bytes;
-  SPATE_RETURN_IF_ERROR(
-      TansDecodeBlock(&payload, &token_bytes, 15 * original_size + 64));
+  SPATE_RETURN_IF_ERROR(TansDecodeBlock(
+      &payload, &token_bytes,
+      std::min<uint64_t>(15 * num_tokens + 64, kMaxDecodedBlobBytes)));
   std::string literal_bytes;
   SPATE_RETURN_IF_ERROR(
       TansDecodeBlock(&payload, &literal_bytes, original_size));

@@ -72,7 +72,8 @@ SpateFramework::SpateFramework(SpateOptions options,
     std::string cell_text = SerializeCells(cell_rows);
     std::string compressed;
     if (codec_->Compress(cell_text, &compressed).ok()) {
-      dfs_->WriteFile("/spate/meta/cells", compressed);
+      // Best-effort: queries fall back to re-deriving cells from leaves.
+      (void)dfs_->WriteFile("/spate/meta/cells", compressed);
     }
   }
 }
@@ -348,7 +349,8 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
       // S_i share of S' and the paper minimizes the total).
       std::string blob;
       if (codec_->Compress(covering.summary->Serialize(), &blob).ok()) {
-        dfs_->WriteFile("/spate/index/day/" + key.substr(0, 8), blob);
+        // Best-effort: a missing persisted summary is rebuilt on recovery.
+        (void)dfs_->WriteFile("/spate/index/day/" + key.substr(0, 8), blob);
       }
     }
   }
@@ -488,15 +490,17 @@ size_t SpateFramework::RunDecay(const DecayPolicy& policy, Timestamp now) {
   return index_.Decay(
       effective, now,
       [this](const LeafNode& leaf) {
-        dfs_->DeleteFile(leaf.dfs_path);
+        // Decay deletions are idempotent; an already-absent file is fine.
+        (void)dfs_->DeleteFile(leaf.dfs_path);
         if (options_.leaf_spatial_index) {
-          dfs_->DeleteFile("/spate/spidx/" + FormatCompact(leaf.epoch_start));
+          (void)dfs_->DeleteFile("/spate/spidx/" +
+                                 FormatCompact(leaf.epoch_start));
         }
       },
       [this](const DayNode& day) {
         // Second decay stage: the persisted day summary goes too.
-        dfs_->DeleteFile("/spate/index/day/" +
-                         FormatCompact(day.day_start).substr(0, 8));
+        (void)dfs_->DeleteFile("/spate/index/day/" +
+                               FormatCompact(day.day_start).substr(0, 8));
       });
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/coding.h"
+#include "common/crc32.h"
 #include "common/thread_pool.h"
 #include "compress/chunked.h"
 #include "compress/codec.h"
@@ -85,18 +87,34 @@ TEST(ColumnarContainerTest, BytesIdenticalAcrossWorkerCounts) {
   }
 }
 
-TEST(ColumnarContainerTest, DuplicateNamesKeepFirstMatchSemantics) {
+TEST(ColumnarContainerTest, DuplicateNamesAreRejected) {
+  // The writer refuses to produce an ambiguous container...
   std::vector<ColumnChunk> chunks;
   chunks.push_back({"c:dup", "first"});
   chunks.push_back({"c:dup", "second"});
   std::string blob;
-  ASSERT_TRUE(ColumnarPack(Deflate(), chunks, nullptr, &blob).ok());
+  EXPECT_TRUE(
+      ColumnarPack(Deflate(), chunks, nullptr, &blob).IsInvalidArgument());
+
+  // ...and the reader treats one arriving off the wire as hostile bytes: a
+  // duplicate directory name is a chunk-shadowing primitive, not data.
+  std::string first_env, second_env;
+  ASSERT_TRUE(Deflate().Compress("first", &first_env).ok());
+  ASSERT_TRUE(Deflate().Compress("second", &second_env).ok());
+  std::string hostile;
+  hostile.push_back(static_cast<char>(kColumnarMagic));
+  hostile.push_back(static_cast<char>(kColumnarVersion));
+  PutVarint64(&hostile, 2);
+  for (const std::string* env : {&first_env, &second_env}) {
+    PutLengthPrefixed(&hostile, "c:dup");
+    PutVarint64(&hostile, env->size());
+    PutFixed32(&hostile, Crc32(*env));
+  }
+  hostile += first_env;
+  hostile += second_env;
   ColumnarReader reader;
-  ASSERT_TRUE(ColumnarReader::Open(blob, &reader).ok());
-  ASSERT_EQ(reader.chunks().size(), 2u);
-  std::string decoded;
-  ASSERT_TRUE(ColumnarReader::Decode(*reader.Find("c:dup"), &decoded).ok());
-  EXPECT_EQ(decoded, "first");
+  const Status status = ColumnarReader::Open(hostile, &reader);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
 }
 
 TEST(ColumnarContainerTest, OpenRejectsMangledHeaders) {

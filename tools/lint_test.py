@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py's adversarial-bytes rules (7 and 8).
+
+Builds synthetic repo trees in a tempdir and runs the linter against them
+with --root, asserting that a clean decoder passes and that each violation
+class — raw memcpy in a decoder, a C-style narrowing cast, a decode entry
+point without a fuzz target, a stale FUZZ-COVERS claim — fails with the
+expected finding. This is the CI gate's proof that the gate itself works;
+run it with `python3 tools/lint_test.py` (the static-analysis job does).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "lint.py")
+
+# A header that satisfies the include-guard rule and declares one decode
+# entry point (rule 8's source of truth).
+DECODER_HEADER = """\
+#ifndef SPATE_COMPRESS_GOOD_H_
+#define SPATE_COMPRESS_GOOD_H_
+
+namespace spate {
+class Status;
+Status Decompress(const char* input, unsigned long size);
+}  // namespace spate
+
+#endif  // SPATE_COMPRESS_GOOD_H_
+"""
+
+CLEAN_SOURCE = """\
+#include "compress/good.h"
+
+namespace spate {
+int Helper(unsigned char byte) { return static_cast<int>(byte); }
+}  // namespace spate
+"""
+
+HARNESS = """\
+// FUZZ-COVERS: good.h:Decompress
+extern "C" int LLVMFuzzerTestOneInput(const unsigned char* d, unsigned long n);
+"""
+
+
+def write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def run_lint(root):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stderr
+
+
+class LintRule7And8Test(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        write(self.root, "src/compress/good.h", DECODER_HEADER)
+        write(self.root, "src/compress/good.cc", CLEAN_SOURCE)
+        write(self.root, "fuzz/fuzz_good.cc", HARNESS)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_clean_decoder_tree_passes(self):
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_memcpy_in_decoder_fails_rule7(self):
+        write(self.root, "src/compress/good.cc", CLEAN_SOURCE.replace(
+            "return static_cast<int>(byte);",
+            "int v; memcpy(&v, &byte, 1); return v;"))
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("rule 7", stderr)
+        self.assertIn("memcpy", stderr)
+
+    def test_commented_memcpy_is_ignored(self):
+        write(self.root, "src/compress/good.cc", CLEAN_SOURCE.replace(
+            "return static_cast<int>(byte);",
+            "return static_cast<int>(byte);  // not a real memcpy(x, y, z)"))
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_narrowing_cast_in_decoder_fails_rule7(self):
+        write(self.root, "src/compress/good.cc", CLEAN_SOURCE.replace(
+            "return static_cast<int>(byte);", "return (int)byte;"))
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("rule 7", stderr)
+        self.assertIn("static_cast", stderr)
+
+    def test_unclaimed_entry_point_fails_rule8(self):
+        write(self.root, "fuzz/fuzz_good.cc",
+              HARNESS.replace("// FUZZ-COVERS: good.h:Decompress\n", ""))
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("rule 8", stderr)
+        self.assertIn("good.h", stderr)
+        self.assertIn("Decompress", stderr)
+
+    def test_missing_fuzz_dir_fails_rule8(self):
+        os.remove(os.path.join(self.root, "fuzz/fuzz_good.cc"))
+        os.rmdir(os.path.join(self.root, "fuzz"))
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("rule 8", stderr)
+
+    def test_stale_claim_fails_rule8(self):
+        write(self.root, "fuzz/fuzz_good.cc",
+              HARNESS + "// FUZZ-COVERS: good.h:DecodeGone\n")
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("stale FUZZ-COVERS", stderr)
+        self.assertIn("DecodeGone", stderr)
+
+    def test_claims_outside_compress_are_documentation(self):
+        write(self.root, "fuzz/fuzz_good.cc",
+              HARNESS + "// FUZZ-COVERS: sql/parser.h:ParseSql\n")
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_encode_side_needs_no_claim(self):
+        write(self.root, "src/compress/good.h", DECODER_HEADER.replace(
+            "Status Decompress(const char* input, unsigned long size);",
+            "Status Decompress(const char* input, unsigned long size);\n"
+            "Status Compress(const char* input, unsigned long size);"))
+        code, stderr = run_lint(self.root)
+        self.assertEqual(code, 0, stderr)
+
+
+class LintSelfRepoTest(unittest.TestCase):
+    def test_this_repo_is_clean(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        code, stderr = run_lint(repo)
+        self.assertEqual(code, 0, stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
