@@ -41,6 +41,16 @@
 //                                  reproducer for fuzz/ findings (see
 //                                  DESIGN.md "Adversarial bytes")
 //
+//   spate_cli failpoints           list every registered error-injection
+//                                  site with its passage/trip counters
+//   spate_cli failpoints --trip <id>
+//                                  arm <id> fail-once (kIOError), run the
+//                                  walker's canonical workload, print every
+//                                  surfaced Status and the post-run fsck
+//                                  verdict — the interactive twin of
+//                                  tests/common/failpoint_walk_test.cc (see
+//                                  DESIGN.md "Error-handling contract")
+//
 // Flags: --days N (default 2), --cells N (default 120).
 
 #include <cstdio>
@@ -50,10 +60,13 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analytics/heavy_hitters.h"
 #include "analytics/histogram.h"
 #include "check/fsck.h"
+#include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/lockdep.h"
 #include "common/strings.h"
 #include "compress/chunked.h"
@@ -64,6 +77,7 @@
 #include "serve/server.h"
 #include "sql/explain.h"
 #include "sql/parser.h"
+#include "sql/planner.h"
 #include "telco/generator.h"
 #include "telco/schema.h"
 
@@ -229,6 +243,185 @@ int VerifyBlobCommand(const char* path) {
   return all_ok ? 0 : 1;
 }
 
+/// `spate_cli failpoints --trip <id>`: the interactive twin of the failpoint
+/// walker (tests/common/failpoint_walk_test.cc). Arms `id` fail-once with
+/// kIOError, drives the same canonical ingest -> query -> recover -> serve
+/// workload, prints every Status that surfaces at an API boundary, then
+/// disarms, repairs, and reports the fsck/recover verdict. Exits 0 when the
+/// site tripped and the store came back clean, 1 otherwise, 2 on usage
+/// errors or an uninstrumented binary.
+int TripFailpointCommand(const char* id) {
+  {
+    const auto info = failpoint::Get(id);
+    if (!info.ok()) {
+      fprintf(stderr, "failpoints: %s (run `spate_cli failpoints` for the "
+              "registered ids)\n", info.status().ToString().c_str());
+      return 2;
+    }
+  }
+  if (!failpoint::Enabled()) {
+    fprintf(stderr,
+            "failpoints: this binary was built without the site macros "
+            "(Release with SPATE_FAILPOINTS=OFF), so '%s' can never trip. "
+            "Rebuild with -DSPATE_FAILPOINTS=ON or CMAKE_BUILD_TYPE=Debug.\n",
+            id);
+    return 2;
+  }
+
+  // Same trace and stores as the walker: a row store with chunking forced, a
+  // columnar store, and a 2-shard serving tier — together they reach all
+  // registered sites.
+  TraceConfig config;
+  config.days = 3;
+  config.num_cells = 24;
+  config.num_antennas = 8;
+  config.num_users = 60;
+  config.cdr_base_rate = 6;
+  config.nms_per_cell = 0.5;
+  const TraceGenerator gen(config);
+  const std::vector<Timestamp> epochs = gen.EpochStarts();
+
+  SpateOptions row_options;
+  row_options.parallelism.ingest_chunk_bytes = 2048;
+  auto row_store = std::make_unique<SpateFramework>(row_options, gen.cells());
+  SpateOptions col_options;
+  col_options.leaf_layout = LeafLayout::kColumnar;
+  auto col_store = std::make_unique<SpateFramework>(col_options, gen.cells());
+  ServeOptions serve_options;
+  serve_options.num_shards = 2;
+  serve_options.quota.tokens_per_second = 0;
+  serve_options.quota.max_in_flight = 0;
+  serve_options.default_deadline_seconds = 30.0;
+  QueryServer server(serve_options, gen.cells());
+
+  failpoint::ResetCounters();
+  failpoint::Trigger trigger;  // fail-once, kIOError
+  if (!failpoint::Arm(id, trigger).ok()) return 2;
+  printf("failpoints: armed %s fail-once (IOError); running the canonical "
+         "workload\n", id);
+
+  int surfaced = 0;
+  auto report = [&surfaced](const char* stage, const Status& status) {
+    if (status.ok()) return;
+    ++surfaced;
+    printf("  surfaced at %-8s %s\n", stage, status.ToString().c_str());
+  };
+
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    if (static_cast<int>(i) % kEpochsPerDay >= 3) continue;
+    report("ingest", row_store->Ingest(gen.GenerateSnapshot(epochs[i])));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    report("ingest", col_store->Ingest(gen.GenerateSnapshot(epochs[i])));
+  }
+
+  ExplorationQuery query;
+  query.window_begin = config.start + 2 * 86400;
+  query.window_end = config.start + 2 * 86400 + 3 * kEpochSeconds;
+  report("query", row_store->Execute(query).status());
+  ExplorationQuery day0 = query;
+  day0.window_begin = config.start;
+  day0.window_end = config.start + 3 * kEpochSeconds;
+  report("query", col_store->Execute(day0).status());
+  size_t rows = 0;
+  report("scan", row_store->ScanWindow(config.start,
+                                       config.start + 3 * kEpochSeconds,
+                                       [&](const Snapshot& s) {
+                                         rows += s.size();
+                                       }));
+
+  const std::string sql =
+      "SELECT cell_id, SUM(duration) FROM CDR WHERE ts >= '" +
+      FormatCompact(config.start) + "' AND ts < '" +
+      FormatCompact(config.start + 3 * kEpochSeconds) + "' GROUP BY cell_id";
+  report("sql", ExecutePlannedSql(*row_store, sql).status());
+
+  auto dfs = row_store->shared_dfs();
+  for (uint64_t seed : {7u, 11u}) {
+    report("corrupt", dfs->CorruptRandomReplica(seed).status());
+  }
+  const RepairReport mid_repair = dfs->RepairScan();
+  if (mid_repair.unavailable_blocks > 0) {
+    printf("  repair scan left %llu block(s) unavailable (re-replication "
+           "absorbed the failure)\n",
+           static_cast<unsigned long long>(mid_repair.unavailable_blocks));
+  }
+  report("recover", SpateFramework::Recover(row_options, dfs).status());
+
+  DecayPolicy policy;
+  policy.full_resolution_seconds = 86400;
+  (void)row_store->RunDecay(policy, config.start + 3 * 86400);
+
+  for (size_t i = 0; i < 2; ++i) {
+    report("serve", server.Ingest(gen.GenerateSnapshot(epochs[i])));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ServeRequest request;
+    request.query.window_begin = epochs[0];
+    request.query.window_end = epochs[0] + 2 * kEpochSeconds;
+    const ServeResponse response = server.Query(request);
+    report("serve", response.status);
+    if (response.outcome == ServeOutcome::kDegraded ||
+        response.outcome == ServeOutcome::kShed ||
+        response.shards_fallback > 0) {
+      printf("  serving tier degraded (outcome absorbed the failure)\n");
+    }
+  }
+
+  const auto info = failpoint::Get(id);
+  const uint64_t passages = info.ok() ? info->passages : 0;
+  const uint64_t trips = info.ok() ? info->trips : 0;
+  printf("site %s: %llu passage(s), %llu trip(s), %d status(es) surfaced\n",
+         id, static_cast<unsigned long long>(passages),
+         static_cast<unsigned long long>(trips), surfaced);
+
+  failpoint::DisarmAll();
+  (void)dfs->RepairScan();
+  const check::FsckReport row_fsck = row_store->Fsck();
+  const check::FsckReport col_fsck = col_store->Fsck();
+  const auto recovered = SpateFramework::Recover(row_options, dfs);
+  printf("post-run: fsck row=%s columnar=%s recover=%s\n",
+         row_fsck.clean() ? "clean" : "DIRTY",
+         col_fsck.clean() ? "clean" : "DIRTY",
+         recovered.ok() ? "OK" : recovered.status().ToString().c_str());
+  if (!row_fsck.clean()) printf("%s", row_fsck.ToString().c_str());
+  if (!col_fsck.clean()) printf("%s", col_fsck.ToString().c_str());
+
+  const bool verdict =
+      trips >= 1 && row_fsck.clean() && col_fsck.clean() && recovered.ok();
+  printf("%s\n", verdict ? "verdict: tripped, propagated, store consistent"
+                         : "verdict: FAILED (see above)");
+  return verdict ? 0 : 1;
+}
+
+/// `spate_cli failpoints`: list the registry. Works in every build — the
+/// table is always compiled in — but the counters only move (and --trip only
+/// injects) when the site macros are instrumented.
+int FailpointsCommand(int argc, char** argv) {
+  if (argc == 3 || (argc == 4 && strcmp(argv[2], "--trip") != 0)) {
+    fprintf(stderr, "usage: spate_cli failpoints [--trip <id>]\n");
+    return 2;
+  }
+  if (argc == 4) return TripFailpointCommand(argv[3]);
+
+  const auto all = failpoint::AllFailpoints();
+  printf("%zu registered failpoints (%s)\n", all.size(),
+         failpoint::Enabled()
+             ? "instrumented build: sites can trip"
+             : "uninstrumented build: sites compiled out, counters stay 0");
+  for (const auto& info : all) {
+    printf("  %-28s %8llu passages %6llu trips%s\n",
+           std::string(info.id).c_str(),
+           static_cast<unsigned long long>(info.passages),
+           static_cast<unsigned long long>(info.trips),
+           info.armed ? "  [armed]" : "");
+    printf("    %s\n", std::string(info.description).c_str());
+  }
+  printf("docs/FAILPOINTS.md is the reviewed manifest; tools/failscan.py "
+         "--check keeps it honest.\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc >= 2 && strcmp(argv[1], "verify-blob") == 0) {
     if (argc != 3) {
@@ -236,6 +429,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     return VerifyBlobCommand(argv[2]);
+  }
+  if (argc >= 2 && strcmp(argv[1], "failpoints") == 0) {
+    return FailpointsCommand(argc, argv);
   }
 
   TraceConfig trace;

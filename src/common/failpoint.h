@@ -1,0 +1,149 @@
+#ifndef SPATE_COMMON_FAILPOINT_H_
+#define SPATE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spate {
+namespace failpoint {
+
+/// Runtime error-injection framework (the runtime half of the error-path
+/// audit; `tools/failscan.py` is the static half). Every fallible subsystem
+/// boundary carries a `SPATE_FAILPOINT(...)` site registered under a stable
+/// dotted id (e.g. "dfs.read_block"); tests and `spate_cli failpoints` arm a
+/// site to make that boundary fail on demand, proving the resulting `Status`
+/// propagates to a caller that handles it and that the store stays
+/// consistent (`SpateFramework::Fsck()` clean) afterward.
+///
+/// The registry is a fixed compiled-in table (see failpoint.cc) cross-checked
+/// against the reviewed manifest docs/FAILPOINTS.md by failscan, exactly as
+/// lockgraph.py gates docs/LOCK_ORDER.md. Ids follow
+/// `<subsystem>.<boundary>[.<detail>]`, lower_snake segments, dot-separated.
+///
+/// Instrumentation cost: the check macros compile to empty statements unless
+/// `SPATE_FAILPOINTS` is defined (CMake `-DSPATE_FAILPOINTS=ON`) or the
+/// build is a plain Debug build (no NDEBUG) — the same policy as lockdep.
+/// The registry itself (enumeration, hit counters) is always compiled, so an
+/// uninstrumented `spate_cli failpoints` can still list the sites.
+///
+/// Thread-safety: the site table is immutable and all mutable state is
+/// per-site `std::atomic`s, so `Check()` is lock-free and may run under any
+/// mutex (it adds no lock-order edges; see docs/LOCK_ORDER.md).
+
+/// How an armed site fires. Arming always auto-disarms after the trip except
+/// in `kAlways` mode, so a single-shot injection cannot starve the rest of a
+/// workload.
+struct Trigger {
+  /// Status code the tripped site injects. Must not be kOk.
+  StatusCode code = StatusCode::kIOError;
+  /// 0 = fail-always (every passage trips until Disarm). n >= 1 = trip on
+  /// the nth passage after arming, then auto-disarm (n == 1 is fail-once,
+  /// i.e. first-hit).
+  int nth = 1;
+};
+
+/// One registry entry's observable state.
+struct FailpointInfo {
+  std::string_view id;
+  std::string_view description;
+  /// Times an instrumented site evaluated its check (armed or not) since
+  /// process start or the last ResetCounters(). Zero in uninstrumented
+  /// builds: reachability is only provable when the sites are compiled in.
+  uint64_t passages = 0;
+  /// Times the site actually injected a failure.
+  uint64_t trips = 0;
+  bool armed = false;
+};
+
+/// True when the SPATE_FAILPOINT site macros are compiled in.
+constexpr bool Enabled() {
+#if defined(SPATE_FAILPOINTS) || !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Evaluates the site `id`: counts the passage and, when armed and due,
+/// returns the injected Status (counting the trip). Unknown ids pass
+/// (returns OK) — the static gate, not the runtime, rejects unregistered
+/// sites. Lock-free; callable under any lock.
+Status Check(std::string_view id);
+
+/// Arms `id` with `trigger`. InvalidArgument on an unknown id or an OK
+/// injection code. Arming resets the site's since-arm countdown but not its
+/// lifetime passage/trip counters.
+Status Arm(std::string_view id, const Trigger& trigger);
+
+/// Disarms `id` (idempotent). InvalidArgument on an unknown id.
+Status Disarm(std::string_view id);
+
+/// Disarms every site. Tests call this in teardown so a tripped-but-armed
+/// site never leaks into the next case.
+void DisarmAll();
+
+/// Zeroes every site's passage/trip counters (and disarms nothing).
+void ResetCounters();
+
+/// All registered sites with their counters, in id order.
+std::vector<FailpointInfo> AllFailpoints();
+
+/// One site's state; InvalidArgument on an unknown id.
+Result<FailpointInfo> Get(std::string_view id);
+
+}  // namespace failpoint
+}  // namespace spate
+
+// --- Site macros -----------------------------------------------------------
+//
+// Three flavors, one per boundary shape:
+//
+//   SPATE_FAILPOINT(id)             — in a Status- or Result<T>-returning
+//                                     function: returns the injected Status
+//                                     when tripped (Result<T> converts).
+//   SPATE_FAILPOINT_INJECT(id, s)   — overrides the local Status lvalue `s`
+//                                     when tripped: for loop bodies whose
+//                                     per-item error handling (degrade,
+//                                     skip, absorb) must see the failure
+//                                     instead of an early return.
+//   SPATE_FAILPOINT_HIT(id)         — boolean: for boundaries that fail by
+//                                     value (a rejecting TrySubmit, an
+//                                     unavailable statistics probe).
+
+#if defined(SPATE_FAILPOINTS) || !defined(NDEBUG)
+
+#define SPATE_FAILPOINT(id)                                         \
+  do {                                                              \
+    ::spate::Status _spate_fp_status = ::spate::failpoint::Check(id); \
+    if (!_spate_fp_status.ok()) return _spate_fp_status;            \
+  } while (0)
+
+#define SPATE_FAILPOINT_INJECT(id, status_lvalue)                   \
+  do {                                                              \
+    ::spate::Status _spate_fp_status = ::spate::failpoint::Check(id); \
+    if (!_spate_fp_status.ok()) {                                   \
+      (status_lvalue) = std::move(_spate_fp_status);                \
+    }                                                               \
+  } while (0)
+
+#define SPATE_FAILPOINT_HIT(id) (!::spate::failpoint::Check(id).ok())
+
+#else  // compiled out: no registry lookup, no branch, no evaluation.
+
+#define SPATE_FAILPOINT(id) \
+  do {                      \
+  } while (0)
+
+#define SPATE_FAILPOINT_INJECT(id, status_lvalue) \
+  do {                                            \
+  } while (0)
+
+#define SPATE_FAILPOINT_HIT(id) (false)
+
+#endif
+
+#endif  // SPATE_COMMON_FAILPOINT_H_

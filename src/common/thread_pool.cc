@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/latch.h"
 
 namespace spate {
@@ -39,6 +40,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
+  // An injected rejection looks exactly like a full queue: the task is
+  // dropped before any state changes and the caller sheds the load.
+  if (SPATE_FAILPOINT_HIT("pool.submit")) return false;
   {
     MutexLock lock(&mu_);
     if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;

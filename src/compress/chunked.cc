@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace spate {
@@ -81,6 +82,7 @@ Status ChunkedCompress(const Codec& codec, Slice text, size_t chunk_bytes,
 }
 
 Status ChunkedDecompress(Slice blob, ThreadPool* pool, std::string* text) {
+  SPATE_FAILPOINT("compress.chunked.decompress");
   if (!IsChunkedBlob(blob)) return DecompressEnvelope(blob, text);
 
   Slice input(blob.data() + 1, blob.size() - 1);

@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "compress/deflate_codec.h"
 #include "compress/fast_lz_codec.h"
 #include "compress/lzma_lite_codec.h"
@@ -38,6 +39,9 @@ void PutEnvelope(uint8_t codec_id, Slice original, std::string* output) {
 
 Status GetEnvelope(uint8_t expected_codec_id, Slice input, Slice* payload,
                    uint64_t* original_size, uint32_t* crc) {
+  // Every codec decode funnels through this parse, so one site covers the
+  // whole envelope-decode boundary.
+  SPATE_FAILPOINT("compress.envelope.open");
   if (input.empty()) return Status::Corruption("empty compressed blob");
   const uint8_t id = static_cast<uint8_t>(input[0]);
   if (id != expected_codec_id) {

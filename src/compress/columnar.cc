@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace spate {
@@ -81,6 +82,7 @@ Status ColumnarPack(const Codec& codec, const std::vector<ColumnChunk>& chunks,
 }
 
 Status ColumnarReader::Open(Slice blob, ColumnarReader* reader) {
+  SPATE_FAILPOINT("compress.columnar.open");
   reader->chunks_.clear();
   if (!IsColumnarBlob(blob)) {
     return Status::Corruption("columnar: bad magic");

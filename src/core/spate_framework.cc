@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "compress/columnar.h"
 #include "core/columnar_leaf.h"
@@ -127,6 +128,9 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
     NodeSummary summary;
     if (status.ok()) status = ChunkedDecompress(*blob, nullptr, &serialized);
     if (status.ok()) status = NodeSummary::Parse(serialized, &summary);
+    // Injection lands on the per-summary status so degraded mode can absorb
+    // it (skip + count) exactly like a real unreadable blob.
+    SPATE_FAILPOINT_INJECT("index.load.day_summary", status);
     if (!status.ok()) {
       if (tolerate && DegradableFailure(status)) {
         ++report.day_summaries_skipped;
@@ -202,6 +206,9 @@ Result<std::unique_ptr<SpateFramework>> SpateFramework::Recover(
       }
     }
     if (status.ok() && !have_snapshot) status = ParseSnapshot(text, &snapshot);
+    // Injection lands on the per-leaf status: degraded mode turns it into a
+    // decayed placeholder (and breaks the delta chain), strict mode aborts.
+    SPATE_FAILPOINT_INJECT("index.load.leaf", status);
 
     if (!status.ok()) {
       if (!tolerate || !DegradableFailure(status)) return status;
@@ -261,6 +268,9 @@ bool SpateFramework::IsKeyframe(Timestamp epoch_start) const {
 }
 
 Status SpateFramework::Ingest(const Snapshot& snapshot) {
+  // Snapshot admission: an injected failure here models the pipeline
+  // rejecting the epoch before any compression or storage work.
+  SPATE_FAILPOINT("core.ingest");
   last_ingest_ = IngestStats();
 
   // Storage layer: serialize + lossless compression (CPU). In differential
@@ -358,7 +368,19 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
 
   Status add = index_.AddLeaf(std::move(leaf));
   last_ingest_.index_seconds = index_timer.ElapsedSeconds();
-  SPATE_RETURN_IF_ERROR(add);
+  if (!add.ok()) {
+    // Error-path consistency (surfaced by the failpoint walker): the blob
+    // was already stored, but the index refused the leaf — without cleanup
+    // it would be an orphan no query, decay or fsck ever reclaims. Deletion
+    // is best-effort: a failed delete leaves a harmless orphan, never an
+    // index entry without bytes.
+    (void)dfs_->DeleteFile(path);
+    if (options_.leaf_spatial_index) {
+      (void)dfs_->DeleteFile("/spate/spidx/" +
+                             FormatCompact(snapshot.epoch_start));
+    }
+    return add;
+  }
 
   if (options_.differential) {
     if (columnar) {
@@ -795,6 +817,9 @@ Result<NodeSummary> SpateFramework::AggregateWindow(Timestamp begin,
 PlannerStatistics SpateFramework::CollectPlannerStatistics(
     Timestamp begin, Timestamp end) const {
   PlannerStatistics stats;
+  // An injected probe failure reports `available = false`; the planner must
+  // degrade to the naive full-scan plan, never crash or mis-cost.
+  if (SPATE_FAILPOINT_HIT("sql.collect_statistics")) return stats;
   stats.available = true;
   stats.window_fully_resolved = index_.WindowFullyResolved(begin, end);
   stats.spatial_leaf_skip = options_.spatial_leaf_skip;

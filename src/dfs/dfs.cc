@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 
 namespace spate {
 
@@ -54,6 +55,9 @@ std::vector<int> DistributedFileSystem::PickLiveNodes(
 
 Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
   MutexLock lock(&mu_);
+  // Before any namenode mutation: an injected write failure must leave no
+  // partial file entry or replica behind.
+  SPATE_FAILPOINT("dfs.write_file");
   if (files_.count(path)) {
     return Status::AlreadyExists("dfs file exists: " + path);
   }
@@ -96,6 +100,7 @@ Status DistributedFileSystem::WriteFile(const std::string& path, Slice data) {
 Status DistributedFileSystem::ReadBlockLocked(const std::string& path,
                                               const Block& block,
                                               std::string* out) {
+  SPATE_FAILPOINT("dfs.read_block");
   bool maybe_transient = false;  // a copy we could not inspect might be good
   size_t failed_replicas = 0;
   for (const Replica& replica : block.replicas) {
@@ -167,6 +172,9 @@ Result<std::string> DistributedFileSystem::ReadFile(const std::string& path) {
 
 Status DistributedFileSystem::DeleteFile(const std::string& path) {
   MutexLock lock(&mu_);
+  // Before any mutation: deletion (the decay eviction path) is idempotent,
+  // so an injected failure here must be retryable with no partial erase.
+  SPATE_FAILPOINT("dfs.delete_file");
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("dfs file not found: " + path);
@@ -356,6 +364,14 @@ RepairReport DistributedFileSystem::RepairScan() {
         !bad_live.empty() || !on_dead.empty() ||
         block.replicas.size() < static_cast<size_t>(options_.replication);
     if (!needs_work) continue;
+
+    // Injected re-replication failure (the source read died mid-repair):
+    // the block is left untouched for the next scan — counted unavailable,
+    // never half-repaired.
+    if (SPATE_FAILPOINT_HIT("dfs.replicate")) {
+      ++report.unavailable_blocks;
+      continue;
+    }
 
     // One source read per block needing work.
     const size_t src = good_live[0];

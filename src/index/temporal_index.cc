@@ -1,6 +1,7 @@
 #include "index/temporal_index.h"
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace spate {
 
@@ -21,6 +22,9 @@ std::string_view IndexLevelName(IndexLevel level) {
 }
 
 Status TemporalIndex::AddLeaf(LeafNode leaf) {
+  // Before any structural mutation: an injected insertion failure leaves
+  // the index exactly as it was (callers clean up the stored blob).
+  SPATE_FAILPOINT("index.add_leaf");
   if (leaf.epoch_start <= newest_epoch_) {
     return Status::InvalidArgument(
         "incremence requires strictly increasing epochs (got " +

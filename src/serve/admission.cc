@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace spate {
 
 std::string_view ServeOutcomeName(ServeOutcome outcome) {
@@ -37,6 +39,9 @@ AdmissionQueue::Tenant& AdmissionQueue::GetTenant(const std::string& tenant) {
 
 Status AdmissionQueue::Admit(const std::string& tenant, double now_seconds) {
   MutexLock lock(&mu_);
+  // Before any token/in-flight accounting: an injected rejection must not
+  // charge the tenant's bucket (the request was never admitted).
+  SPATE_FAILPOINT("serve.admission.admit");
   Tenant& t = GetTenant(tenant);
   if (t.quota.tokens_per_second > 0) {
     if (!t.seeded) {

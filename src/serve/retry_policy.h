@@ -1,0 +1,43 @@
+#ifndef SPATE_SERVE_RETRY_POLICY_H_
+#define SPATE_SERVE_RETRY_POLICY_H_
+
+#include "common/status.h"
+
+namespace spate {
+
+/// StatusCode -> retryability classification for the serving tier (see
+/// DESIGN.md "Error-handling contract"). One place, two questions, so the
+/// shard retry loop, the circuit breaker and the tests all agree on which
+/// failures are transient:
+///
+///   transient  — kUnavailable (a replica may come back, another may serve)
+///                and kDeadlineExceeded (the *shard* was too slow; more such
+///                requests will be too).
+///   permanent  — everything else: logic errors (kInvalidArgument,
+///                kInternal, kNotSupported, kOutOfRange), data loss
+///                (kNotFound, kCorruption, kIOError) and load shedding
+///                (kResourceExhausted — the *caller* backs off; the shard
+///                retrying would amplify the overload).
+
+/// True when the failure should feed the shard's circuit breaker: repeated
+/// occurrences mean the shard (or its storage) is unhealthy, so future
+/// requests should short-circuit instead of queueing behind it. Deadline
+/// expiries count — a shard that keeps missing deadlines is overloaded —
+/// but shed work (kResourceExhausted) does not: it never consumed shard
+/// capacity, and breaking on it would turn backpressure into an outage.
+inline bool BreakerCountsFailure(const Status& failure) {
+  return failure.IsUnavailable() || failure.IsDeadlineExceeded();
+}
+
+/// True when the shard's retry loop should attempt the query again (with
+/// jittered backoff, inside the same deadline). Only kUnavailable qualifies:
+/// the replica may return or a repair may land between attempts. A spent
+/// deadline or a logic error will not improve on attempt two, and retrying
+/// kResourceExhausted from inside the shard would defeat the shedding.
+inline bool RetryableFailure(const Status& failure) {
+  return failure.IsUnavailable();
+}
+
+}  // namespace spate
+
+#endif  // SPATE_SERVE_RETRY_POLICY_H_

@@ -5,7 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/latch.h"
+#include "serve/retry_policy.h"
 
 namespace spate {
 
@@ -45,6 +47,10 @@ Status Shard::Dispatch(
     const ExplorationQuery& query, std::shared_ptr<CancelToken> cancel,
     std::function<void(Result<QueryResult>, int retries)> on_done) {
   MutexLock lock(&mu_);
+  // Before the breaker reserves a probe slot: an injected dispatch failure
+  // is a fast-fail the gather resolves on the dispatching thread, with no
+  // breaker or queue state to roll back.
+  SPATE_FAILPOINT("serve.shard.dispatch");
   if (!breaker_.Allow(SteadySeconds())) {
     ++short_circuits_;
     return Status::Unavailable("shard " + std::to_string(index_) +
@@ -113,15 +119,13 @@ void Shard::RunQuery(
       return;
     }
     failure = result.status();
-    if (failure.IsUnavailable() || failure.IsDeadlineExceeded()) {
-      // Per-shard timeout or unreachable storage: the breaker's food.
+    if (BreakerCountsFailure(failure)) {
+      // Per-shard timeout or unreachable storage: the breaker's food
+      // (serve/retry_policy.h owns the classification).
       MutexLock lock(&mu_);
       breaker_.RecordFailure(SteadySeconds());
     }
-    // Only kUnavailable is worth retrying: the replica may come back or
-    // another one may serve. A spent deadline or a logic error will not
-    // improve on attempt two.
-    if (!failure.IsUnavailable()) break;
+    if (!RetryableFailure(failure)) break;
   }
   on_done(Result<QueryResult>(failure), retries);
 }

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace spate {
 namespace {
 
@@ -109,6 +113,59 @@ TEST(StatusMacroTest, AssignOrReturnBindsOrPropagates) {
   EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
   EXPECT_EQ(out, 7);
   EXPECT_EQ(UseAssignOrReturn(true, &out).code(), StatusCode::kOutOfRange);
+}
+
+Result<std::string> ReturnIfErrorIntoResult(bool fail) {
+  SPATE_RETURN_IF_ERROR(fail ? Fails() : Succeeds());
+  return std::string("reached");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorConvertsIntoAResultReturn) {
+  // The propagated Status crosses a Result<T> boundary — the conversion
+  // every SPATE_FAILPOINT site in a Result-returning function relies on.
+  EXPECT_EQ(ReturnIfErrorIntoResult(false).value(), "reached");
+  const auto failed = ReturnIfErrorIntoResult(true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(failed.status().message(), "disk");
+}
+
+Result<std::unique_ptr<int>> MaybeUnique(bool fail) {
+  if (fail) return Status::NotFound("gone");
+  return std::make_unique<int>(9);
+}
+
+Status UseAssignOrReturnMoveOnly(bool fail, int* out) {
+  SPATE_ASSIGN_OR_RETURN(std::unique_ptr<int> p, MaybeUnique(fail));
+  *out = *p;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnMovesOutMoveOnlyValues) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturnMoveOnly(false, &out).ok());
+  EXPECT_EQ(out, 9);
+  EXPECT_EQ(UseAssignOrReturnMoveOnly(true, &out).code(),
+            StatusCode::kNotFound);
+}
+
+Result<int> CountingInt(int* calls) {
+  ++*calls;
+  return 5;
+}
+
+Status UseAssignOrReturnOnce(int* calls, int* out) {
+  SPATE_ASSIGN_OR_RETURN(const int v, CountingInt(calls));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnEvaluatesTheExpressionExactlyOnce) {
+  int calls = 0;
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturnOnce(&calls, &out).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(out, 5);
 }
 
 }  // namespace

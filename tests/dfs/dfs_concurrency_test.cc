@@ -78,12 +78,17 @@ TEST(DfsConcurrencyTest, ReadersConcurrentWithWritersAndDeleters) {
     }
   });
   std::thread deleter([&] {
-    for (int f = 0; f < 50; ++f) dfs.DeleteFile("/seed/" + std::to_string(f));
+    // Outcome irrelevant: the test asserts the reader never sees corruption
+    // and the final file count balances, not that each delete lands.
+    for (int f = 0; f < 50; ++f) {
+      (void)dfs.DeleteFile("/seed/" + std::to_string(f));
+    }
   });
   std::thread writer([&] {
+    // Same: the writes only generate churn for the racing reader.
     for (int f = 100; f < 150; ++f) {
-      dfs.WriteFile("/seed/" + std::to_string(f), std::string(3000, 'y'))
-          .ok();
+      (void)dfs.WriteFile("/seed/" + std::to_string(f),
+                          std::string(3000, 'y'));
     }
   });
   deleter.join();

@@ -1,0 +1,80 @@
+#include "serve/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace spate {
+namespace {
+
+// The serving tier's StatusCode -> retryability classification, swept over
+// every code so adding a StatusCode forces a decision here: is the new
+// failure breaker food, retryable, both, or neither? (The sweep lists every
+// enumerator explicitly — a new code that is not added below will fail the
+// CoversEveryStatusCode guard once anything in the tier produces it.)
+
+struct CodeExpectation {
+  StatusCode code;
+  bool breaker_counts;
+  bool retryable;
+};
+
+const std::vector<CodeExpectation>& AllCodes() {
+  static const std::vector<CodeExpectation> kCodes = {
+      // kOk never reaches the classifiers (RunQuery only classifies
+      // failures), but the functions must still answer sanely.
+      {StatusCode::kOk, false, false},
+      {StatusCode::kInvalidArgument, false, false},
+      {StatusCode::kNotFound, false, false},
+      {StatusCode::kAlreadyExists, false, false},
+      {StatusCode::kCorruption, false, false},
+      {StatusCode::kIOError, false, false},
+      {StatusCode::kNotSupported, false, false},
+      {StatusCode::kOutOfRange, false, false},
+      {StatusCode::kInternal, false, false},
+      // The replica may come back: retry, and repeated occurrences open
+      // the breaker.
+      {StatusCode::kUnavailable, true, true},
+      // The budget is spent: never retry, but a shard that keeps missing
+      // deadlines is unhealthy — the breaker counts it.
+      {StatusCode::kDeadlineExceeded, true, false},
+      // Shed load: retrying inside the shard would amplify the overload,
+      // and breaking on backpressure would turn it into an outage.
+      {StatusCode::kResourceExhausted, false, false},
+  };
+  return kCodes;
+}
+
+TEST(RetryClassificationTest, SweepsEveryStatusCode) {
+  for (const CodeExpectation& expected : AllCodes()) {
+    const Status status = expected.code == StatusCode::kOk
+                              ? Status::OK()
+                              : Status(expected.code, "probe");
+    EXPECT_EQ(BreakerCountsFailure(status), expected.breaker_counts)
+        << StatusCodeToString(expected.code);
+    EXPECT_EQ(RetryableFailure(status), expected.retryable)
+        << StatusCodeToString(expected.code);
+  }
+}
+
+TEST(RetryClassificationTest, CoversEveryStatusCode) {
+  // kResourceExhausted is the last enumerator; if a new code is appended
+  // after it this count stops matching and the table above must grow.
+  EXPECT_EQ(AllCodes().size(),
+            static_cast<size_t>(StatusCode::kResourceExhausted) + 1);
+}
+
+TEST(RetryClassificationTest, RetryableImpliesBreakerCounts) {
+  // A failure worth retrying is by definition a shard-health signal; the
+  // converse is not true (kDeadlineExceeded).
+  for (const CodeExpectation& expected : AllCodes()) {
+    if (!expected.retryable) continue;
+    EXPECT_TRUE(expected.breaker_counts)
+        << StatusCodeToString(expected.code);
+  }
+}
+
+}  // namespace
+}  // namespace spate

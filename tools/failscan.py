@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""Static Status-flow and failpoint-coverage gate (the compile-time half of
+spate::failpoint).
+
+Two audits, one exit code:
+
+1. Status flow. Harvests every function returning `Status` or `Result<T>`
+   from the sources, then scans src/ for call sites that drop the value on
+   the floor. A call must be propagated (`return`, `SPATE_RETURN_IF_ERROR`),
+   consumed (assigned, tested, chained), or *intentionally* discarded with a
+   `(void)` cast carrying a justification comment (trailing `//` on the same
+   line, or a `//` comment within the three preceding lines). CI fails on:
+
+     * a bare statement call whose Status/Result vanishes — the error path
+       silently does not exist;
+     * a `(void)` discard of a Status/Result call with no comment saying
+       why dropping the error is correct.
+
+2. Failpoint coverage. Cross-checks three sources of truth that must agree:
+   the registry table in src/common/failpoint.cc, the SPATE_FAILPOINT*
+   sites placed in src/, and the reviewed manifest in docs/FAILPOINTS.md
+   (the ```failpoints fenced block). CI fails on:
+
+     * a SPATE_FAILPOINT site whose id is not in the registry (the walker
+       would never find it — Arm() rejects unknown ids);
+     * a registry entry no source site uses (dead table row);
+     * a registered failpoint missing from the manifest (undeclared site:
+       the error surface changed without review);
+     * a manifest entry the registry does not carry (stale manifest);
+     * a `require <prefix>` manifest line with no live site under that
+       prefix (an ISSUE-mandated subsystem boundary lost its coverage).
+
+The runtime half (`src/common/failpoint.h` + the failpoint walker test)
+proves each registered site is *reachable* and recoverable; this tool pins
+the *declared* error surface. Each validates the other, exactly as
+tools/lockgraph.py does for docs/LOCK_ORDER.md.
+
+Usage:
+  tools/failscan.py             human-readable summary
+  tools/failscan.py --check     gate mode: exit 1 on any finding
+  tools/failscan.py --dot FILE  write the failpoint map as Graphviz dot
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# A Status- or Result-returning declaration or definition. The qualifier
+# run also matches out-of-line member definitions (`Status Shard::Ingest(`).
+SIG_RE = re.compile(
+    r"\b(?:Status|Result<[^;{}()]{1,80}>)\s+"
+    r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\(")
+
+# A void declaration sharing a name with a Status-returning one (e.g. the
+# store's `Status Dfs::KillDatanode` vs the fault injector's
+# `void FaultState::KillDatanode`) makes that name ambiguous at call sites —
+# this scanner matches by name, not by receiver type, so ambiguous names are
+# excluded from flagging. Real drops of those still surface through the
+# [[nodiscard]] attribute at compile time.
+VOID_SIG_RE = re.compile(
+    r"\bvoid\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\(")
+
+FAILPOINT_USE_RE = re.compile(
+    r"\bSPATE_FAILPOINT(?:_INJECT|_HIT)?\s*\(\s*\"([^\"]+)\"")
+
+VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*([A-Za-z_][\w.:>-]*)\s*\(")
+
+KEYWORDS = {"if", "while", "for", "switch", "return", "case", "sizeof",
+            "catch", "new", "delete", "co_return", "co_await", "defined"}
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments, preserving line structure so reported
+    line numbers match the file (string literals survive; the grammar we
+    parse never hides inside one)."""
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def source_files(src):
+    for root, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".cc", ".h")):
+                yield os.path.join(root, name)
+
+
+def harvest_names(src):
+    """Returns the set of function names that *unambiguously* return Status
+    or Result<T> (names also declared void somewhere are dropped)."""
+    names = set()
+    void_names = set()
+    for path in source_files(src):
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for match in SIG_RE.finditer(text):
+            if match.group(1) not in KEYWORDS:
+                names.add(match.group(1))
+        for match in VOID_SIG_RE.finditer(text):
+            void_names.add(match.group(1))
+    return names - void_names
+
+
+def skip_balanced(text, start):
+    """`text[start]` is '('; returns the index just past the matching ')',
+    or len(text) if unbalanced."""
+    depth = 0
+    i = start
+    while i < len(text):
+        ch = text[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif ch == '"':
+            i += 1
+            while i < len(text) and text[i] != '"':
+                i += 2 if text[i] == "\\" else 1
+        i += 1
+    return len(text)
+
+
+def scan_status_flow(src, names):
+    """Returns findings: bare discarded calls and unjustified (void) casts."""
+    findings = []
+    if not names:
+        return findings
+    call_re = re.compile(
+        r"^[ \t]*(?:[A-Za-z_]\w*(?:\.|->|::)\s*)*("
+        + "|".join(sorted(re.escape(n) for n in names)) + r")\s*\(",
+        re.M)
+    for path in source_files(src):
+        rel = os.path.relpath(path, os.path.dirname(src))
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        text = strip_comments(raw)
+        raw_lines = raw.splitlines()
+
+        # Bare statement calls: the line *starts* with the call expression,
+        # the previous statement is closed, and after the balanced argument
+        # list the result is neither chained (./->) nor part of a larger
+        # expression — it just hits `;`.
+        for match in call_re.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            before = text[:match.start()].rstrip()
+            if before and before[-1] not in ";{}":
+                continue  # continuation of an expression, value is consumed
+            if line >= 2 and raw_lines[line - 2].rstrip().endswith("\\"):
+                continue  # macro body line — expansion context decides use
+            open_paren = text.index("(", match.end(1))
+            after = text[skip_balanced(text, open_paren):].lstrip()
+            if after.startswith(";"):
+                findings.append(
+                    f"{rel}:{line}: result of `{match.group(1)}` (returns"
+                    " Status/Result) is silently dropped — propagate it,"
+                    " handle it, or discard with `(void)` plus a comment"
+                    " justifying why the error does not matter here")
+
+        # (void) discards: allowed, but only with a justification comment on
+        # the same line or within the three lines above.
+        for match in VOID_DISCARD_RE.finditer(text):
+            callee = match.group(1).split(".")[-1].split(">")[-1]
+            callee = callee.split(":")[-1]
+            if callee not in names:
+                continue  # silencing an unused variable, not a call result
+            line = text.count("\n", 0, match.start()) + 1
+            context = raw_lines[max(0, line - 4):line]
+            if any("//" in raw_line for raw_line in context):
+                continue
+            findings.append(
+                f"{rel}:{line}: `(void)` discard of `{callee}` has no"
+                " justification comment — say in a nearby // comment why"
+                " dropping this Status/Result is correct")
+    return findings
+
+
+def parse_registry(path):
+    """Returns (ids, findings) from the g_sites table in failpoint.cc."""
+    ids = []
+    if not os.path.exists(path):
+        return ids, []
+    with open(path, encoding="utf-8") as f:
+        text = strip_comments(f.read())
+    table = re.search(r"Site\s+g_sites\[\]\s*=\s*\{(.*?)\n\};", text, re.S)
+    if table is None:
+        rel = os.path.relpath(path, os.path.dirname(os.path.dirname(path)))
+        return ids, [f"{rel}: no `Site g_sites[]` registry table found"]
+    for match in re.finditer(r"\{\s*\"([^\"]+)\"", table.group(1)):
+        ids.append(match.group(1))
+    findings = []
+    if ids != sorted(ids):
+        findings.append(
+            "src/common/failpoint.cc: g_sites[] is not sorted by id — the"
+            " binary search in Find() requires sorted entries")
+    return ids, findings
+
+
+def scan_sites(src):
+    """Returns {id: [file:line, ...]} of SPATE_FAILPOINT* uses in src/."""
+    sites = {}
+    for path in source_files(src):
+        rel = os.path.relpath(path, os.path.dirname(src))
+        if rel.replace(os.sep, "/").endswith("common/failpoint.h"):
+            continue  # the macro definitions themselves
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for match in FAILPOINT_USE_RE.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            sites.setdefault(match.group(1), []).append(f"{rel}:{line}")
+    return sites
+
+
+def parse_manifest(path):
+    """Returns (ids, requires, findings) from the ```failpoints block."""
+    ids = set()
+    requires = []
+    findings = []
+    rel = os.path.relpath(path, os.path.dirname(os.path.dirname(path)))
+    if not os.path.exists(path):
+        return ids, requires, [f"{rel}: manifest missing"]
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    in_block = False
+    block_seen = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if not in_block and stripped == "```failpoints":
+                in_block = True
+                block_seen = True
+            elif in_block:
+                in_block = False
+            continue
+        if not in_block or not stripped or stripped.startswith("#"):
+            continue
+        fields = stripped.split(None, 1)
+        if fields[0] == "require":
+            if len(fields) != 2 or not re.fullmatch(r"[\w.]+", fields[1]):
+                findings.append(f"{rel}:{number}: malformed require line"
+                                f" `{stripped}` (expected `require <prefix>`)")
+            else:
+                requires.append(fields[1])
+        elif re.fullmatch(r"[a-z0-9_.]+", fields[0]):
+            if fields[0] in ids:
+                findings.append(f"{rel}:{number}: duplicate manifest entry"
+                                f" `{fields[0]}`")
+            ids.add(fields[0])
+        else:
+            findings.append(
+                f"{rel}:{number}: unparseable manifest line `{stripped}`"
+                " (expected `<id> <boundary>` or `require <prefix>`)")
+    if not block_seen:
+        findings.append(f"{rel}: no ```failpoints fenced block found")
+    return ids, requires, findings
+
+
+def cross_check(registry, sites, manifest_ids, requires, manifest_rel):
+    findings = []
+    registry_set = set(registry)
+    for site_id in sorted(set(sites) - registry_set):
+        findings.append(
+            f"unregistered failpoint \"{site_id}\" at {sites[site_id][0]}:"
+            " not in the g_sites[] registry — Arm() rejects unknown ids, so"
+            " the walker can never trip it")
+    for site_id in sorted(registry_set - set(sites)):
+        findings.append(
+            f"dead registry entry \"{site_id}\": no SPATE_FAILPOINT site in"
+            " src/ uses it")
+    for site_id in sorted(registry_set - manifest_ids):
+        findings.append(
+            f"undeclared failpoint \"{site_id}\": registered in sources but"
+            f" missing from {manifest_rel} — an error-surface change must"
+            " update the reviewed manifest")
+    for site_id in sorted(manifest_ids - registry_set):
+        findings.append(
+            f"stale manifest entry \"{site_id}\": the registry does not"
+            " carry it")
+    for prefix in requires:
+        if not any(site_id.startswith(prefix) for site_id in registry_set):
+            findings.append(
+                f"uncovered boundary \"{prefix}\": {manifest_rel} requires a"
+                " failpoint under this prefix but the registry has none")
+    for site_id in sorted(registry_set):
+        if requires and not any(site_id.startswith(p) for p in requires):
+            findings.append(
+                f"failpoint \"{site_id}\" matches no `require` prefix in"
+                f" {manifest_rel} — add its subsystem to the coverage list")
+    return findings
+
+
+def write_dot(registry, sites, out):
+    lines = ["digraph failpoints {", "  rankdir=LR;",
+             "  node [shape=box, fontsize=10];"]
+    groups = {}
+    for site_id in sorted(set(registry) | set(sites)):
+        groups.setdefault(site_id.split(".", 1)[0], []).append(site_id)
+    for index, (group, members) in enumerate(sorted(groups.items())):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{group}";')
+        for site_id in members:
+            where = sites.get(site_id, ["unplaced"])[0]
+            lines.append(f'    "{site_id}" [tooltip="{where}"];')
+        lines.append("  }")
+    lines.append("}")
+    dot = "\n".join(lines) + "\n"
+    if out == "-":
+        sys.stdout.write(dot)
+    else:
+        with open(out, "w", encoding="utf-8") as f:
+            f.write(dot)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: exit 1 on any finding")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="write the failpoint map as Graphviz dot"
+                             " ('-' for stdout)")
+    parser.add_argument("--root", default=REPO,
+                        help="repository root (default: this repo)")
+    parser.add_argument("--manifest", default=None,
+                        help="manifest path (default <root>/docs/"
+                             "FAILPOINTS.md)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    src = os.path.join(root, "src")
+    manifest = args.manifest or os.path.join(root, "docs", "FAILPOINTS.md")
+    manifest_rel = os.path.relpath(manifest, root)
+
+    names = harvest_names(src)
+    findings = scan_status_flow(src, names)
+
+    registry, registry_findings = parse_registry(
+        os.path.join(src, "common", "failpoint.cc"))
+    findings += registry_findings
+    sites = scan_sites(src)
+    if registry or sites:
+        manifest_ids, requires, manifest_findings = parse_manifest(manifest)
+        findings += manifest_findings
+        findings += cross_check(registry, sites, manifest_ids, requires,
+                                manifest_rel)
+    else:
+        manifest_ids, requires = set(), []
+
+    if args.dot:
+        write_dot(registry, sites, args.dot)
+
+    if findings:
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print(f"failscan: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+
+    if args.dot == "-":
+        return 0  # keep stdout pure dot
+    print(f"failscan: clean — {len(names)} Status/Result-returning"
+          f" functions audited, {len(registry)} failpoints registered,"
+          f" every site placed, manifest in sync,"
+          f" {len(requires)} subsystem prefixes covered")
+    if not args.check and not args.dot:
+        for site_id in sorted(registry):
+            where = ", ".join(sites.get(site_id, []))
+            print(f"  {site_id}  ({where})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,10 +137,217 @@ class LintRule7And8Test(unittest.TestCase):
         self.assertEqual(code, 0, stderr)
 
 
+FAILSCAN = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "failscan.py")
+
+# Minimal Status-flow tree for failscan: one fallible function, one caller.
+STATUS_HEADER = """\
+#ifndef SPATE_DFS_STORE_H_
+#define SPATE_DFS_STORE_H_
+
+namespace spate {
+class Status;
+Status StoreBlock(const char* data, unsigned long size);
+}  // namespace spate
+
+#endif  // SPATE_DFS_STORE_H_
+"""
+
+STATUS_CALLER = """\
+#include "dfs/store.h"
+
+namespace spate {
+Status Caller(const char* d, unsigned long n) {
+  return StoreBlock(d, n);
+}
+}  // namespace spate
+"""
+
+# Minimal failpoint registry + one instrumented site.
+REGISTRY = """\
+#include "common/failpoint.h"
+
+namespace spate {
+namespace failpoint {
+namespace {
+struct Site {
+  const char* id;
+  const char* description;
+};
+Site g_sites[] = {
+    {"dfs.store_block", "entry of StoreBlock"},
+};
+}  // namespace
+}  // namespace failpoint
+}  // namespace spate
+"""
+
+SITE_USER = """\
+#include "common/failpoint.h"
+#include "dfs/store.h"
+
+namespace spate {
+Status StoreBlock(const char* d, unsigned long n) {
+  SPATE_FAILPOINT("dfs.store_block");
+  return Caller(d, n);
+}
+}  // namespace spate
+"""
+
+MANIFEST = """\
+# Failpoint manifest.
+
+```failpoints
+dfs.store_block   src/dfs/store.cc StoreBlock entry
+require dfs.
+```
+"""
+
+
+def run_failscan(root):
+    proc = subprocess.run(
+        [sys.executable, FAILSCAN, "--check", "--root", root],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stderr
+
+
+class FailscanStatusFlowTest(unittest.TestCase):
+    """failscan's Status-flow audit: bare drops and unjustified (void)."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        write(self.root, "src/dfs/store.h", STATUS_HEADER)
+        write(self.root, "src/dfs/use.cc", STATUS_CALLER)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_clean_tree_passes(self):
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_bare_dropped_status_fails(self):
+        write(self.root, "src/dfs/use.cc", STATUS_CALLER.replace(
+            "return StoreBlock(d, n);",
+            "StoreBlock(d, n);\n  return StoreBlock(d, n);"))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("silently dropped", stderr)
+        self.assertIn("StoreBlock", stderr)
+
+    def test_unjustified_void_discard_fails(self):
+        write(self.root, "src/dfs/use.cc", STATUS_CALLER.replace(
+            "return StoreBlock(d, n);",
+            "(void)StoreBlock(d, n);\n  return StoreBlock(d, n);"))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("justification comment", stderr)
+
+    def test_justified_void_discard_passes(self):
+        write(self.root, "src/dfs/use.cc", STATUS_CALLER.replace(
+            "return StoreBlock(d, n);",
+            "// Best-effort: the caller retries on the next scan.\n"
+            "  (void)StoreBlock(d, n);\n  return StoreBlock(d, n);"))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_consumed_and_propagated_calls_pass(self):
+        write(self.root, "src/dfs/use.cc", STATUS_CALLER.replace(
+            "return StoreBlock(d, n);",
+            "if (!StoreBlock(d, n).ok()) return StoreBlock(d, n);\n"
+            "  return StoreBlock(d, n);"))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_name_shared_with_a_void_function_is_not_flagged(self):
+        write(self.root, "src/dfs/other.h", STATUS_HEADER.replace(
+            "SPATE_DFS_STORE_H_", "SPATE_DFS_OTHER_H_").replace(
+            "Status StoreBlock(const char* data, unsigned long size);",
+            "void StoreBlock(int retries);"))
+        write(self.root, "src/dfs/use.cc", STATUS_CALLER.replace(
+            "return StoreBlock(d, n);",
+            "StoreBlock(d, n);\n  return Status();"))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 0, stderr)
+
+
+class FailscanRegistryTest(unittest.TestCase):
+    """failscan's registry <-> sources <-> manifest cross-check."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        write(self.root, "src/common/failpoint.cc", REGISTRY)
+        write(self.root, "src/dfs/store.h", STATUS_HEADER)
+        write(self.root, "src/dfs/store.cc", SITE_USER)
+        write(self.root, "docs/FAILPOINTS.md", MANIFEST)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_synced_tree_passes(self):
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 0, stderr)
+
+    def test_unregistered_site_fails(self):
+        write(self.root, "src/dfs/store.cc", SITE_USER.replace(
+            'SPATE_FAILPOINT("dfs.store_block");',
+            'SPATE_FAILPOINT("dfs.store_block");\n'
+            '  SPATE_FAILPOINT("dfs.rogue");'))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("unregistered failpoint", stderr)
+        self.assertIn("dfs.rogue", stderr)
+
+    def test_dead_registry_entry_fails(self):
+        write(self.root, "src/dfs/store.cc", SITE_USER.replace(
+            '  SPATE_FAILPOINT("dfs.store_block");\n', ""))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("dead registry entry", stderr)
+
+    def test_undeclared_failpoint_fails(self):
+        write(self.root, "docs/FAILPOINTS.md", MANIFEST.replace(
+            "dfs.store_block   src/dfs/store.cc StoreBlock entry\n", ""))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("undeclared failpoint", stderr)
+
+    def test_stale_manifest_entry_fails(self):
+        write(self.root, "docs/FAILPOINTS.md", MANIFEST.replace(
+            "require dfs.",
+            "dfs.gone_site   a site the registry no longer carries\n"
+            "require dfs."))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("stale manifest entry", stderr)
+        self.assertIn("dfs.gone_site", stderr)
+
+    def test_uncovered_required_prefix_fails(self):
+        write(self.root, "docs/FAILPOINTS.md", MANIFEST.replace(
+            "require dfs.", "require dfs.\nrequire serve."))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("uncovered boundary", stderr)
+        self.assertIn("serve.", stderr)
+
+    def test_missing_manifest_fails_when_sites_exist(self):
+        os.remove(os.path.join(self.root, "docs/FAILPOINTS.md"))
+        code, stderr = run_failscan(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("manifest missing", stderr)
+
+
 class LintSelfRepoTest(unittest.TestCase):
     def test_this_repo_is_clean(self):
         repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         code, stderr = run_lint(repo)
+        self.assertEqual(code, 0, stderr)
+
+    def test_this_repo_passes_failscan(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        code, stderr = run_failscan(repo)
         self.assertEqual(code, 0, stderr)
 
 
