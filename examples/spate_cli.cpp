@@ -28,6 +28,12 @@
 //                          print per-tenant admission counters and
 //                          per-shard breaker/queue/fallback state (the
 //                          serving tier, src/serve/)
+//   scan-stats [n]         drive n overlapping exploration queries
+//                          (default 24) through a shared ScanScheduler on
+//                          4 client threads, then print the cooperative
+//                          shared-scan counters and the decoded-fragment
+//                          cache counters (src/query/scan_scheduler.h,
+//                          src/core/fragment_cache.h)
 //   help / quit
 //
 // Non-interactive use:  echo "sql SELECT COUNT(*) FROM CDR" | spate_cli
@@ -60,6 +66,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analytics/heavy_hitters.h"
@@ -74,6 +81,7 @@
 #include "compress/columnar.h"
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
+#include "query/scan_scheduler.h"
 #include "serve/server.h"
 #include "sql/explain.h"
 #include "sql/parser.h"
@@ -181,6 +189,84 @@ void RunServeStats(const TraceGenerator& generator, int requests) {
            static_cast<unsigned long long>(s.fallbacks),
            static_cast<unsigned long long>(s.cache.hits),
            static_cast<unsigned long long>(s.cache.misses));
+  }
+}
+
+/// `scan-stats [n]`: drives n overlapping 8-epoch exploration windows
+/// through one ScanScheduler from 4 concurrent client threads (the
+/// cooperative shared-scan path, src/query/scan_scheduler.h), then prints
+/// the scheduler's pass/join/detach counters and the decoded-fragment
+/// cache's hit/eviction/residency counters. The scheduler is built once
+/// and kept, so repeated invocations show counters accumulating and the
+/// second run answering mostly from the warm fragment cache.
+void RunScanStats(SpateFramework* spate, const TraceGenerator& generator,
+                  int queries) {
+  static std::unique_ptr<ScanScheduler> scheduler;
+  if (scheduler == nullptr) scheduler = std::make_unique<ScanScheduler>(spate);
+
+  const TraceConfig& trace = generator.config();
+  const int total_epochs = trace.days * (86400 / kEpochSeconds);
+  const int window_epochs = 8;
+  const int positions = std::max(1, total_epochs - window_epochs);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> clients;
+  std::vector<int> errors(kThreads, 0);
+  clients.reserve(kThreads);
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      // Client c asks windows offset by half a window from its neighbour:
+      // a 50%-overlap chain, so concurrent clients merge into shared passes
+      // and successive rounds rescan warm fragments.
+      for (int i = c; i < queries; i += kThreads) {
+        ExplorationQuery query;
+        query.window_begin =
+            trace.start +
+            ((i * (window_epochs / 2)) % positions) * kEpochSeconds;
+        query.window_end =
+            query.window_begin + window_epochs * kEpochSeconds;
+        if (!scheduler->Execute(query).ok()) ++errors[static_cast<size_t>(c)];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int e : errors) {
+    if (e != 0) printf("warning: %d scan-stats queries failed\n", e);
+  }
+
+  const ScanSchedulerStats s = scheduler->stats();
+  printf("shared scans: %llu passes started, %llu joins (%llu mid-pass), "
+         "%llu detached\n",
+         static_cast<unsigned long long>(s.passes_started),
+         static_cast<unsigned long long>(s.shared_pass_joins),
+         static_cast<unsigned long long>(s.mid_pass_attaches),
+         static_cast<unsigned long long>(s.waiters_detached));
+  printf("              %llu solo, %llu summary-only, %llu exclusive "
+         "sections, %llu leaf folds\n",
+         static_cast<unsigned long long>(s.solo_executes),
+         static_cast<unsigned long long>(s.summary_answers),
+         static_cast<unsigned long long>(s.exclusive_runs),
+         static_cast<unsigned long long>(s.leaves_folded));
+  printf("              %s decoded, %s saved by the fragment cache "
+         "(%llu hits)\n",
+         HumanBytes(s.bytes_decoded).c_str(),
+         HumanBytes(s.bytes_decoded_saved).c_str(),
+         static_cast<unsigned long long>(s.fragment_hits));
+  if (const FragmentCache* cache = spate->fragment_cache()) {
+    const FragmentCacheStats f = cache->stats();
+    printf("fragment cache: %llu hits / %llu misses, %llu insertions, "
+           "%llu evictions\n",
+           static_cast<unsigned long long>(f.fragment_hits),
+           static_cast<unsigned long long>(f.misses),
+           static_cast<unsigned long long>(f.insertions),
+           static_cast<unsigned long long>(f.evictions));
+    printf("                %s resident in %llu fragments, generation %llu, "
+           "%s of decode work saved\n",
+           HumanBytes(f.resident_bytes).c_str(),
+           static_cast<unsigned long long>(f.resident_entries),
+           static_cast<unsigned long long>(f.generation),
+           HumanBytes(f.bytes_decoded_saved).c_str());
+  } else {
+    printf("fragment cache: disabled (fragment_cache_bytes = 0)\n");
   }
 }
 
@@ -449,6 +535,9 @@ int main(int argc, char** argv) {
 
   TraceGenerator generator(trace);
   SpateOptions options;
+  // A modest decoded-fragment cache so `scan-stats` (and repeated scans in
+  // general) demonstrate the cooperative-scan path with warm fragments.
+  options.fragment_cache_bytes = 64u << 20;
   SpateFramework spate(options, generator.cells());
   fprintf(stderr, "Loading %d day(s) of synthetic telco traffic... ",
           trace.days);
@@ -481,7 +570,9 @@ int main(int argc, char** argv) {
              "  hist rssi|throughput|duration <from> <to>\n"
              "  stats | decay <days> | quit\n"
              "  fsck | corrupt <seed> | repair | locks\n"
-             "  serve-stats [n]         serving-tier tenant/shard counters\n");
+             "  serve-stats [n]         serving-tier tenant/shard counters\n"
+             "  scan-stats [n]          shared-scan + fragment-cache "
+             "counters\n");
       continue;
     }
     if (command == "top") {
@@ -693,6 +784,16 @@ int main(int argc, char** argv) {
         continue;
       }
       RunServeStats(generator, static_cast<int>(requests));
+      continue;
+    }
+    if (command == "scan-stats") {
+      int64_t queries = 24;
+      std::string count_text;
+      if (in >> count_text && !ParseInt64(count_text, &queries)) {
+        printf("usage: scan-stats [queries]\n");
+        continue;
+      }
+      RunScanStats(&spate, generator, static_cast<int>(queries));
       continue;
     }
     if (command == "repair") {

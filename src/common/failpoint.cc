@@ -54,6 +54,8 @@ Site g_sites[] = {
      "recovery load of one resident leaf blob", {}, {}, {}, {}},
     {"pool.submit",
      "bounded thread-pool admission (TrySubmit)", {}, {}, {}, {}},
+    {"query.scan_scheduler.pass",
+     "shared-pass launch boundary (ScanScheduler::RunPass)", {}, {}, {}, {}},
     {"serve.admission.admit",
      "per-tenant admission decision (AdmissionQueue)", {}, {}, {}, {}},
     {"serve.shard.dispatch",

@@ -71,9 +71,21 @@ Status ParseWidthsRle(Slice* input, std::vector<uint32_t>* widths) {
   return Status::OK();
 }
 
-/// Decodes a chunk by name, accounting the decompressed bytes.
+/// Decodes a chunk by name, accounting the decompressed bytes. This is the
+/// single per-chunk decode funnel, so the fragment cache plugs in here: a
+/// hit serves the plaintext without touching the codec (and without
+/// charging `*bytes_decoded` — the scope counts the avoided bytes instead),
+/// a miss decodes and admits the result under the chunk's name.
 Status DecodeChunk(const ColumnarReader& reader, std::string_view name,
-                   std::string* data, uint64_t* bytes_decoded) {
+                   std::string* data, uint64_t* bytes_decoded,
+                   FragmentCacheScope* fragments = nullptr) {
+  if (fragments != nullptr && fragments->cache != nullptr &&
+      fragments->cache->Lookup(fragments->leaf_epoch, name,
+                               fragments->generation, data)) {
+    ++fragments->hits;
+    fragments->bytes_saved += data->size();
+    return Status::OK();
+  }
   const ColumnarReader::ChunkRef* chunk = reader.Find(name);
   if (chunk == nullptr) {
     return Status::Corruption("columnar leaf: missing chunk '" +
@@ -81,6 +93,10 @@ Status DecodeChunk(const ColumnarReader& reader, std::string_view name,
   }
   SPATE_RETURN_IF_ERROR(ColumnarReader::Decode(*chunk, data));
   if (bytes_decoded != nullptr) *bytes_decoded += data->size();
+  if (fragments != nullptr && fragments->cache != nullptr) {
+    fragments->cache->Insert(fragments->leaf_epoch, name,
+                             fragments->generation, *data);
+  }
   return Status::OK();
 }
 
@@ -109,7 +125,8 @@ Status MaterializeTable(const ColumnarReader& reader,
                         const std::vector<uint32_t>& widths,
                         const TableProjection& projection,
                         const std::vector<uint32_t>* selected,
-                        std::vector<Record>* rows, uint64_t* bytes_decoded) {
+                        std::vector<Record>* rows, uint64_t* bytes_decoded,
+                        FragmentCacheScope* fragments) {
   if (projection.skip) return Status::OK();
   const size_t n = widths.size();
   uint32_t max_width = 0;
@@ -145,7 +162,7 @@ Status MaterializeTable(const ColumnarReader& reader,
     data.clear();
     SPATE_RETURN_IF_ERROR(DecodeChunk(
         reader, ColumnChunkName(schema, prefix, column), &data,
-        bytes_decoded));
+        bytes_decoded, fragments));
     // Walk the rows in order, consuming one '\n'-terminated value per row
     // wide enough to carry this column; copy it out for kept rows.
     const uint32_t c = static_cast<uint32_t>(column);
@@ -293,13 +310,15 @@ void ComputeColumnarLeafStats(const Snapshot& snapshot,
 Status DecodeColumnarLeaf(Slice blob, const TableProjection& cdr,
                           const TableProjection& nms,
                           const std::unordered_set<std::string>* wanted_cells,
-                          Snapshot* snapshot, uint64_t* bytes_decoded) {
+                          Snapshot* snapshot, uint64_t* bytes_decoded,
+                          FragmentCacheScope* fragments) {
   ColumnarReader reader;
   SPATE_RETURN_IF_ERROR(ColumnarReader::Open(blob, &reader));
 
   std::string meta;
   SPATE_RETURN_IF_ERROR(
-      DecodeChunk(reader, kColumnarMetaChunk, &meta, bytes_decoded));
+      DecodeChunk(reader, kColumnarMetaChunk, &meta, bytes_decoded,
+                  fragments));
   Slice input(meta);
   uint64_t epoch_zigzag = 0;
   if (!GetVarint64(&input, &epoch_zigzag)) {
@@ -321,7 +340,7 @@ Status DecodeColumnarLeaf(Slice blob, const TableProjection& cdr,
   if (wanted_cells != nullptr) {
     std::string serialized;
     SPATE_RETURN_IF_ERROR(DecodeChunk(reader, kColumnarSpatialChunk,
-                                      &serialized, bytes_decoded));
+                                      &serialized, bytes_decoded, fragments));
     LeafSpatialIndex index;
     SPATE_RETURN_IF_ERROR(LeafSpatialIndex::Parse(serialized, &index));
     cdr_selected = SelectedPositions(index, /*cdr_table=*/true, *wanted_cells);
@@ -332,11 +351,11 @@ Status DecodeColumnarLeaf(Slice blob, const TableProjection& cdr,
   SPATE_RETURN_IF_ERROR(MaterializeTable(
       reader, CdrSchema(), 'c', cdr_widths, cdr,
       wanted_cells != nullptr ? &cdr_selected : nullptr, &snapshot->cdr,
-      bytes_decoded));
+      bytes_decoded, fragments));
   SPATE_RETURN_IF_ERROR(MaterializeTable(
       reader, NmsSchema(), 'n', nms_widths, nms,
       wanted_cells != nullptr ? &nms_selected : nullptr, &snapshot->nms,
-      bytes_decoded));
+      bytes_decoded, fragments));
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "compress/codec.h"
+#include "core/fragment_cache.h"
 #include "core/framework.h"
 #include "index/temporal_index.h"
 #include "telco/schema.h"
@@ -84,10 +85,18 @@ void ComputeColumnarLeafStats(const Snapshot& snapshot, LeafDecodeStats* stats);
 /// `*bytes_decoded` (may be null) is incremented by the number of
 /// decompressed bytes actually produced — the projection-pushdown metric
 /// surfaced in `ScanStats::bytes_decoded`.
+///
+/// `fragments` (may be null) consults/feeds a decoded-fragment cache at the
+/// per-chunk decode funnel: a cached chunk is served without touching the
+/// codec and adds nothing to `*bytes_decoded` (the scope counts the hit and
+/// the avoided bytes instead); a freshly decoded chunk is admitted under
+/// its chunk name. Caching never changes the produced snapshot — only
+/// where the plaintext came from.
 Status DecodeColumnarLeaf(Slice blob, const TableProjection& cdr,
                           const TableProjection& nms,
                           const std::unordered_set<std::string>* wanted_cells,
-                          Snapshot* snapshot, uint64_t* bytes_decoded);
+                          Snapshot* snapshot, uint64_t* bytes_decoded,
+                          FragmentCacheScope* fragments = nullptr);
 
 }  // namespace spate
 

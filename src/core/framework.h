@@ -73,6 +73,12 @@ struct ScanStats {
   /// the columnar leaf layout shows up here: a narrow query decodes only
   /// the column chunks it needs.
   uint64_t bytes_decoded = 0;
+  /// Fragment-cache wins during this scan (core/fragment_cache.h):
+  /// fragments served already decoded, and the decompressed bytes those
+  /// hits would otherwise have added to `bytes_decoded`. Zero on
+  /// frameworks without a fragment cache.
+  uint64_t fragment_hits = 0;
+  uint64_t bytes_decoded_saved = 0;
 
   bool complete() const { return skipped_epochs.empty(); }
 };
@@ -88,6 +94,11 @@ struct PlannerLeafInfo {
   bool delta = false;
   const LeafDecodeStats* stats = nullptr;
   const NodeSummary* summary = nullptr;
+  /// Decoded-fragment bytes of this leaf resident in the framework's
+  /// fragment cache at the current store generation: the next scan will not
+  /// pay to decode them, so the planner prices them at ~0. Zero without a
+  /// cache.
+  uint64_t fragment_cached_bytes = 0;
 };
 
 /// Per-leaf statistics for the cost-based SQL planner

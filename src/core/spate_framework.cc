@@ -62,6 +62,14 @@ SpateFramework::SpateFramework(SpateOptions options,
         static_cast<size_t>(options_.parallelism.worker_count));
     materialize_ctx_.decode_pool = pool_.get();
   }
+  if (options_.fragment_cache_bytes > 0) {
+    // A recovered framework starts with a fresh (empty, generation-0)
+    // cache — "invalidate on Recover" for free, since both construction
+    // paths come through here.
+    fragment_cache_ =
+        std::make_unique<FragmentCache>(options_.fragment_cache_bytes);
+    materialize_ctx_.fragment_cache = fragment_cache_.get();
+  }
   if (options_.differential) {
     // Deltas must never outlive the chain they decode against: decay only
     // at keyframe-group boundaries.
@@ -393,6 +401,9 @@ Status SpateFramework::Ingest(const Snapshot& snapshot) {
       last_ingest_epoch_ = snapshot.epoch_start;
     }
   }
+  // The store changed: advance the fragment-cache generation so no scan
+  // serves bytes of the pre-ingest store state.
+  if (fragment_cache_ != nullptr) fragment_cache_->BumpGeneration();
   if (options_.auto_decay) RunDecay(snapshot.epoch_start + kEpochSeconds);
   return Status::OK();
 }
@@ -405,6 +416,24 @@ Result<std::string> SpateFramework::MaterializeLeafWith(
   if (ctx->cache_epoch == leaf.epoch_start) {
     return ctx->cache_text;
   }
+  // Fragment cache: a row leaf's whole materialized text lives under the
+  // "@row" pseudo-chunk (delta leaves cache their *resolved* text, so a
+  // hit skips the entire chain replay). A hit skips the DFS read too and
+  // charges no decoded bytes. Columnar leaves cache per chunk instead —
+  // their "@row" probe always misses.
+  if (ctx->fragment_cache != nullptr) {
+    std::string cached;
+    if (ctx->fragment_cache->Lookup(leaf.epoch_start, kRowFragmentName,
+                                    ctx->fragment_generation, &cached)) {
+      ++ctx->fragment_hits;
+      ctx->fragment_bytes_saved += cached.size();
+      if (options_.differential || leaf.delta) {
+        ctx->cache_epoch = leaf.epoch_start;
+        ctx->cache_text = cached;
+      }
+      return cached;
+    }
+  }
   SPATE_ASSIGN_OR_RETURN(std::string blob, dfs_->ReadFile(leaf.dfs_path));
   std::string text;
   if (!leaf.delta && IsColumnarBlob(blob)) {
@@ -413,9 +442,14 @@ Result<std::string> SpateFramework::MaterializeLeafWith(
     // this call work unchanged on mixed stores.
     Snapshot decoded;
     const TableProjection all;
+    FragmentCacheScope fragments{ctx->fragment_cache, leaf.epoch_start,
+                                 ctx->fragment_generation, 0, 0};
     SPATE_RETURN_IF_ERROR(DecodeColumnarLeaf(blob, all, all,
                                              /*wanted_cells=*/nullptr,
-                                             &decoded, &ctx->bytes_decoded));
+                                             &decoded, &ctx->bytes_decoded,
+                                             &fragments));
+    ctx->fragment_hits += fragments.hits;
+    ctx->fragment_bytes_saved += fragments.bytes_saved;
     text = SerializeSnapshot(decoded);
   } else if (!leaf.delta) {
     // Plain (possibly chunked) blob; chunk parts may decode on the pool,
@@ -438,6 +472,14 @@ Result<std::string> SpateFramework::MaterializeLeafWith(
     SPATE_RETURN_IF_ERROR(
         codec_->DecompressWithDictionary(prev_text, blob, &text));
     ctx->bytes_decoded += text.size();
+  }
+  // Admit the materialized row text (not the columnar re-serialization —
+  // columnar leaves already cached per chunk above, and caching both would
+  // spend the budget twice on the same leaf).
+  if (ctx->fragment_cache != nullptr &&
+      (leaf.delta || !IsColumnarBlob(blob))) {
+    ctx->fragment_cache->Insert(leaf.epoch_start, kRowFragmentName,
+                                ctx->fragment_generation, text);
   }
   // The one-entry cache exists to resolve delta chains against the
   // previous epoch in O(1); outside differential mode (and off any delta
@@ -479,12 +521,37 @@ Status SpateFramework::DecodeLeafWith(const LeafNode& leaf,
     SPATE_ASSIGN_OR_RETURN(std::string text, MaterializeLeafWith(leaf, ctx));
     return restrict_text(text);
   }
+  // Fragment cache, row-text probe: a resident "@row" fragment restricts
+  // in memory without the DFS read or any decompression. Columnar leaves
+  // never have one (they cache per chunk), so a hit implies row layout and
+  // `RestrictSnapshot` over the parsed text — the reference semantics the
+  // columnar reader is byte-identical to either way.
+  if (ctx->fragment_cache != nullptr) {
+    std::string cached;
+    if (ctx->fragment_cache->Lookup(leaf.epoch_start, kRowFragmentName,
+                                    ctx->fragment_generation, &cached)) {
+      ++ctx->fragment_hits;
+      ctx->fragment_bytes_saved += cached.size();
+      if (options_.differential) {
+        ctx->cache_epoch = leaf.epoch_start;
+        ctx->cache_text = cached;
+      }
+      return restrict_text(cached);
+    }
+  }
   SPATE_ASSIGN_OR_RETURN(std::string blob, dfs_->ReadFile(leaf.dfs_path));
   if (IsColumnarBlob(blob)) {
     // The pushdown proper: decode only the column chunks the projections
-    // call for, and with a cell restriction only the matching rows.
-    return DecodeColumnarLeaf(blob, opts.cdr, opts.nms, opts.wanted_cells,
-                              snapshot, &ctx->bytes_decoded);
+    // call for, and with a cell restriction only the matching rows. The
+    // fragment scope serves/admits individual chunk plaintexts.
+    FragmentCacheScope fragments{ctx->fragment_cache, leaf.epoch_start,
+                                 ctx->fragment_generation, 0, 0};
+    const Status status =
+        DecodeColumnarLeaf(blob, opts.cdr, opts.nms, opts.wanted_cells,
+                           snapshot, &ctx->bytes_decoded, &fragments);
+    ctx->fragment_hits += fragments.hits;
+    ctx->fragment_bytes_saved += fragments.bytes_saved;
+    return status;
   }
   // Row leaf: full decode, then restrict in memory. Cache the text under
   // the same policy as MaterializeLeafWith, so a later delta in the scan
@@ -492,6 +559,10 @@ Status SpateFramework::DecodeLeafWith(const LeafNode& leaf,
   std::string text;
   SPATE_RETURN_IF_ERROR(ChunkedDecompress(blob, ctx->decode_pool, &text));
   ctx->bytes_decoded += text.size();
+  if (ctx->fragment_cache != nullptr) {
+    ctx->fragment_cache->Insert(leaf.epoch_start, kRowFragmentName,
+                                ctx->fragment_generation, text);
+  }
   if (options_.differential) {
     ctx->cache_epoch = leaf.epoch_start;
     ctx->cache_text = text;
@@ -509,7 +580,7 @@ size_t SpateFramework::RunDecay(const DecayPolicy& policy, Timestamp now) {
   effective.horizon_alignment_seconds = std::max(
       effective.horizon_alignment_seconds,
       options_.decay.horizon_alignment_seconds);
-  return index_.Decay(
+  const size_t evicted = index_.Decay(
       effective, now,
       [this](const LeafNode& leaf) {
         // Decay deletions are idempotent; an already-absent file is fine.
@@ -524,6 +595,12 @@ size_t SpateFramework::RunDecay(const DecayPolicy& policy, Timestamp now) {
         (void)dfs_->DeleteFile("/spate/index/day/" +
                                FormatCompact(day.day_start).substr(0, 8));
       });
+  // Evictions changed what the store can decode: invalidate by generation
+  // (a no-op decay leaves the cache and its generation alone).
+  if (evicted > 0 && fragment_cache_ != nullptr) {
+    fragment_cache_->BumpGeneration();
+  }
+  return evicted;
 }
 
 double SpateFramework::ThetaFor(IndexLevel level) const {
@@ -659,6 +736,12 @@ Status SpateFramework::ScanLeaves(
   // from the wanted cells before any DFS read or decompression. The filter
   // runs up front on the calling thread, so the surviving scan — batching,
   // fold order, stats — is identical at every worker count.
+  // Capture the store generation once per scan: no mutator can run during
+  // a scan (externally synchronized surface), so every probe of this scan
+  // keys against one consistent store state.
+  const uint64_t fragment_generation =
+      fragment_cache_ != nullptr ? fragment_cache_->generation() : 0;
+  materialize_ctx_.fragment_generation = fragment_generation;
   std::vector<const LeafNode*> surviving;
   if (opts.skip_leaves && opts.wanted_cells != nullptr) {
     surviving.reserve(leaves.size());
@@ -713,10 +796,16 @@ Status SpateFramework::ScanLeaves(
       if (cancel_ != nullptr) SPATE_RETURN_IF_ERROR(cancel_->Check());
       Snapshot snapshot;
       const uint64_t bytes_before = materialize_ctx_.bytes_decoded;
+      const uint64_t hits_before = materialize_ctx_.fragment_hits;
+      const uint64_t saved_before = materialize_ctx_.fragment_bytes_saved;
       const Status status =
           DecodeLeafWith(*leaf, opts, &materialize_ctx_, &snapshot);
       last_scan_.bytes_decoded +=
           materialize_ctx_.bytes_decoded - bytes_before;
+      last_scan_.fragment_hits +=
+          materialize_ctx_.fragment_hits - hits_before;
+      last_scan_.bytes_decoded_saved +=
+          materialize_ctx_.fragment_bytes_saved - saved_before;
       SPATE_ASSIGN_OR_RETURN(bool ok, fold(*leaf, status, snapshot));
       (void)ok;
     }
@@ -734,6 +823,8 @@ Status SpateFramework::ScanLeaves(
     Status status;
     Snapshot snapshot;
     uint64_t bytes = 0;
+    uint64_t fragment_hits = 0;
+    uint64_t fragment_saved = 0;
   };
   const size_t batch =
       static_cast<size_t>(options_.parallelism.worker_count) * 4;
@@ -747,20 +838,28 @@ Status SpateFramework::ScanLeaves(
     std::vector<Slot> slots(count);
     pool_->ParallelFor(count, [&](size_t begin, size_t end) {
       DecodeContext ctx;  // per-worker buffer; no nested fan-out
+      ctx.fragment_cache = fragment_cache_.get();
+      ctx.fragment_generation = fragment_generation;
       for (size_t i = begin; i < end; ++i) {
         if (cancel_ != nullptr) {
           slots[i].status = cancel_->Check();
           if (!slots[i].status.ok()) continue;  // skip decode, fold aborts
         }
         const uint64_t bytes_before = ctx.bytes_decoded;
+        const uint64_t hits_before = ctx.fragment_hits;
+        const uint64_t saved_before = ctx.fragment_bytes_saved;
         slots[i].status =
             DecodeLeafWith(*scan_leaves[base + i], opts, &ctx,
                            &slots[i].snapshot);
         slots[i].bytes = ctx.bytes_decoded - bytes_before;
+        slots[i].fragment_hits = ctx.fragment_hits - hits_before;
+        slots[i].fragment_saved = ctx.fragment_bytes_saved - saved_before;
       }
     });
     for (size_t i = 0; i < count; ++i) {
       last_scan_.bytes_decoded += slots[i].bytes;
+      last_scan_.fragment_hits += slots[i].fragment_hits;
+      last_scan_.bytes_decoded_saved += slots[i].fragment_saved;
       SPATE_ASSIGN_OR_RETURN(
           bool ok,
           fold(*scan_leaves[base + i], slots[i].status, slots[i].snapshot));
@@ -826,10 +925,16 @@ PlannerStatistics SpateFramework::CollectPlannerStatistics(
   const std::vector<const LeafNode*> leaves =
       index_.LeavesInWindow(begin, end);
   stats.leaves.reserve(leaves.size());
+  const uint64_t generation =
+      fragment_cache_ != nullptr ? fragment_cache_->generation() : 0;
   for (const LeafNode* leaf : leaves) {
-    stats.leaves.push_back(PlannerLeafInfo{leaf->epoch_start, leaf->delta,
-                                           &leaf->decode_stats,
-                                           &leaf->summary});
+    PlannerLeafInfo info{leaf->epoch_start, leaf->delta, &leaf->decode_stats,
+                         &leaf->summary, 0};
+    if (fragment_cache_ != nullptr) {
+      info.fragment_cached_bytes =
+          fragment_cache_->ResidentBytesFor(leaf->epoch_start, generation);
+    }
+    stats.leaves.push_back(info);
   }
   return stats;
 }

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "compress/chunked.h"
 #include "compress/codec.h"
+#include "core/fragment_cache.h"
 #include "core/framework.h"
 
 namespace spate {
@@ -106,6 +107,16 @@ struct SpateOptions {
   /// Parallel snapshot pipeline (ingest + scan fan-out). Defaults to fully
   /// serial operation.
   ParallelismOptions parallelism;
+
+  /// Byte budget of the decoded-fragment cache (core/fragment_cache.h):
+  /// scans serve column chunks / row texts they already decoded from
+  /// memory, keyed (leaf epoch, chunk name, store generation), and
+  /// `Ingest`/`RunDecay` evictions/`Recover` invalidate by bumping the
+  /// generation. 0 (the default) disables the cache entirely — every
+  /// existing byte-accounting expectation holds unchanged. Results are
+  /// identical either way; only `ScanStats::bytes_decoded` (and its
+  /// `fragment_hits`/`bytes_decoded_saved` counters) move.
+  size_t fragment_cache_bytes = 0;
 };
 
 /// Outcome of `Recover()` (degraded-recovery accounting): what was rebuilt
@@ -229,6 +240,20 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
   /// Highlight threshold for a level (theta_i, Section V-B).
   double ThetaFor(IndexLevel level) const;
 
+  /// The decoded-fragment cache (nullptr when `fragment_cache_bytes == 0`).
+  /// Mutators (`Ingest`, decay evictions, `Recover`) bump its generation,
+  /// dropping every resident fragment; scans consult and feed it below the
+  /// decode funnel. Exposed for stats surfacing (`spate_cli scan-stats`,
+  /// the serving tier) and the planner probe.
+  FragmentCache* fragment_cache() const { return fragment_cache_.get(); }
+
+  /// The current store generation (0 on frameworks without a fragment
+  /// cache): bumped by every mutator that can change what stored leaf
+  /// bytes decode to.
+  uint64_t store_generation() const {
+    return fragment_cache_ != nullptr ? fragment_cache_->generation() : 0;
+  }
+
   /// Deep cross-layer verifier (`spate_cli fsck`): replica integrity and
   /// replication factor on the DFS, container framing and decodability of
   /// every stored blob, index shape, highlight roll-up consistency and
@@ -254,6 +279,14 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
     /// nothing); scans fold per-leaf deltas into
     /// `ScanStats::bytes_decoded`.
     uint64_t bytes_decoded = 0;
+    /// Fragment cache handle + the store generation captured at scan start
+    /// (no mutator runs during a scan, so it is stable); null/0 disables.
+    FragmentCache* fragment_cache = nullptr;
+    uint64_t fragment_generation = 0;
+    /// Fragment-cache wins this context observed; scans fold per-leaf
+    /// deltas into `ScanStats::fragment_hits`/`bytes_decoded_saved`.
+    uint64_t fragment_hits = 0;
+    uint64_t fragment_bytes_saved = 0;
   };
 
   /// What a scan materializes per leaf: the per-table column projections
@@ -334,6 +367,11 @@ class SPATE_EXTERNALLY_SYNCHRONIZED SpateFramework : public Framework {
   Timestamp last_ingest_epoch_ = -1;
   /// Serial-path materialization cache (parallel scans use per-worker ones).
   DecodeContext materialize_ctx_;
+  /// Decoded-fragment cache (null when `fragment_cache_bytes == 0`). The
+  /// cache object is internally synchronized; the generation discipline —
+  /// bump on every mutator, capture once per scan — follows the
+  /// framework's external synchronization.
+  std::unique_ptr<FragmentCache> fragment_cache_;
 };
 
 }  // namespace spate

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
-#include "common/latch.h"
 #include "serve/retry_policy.h"
 
 namespace spate {
@@ -17,10 +17,11 @@ Shard::Shard(size_t index, const SpateOptions& options,
       tuning_(tuning),
       theta_(options.theta_day),
       framework_(std::make_unique<SpateFramework>(options, cell_rows)),
-      explorer_(framework_.get()),
+      scheduler_(framework_.get()),
       breaker_(tuning.breaker),
       jitter_(tuning.seed ^ (0x9e3779b97f4a7c15ull * (index + 1))),
-      pool_(1, ThreadPool::Options{tuning.queue_capacity}) {}
+      pool_(std::max(1, tuning.workers),
+            ThreadPool::Options{tuning.queue_capacity}) {}
 
 Status Shard::Ingest(const Snapshot& snapshot) {
   // The mirror summary is computed up front on the calling thread — pure
@@ -28,18 +29,15 @@ Status Shard::Ingest(const Snapshot& snapshot) {
   NodeSummary summary;
   summary.AddSnapshot(snapshot);
 
-  Status status;
-  CountdownLatch done(1);
-  // Blocking Submit: ingest applies backpressure instead of shedding.
-  pool_.Submit([this, &snapshot, &summary, &status, &done] {
-    status = framework_->Ingest(snapshot);
-    if (status.ok()) {
-      MutexLock lock(&mu_);
-      mirror_[snapshot.epoch_start] = std::move(summary);
-    }
-    done.CountDown();
-  });
-  done.Wait();
+  // Exclusive scheduler section: every in-flight query drains (writer
+  // priority holds off new ones), then the framework is quiescent for the
+  // ingest. Queued-but-unstarted queries simply run afterwards.
+  const Status status = scheduler_.RunExclusive(
+      [&] { return framework_->Ingest(snapshot); });
+  if (status.ok()) {
+    MutexLock lock(&mu_);
+    mirror_[snapshot.epoch_start] = std::move(summary);
+  }
   return status;
 }
 
@@ -103,9 +101,20 @@ void Shard::RunQuery(
       failure = live;
       break;
     }
-    framework_->SetCancelToken(cancel.get());
-    Result<QueryResult> result = explorer_.Execute(query);
-    framework_->SetCancelToken(nullptr);
+    // Whole-result cache first (internally synchronized), then the shared
+    // scan: overlapping concurrent queries on this shard ride one leaf
+    // pass, and a waiter whose deadline expires detaches without
+    // cancelling it. `pass_bytes_decoded` (the whole pass's decode cost,
+    // an upper bound on this query's own) prices the cache insert.
+    SharedExecInfo info;
+    std::optional<QueryResult> cached =
+        cache_.Lookup(query, framework_->cells());
+    Result<QueryResult> result =
+        cached.has_value() ? Result<QueryResult>(*std::move(cached))
+                           : scheduler_.Execute(query, cancel.get(), &info);
+    if (!cached.has_value() && result.ok() && result->exact) {
+      cache_.Insert(query, *result, info.pass_bytes_decoded);
+    }
     {
       MutexLock lock(&mu_);
       ++executed_;
@@ -153,8 +162,15 @@ QueryResult Shard::HighlightFallback(const ExplorationQuery& query,
 }
 
 ShardStats Shard::Stats() const {
-  MutexLock lock(&mu_);
   ShardStats stats;
+  // The cache, scheduler and fragment cache are internally synchronized —
+  // read them *outside* Shard.mu so those leaf mutexes never nest under it.
+  stats.cache = cache_.stats();
+  stats.scheduler = scheduler_.stats();
+  if (framework_->fragment_cache() != nullptr) {
+    stats.fragments = framework_->fragment_cache()->stats();
+  }
+  MutexLock lock(&mu_);
   stats.breaker_state = breaker_.state();
   stats.breaker_trips = breaker_.trips();
   stats.short_circuits = short_circuits_;
@@ -162,7 +178,6 @@ ShardStats Shard::Stats() const {
   stats.executed = executed_;
   stats.retries = retries_;
   stats.fallbacks = fallbacks_;
-  stats.cache = explorer_.cache().stats();
   return stats;
 }
 

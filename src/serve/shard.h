@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "core/spate_framework.h"
 #include "query/result_cache.h"
+#include "query/scan_scheduler.h"
 #include "serve/breaker.h"
 
 namespace spate {
@@ -32,6 +33,12 @@ struct ShardTuning {
   BreakerOptions breaker;
   /// Seed of the shard's backoff-jitter Rng (mixed with the shard index).
   uint64_t seed = 0x5ba7e;
+  /// Worker threads per shard. 1 (the default) keeps today's behavior —
+  /// one query at a time per shard. More workers run queries concurrently
+  /// *through the shard's `ScanScheduler`*, which merges overlapping
+  /// windows into shared leaf passes (the framework itself still sees one
+  /// scan at a time).
+  int workers = 1;
 };
 
 /// Counters the `serve-stats` CLI prints per shard.
@@ -47,16 +54,25 @@ struct ShardStats {
   /// Highlight-only fallback answers served for this shard.
   uint64_t fallbacks = 0;
   ResultCache::CacheStats cache;
+  /// Shared-scan scheduler counters (passes, joins, detaches, bytes).
+  ScanSchedulerStats scheduler;
+  /// Decoded-fragment cache counters (zero when the shard's
+  /// `SpateOptions::fragment_cache_bytes` is 0).
+  FragmentCacheStats fragments;
 };
 
 /// One shard of the serving tier: a `SpateFramework` owning the hash-slice
 /// of cells assigned to it (its own DFS namespace, temporal index and
-/// result cache), serialized behind a single-worker bounded `ThreadPool`.
+/// result cache), behind a bounded `ThreadPool` of `ShardTuning::workers`
+/// threads.
 ///
-/// The framework's surface is externally synchronized, so the pool's one
-/// worker *is* the synchronization: every `Ingest`/`Execute` runs on it, in
-/// submission order, and the bounded queue is the shard's backpressure.
-/// Around that serialized core the shard keeps a thin thread-safe shell —
+/// The framework's surface is externally synchronized; the shard's
+/// `ScanScheduler` *is* that synchronization: every query runs through
+/// `scheduler_.Execute` (which merges concurrent overlapping windows into
+/// one shared leaf pass — with one worker that degenerates to today's
+/// serial behavior) and every ingest through `scheduler_.RunExclusive`.
+/// The bounded queue is the shard's backpressure.
+/// Around that core the shard keeps a thin thread-safe shell —
 /// mutex rank "Shard.mu" — guarding only the circuit breaker, the counters
 /// and a per-epoch highlight-summary mirror. The mirror is what makes
 /// graceful degradation non-blocking: when the breaker is open or the
@@ -70,9 +86,11 @@ class Shard {
 
   size_t index() const { return index_; }
 
-  /// Ingests one sub-snapshot (this shard's rows of an epoch) through the
-  /// worker, blocking for queue space and completion. Also folds the
-  /// sub-snapshot's summary into the highlight mirror.
+  /// Ingests one sub-snapshot (this shard's rows of an epoch) as an
+  /// exclusive scheduler section on the calling thread: in-flight queries
+  /// drain first (writer priority — new arrivals hold off), then the
+  /// framework ingests quiescently. Also folds the sub-snapshot's summary
+  /// into the highlight mirror.
   Status Ingest(const Snapshot& snapshot) EXCLUDES(mu_);
 
   /// Asynchronously evaluates `query` on the shard worker with retry +
@@ -113,7 +131,13 @@ class Shard {
   const ShardTuning tuning_;
   const double theta_;
   std::unique_ptr<SpateFramework> framework_;
-  CachedExplorer explorer_;
+  /// Whole-result cache in front of the scheduler (internally
+  /// synchronized; consulted/fed inline in `RunQuery`).
+  ResultCache cache_;
+  /// Cooperative shared scans over `framework_` — also the framework's
+  /// external synchronization (queries take read leases, ingest runs
+  /// exclusive).
+  ScanScheduler scheduler_;
   /// Rank "Shard.mu" (docs/LOCK_ORDER.md): guards the breaker, counters,
   /// mirror and jitter Rng only — held for short bookkeeping sections,
   /// including around `TrySubmit` (the observed Shard.mu -> ThreadPool.mu

@@ -216,7 +216,17 @@ Result<QueryPlan> PlanSelect(Framework& framework,
 
   for (const PlannerLeafInfo& leaf : stats.leaves) {
     const LeafDecodeStats& ds = *leaf.stats;
-    plan.cost_row += ds.FullDecodeBytes();
+    // Fragment-cache discount: decoded bytes of this leaf resident in the
+    // framework's fragment cache (at the current generation) will not be
+    // produced again, so a cached fragment prices at ~0. Saturating — the
+    // resident bytes can exceed a *projected* decode's cost (the cache may
+    // hold columns this query does not read). Zero without a cache, so
+    // every cost below is byte-for-byte the pre-cache prediction.
+    const uint64_t cached = leaf.fragment_cached_bytes;
+    auto discounted = [cached](uint64_t cost) {
+      return cost > cached ? cost - cached : 0;
+    };
+    plan.cost_row += discounted(ds.FullDecodeBytes());
     if (can_skip && leaf.summary != nullptr &&
         !SummaryIntersectsCells(*leaf.summary, wanted)) {
       ++plan.leaves_skipped;
@@ -226,14 +236,15 @@ Result<QueryPlan> PlanSelect(Framework& framework,
       // Row (or differential) leaf: a restricted decode still inflates the
       // full text; for deltas the leaf's own text is a floor (the chain's
       // predecessors materialize too).
-      plan.cost_projected += ds.columnar ? ds.FullDecodeBytes() : ds.raw_bytes;
+      plan.cost_projected +=
+          discounted(ds.columnar ? ds.FullDecodeBytes() : ds.raw_bytes);
       continue;
     }
     uint64_t leaf_cost = ds.meta_bytes;
     if (lowered.has_box) leaf_cost += ds.spidx_bytes;
     leaf_cost += ColumnarTableBytes(ds.cdr_column_bytes, cdr_projection);
     leaf_cost += ColumnarTableBytes(ds.nms_column_bytes, nms_projection);
-    plan.cost_projected += leaf_cost;
+    plan.cost_projected += discounted(leaf_cost);
   }
 
   // Ties go to the row scan: when restriction buys nothing, the plain path

@@ -81,6 +81,8 @@ CONTRACT_HEADERS = [
     os.path.join("src", "dfs", "dfs.h"),
     os.path.join("src", "dfs", "fault_injector.h"),
     os.path.join("src", "query", "result_cache.h"),
+    os.path.join("src", "query", "scan_scheduler.h"),
+    os.path.join("src", "core", "fragment_cache.h"),
     os.path.join("src", "index", "temporal_index.h"),
     os.path.join("src", "index", "highlights.h"),
     os.path.join("src", "core", "spate_framework.h"),
